@@ -1,0 +1,56 @@
+//! Criterion benches for the functional collectives (threads-as-ranks).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dlrm_comm::collectives;
+use dlrm_comm::world::CommWorld;
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allreduce");
+    group.sample_size(10);
+    for &ranks in &[2usize, 4] {
+        for &len in &[4096usize, 65536] {
+            group.throughput(Throughput::Bytes((len * 4) as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("{ranks}ranks"), len),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        CommWorld::run(ranks, |comm| {
+                            let mut data = vec![comm.rank() as f32; len];
+                            collectives::allreduce_sum(&comm, &mut data);
+                            data[0]
+                        })
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_alltoall(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alltoall");
+    group.sample_size(10);
+    for &ranks in &[2usize, 4] {
+        for &per_peer in &[1024usize, 16384] {
+            group.throughput(Throughput::Bytes((ranks * per_peer * 4) as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("{ranks}ranks"), per_peer),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        CommWorld::run(ranks, |comm| {
+                            let send: Vec<Vec<f32>> =
+                                (0..ranks).map(|d| vec![d as f32; per_peer]).collect();
+                            collectives::alltoall(&comm, send).len()
+                        })
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allreduce, bench_alltoall);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benches for the reduced-precision kernels: BF16 conversion
+//! throughput, the emulated `vdpbf16ps` dot product, and the Split-SGD
+//! step vs plain FP32 SGD.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dlrm_precision::bf16::{narrow_slice, widen_slice, Bf16};
+use dlrm_precision::dot::dot_bf16;
+use dlrm_precision::split::{LoBits, SplitTensor};
+
+const LEN: usize = 1 << 16;
+
+fn bench_conversions(c: &mut Criterion) {
+    let src: Vec<f32> = (0..LEN).map(|i| (i as f32).sin()).collect();
+    let mut group = c.benchmark_group("bf16_convert");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes((LEN * 4) as u64));
+    group.bench_function("narrow_rne", |b| {
+        let mut dst = vec![Bf16::ZERO; LEN];
+        b.iter(|| narrow_slice(&src, &mut dst));
+    });
+    group.bench_function("widen", |b| {
+        let mut bf = vec![Bf16::ZERO; LEN];
+        narrow_slice(&src, &mut bf);
+        let mut dst = vec![0.0f32; LEN];
+        b.iter(|| widen_slice(&bf, &mut dst));
+    });
+    group.finish();
+}
+
+fn bench_dot(c: &mut Criterion) {
+    let a: Vec<Bf16> = (0..LEN).map(|i| Bf16::from_f32_rne((i as f32).sin())).collect();
+    let b_vec: Vec<Bf16> = (0..LEN).map(|i| Bf16::from_f32_rne((i as f32).cos())).collect();
+    let mut group = c.benchmark_group("vdpbf16ps_emulated");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(LEN as u64));
+    group.bench_function("dot_bf16", |b| {
+        b.iter(|| dot_bf16(&a, &b_vec));
+    });
+    group.finish();
+}
+
+fn bench_sgd(c: &mut Criterion) {
+    let init: Vec<f32> = (0..LEN).map(|i| (i as f32).sin()).collect();
+    let grads: Vec<f32> = (0..LEN).map(|i| (i as f32).cos() * 0.01).collect();
+    let mut group = c.benchmark_group("sgd_step");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(LEN as u64));
+    group.bench_function("fp32", |b| {
+        let mut w = init.clone();
+        b.iter(|| dlrm_kernels::sgd::sgd_step(&mut w, &grads, 0.01));
+    });
+    group.bench_function("split_bf16", |b| {
+        let mut t = SplitTensor::from_f32(&init, LoBits::Sixteen);
+        b.iter(|| t.sgd_step(&grads, 0.01));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_conversions, bench_dot, bench_sgd);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Section VII outlook — projected single-socket speedup from native BF16
+//! (Split-SGD + `vdpbf16ps`) on Cooper-Lake-class CPUs.
+
+use dlrm_bench::{fmt_speedup, header, Table};
+use dlrm_clustersim::bf16_outlook::project_all;
+use dlrm_clustersim::{Calibration, Cluster};
+
+fn main() {
+    header(
+        "Ablation: projected BF16 (Split-SGD + vdpbf16ps) single-socket gains",
+        "Paper: 66% of training passes enjoy a 2x bandwidth reduction; native\n\
+         BF16 FMAs will 'significantly speed-up the MLP portions as well'.",
+    );
+    let rows = project_all(&Cluster::node_8socket(), &Calibration::default());
+    let mut t = Table::new(&["config", "FP32 ms/iter", "BF16 ms/iter (proj)", "speedup"]);
+    for r in &rows {
+        t.row(vec![
+            r.config.clone(),
+            format!("{:.1}", r.fp32_ms),
+            format!("{:.1}", r.bf16_ms),
+            fmt_speedup(r.speedup),
+        ]);
+    }
+    t.print();
+    println!("\n(Embedding fwd/bwd at half the bytes, update at full hi+lo width;");
+    println!(" MLP GEMMs at 2x FMA throughput; interaction/framework unchanged.)");
+}

@@ -1,0 +1,46 @@
+//! Section VI-C — single-socket CPU vs single V100 GPU.
+//!
+//! Paper: the (Caffe2) V100 measured 62 ms on the Small config vs 38 ms on
+//! the optimized SKX socket; a fully-optimized GPU stack is estimated at
+//! 10–15 ms — but the Large and MLPerf configs simply do not fit in HBM,
+//! which is the paper's argument for CPUs.
+
+use dlrm_bench::{header, Table};
+use dlrm_clustersim::gpu::{compare, GpuSpec};
+use dlrm_clustersim::{Calibration, Cluster};
+use dlrm_tensor::util::format_bytes;
+
+fn main() {
+    header(
+        "Section VI-C: single-socket CPU vs single V100 (roofline estimates)",
+        "Paper anchors: V100/Caffe2 measured 62 ms (Small); optimized GPU\n\
+         estimate 10-15 ms; optimized CPU 38 ms; Large/MLPerf exceed HBM.",
+    );
+    let cluster = Cluster::node_8socket();
+    let calib = Calibration::default();
+    for gpu in [GpuSpec::v100_16gb(), GpuSpec::v100_32gb()] {
+        println!("\n--- {} vs {} ---", cluster.socket.name, gpu.name);
+        let rows = compare(&cluster, &gpu, &calib);
+        let mut t = Table::new(&[
+            "config", "tables", "fits HBM?", "CPU ms/iter (est)", "GPU ms/iter (est)", "GPU/CPU",
+        ]);
+        for r in rows {
+            t.row(vec![
+                r.config.clone(),
+                format_bytes(r.table_bytes),
+                if r.fits_on_gpu { "yes".into() } else { "NO".into() },
+                format!("{:.1}", r.cpu_ms),
+                if r.fits_on_gpu {
+                    format!("{:.1}", r.gpu_ms)
+                } else {
+                    format!("({:.1})", r.gpu_ms)
+                },
+                format!("{:.2}x faster", r.cpu_ms / r.gpu_ms),
+            ]);
+        }
+        t.print();
+    }
+    println!("\nThe CPU's case is capacity: it runs every configuration; the GPU");
+    println!("needs multi-GPU model parallelism for anything beyond Small (and the");
+    println!("paper notes FP16 tensor cores don't help DLRM's default optimizer).");
+}

@@ -1,0 +1,41 @@
+//! Figure 12 — weak-scaling speed-up and efficiency on the 64-socket
+//! cluster (simulated).
+
+use dlrm_bench::{fmt_pct, fmt_speedup, header, paper, Table};
+use dlrm_clustersim::experiments::{scaling_sweep, ScalingKind};
+use dlrm_clustersim::{Calibration, Cluster, RunMode};
+use dlrm_data::DlrmConfig;
+
+fn main() {
+    header(
+        "Figure 12: DLRM weak scaling (speed-up and efficiency, simulated cluster)",
+        "Paper: Small 6.4x@8R (80%), Large 13.5x@64R (84%), MLPerf 17x@26R (65%).",
+    );
+    let cluster = Cluster::cluster_64socket();
+    let calib = Calibration::default();
+
+    for cfg in DlrmConfig::all_paper() {
+        println!("\n--- {} (LN={}) ---", cfg.name, cfg.ln_weak);
+        let pts = scaling_sweep(&cfg, &cluster, &calib, ScalingKind::Weak, RunMode::Overlapping);
+        let mut t = Table::new(&["ranks", "strategy", "ms/iter", "speedup", "efficiency"]);
+        for p in &pts {
+            t.row(vec![
+                format!("{}R", p.ranks),
+                p.strategy.to_string(),
+                format!("{:.1}", p.breakdown.total() * 1e3),
+                fmt_speedup(p.speedup),
+                fmt_pct(p.efficiency),
+            ]);
+        }
+        t.print();
+    }
+    println!(
+        "\nPaper anchors: Small {}x/{}; Large {}x/{}; MLPerf {}x/{}.",
+        paper::scaling::SMALL_WEAK_8R.0,
+        fmt_pct(paper::scaling::SMALL_WEAK_8R.1),
+        paper::scaling::LARGE_WEAK_64R.0,
+        fmt_pct(paper::scaling::LARGE_WEAK_64R.1),
+        paper::scaling::MLPERF_WEAK_26R.0,
+        fmt_pct(paper::scaling::MLPERF_WEAK_26R.1)
+    );
+}

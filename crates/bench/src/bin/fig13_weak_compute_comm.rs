@@ -1,0 +1,33 @@
+//! Figure 13 — weak-scaling compute/communication split, MPI vs CCL
+//! backend, overlapping vs blocking (Large and MLPerf configs).
+
+use dlrm_bench::{header, Table};
+use dlrm_clustersim::experiments::{backend_mode_sweep, ScalingKind};
+use dlrm_clustersim::{Calibration, Cluster};
+use dlrm_data::DlrmConfig;
+
+fn main() {
+    header(
+        "Figure 13: compute vs communication, weak scaling (simulated)",
+        "Paper shapes: MPI compute inflates under overlap (unpinned progress\n\
+         thread); the MLPerf compute bar creeps up with ranks — the full-global-\n         minibatch data loader (Section VI-D2).",
+    );
+    let cluster = Cluster::cluster_64socket();
+    let calib = Calibration::default();
+    for cfg in [DlrmConfig::large(), DlrmConfig::mlperf()] {
+        println!("\n--- {} ---", cfg.name);
+        let rows = backend_mode_sweep(&cfg, &cluster, &calib, ScalingKind::Weak);
+        let mut t = Table::new(&["mode", "backend", "ranks", "compute ms", "comm ms", "total ms"]);
+        for (backend, mode, ranks, b) in rows {
+            t.row(vec![
+                format!("{mode:?}"),
+                backend.to_string(),
+                format!("{ranks}R"),
+                format!("{:.1}", (b.compute + b.loader) * 1e3),
+                format!("{:.1}", b.comm() * 1e3),
+                format!("{:.1}", b.total() * 1e3),
+            ]);
+        }
+        t.print();
+    }
+}

@@ -1,0 +1,38 @@
+//! Figure 14 — communication-time breakdown (framework vs wait, alltoall
+//! vs allreduce), weak scaling, MPI vs CCL, overlap vs blocking.
+
+use dlrm_bench::{header, Table};
+use dlrm_clustersim::experiments::{backend_mode_sweep, ScalingKind};
+use dlrm_clustersim::{Calibration, Cluster};
+use dlrm_data::DlrmConfig;
+
+fn main() {
+    header(
+        "Figure 14: communication breakdown, weak scaling (simulated)",
+        "Paper artifact to look for: with the MPI backend overlapping, the\n\
+         exposed allreduce is charged to the Alltoall-Wait bucket (in-order\n\
+         completion); with CCL it appears where it belongs.",
+    );
+    let cluster = Cluster::cluster_64socket();
+    let calib = Calibration::default();
+    for cfg in [DlrmConfig::large(), DlrmConfig::mlperf()] {
+        println!("\n--- {} ---", cfg.name);
+        let rows = backend_mode_sweep(&cfg, &cluster, &calib, ScalingKind::Weak);
+        let mut t = Table::new(&[
+            "mode", "backend", "ranks",
+            "A2A-fw ms", "A2A-wait ms", "AR-fw ms", "AR-wait ms",
+        ]);
+        for (backend, mode, ranks, b) in rows {
+            t.row(vec![
+                format!("{mode:?}"),
+                backend.to_string(),
+                format!("{ranks}R"),
+                format!("{:.2}", b.alltoall_framework * 1e3),
+                format!("{:.2}", b.alltoall_wait * 1e3),
+                format!("{:.2}", b.allreduce_framework * 1e3),
+                format!("{:.2}", b.allreduce_wait * 1e3),
+            ]);
+        }
+        t.print();
+    }
+}

@@ -1,0 +1,42 @@
+//! Figure 15 — strong scaling on the 8-socket twisted-hypercube
+//! shared-memory node (simulated).
+
+use dlrm_bench::{header, Table};
+use dlrm_clustersim::experiments::fig15_8socket;
+use dlrm_clustersim::Calibration;
+use dlrm_data::DlrmConfig;
+
+fn main() {
+    header(
+        "Figure 15: strong scaling on the 8-socket shared-memory node (simulated)",
+        "Paper shape: alltoall does NOT improve from 4 to 8 sockets (the\n\
+         generic schedule is untuned for the twisted hypercube).",
+    );
+    let calib = Calibration::default();
+    for cfg in DlrmConfig::all_paper() {
+        println!("\n--- {} (GN={}) ---", cfg.name, cfg.gn_strong);
+        let bars = fig15_8socket(&cfg, &calib);
+        let mut t = Table::new(&["ranks", "compute ms", "allreduce ms", "alltoall ms", "total ms"]);
+        for b in &bars {
+            t.row(vec![
+                format!("{}R", b.ranks),
+                format!("{:.1}", b.compute_ms),
+                format!("{:.1}", b.allreduce_ms),
+                format!("{:.1}", b.alltoall_ms),
+                format!("{:.1}", b.compute_ms + b.allreduce_ms + b.alltoall_ms),
+            ]);
+        }
+        t.print();
+        if let (Some(b4), Some(b8)) = (
+            bars.iter().find(|b| b.ranks == 4),
+            bars.iter().find(|b| b.ranks == 8),
+        ) {
+            println!(
+                "  alltoall 4R -> 8R: {:.2} -> {:.2} ms (ratio {:.2}; paper: ~flat)",
+                b4.alltoall_ms,
+                b8.alltoall_ms,
+                b8.alltoall_ms / b4.alltoall_ms.max(1e-9)
+            );
+        }
+    }
+}

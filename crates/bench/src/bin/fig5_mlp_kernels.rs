@@ -1,0 +1,190 @@
+//! Figure 5 — single-socket MLP training-kernel performance.
+//!
+//! Three implementations per pass, as in the paper's bars:
+//!
+//! * **this work** — blocked batch-reduce GEMM (Algorithm 5);
+//! * **blocked, no batch-reduce** — same blocked layouts but one microkernel
+//!   call per reduction panel (C reloaded each time): the stand-in for
+//!   Facebook's serial-GEMM-per-thread blocked implementation;
+//! * **flat GEMM** — the large row-major parallel GEMM (PyTorch/MKL-style).
+//!
+//! Reported as GFLOP/s; the paper's result is the *ordering* and the gap
+//! (blocked ≈72–75% of peak vs flat ≈61%). Absolute numbers here are one
+//! core of a different CPU.
+
+use dlrm_bench::{header, paper, time_it, HarnessOpts, Table};
+use dlrm_kernels::gemm::micro::{brgemm_fwd, detect_isa, PanelDims};
+use dlrm_kernels::gemm::{self, gemm_flops};
+use dlrm_kernels::ThreadPool;
+use dlrm_tensor::blocked::Blocking;
+use dlrm_tensor::init::{seeded_rng, uniform};
+use dlrm_tensor::{BlockedActivations, BlockedWeights, Matrix};
+
+struct PassResult {
+    gflops: [f64; 3], // this-work, no-batch-reduce, flat
+}
+
+fn bench_config(pool: &ThreadPool, n: usize, c: usize, k: usize, iters: usize) -> [PassResult; 3] {
+    let mut rng = seeded_rng(42, 0);
+    let w = uniform(k, c, -0.5, 0.5, &mut rng);
+    let x = uniform(c, n, -0.5, 0.5, &mut rng);
+    let dy = uniform(k, n, -0.5, 0.5, &mut rng);
+    let blk = Blocking::for_shape(n, c, k);
+    let wb = BlockedWeights::pack(&w, blk);
+    let xb = BlockedActivations::pack(&x, blk.bc, blk.bn);
+    let dyb = BlockedActivations::pack(&dy, blk.bk, blk.bn);
+    let flops = gemm_flops(k, c, n) as f64;
+
+    // ---- forward ----------------------------------------------------------
+    let mut yb = BlockedActivations::zeros(k, n, blk.bk, blk.bn);
+    let t_fwd_this = time_it(1, iters, || {
+        yb.as_mut_slice().fill(0.0);
+        gemm::fc_forward(pool, &wb, &xb, &mut yb);
+    });
+    let t_fwd_nobr = time_it(1, iters, || {
+        yb.as_mut_slice().fill(0.0);
+        fc_forward_no_batch_reduce(pool, &wb, &xb, &mut yb);
+    });
+    let mut y = Matrix::zeros(k, n);
+    let t_fwd_flat = time_it(1, iters, || {
+        y.fill_zero();
+        gemm::par_gemm_nn(pool, &w, &x, &mut y);
+    });
+
+    // ---- backward by data --------------------------------------------------
+    let mut dxb = BlockedActivations::zeros(c, n, blk.bc, blk.bn);
+    let t_bwd_this = time_it(1, iters, || {
+        dxb.as_mut_slice().fill(0.0);
+        gemm::fc_backward_data(pool, &wb, &dyb, &mut dxb);
+    });
+    let mut dx = Matrix::zeros(c, n);
+    let t_bwd_flat = time_it(1, iters, || {
+        dx.fill_zero();
+        gemm::par_gemm_tn(pool, &w, &dy, &mut dx);
+    });
+
+    // ---- backward by weights ----------------------------------------------
+    let mut dwb = BlockedWeights::zeros(k, c, blk);
+    let t_upd_this = time_it(1, iters, || {
+        dwb.as_mut_slice().fill(0.0);
+        gemm::fc_backward_weights(pool, &xb, &dyb, &mut dwb);
+    });
+    let mut dw = Matrix::zeros(k, c);
+    let t_upd_flat = time_it(1, iters, || {
+        dw.fill_zero();
+        gemm::par_gemm_nt(pool, &dy, &x, &mut dw);
+    });
+
+    // No-batch-reduce variant only differs structurally on the forward; for
+    // the backward passes reuse the blocked kernels with per-panel calls
+    // approximated by the same measurement (panel reload effect is in fwd).
+    [
+        PassResult {
+            gflops: [
+                flops / t_fwd_this / 1e9,
+                flops / t_fwd_nobr / 1e9,
+                flops / t_fwd_flat / 1e9,
+            ],
+        },
+        PassResult {
+            gflops: [
+                flops / t_bwd_this / 1e9,
+                flops / t_bwd_this / 1e9 * (t_fwd_this / t_fwd_nobr),
+                flops / t_bwd_flat / 1e9,
+            ],
+        },
+        PassResult {
+            gflops: [
+                flops / t_upd_this / 1e9,
+                flops / t_upd_this / 1e9 * (t_fwd_this / t_fwd_nobr),
+                flops / t_upd_flat / 1e9,
+            ],
+        },
+    ]
+}
+
+/// Blocked forward *without* batch-reduce: one microkernel call per
+/// reduction panel, so the C accumulator is re-loaded/stored `Cb` times.
+fn fc_forward_no_batch_reduce(
+    pool: &ThreadPool,
+    w: &BlockedWeights,
+    x: &BlockedActivations,
+    y: &mut BlockedActivations,
+) {
+    let d = PanelDims {
+        bn: x.bn,
+        bc: x.bc,
+        bk: w.blk.bk,
+    };
+    let (kb, cb, nb) = (w.kb(), w.cb(), x.nb());
+    let isa = detect_isa();
+    let panel = d.bn * d.bk;
+    let y_ptr = SendPtr(y.as_mut_slice().as_mut_ptr());
+    pool.parallel_for(kb * nb, |_tid, range| {
+        for blk_idx in range {
+            let (ibn, ibk) = (blk_idx / kb, blk_idx % kb);
+            let y_off = (ibk * nb + ibn) * panel;
+            for ibc in 0..cb {
+                let wp = [w.block(ibk, ibc).as_ptr()];
+                let xp = [x.block_ptr(ibc, ibn)];
+                // SAFETY: disjoint output panels per thread.
+                unsafe { brgemm_fwd(isa, &wp, &xp, y_ptr.get().add(y_off), d) };
+            }
+        }
+    });
+}
+
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+impl SendPtr {
+    fn get(self) -> *mut f32 {
+        self.0
+    }
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    header(
+        "Figure 5: MLP training kernel performance (single socket)",
+        "Paper: this-work ≈72% of peak, FB blocked ≈75%, PyTorch flat ≈61%.",
+    );
+    let pool = ThreadPool::with_default_parallelism();
+    let (n, sizes, iters) = if opts.paper_scale {
+        (1024usize, vec![1024usize, 2048, 4096], 2usize)
+    } else {
+        (256, vec![512, 1024], 3)
+    };
+
+    let mut t = Table::new(&[
+        "C=K", "pass", "this work GF/s", "no batch-reduce GF/s*", "flat GEMM GF/s",
+        "flat/this",
+    ]);
+    let mut ratio_acc = 0.0;
+    let mut ratio_n = 0;
+    for &ck in &sizes {
+        let results = bench_config(&pool, n, ck, ck, iters);
+        for (pass, r) in ["FWD", "BWD_D", "BWD_W"].iter().zip(&results) {
+            t.row(vec![
+                ck.to_string(),
+                pass.to_string(),
+                format!("{:.2}", r.gflops[0]),
+                format!("{:.2}", r.gflops[1]),
+                format!("{:.2}", r.gflops[2]),
+                format!("{:.2}", r.gflops[2] / r.gflops[0]),
+            ]);
+            ratio_acc += r.gflops[2] / r.gflops[0];
+            ratio_n += 1;
+        }
+    }
+    t.print();
+    println!("  * BWD rows of the no-batch-reduce column are extrapolated from the");
+    println!("    measured FWD ratio (only the forward kernel differs structurally).");
+    let mean_ratio = ratio_acc / ratio_n as f64;
+    println!(
+        "\nMean flat/this-work ratio: {mean_ratio:.2} (paper: {:.2} — flat at 61% vs 72% of peak)",
+        paper::fig5::PYTORCH_EFF / paper::fig5::THIS_WORK_EFF
+    );
+    println!("ISA in use: {:?}", detect_isa());
+}

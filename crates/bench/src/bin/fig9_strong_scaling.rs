@@ -1,0 +1,37 @@
+//! Figure 9 — strong-scaling speed-up and efficiency on the 64-socket
+//! cluster (simulated), all four strategies × all three configs.
+
+use dlrm_bench::{fmt_pct, fmt_speedup, header, paper, Table};
+use dlrm_clustersim::experiments::{scaling_sweep, ScalingKind};
+use dlrm_clustersim::{Calibration, Cluster, RunMode};
+use dlrm_data::DlrmConfig;
+
+fn main() {
+    header(
+        "Figure 9: DLRM strong scaling (speed-up and efficiency, simulated cluster)",
+        "Paper: Small/Large ~5-6x at 8x sockets (60-71%); MLPerf 8.5x at 26 (33%);\n\
+         native alltoall >2x over scatter strategies; CCL up to 1.4x over MPI.",
+    );
+    let cluster = Cluster::cluster_64socket();
+    let calib = Calibration::default();
+
+    for cfg in DlrmConfig::all_paper() {
+        println!("\n--- {} (GN={}) ---", cfg.name, cfg.gn_strong);
+        let pts = scaling_sweep(&cfg, &cluster, &calib, ScalingKind::Strong, RunMode::Overlapping);
+        let mut t = Table::new(&["ranks", "strategy", "ms/iter", "speedup", "efficiency"]);
+        for p in &pts {
+            t.row(vec![
+                format!("{}R", p.ranks),
+                p.strategy.to_string(),
+                format!("{:.1}", p.breakdown.total() * 1e3),
+                fmt_speedup(p.speedup),
+                fmt_pct(p.efficiency),
+            ]);
+        }
+        t.print();
+    }
+    let (s, e) = paper::scaling::SMALL_STRONG_8R;
+    println!("\nPaper anchors: Small 8R {}x/{}; MLPerf 26R {}x/{}.",
+        s, fmt_pct(e),
+        paper::scaling::MLPERF_STRONG_26R.0, fmt_pct(paper::scaling::MLPERF_STRONG_26R.1));
+}

@@ -1,0 +1,56 @@
+//! Table I — DLRM model specifications used in this work.
+
+use dlrm_bench::{header, Table};
+use dlrm_data::DlrmConfig;
+use dlrm_tensor::util::format_bytes;
+
+fn main() {
+    // No options apply here, but parse argv so unknown flags warn
+    // consistently with the other harnesses.
+    let _ = dlrm_bench::HarnessOpts::from_args();
+    header(
+        "Table I: DLRM model specifications",
+        "Paper values regenerated from the config definitions.",
+    );
+    let configs = DlrmConfig::all_paper();
+    let mut t = Table::new(&[
+        "Parameter", "Small", "Large", "MLPerf",
+    ]);
+    let cell = |f: &dyn Fn(&DlrmConfig) -> String| -> Vec<String> {
+        configs.iter().map(f).collect()
+    };
+    let mut push = |name: &str, f: &dyn Fn(&DlrmConfig) -> String| {
+        let mut row = vec![name.to_string()];
+        row.extend(cell(f));
+        t.row(row);
+    };
+    push("Minibatch (single socket)", &|c| c.mb_single.to_string());
+    push("Global MB (strong scaling)", &|c| c.gn_strong.to_string());
+    push("Local MB (weak scaling)", &|c| c.ln_weak.to_string());
+    push("Look-ups per table (P)", &|c| c.lookups_per_table.to_string());
+    push("Number of tables (S)", &|c| c.num_tables.to_string());
+    push("Embedding dim (E)", &|c| c.emb_dim.to_string());
+    push("Rows per table (M)", &|c| {
+        let min = c.table_rows.iter().min().unwrap();
+        let max = c.table_rows.iter().max().unwrap();
+        if min == max {
+            format!("{max:.2e}")
+        } else {
+            format!("up to {max:.1e}")
+        }
+    });
+    push("Dense features", &|c| c.dense_features.to_string());
+    push("Bottom MLP", &|c| {
+        c.bottom_mlp.iter().map(|s| s.to_string()).collect::<Vec<_>>().join("-")
+    });
+    push("Top MLP", &|c| {
+        c.top_mlp.iter().map(|s| s.to_string()).collect::<Vec<_>>().join("-")
+    });
+    push("Interaction output dim", &|c| c.interaction_output_dim().to_string());
+    push("All tables footprint", &|c| format_bytes(c.total_table_bytes()));
+    t.print();
+
+    println!("\nNote: the MLPerf top MLP uses the official 1024-1024-512-256-1");
+    println!("shape, which reproduces Table II's 9.0 MB allreduce (Table I's");
+    println!("abbreviated 512-512-256-1 would give 3.2 MB).");
+}

@@ -1,0 +1,158 @@
+//! # dlrm-bench — experiment harnesses
+//!
+//! One binary per table/figure of the paper's evaluation (see DESIGN.md's
+//! experiment index) plus Criterion kernel benches. This library holds the
+//! shared plumbing: report formatting, paper reference values, scaled-down
+//! default problem sizes and the `--paper-scale` switch.
+
+use std::time::Instant;
+
+pub mod paper;
+pub mod single_socket;
+
+/// Command-line options shared by the figure harnesses.
+#[derive(Debug, Clone)]
+pub struct HarnessOpts {
+    /// Use the paper's full problem sizes instead of laptop-scaled ones.
+    pub paper_scale: bool,
+    /// Emit machine-readable JSON lines alongside the tables.
+    pub json: bool,
+}
+
+impl HarnessOpts {
+    /// Parses `--paper-scale` / `--json` from `std::env::args`.
+    pub fn from_args() -> Self {
+        let mut o = HarnessOpts {
+            paper_scale: false,
+            json: false,
+        };
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--paper-scale" => o.paper_scale = true,
+                "--json" => o.json = true,
+                "--help" | "-h" => {
+                    eprintln!("options: --paper-scale  use full Table I sizes\n         --json         emit JSON lines");
+                    std::process::exit(0);
+                }
+                other => eprintln!("warning: unknown option {other}"),
+            }
+        }
+        o
+    }
+}
+
+/// Prints a section header for a figure/table harness.
+pub fn header(title: &str, note: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    if !note.is_empty() {
+        println!("{note}");
+    }
+    println!("================================================================");
+}
+
+/// A simple fixed-width table printer.
+pub struct Table {
+    widths: Vec<usize>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        let mut t = Table {
+            widths: headers.iter().map(|h| h.len()).collect(),
+            rows: Vec::new(),
+        };
+        t.row(headers.iter().map(|s| s.to_string()).collect());
+        t
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.widths.len(), "table arity mismatch");
+        for (w, c) in self.widths.iter_mut().zip(&cells) {
+            *w = (*w).max(c.len());
+        }
+        self.rows.push(cells);
+    }
+
+    /// Renders the table to stdout.
+    pub fn print(&self) {
+        for (i, row) in self.rows.iter().enumerate() {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&self.widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            println!("  {}", line.join("  "));
+            if i == 0 {
+                let sep: Vec<String> = self.widths.iter().map(|w| "-".repeat(*w)).collect();
+                println!("  {}", sep.join("  "));
+            }
+        }
+    }
+}
+
+/// Times `f` over `iters` runs after `warmup` runs; returns seconds/run.
+pub fn time_it<T>(warmup: usize, iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    t0.elapsed().as_secs_f64() / iters.max(1) as f64
+}
+
+/// Formats seconds as adaptive ms/µs.
+pub fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+/// Formats a ratio as `12.3x`.
+pub fn fmt_speedup(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats a fraction as a percentage.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:.0}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rejects_bad_arity() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.row(vec!["oops".into()])
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn time_it_returns_positive() {
+        let t = time_it(1, 3, || (0..1000).sum::<u64>());
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_time(2.0), "2.00 s");
+        assert_eq!(fmt_time(0.0042), "4.20 ms");
+        assert_eq!(fmt_time(42e-6), "42.0 µs");
+        assert_eq!(fmt_speedup(5.0), "5.00x");
+        assert_eq!(fmt_pct(0.335), "34%");
+    }
+}

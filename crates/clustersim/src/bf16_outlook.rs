@@ -1,0 +1,109 @@
+//! Section VII outlook: projected single-socket gains from native BF16
+//! (Cooper-Lake `vdpbf16ps`) with Split-SGD.
+//!
+//! With Split-SGD the model tensors *are* BF16, so "66% of the training
+//! passes enjoy a 2x bandwidth reduction": the embedding forward and
+//! backward read/write half the bytes (the update still touches both
+//! 16-bit planes — FP32-equivalent traffic), and `vdpbf16ps` doubles the
+//! FMA throughput of the MLP GEMMs. This module projects those effects
+//! through the same roofline the rest of the simulator uses — the paper's
+//! "this will help to also significantly speed-up the MLP portions as
+//! well" once silicon is available.
+
+use crate::calib::Calibration;
+use crate::compute::ComputeModel;
+use crate::machine::Cluster;
+use dlrm_data::DlrmConfig;
+use serde::Serialize;
+
+/// Projected FP32-vs-BF16 single-socket iteration times.
+#[derive(Debug, Clone, Serialize)]
+pub struct Bf16Projection {
+    /// Config name.
+    pub config: String,
+    /// FP32 iteration, ms.
+    pub fp32_ms: f64,
+    /// Projected BF16 (Split-SGD + vdpbf16ps) iteration, ms.
+    pub bf16_ms: f64,
+    /// fp32 / bf16.
+    pub speedup: f64,
+}
+
+/// Fraction of embedding row traffic that runs at BF16 width: forward and
+/// backward do (2 of 3 sweeps at half the bytes), the Split-SGD update
+/// reads hi+lo planes (full width).
+const EMB_BYTES_FACTOR: f64 = (2.0 * 0.5 + 1.0) / 3.0;
+
+/// `vdpbf16ps` retires twice the FP32 FMA throughput per cycle.
+const MLP_SPEEDUP: f64 = 2.0;
+
+/// Projects the BF16 iteration time for one config at minibatch `n`.
+pub fn project_config(
+    cfg: &DlrmConfig,
+    cluster: &Cluster,
+    calib: &Calibration,
+    n: usize,
+) -> Bf16Projection {
+    let m = ComputeModel { cluster, calib };
+    let mlp = m.bottom_fwd(cfg, n) + m.bottom_bwd(cfg, n) + m.top_fwd(cfg, n) + m.top_bwd(cfg, n);
+    let emb = m.embedding(cfg, n, 1);
+    let rest = m.interaction(cfg, n) + calib.framework_overhead;
+
+    let fp32 = mlp + emb + rest;
+    let bf16 = mlp / MLP_SPEEDUP + emb * EMB_BYTES_FACTOR + rest;
+    Bf16Projection {
+        config: cfg.name.clone(),
+        fp32_ms: fp32 * 1e3,
+        bf16_ms: bf16 * 1e3,
+        speedup: fp32 / bf16,
+    }
+}
+
+/// All three paper configs at their single-socket minibatch.
+pub fn project_all(cluster: &Cluster, calib: &Calibration) -> Vec<Bf16Projection> {
+    DlrmConfig::all_paper()
+        .iter()
+        .map(|cfg| project_config(cfg, cluster, calib, cfg.mb_single))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedups_are_bounded_by_the_component_gains() {
+        let rows = project_all(&Cluster::node_8socket(), &Calibration::default());
+        for r in &rows {
+            assert!(
+                r.speedup > 1.0 && r.speedup < 2.0,
+                "{}: {:.2}x must sit between no gain and the 2x ceiling",
+                r.config,
+                r.speedup
+            );
+        }
+    }
+
+    #[test]
+    fn mlp_heavy_configs_gain_more() {
+        // Large (deep 4096-wide MLPs) is more compute-bound than Small, so
+        // the vdpbf16ps doubling helps it more.
+        let cluster = Cluster::node_8socket();
+        let calib = Calibration::default();
+        let rows = project_all(&cluster, &calib);
+        let small = rows.iter().find(|r| r.config == "Small").unwrap();
+        let large = rows.iter().find(|r| r.config == "Large").unwrap();
+        assert!(
+            large.speedup > small.speedup,
+            "large {:.2}x should beat small {:.2}x",
+            large.speedup,
+            small.speedup
+        );
+    }
+
+    #[test]
+    fn embedding_factor_matches_the_papers_66_percent_claim() {
+        // 2 of 3 passes at half width = 2/3 of traffic halved.
+        assert!((EMB_BYTES_FACTOR - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

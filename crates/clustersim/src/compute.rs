@@ -1,0 +1,174 @@
+//! Per-rank compute-time model (roofline over the socket specs).
+
+use crate::calib::Calibration;
+use crate::machine::Cluster;
+use dlrm_data::DlrmConfig;
+
+/// Compute-time estimates for one rank of a hybrid-parallel DLRM iteration.
+///
+/// MLPs are data-parallel (local minibatch `n`), embeddings are
+/// model-parallel: each rank processes the **global** minibatch for the
+/// tables it owns, so the embedding term depends on `gn` and the per-rank
+/// table count.
+pub struct ComputeModel<'a> {
+    /// Cluster hardware.
+    pub cluster: &'a Cluster,
+    /// Calibration constants.
+    pub calib: &'a Calibration,
+}
+
+impl<'a> ComputeModel<'a> {
+    fn mlp_time(&self, dims: &[(usize, usize)], n: usize, passes: f64) -> f64 {
+        let flops: f64 = dims
+            .iter()
+            .map(|&(fi, fo)| 2.0 * fi as f64 * fo as f64 * n as f64)
+            .sum();
+        passes * flops / (self.calib.mlp_efficiency * self.cluster.socket.peak_flops)
+    }
+
+    /// Bottom-MLP forward time at local minibatch `n`.
+    pub fn bottom_fwd(&self, cfg: &DlrmConfig, n: usize) -> f64 {
+        self.mlp_time(&cfg.bottom_layer_dims(), n, 1.0)
+    }
+
+    /// Bottom-MLP backward (data + weights) time.
+    pub fn bottom_bwd(&self, cfg: &DlrmConfig, n: usize) -> f64 {
+        self.mlp_time(&cfg.bottom_layer_dims(), n, 2.0)
+    }
+
+    /// Top-MLP forward time.
+    pub fn top_fwd(&self, cfg: &DlrmConfig, n: usize) -> f64 {
+        self.mlp_time(&cfg.top_layer_dims(), n, 1.0)
+    }
+
+    /// Top-MLP backward time.
+    pub fn top_bwd(&self, cfg: &DlrmConfig, n: usize) -> f64 {
+        self.mlp_time(&cfg.top_layer_dims(), n, 2.0)
+    }
+
+    /// Tables owned by the busiest rank (round-robin distribution).
+    pub fn tables_on_critical_rank(&self, cfg: &DlrmConfig, ranks: usize) -> usize {
+        cfg.num_tables.div_ceil(ranks)
+    }
+
+    /// Embedding time (fwd + bwd + update ≈ 3 row sweeps) for the busiest
+    /// rank: model-parallel, so the whole global minibatch `gn` hits the
+    /// local tables. Memory-bandwidth bound (the GUPS-like kernel).
+    pub fn embedding(&self, cfg: &DlrmConfig, gn: usize, ranks: usize) -> f64 {
+        let tables = self.tables_on_critical_rank(cfg, ranks) as f64;
+        let bytes = 3.0
+            * tables
+            * cfg.lookups_per_table as f64
+            * gn as f64
+            * cfg.emb_dim as f64
+            * 4.0;
+        bytes / (self.calib.emb_bw_efficiency * self.cluster.socket.mem_bw)
+    }
+
+    /// Interaction time: `(S+1)·S/2` length-`E` dot products per sample —
+    /// tiny batched GEMMs with poor efficiency.
+    pub fn interaction(&self, cfg: &DlrmConfig, n: usize) -> f64 {
+        let f = (cfg.num_tables + 1) as f64;
+        let flops = 3.0 * n as f64 * f * (f - 1.0) * cfg.emb_dim as f64; // fwd+bwd
+        flops / (self.calib.interaction_efficiency * self.cluster.socket.peak_flops)
+    }
+
+    /// Data-loader time for `samples` generated samples.
+    pub fn loader(&self, samples: usize) -> f64 {
+        self.calib.loader_per_sample * samples as f64
+    }
+
+    /// Total compute (no loader, no communication) of one iteration on the
+    /// busiest rank.
+    pub fn total(&self, cfg: &DlrmConfig, n: usize, gn: usize, ranks: usize) -> f64 {
+        self.bottom_fwd(cfg, n)
+            + self.bottom_bwd(cfg, n)
+            + self.top_fwd(cfg, n)
+            + self.top_bwd(cfg, n)
+            + self.embedding(cfg, gn, ranks)
+            + self.interaction(cfg, n)
+            + self.calib.framework_overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Cluster;
+
+    fn model<'a>(cluster: &'a Cluster, calib: &'a Calibration) -> ComputeModel<'a> {
+        ComputeModel { cluster, calib }
+    }
+
+    #[test]
+    fn single_socket_small_config_lands_near_paper() {
+        // Figure 7: optimized Small config ≈ 38–40 ms/iteration at N=2048.
+        let cluster = Cluster::node_8socket();
+        let calib = Calibration::default();
+        let m = model(&cluster, &calib);
+        let cfg = dlrm_data::DlrmConfig::small();
+        let t = m.total(&cfg, 2048, 2048, 1) * 1e3;
+        assert!(
+            (15.0..80.0).contains(&t),
+            "small single-socket ≈ {t:.1} ms (paper: ~38 ms)"
+        );
+    }
+
+    #[test]
+    fn mlp_passes_scale_linearly_in_batch() {
+        let cluster = Cluster::node_8socket();
+        let calib = Calibration::default();
+        let m = model(&cluster, &calib);
+        let cfg = dlrm_data::DlrmConfig::small();
+        let t1 = m.bottom_fwd(&cfg, 1024);
+        let t2 = m.bottom_fwd(&cfg, 2048);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backward_is_twice_forward() {
+        let cluster = Cluster::cluster_64socket();
+        let calib = Calibration::default();
+        let m = model(&cluster, &calib);
+        let cfg = dlrm_data::DlrmConfig::large();
+        assert!((m.top_bwd(&cfg, 512) / m.top_fwd(&cfg, 512) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn embedding_time_shrinks_with_ranks() {
+        let cluster = Cluster::cluster_64socket();
+        let calib = Calibration::default();
+        let m = model(&cluster, &calib);
+        let cfg = dlrm_data::DlrmConfig::large();
+        let t4 = m.embedding(&cfg, 16384, 4);
+        let t64 = m.embedding(&cfg, 16384, 64);
+        assert!((t4 / t64 - 16.0).abs() < 1e-6, "64 tables split 4 vs 64 ways");
+    }
+
+    #[test]
+    fn critical_rank_sees_ceiling_of_table_split() {
+        let cluster = Cluster::cluster_64socket();
+        let calib = Calibration::default();
+        let m = model(&cluster, &calib);
+        let cfg = dlrm_data::DlrmConfig::mlperf(); // 26 tables
+        assert_eq!(m.tables_on_critical_rank(&cfg, 8), 4);
+        assert_eq!(m.tables_on_critical_rank(&cfg, 16), 2);
+        assert_eq!(m.tables_on_critical_rank(&cfg, 26), 1);
+    }
+
+    #[test]
+    fn total_is_sum_of_parts_plus_overhead() {
+        let cluster = Cluster::node_8socket();
+        let calib = Calibration::default();
+        let m = model(&cluster, &calib);
+        let cfg = dlrm_data::DlrmConfig::small();
+        let parts = m.bottom_fwd(&cfg, 256)
+            + m.bottom_bwd(&cfg, 256)
+            + m.top_fwd(&cfg, 256)
+            + m.top_bwd(&cfg, 256)
+            + m.embedding(&cfg, 1024, 4)
+            + m.interaction(&cfg, 256)
+            + calib.framework_overhead;
+        assert!((m.total(&cfg, 256, 1024, 4) - parts).abs() < 1e-12);
+    }
+}

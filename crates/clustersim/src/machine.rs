@@ -1,0 +1,182 @@
+//! Hardware descriptions of the paper's two test beds (Section V).
+
+use dlrm_topology::{Interconnect, PrunedFatTree, TwistedHypercube8};
+
+/// One CPU socket.
+#[derive(Debug, Clone)]
+pub struct SocketSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Physical cores.
+    pub cores: usize,
+    /// FP32 peak at AVX-512 base clock, FLOP/s.
+    pub peak_flops: f64,
+    /// Sustained DRAM bandwidth, bytes/s.
+    pub mem_bw: f64,
+    /// DRAM capacity, bytes.
+    pub mem_capacity: u64,
+}
+
+impl SocketSpec {
+    /// Intel Xeon Platinum 8180 (Skylake) as configured in the 8-socket
+    /// node: 28 cores, 4.1 TF FP32, 12×16 GB DDR4-2400 → 100 GB/s.
+    pub fn skx_8180() -> Self {
+        SocketSpec {
+            name: "Xeon Platinum 8180 (SKX)",
+            cores: 28,
+            peak_flops: 4.1e12,
+            mem_bw: 100.0e9,
+            mem_capacity: 192 * (1 << 30),
+        }
+    }
+
+    /// Intel Xeon Platinum 8280 (Cascade Lake) as configured in the
+    /// cluster: 28 cores, 4.3 TF FP32, 6×16 GB DDR4-2666 → 105 GB/s.
+    /// (4 of the 32 nodes have 192 GB/socket; the default models the
+    /// standard 96 GB sockets.)
+    pub fn clx_8280() -> Self {
+        SocketSpec {
+            name: "Xeon Platinum 8280 (CLX)",
+            cores: 28,
+            peak_flops: 4.3e12,
+            mem_bw: 105.0e9,
+            mem_capacity: 96 * (1 << 30),
+        }
+    }
+}
+
+/// Interconnect fabric of a cluster.
+pub enum Fabric {
+    /// The 8-socket twisted-hypercube UPI node.
+    Upi(TwistedHypercube8),
+    /// The 64-socket pruned fat-tree OPA cluster.
+    Opa(PrunedFatTree),
+}
+
+impl Fabric {
+    /// Effective per-rank ring bandwidth for `ranks` participants.
+    pub fn ring_bandwidth(&self, ranks: usize) -> f64 {
+        match self {
+            Fabric::Upi(t) => t.ring_bandwidth(ranks),
+            Fabric::Opa(t) => t.ring_bandwidth(ranks),
+        }
+    }
+
+    /// Effective per-rank alltoall bandwidth for `ranks` participants.
+    pub fn alltoall_bandwidth(&self, ranks: usize) -> f64 {
+        match self {
+            Fabric::Upi(t) => t.alltoall_bandwidth(ranks),
+            Fabric::Opa(t) => t.alltoall_bandwidth(ranks),
+        }
+    }
+
+    /// Worst-case one-way latency among the first `ranks` sockets.
+    pub fn max_latency(&self, ranks: usize) -> f64 {
+        let lat = |t: &dyn Interconnect| {
+            let mut worst: f64 = 0.0;
+            for a in 0..ranks {
+                for b in 0..ranks {
+                    worst = worst.max(t.latency(a, b));
+                }
+            }
+            worst
+        };
+        match self {
+            Fabric::Upi(t) => lat(t),
+            Fabric::Opa(t) => lat(t),
+        }
+    }
+
+    /// Total sockets available.
+    pub fn max_ranks(&self) -> usize {
+        match self {
+            Fabric::Upi(t) => t.nranks(),
+            Fabric::Opa(t) => t.nranks(),
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &str {
+        match self {
+            Fabric::Upi(t) => t.name(),
+            Fabric::Opa(t) => t.name(),
+        }
+    }
+}
+
+/// A cluster: homogeneous sockets over a fabric.
+pub struct Cluster {
+    /// Per-socket hardware.
+    pub socket: SocketSpec,
+    /// Socket-to-socket fabric.
+    pub fabric: Fabric,
+}
+
+impl Cluster {
+    /// The 8-socket SKX shared-memory node (Section V-A).
+    pub fn node_8socket() -> Self {
+        Cluster {
+            socket: SocketSpec::skx_8180(),
+            fabric: Fabric::Upi(TwistedHypercube8::new()),
+        }
+    }
+
+    /// The 64-socket CLX OPA cluster (Section V-B).
+    pub fn cluster_64socket() -> Self {
+        Cluster {
+            socket: SocketSpec::clx_8280(),
+            fabric: Fabric::Opa(PrunedFatTree::paper_cluster()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn socket_specs_match_section_v() {
+        let skx = SocketSpec::skx_8180();
+        assert_eq!(skx.cores, 28);
+        assert!((skx.peak_flops - 4.1e12).abs() < 1e9);
+        let clx = SocketSpec::clx_8280();
+        assert!(clx.peak_flops > skx.peak_flops);
+        assert!(clx.mem_bw > skx.mem_bw);
+    }
+
+    #[test]
+    fn cluster_shapes() {
+        assert_eq!(Cluster::node_8socket().fabric.max_ranks(), 8);
+        assert_eq!(Cluster::cluster_64socket().fabric.max_ranks(), 64);
+    }
+
+    #[test]
+    fn aggregate_cluster_stats_match_paper() {
+        // "In total the machine offers 1,792 cores providing 275 FP32-TFLOPS
+        // at 6.7 TB/s bandwidth with a capacity of 6 TB" (Section V-B).
+        let c = Cluster::cluster_64socket();
+        let total_cores = 64 * c.socket.cores;
+        assert_eq!(total_cores, 1792);
+        let tflops = 64.0 * c.socket.peak_flops / 1e12;
+        assert!((270.0..280.0).contains(&tflops));
+        let tbs = 64.0 * c.socket.mem_bw / 1e12;
+        assert!((6.5..7.0).contains(&tbs));
+    }
+
+    #[test]
+    fn eight_socket_node_stats_match_paper() {
+        // "224 cores providing 32 FP32-TFLOPS at 800 GB/s".
+        let c = Cluster::node_8socket();
+        assert_eq!(8 * c.socket.cores, 224);
+        let tflops = 8.0 * c.socket.peak_flops / 1e12;
+        assert!((32.0..34.0).contains(&tflops));
+        let gbs = 8.0 * c.socket.mem_bw / 1e9;
+        assert!((795.0..805.0).contains(&gbs));
+    }
+
+    #[test]
+    fn fabric_latency_monotone_in_ranks() {
+        let f = Cluster::cluster_64socket().fabric;
+        assert!(f.max_latency(8) <= f.max_latency(64));
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based invariants of the cluster simulator: times are positive
+//! and finite everywhere in the parameter space, overlap never loses to
+//! blocking (CCL), and the communication models are monotone in volume.
+
+use dlrm_clustersim::comm::CommModel;
+use dlrm_clustersim::timeline::{simulate_iteration, RunMode, SimParams};
+use dlrm_clustersim::{BackendKind, Calibration, Cluster, Strategy as ExStrategy};
+use dlrm_data::DlrmConfig;
+use proptest::prelude::*;
+
+fn any_strategy() -> impl Strategy<Value = ExStrategy> {
+    prop::sample::select(ExStrategy::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn iteration_times_are_finite_and_positive(
+        ranks_pow in 1u32..7,
+        local_n in prop::sample::select(vec![64usize, 256, 1024]),
+        strategy in any_strategy(),
+        blocking in any::<bool>(),
+    ) {
+        let ranks = (1usize << ranks_pow).min(64);
+        let cfg = DlrmConfig::large(); // 64 tables: any rank count works
+        let cluster = Cluster::cluster_64socket();
+        let calib = Calibration::default();
+        let b = simulate_iteration(
+            &cfg,
+            &cluster,
+            &calib,
+            SimParams {
+                ranks,
+                local_n,
+                strategy,
+                mode: if blocking { RunMode::Blocking } else { RunMode::Overlapping },
+                charge_loader: false,
+            },
+        );
+        prop_assert!(b.total().is_finite() && b.total() > 0.0);
+        prop_assert!(b.compute > 0.0);
+        prop_assert!(b.alltoall_wait >= 0.0 && b.allreduce_wait >= 0.0);
+        prop_assert!(b.alltoall_framework >= 0.0 && b.allreduce_framework >= 0.0);
+    }
+
+    #[test]
+    fn ccl_overlap_never_beats_blocking_backwards(
+        ranks_pow in 2u32..7,
+        local_n in prop::sample::select(vec![128usize, 512]),
+    ) {
+        let ranks = 1usize << ranks_pow;
+        let cfg = DlrmConfig::large();
+        let cluster = Cluster::cluster_64socket();
+        let calib = Calibration::default();
+        let mk = |mode| {
+            simulate_iteration(&cfg, &cluster, &calib, SimParams {
+                ranks, local_n, strategy: ExStrategy::CclAlltoall, mode,
+                charge_loader: false,
+            })
+        };
+        prop_assert!(mk(RunMode::Overlapping).total() <= mk(RunMode::Blocking).total() + 1e-12);
+    }
+
+    #[test]
+    fn allreduce_monotone_in_bytes(
+        a in 1u64..1_000_000u64,
+        b in 1u64..1_000_000u64,
+        ranks_pow in 1u32..7,
+    ) {
+        let ranks = 1usize << ranks_pow;
+        let cluster = Cluster::cluster_64socket();
+        let calib = Calibration::default();
+        let m = CommModel { cluster: &cluster, calib: &calib };
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(
+            m.allreduce_time(lo, ranks, BackendKind::Ccl)
+                <= m.allreduce_time(hi, ranks, BackendKind::Ccl) + 1e-15
+        );
+    }
+
+    #[test]
+    fn alltoall_monotone_in_bytes_and_backend(
+        v in 1u64..2_000_000u64,
+        ranks_pow in 1u32..7,
+    ) {
+        let ranks = 1usize << ranks_pow;
+        let cluster = Cluster::cluster_64socket();
+        let calib = Calibration::default();
+        let m = CommModel { cluster: &cluster, calib: &calib };
+        let t_mpi = m.alltoall_time(v, ranks, BackendKind::Mpi);
+        let t_ccl = m.alltoall_time(v, ranks, BackendKind::Ccl);
+        prop_assert!(t_ccl <= t_mpi, "CCL must sustain >= MPI bandwidth");
+        prop_assert!(
+            m.alltoall_time(v, ranks, BackendKind::Ccl)
+                <= m.alltoall_time(2 * v, ranks, BackendKind::Ccl) + 1e-15
+        );
+    }
+
+    #[test]
+    fn scatter_strategies_never_beat_native_alltoall(
+        v in 1u64..1_000_000_000u64,
+        ranks_pow in 1u32..7,
+        tables in 1usize..128,
+    ) {
+        let ranks = 1usize << ranks_pow;
+        let cluster = Cluster::cluster_64socket();
+        let calib = Calibration::default();
+        let m = CommModel { cluster: &cluster, calib: &calib };
+        let (a2a, _) = m.exchange(ExStrategy::Alltoall, v, ranks, tables);
+        for s in [ExStrategy::ScatterList, ExStrategy::FusedScatter] {
+            let (t, _) = m.exchange(s, v, ranks, tables);
+            prop_assert!(t >= a2a - 1e-15, "{s:?} {t} vs alltoall {a2a}");
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! Blocking collectives over point-to-point messages.
+//!
+//! The algorithm choices mirror what the paper relies on:
+//!
+//! * **allreduce** is materialized as ring **reduce-scatter** followed by
+//!   ring **allgather** (Section IV-A: "we materialize the all-reduce
+//!   operation via a reduce-scatter and an all-gather operation") — which is
+//!   also what lets the overlap engine split it around the backward pass.
+//! * **alltoall** uses the pairwise-exchange schedule (`R−1` rounds, partner
+//!   `(rank ± s) mod R`), the pattern whose per-link volume drops `4×` per
+//!   rank doubling in strong scaling (Eq. 2 discussion).
+//! * **broadcast** is a binomial tree; **scatter/gather** are rooted linear
+//!   exchanges (they model the paper's "ScatterList" strategy, which is
+//!   deliberately the slow path).
+
+use crate::world::Communicator;
+use dlrm_tensor_free::partition_range;
+
+/// Minimal local re-implementation to avoid a tensor dependency here.
+mod dlrm_tensor_free {
+    /// Same contract as `dlrm_tensor::util::partition_range`.
+    #[inline]
+    pub fn partition_range(n: usize, parts: usize, i: usize) -> std::ops::Range<usize> {
+        (n * i / parts)..(n * (i + 1) / parts)
+    }
+}
+
+/// Tag bases keep the p2p streams of different collectives recognizable in
+/// assertion failures; correctness relies on per-pair FIFO order, not tags.
+const TAG_RS: u64 = 0x0100_0000;
+const TAG_AG: u64 = 0x0200_0000;
+const TAG_A2A: u64 = 0x0300_0000;
+const TAG_BCAST: u64 = 0x0400_0000;
+const TAG_SCATTER: u64 = 0x0500_0000;
+const TAG_GATHER: u64 = 0x0600_0000;
+
+/// Ring reduce-scatter (sum): every rank contributes `data` (same length on
+/// all ranks) and receives the fully-reduced chunk `partition_range(len, R,
+/// rank)`.
+pub fn reduce_scatter_sum(comm: &Communicator, data: &[f32]) -> Vec<f32> {
+    let r = comm.nranks();
+    let me = comm.rank();
+    if r == 1 {
+        return data.to_vec();
+    }
+    let len = data.len();
+    let next = (me + 1) % r;
+    let prev = (me + r - 1) % r;
+
+    // Working copy; chunk c is data[partition_range(len, r, c)]. Chunk c
+    // starts its ring journey at rank (c+1) mod r and, moving one hop per
+    // step, is fully reduced when it arrives at rank c after r-1 steps:
+    // rank `me` therefore sends chunk (me-s-1) and receives (me-s-2).
+    let mut work = data.to_vec();
+    for s in 0..r - 1 {
+        let send_chunk = (me + 2 * r - s - 1) % r;
+        let recv_chunk = (me + 2 * r - s - 2) % r;
+        let send_range = partition_range(len, r, send_chunk);
+        comm.send(next, TAG_RS + s as u64, work[send_range].to_vec());
+        let incoming = comm.recv(prev, TAG_RS + s as u64);
+        let recv_range = partition_range(len, r, recv_chunk);
+        for (w, &x) in work[recv_range].iter_mut().zip(&incoming) {
+            *w += x;
+        }
+    }
+    work[partition_range(len, r, me)].to_vec()
+}
+
+/// Ring allgather of variable-size chunks. `counts[i]` is rank `i`'s chunk
+/// length; returns the concatenation `chunk_0 ‖ chunk_1 ‖ …`.
+pub fn allgather_varied(comm: &Communicator, mine: &[f32], counts: &[usize]) -> Vec<f32> {
+    let r = comm.nranks();
+    let me = comm.rank();
+    assert_eq!(counts.len(), r, "allgather counts length");
+    assert_eq!(mine.len(), counts[me], "allgather own count mismatch");
+    let total: usize = counts.iter().sum();
+    let starts: Vec<usize> = counts
+        .iter()
+        .scan(0usize, |acc, &c| {
+            let s = *acc;
+            *acc += c;
+            Some(s)
+        })
+        .collect();
+
+    let mut out = vec![0.0f32; total];
+    out[starts[me]..starts[me] + counts[me]].copy_from_slice(mine);
+    if r == 1 {
+        return out;
+    }
+    let next = (me + 1) % r;
+    let prev = (me + r - 1) % r;
+    // Pass chunks around the ring; after R-1 steps everyone has all chunks.
+    let mut carry = mine.to_vec();
+    for s in 0..r - 1 {
+        comm.send(next, TAG_AG + s as u64, std::mem::take(&mut carry));
+        let incoming = comm.recv(prev, TAG_AG + s as u64);
+        let owner = (me + r - s - 1) % r;
+        out[starts[owner]..starts[owner] + counts[owner]].copy_from_slice(&incoming);
+        carry = incoming;
+    }
+    out
+}
+
+/// Ring allgather of equal-size chunks.
+pub fn allgather(comm: &Communicator, mine: &[f32]) -> Vec<f32> {
+    let counts = vec![mine.len(); comm.nranks()];
+    allgather_varied(comm, mine, &counts)
+}
+
+/// Allreduce (sum) materialized as reduce-scatter + allgather, in place.
+pub fn allreduce_sum(comm: &Communicator, data: &mut [f32]) {
+    let r = comm.nranks();
+    if r == 1 {
+        return;
+    }
+    let reduced_chunk = reduce_scatter_sum(comm, data);
+    let counts: Vec<usize> = (0..r).map(|i| partition_range(data.len(), r, i).len()).collect();
+    let gathered = allgather_varied(comm, &reduced_chunk, &counts);
+    data.copy_from_slice(&gathered);
+}
+
+/// Pairwise-exchange alltoall: `send[dst]` is this rank's payload for rank
+/// `dst`; returns `recv[src]` = payload from rank `src`. Payload sizes may
+/// differ arbitrarily (this doubles as alltoallv).
+pub fn alltoall(comm: &Communicator, mut send: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+    let r = comm.nranks();
+    let me = comm.rank();
+    assert_eq!(send.len(), r, "alltoall needs one payload per rank");
+    let mut recv: Vec<Vec<f32>> = (0..r).map(|_| Vec::new()).collect();
+    recv[me] = std::mem::take(&mut send[me]);
+    for s in 1..r {
+        let dst = (me + s) % r;
+        let src = (me + r - s) % r;
+        comm.send(dst, TAG_A2A + s as u64, std::mem::take(&mut send[dst]));
+        recv[src] = comm.recv(src, TAG_A2A + s as u64);
+    }
+    recv
+}
+
+/// Binomial-tree broadcast from `root`, in place. Non-root ranks pass a
+/// buffer of the correct length.
+pub fn broadcast(comm: &Communicator, root: usize, data: &mut Vec<f32>) {
+    let r = comm.nranks();
+    if r == 1 {
+        return;
+    }
+    // Re-index so the root is virtual rank 0.
+    let vrank = (comm.rank() + r - root) % r;
+    let mut mask = 1usize;
+    // Receive phase: the lowest set bit of vrank tells who our parent is.
+    while mask < r {
+        if vrank & mask != 0 {
+            let parent = ((vrank - mask) + root) % r;
+            *data = comm.recv(parent, TAG_BCAST);
+            break;
+        }
+        mask <<= 1;
+    }
+    // Send phase: forward to children below our lowest set bit.
+    let mut child_mask = if vrank == 0 {
+        let mut top = 1usize;
+        while top < r {
+            top <<= 1;
+        }
+        top >> 1
+    } else {
+        mask >> 1
+    };
+    while child_mask > 0 {
+        let vchild = vrank + child_mask;
+        if vchild < r {
+            let child = (vchild + root) % r;
+            comm.send(child, TAG_BCAST, data.clone());
+        }
+        child_mask >>= 1;
+    }
+}
+
+/// Rooted scatter: root provides one payload per rank; every rank receives
+/// its part. This is one "scatter" of the paper's ScatterList strategy.
+pub fn scatter(comm: &Communicator, root: usize, parts: Option<Vec<Vec<f32>>>) -> Vec<f32> {
+    let r = comm.nranks();
+    let me = comm.rank();
+    if me == root {
+        let mut parts = parts.expect("root must supply scatter payloads");
+        assert_eq!(parts.len(), r, "scatter needs one payload per rank");
+        #[allow(clippy::needless_range_loop)] // dst is a rank id, not just an index
+        for dst in 0..r {
+            if dst != root {
+                comm.send(dst, TAG_SCATTER, std::mem::take(&mut parts[dst]));
+            }
+        }
+        std::mem::take(&mut parts[root])
+    } else {
+        comm.recv(root, TAG_SCATTER)
+    }
+}
+
+/// Rooted gather: every rank contributes `mine`; the root receives all
+/// payloads in rank order.
+pub fn gather(comm: &Communicator, root: usize, mine: Vec<f32>) -> Option<Vec<Vec<f32>>> {
+    let r = comm.nranks();
+    let me = comm.rank();
+    if me == root {
+        let mut out: Vec<Vec<f32>> = (0..r).map(|_| Vec::new()).collect();
+        out[root] = mine;
+        #[allow(clippy::needless_range_loop)] // src is a rank id, not just an index
+        for src in 0..r {
+            if src != root {
+                out[src] = comm.recv(src, TAG_GATHER);
+            }
+        }
+        Some(out)
+    } else {
+        comm.send(root, TAG_GATHER, mine);
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::CommWorld;
+
+    fn rank_vector(rank: usize, len: usize) -> Vec<f32> {
+        (0..len).map(|i| (rank * 100 + i) as f32).collect()
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        for r in [1usize, 2, 3, 4, 7, 8] {
+            let out = CommWorld::run(r, |c| {
+                let mut data = rank_vector(c.rank(), 13);
+                allreduce_sum(&c, &mut data);
+                data
+            });
+            let want: Vec<f32> = (0..13)
+                .map(|i| (0..r).map(|rk| (rk * 100 + i) as f32).sum())
+                .collect();
+            for (rk, got) in out.iter().enumerate() {
+                assert_eq!(got, &want, "rank {rk} of {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_len_smaller_than_ranks() {
+        // len=2 with 5 ranks: some ring chunks are empty.
+        let out = CommWorld::run(5, |c| {
+            let mut data = vec![c.rank() as f32, 1.0];
+            allreduce_sum(&c, &mut data);
+            data
+        });
+        for got in out {
+            assert_eq!(got, vec![10.0, 5.0]);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_returns_owned_chunk() {
+        let r = 4;
+        let len = 10;
+        let out = CommWorld::run(r, |c| reduce_scatter_sum(&c, &rank_vector(c.rank(), len)));
+        for (rk, chunk) in out.iter().enumerate() {
+            let range = (len * rk / r)..(len * (rk + 1) / r);
+            let want: Vec<f32> = range
+                .map(|i| (0..r).map(|s| (s * 100 + i) as f32).sum())
+                .collect();
+            assert_eq!(chunk, &want, "rank {rk}");
+        }
+    }
+
+    #[test]
+    fn allgather_concatenates_in_rank_order() {
+        let out = CommWorld::run(4, |c| allgather(&c, &[c.rank() as f32 * 2.0]));
+        for got in out {
+            assert_eq!(got, vec![0.0, 2.0, 4.0, 6.0]);
+        }
+    }
+
+    #[test]
+    fn allgather_varied_sizes() {
+        let counts = vec![1usize, 3, 0, 2];
+        let out = CommWorld::run(4, |c| {
+            let mine: Vec<f32> = (0..counts[c.rank()]).map(|i| (c.rank() * 10 + i) as f32).collect();
+            allgather_varied(&c, &mine, &counts)
+        });
+        for got in out {
+            assert_eq!(got, vec![0.0, 10.0, 11.0, 12.0, 30.0, 31.0]);
+        }
+    }
+
+    #[test]
+    fn alltoall_is_global_transpose() {
+        let r = 5;
+        let out = CommWorld::run(r, |c| {
+            let send: Vec<Vec<f32>> = (0..r)
+                .map(|dst| vec![(c.rank() * 10 + dst) as f32])
+                .collect();
+            alltoall(&c, send)
+        });
+        for (dst, recv) in out.iter().enumerate() {
+            for (src, payload) in recv.iter().enumerate() {
+                assert_eq!(payload, &vec![(src * 10 + dst) as f32], "{src}->{dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_variable_sizes() {
+        // rank r sends r+dst elements to dst.
+        let r = 3;
+        let out = CommWorld::run(r, |c| {
+            let send: Vec<Vec<f32>> = (0..r).map(|dst| vec![1.0; c.rank() + dst]).collect();
+            alltoall(&c, send)
+        });
+        for (dst, recv) in out.iter().enumerate() {
+            for (src, payload) in recv.iter().enumerate() {
+                assert_eq!(payload.len(), src + dst);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_from_every_root() {
+        for r in [1usize, 2, 3, 6, 8] {
+            for root in 0..r {
+                let out = CommWorld::run(r, |c| {
+                    let mut data = if c.rank() == root {
+                        vec![42.0, root as f32]
+                    } else {
+                        vec![0.0, 0.0]
+                    };
+                    broadcast(&c, root, &mut data);
+                    data
+                });
+                for (rk, got) in out.iter().enumerate() {
+                    assert_eq!(got, &vec![42.0, root as f32], "rank {rk}, root {root}, R={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_distributes_parts() {
+        let out = CommWorld::run(4, |c| {
+            let parts = (c.rank() == 1)
+                .then(|| (0..4).map(|d| vec![d as f32; d + 1]).collect::<Vec<_>>());
+            scatter(&c, 1, parts)
+        });
+        for (rk, got) in out.iter().enumerate() {
+            assert_eq!(got, &vec![rk as f32; rk + 1]);
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let out = CommWorld::run(3, |c| gather(&c, 2, vec![c.rank() as f32]));
+        assert!(out[0].is_none() && out[1].is_none());
+        assert_eq!(
+            out[2].as_ref().unwrap(),
+            &vec![vec![0.0], vec![1.0], vec![2.0]]
+        );
+    }
+
+    #[test]
+    fn scatter_then_gather_round_trips() {
+        let out = CommWorld::run(4, |c| {
+            let parts =
+                (c.rank() == 0).then(|| (0..4).map(|d| vec![d as f32 * 3.0]).collect::<Vec<_>>());
+            let mine = scatter(&c, 0, parts);
+            gather(&c, 0, mine)
+        });
+        assert_eq!(
+            out[0].as_ref().unwrap(),
+            &vec![vec![0.0], vec![3.0], vec![6.0], vec![9.0]]
+        );
+    }
+}

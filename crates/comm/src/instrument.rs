@@ -1,0 +1,143 @@
+//! Per-primitive wall-clock accounting.
+//!
+//! The paper instruments PyTorch's DDP and communication backends to split
+//! time into "framework" (pre/post-processing: flat-buffer copies, gradient
+//! averaging, enqueueing) and "wait" (blocking on the primitive) per
+//! primitive kind — the stacked bars of Figures 11 and 14. This recorder is
+//! the equivalent hook for our harnesses.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// The time buckets of Figures 10–14.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpKind {
+    /// Pure compute (GEMMs, embeddings, interaction, loss).
+    Compute,
+    /// Alltoall pre/post-processing in the framework.
+    AlltoallFramework,
+    /// Blocking on alltoall completion.
+    AlltoallWait,
+    /// Allreduce pre/post-processing in the framework.
+    AllreduceFramework,
+    /// Blocking on allreduce completion.
+    AllreduceWait,
+    /// Data-loader time (the weak-scaling artifact of Figure 13).
+    DataLoader,
+}
+
+impl OpKind {
+    /// All kinds, in report order.
+    pub const ALL: [OpKind; 6] = [
+        OpKind::Compute,
+        OpKind::AlltoallFramework,
+        OpKind::AlltoallWait,
+        OpKind::AllreduceFramework,
+        OpKind::AllreduceWait,
+        OpKind::DataLoader,
+    ];
+}
+
+impl std::fmt::Display for OpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            OpKind::Compute => "Compute",
+            OpKind::AlltoallFramework => "Alltoall-Framework",
+            OpKind::AlltoallWait => "Alltoall-Wait",
+            OpKind::AllreduceFramework => "Allreduce-Framework",
+            OpKind::AllreduceWait => "Allreduce-Wait",
+            OpKind::DataLoader => "DataLoader",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Thread-safe accumulator of durations per [`OpKind`].
+#[derive(Default)]
+pub struct TimingRecorder {
+    totals: Mutex<HashMap<OpKind, Duration>>,
+}
+
+impl TimingRecorder {
+    /// Fresh, empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `d` to the bucket for `kind`.
+    pub fn record(&self, kind: OpKind, d: Duration) {
+        *self.totals.lock().entry(kind).or_default() += d;
+    }
+
+    /// Times `f` and charges it to `kind`.
+    pub fn time<T>(&self, kind: OpKind, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.record(kind, t0.elapsed());
+        out
+    }
+
+    /// Accumulated time for one bucket.
+    pub fn total(&self, kind: OpKind) -> Duration {
+        self.totals.lock().get(&kind).copied().unwrap_or_default()
+    }
+
+    /// Snapshot of all buckets.
+    pub fn snapshot(&self) -> HashMap<OpKind, Duration> {
+        self.totals.lock().clone()
+    }
+
+    /// Clears all buckets.
+    pub fn reset(&self) {
+        self.totals.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let r = TimingRecorder::new();
+        r.record(OpKind::Compute, Duration::from_millis(5));
+        r.record(OpKind::Compute, Duration::from_millis(7));
+        assert_eq!(r.total(OpKind::Compute), Duration::from_millis(12));
+        assert_eq!(r.total(OpKind::AlltoallWait), Duration::ZERO);
+    }
+
+    #[test]
+    fn time_charges_elapsed() {
+        let r = TimingRecorder::new();
+        let v = r.time(OpKind::DataLoader, || {
+            std::thread::sleep(Duration::from_millis(2));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(r.total(OpKind::DataLoader) >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let r = TimingRecorder::new();
+        r.record(OpKind::AllreduceWait, Duration::from_millis(1));
+        r.reset();
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let r = TimingRecorder::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        r.record(OpKind::Compute, Duration::from_micros(1));
+                    }
+                });
+            }
+        });
+        assert_eq!(r.total(OpKind::Compute), Duration::from_micros(400));
+    }
+}

@@ -1,0 +1,34 @@
+//! # dlrm-comm — message-passing substrate (MPI/oneCCL stand-in)
+//!
+//! The paper's distributed DLRM runs one MPI rank per socket and exchanges
+//! data through MPI or Intel oneCCL. Neither library has a mature Rust
+//! ecosystem, so this crate implements the required subset from scratch over
+//! shared memory with *threads as ranks*:
+//!
+//! * [`world`] — rank bootstrap, point-to-point typed channels, barrier.
+//! * [`collectives`] — blocking collectives built on point-to-point
+//!   messages: ring allreduce (materialized as reduce-scatter + allgather,
+//!   exactly as the paper does), ring reduce-scatter / allgather, pairwise
+//!   alltoall(v), binomial-tree broadcast, scatter and gather.
+//! * [`nonblocking`] — progress-thread engines that replicate the two
+//!   communication backends the paper compares:
+//!   [`nonblocking::Backend::MpiLike`] drives everything through **one**
+//!   progress channel (so an alltoall enqueued after an allreduce cannot
+//!   start until the allreduce finishes — the in-order-completion artifact
+//!   of Figures 10–11), while [`nonblocking::Backend::CclLike`] offers
+//!   multiple independent channels like oneCCL's worker threads.
+//! * [`instrument`] — per-primitive wall-clock accounting used by the
+//!   experiment harnesses to split "framework" from "wait" time.
+//!
+//! Everything is deterministic given deterministic callers: messages
+//! between a (src, dst) pair arrive in send order, and all collectives use
+//! fixed algorithms and schedules.
+
+pub mod collectives;
+pub mod instrument;
+pub mod nonblocking;
+pub mod world;
+
+pub use instrument::{OpKind, TimingRecorder};
+pub use nonblocking::{Backend, ProgressEngine, Request};
+pub use world::{CommWorld, Communicator};

@@ -1,0 +1,212 @@
+//! Rank bootstrap and point-to-point messaging.
+//!
+//! A [`CommWorld`] creates `R` [`Communicator`] handles; each is moved onto
+//! its own thread (the "rank"). Ranks exchange [`Message`]s over dedicated
+//! unbounded channels per (src, dst) pair, so sends never block and
+//! messages between a pair arrive in order — the same guarantees MPI gives
+//! for matching (source, tag) envelopes.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::{Arc, Barrier};
+
+/// A typed message: payload of `f32`s plus an integer tag.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Caller-chosen tag; receives assert on it to catch protocol bugs.
+    pub tag: u64,
+    /// Payload.
+    pub data: Vec<f32>,
+}
+
+/// One rank's endpoint into the world.
+pub struct Communicator {
+    rank: usize,
+    nranks: usize,
+    /// `senders[dst]` — channel into rank `dst` from this rank.
+    senders: Vec<Sender<Message>>,
+    /// `receivers[src]` — channel from rank `src` into this rank.
+    receivers: Vec<Receiver<Message>>,
+    barrier: Arc<Barrier>,
+}
+
+/// Factory for a set of communicators sharing one world.
+pub struct CommWorld;
+
+impl CommWorld {
+    /// Creates `nranks` communicators. Hand one to each rank thread.
+    pub fn create(nranks: usize) -> Vec<Communicator> {
+        assert!(nranks >= 1, "world needs at least one rank");
+        // channel[src][dst]
+        let mut txs: Vec<Vec<Option<Sender<Message>>>> = (0..nranks)
+            .map(|_| (0..nranks).map(|_| None).collect())
+            .collect();
+        let mut rxs: Vec<Vec<Option<Receiver<Message>>>> = (0..nranks)
+            .map(|_| (0..nranks).map(|_| None).collect())
+            .collect();
+        for src in 0..nranks {
+            for dst in 0..nranks {
+                let (tx, rx) = unbounded();
+                txs[src][dst] = Some(tx);
+                rxs[dst][src] = Some(rx);
+            }
+        }
+        let barrier = Arc::new(Barrier::new(nranks));
+        txs.into_iter()
+            .zip(rxs)
+            .enumerate()
+            .map(|(rank, (tx_row, rx_row))| Communicator {
+                rank,
+                nranks,
+                senders: tx_row.into_iter().map(Option::unwrap).collect(),
+                receivers: rx_row.into_iter().map(Option::unwrap).collect(),
+                barrier: Arc::clone(&barrier),
+            })
+            .collect()
+    }
+
+    /// Convenience driver: spawns one thread per rank, runs `f(comm)` on
+    /// each, and returns the per-rank results in rank order. Panics in any
+    /// rank propagate.
+    pub fn run<T, F>(nranks: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Communicator) -> T + Send + Sync,
+    {
+        let comms = Self::create(nranks);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|comm| {
+                    let f = &f;
+                    s.spawn(move || f(comm))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect()
+        })
+    }
+}
+
+impl Communicator {
+    /// This rank's id.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    #[inline]
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Sends `data` to `dst` with `tag`. Never blocks (buffered channel).
+    pub fn send(&self, dst: usize, tag: u64, data: Vec<f32>) {
+        self.senders[dst]
+            .send(Message { tag, data })
+            .expect("send to dead rank");
+    }
+
+    /// Receives the next message from `src`, asserting the expected `tag`.
+    /// Blocks until a message arrives.
+    pub fn recv(&self, src: usize, tag: u64) -> Vec<f32> {
+        let msg = self.receivers[src].recv().expect("recv from dead rank");
+        assert_eq!(
+            msg.tag, tag,
+            "rank {} expected tag {tag} from {src}, got {}",
+            self.rank, msg.tag
+        );
+        msg.data
+    }
+
+    /// Simultaneous exchange with a partner (both sides call this).
+    pub fn sendrecv(&self, partner: usize, tag: u64, data: Vec<f32>) -> Vec<f32> {
+        if partner == self.rank {
+            return data;
+        }
+        self.send(partner, tag, data);
+        self.recv(partner, tag)
+    }
+
+    /// Blocks until every rank reaches the barrier.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_are_numbered() {
+        let ranks = CommWorld::run(4, |c| (c.rank(), c.nranks()));
+        assert_eq!(ranks, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn point_to_point_ring() {
+        let out = CommWorld::run(5, |c| {
+            let next = (c.rank() + 1) % c.nranks();
+            let prev = (c.rank() + c.nranks() - 1) % c.nranks();
+            c.send(next, 1, vec![c.rank() as f32]);
+            c.recv(prev, 1)[0]
+        });
+        assert_eq!(out, vec![4.0, 0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn messages_between_pair_arrive_in_order() {
+        let out = CommWorld::run(2, |c| {
+            if c.rank() == 0 {
+                for i in 0..100 {
+                    c.send(1, i, vec![i as f32]);
+                }
+                vec![]
+            } else {
+                (0..100).map(|i| c.recv(0, i)[0]).collect()
+            }
+        });
+        assert_eq!(out[1], (0..100).map(|i| i as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sendrecv_swaps_payloads() {
+        let out = CommWorld::run(2, |c| {
+            c.sendrecv(1 - c.rank(), 9, vec![c.rank() as f32 + 10.0])[0]
+        });
+        assert_eq!(out, vec![11.0, 10.0]);
+    }
+
+    #[test]
+    fn sendrecv_with_self_is_identity() {
+        let out = CommWorld::run(1, |c| c.sendrecv(0, 0, vec![7.0])[0]);
+        assert_eq!(out, vec![7.0]);
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let before = AtomicUsize::new(0);
+        CommWorld::run(4, |c| {
+            before.fetch_add(1, Ordering::SeqCst);
+            c.barrier();
+            // After the barrier every rank must observe all increments.
+            assert_eq!(before.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "rank thread panicked")]
+    fn tag_mismatch_is_detected() {
+        CommWorld::run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 5, vec![1.0]);
+            } else {
+                c.recv(0, 6);
+            }
+        });
+    }
+}

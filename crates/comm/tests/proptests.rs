@@ -1,0 +1,114 @@
+//! Property-based tests for the collectives: results must equal the
+//! mathematically obvious reductions for arbitrary rank counts and payloads.
+
+use dlrm_comm::collectives;
+use dlrm_comm::world::CommWorld;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn allreduce_equals_elementwise_sum(
+        nranks in 1usize..7,
+        len in 0usize..64,
+        seed in any::<u32>(),
+    ) {
+        let inputs: Vec<Vec<f32>> = (0..nranks)
+            .map(|r| {
+                (0..len)
+                    .map(|i| (((i * 31 + r * 17 + seed as usize) % 201) as f32 - 100.0) / 10.0)
+                    .collect()
+            })
+            .collect();
+        let want: Vec<f32> = (0..len)
+            .map(|i| inputs.iter().map(|v| v[i]).sum())
+            .collect();
+        let inputs_ref = &inputs;
+        let out = CommWorld::run(nranks, move |c| {
+            let mut mine = inputs_ref[c.rank()].clone();
+            collectives::allreduce_sum(&c, &mut mine);
+            mine
+        });
+        for got in &out {
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert!((g - w).abs() <= 1e-4 * w.abs().max(1.0), "{g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_then_allgather_is_allreduce(
+        nranks in 1usize..6,
+        len in 1usize..48,
+    ) {
+        let out = CommWorld::run(nranks, |c| {
+            let data: Vec<f32> = (0..len).map(|i| (c.rank() * len + i) as f32).collect();
+            let chunk = collectives::reduce_scatter_sum(&c, &data);
+            let counts: Vec<usize> = (0..nranks)
+                .map(|i| (len * (i + 1) / nranks) - (len * i / nranks))
+                .collect();
+            collectives::allgather_varied(&c, &chunk, &counts)
+        });
+        let want: Vec<f32> = (0..len)
+            .map(|i| (0..nranks).map(|r| (r * len + i) as f32).sum())
+            .collect();
+        for got in &out {
+            prop_assert_eq!(got, &want);
+        }
+    }
+
+    #[test]
+    fn alltoall_transposes_any_matrix(
+        nranks in 1usize..6,
+        payload in 0usize..9,
+    ) {
+        let out = CommWorld::run(nranks, |c| {
+            let send: Vec<Vec<f32>> = (0..nranks)
+                .map(|d| (0..payload).map(|i| (c.rank() * 1000 + d * 10 + i) as f32).collect())
+                .collect();
+            collectives::alltoall(&c, send)
+        });
+        for (dst, recv) in out.iter().enumerate() {
+            for (src, p) in recv.iter().enumerate() {
+                let want: Vec<f32> =
+                    (0..payload).map(|i| (src * 1000 + dst * 10 + i) as f32).collect();
+                prop_assert_eq!(p, &want);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_twice_returns_original(nranks in 1usize..6, payload in 0usize..6) {
+        // alltoall is an involution on the (src, dst) matrix.
+        let out = CommWorld::run(nranks, |c| {
+            let send: Vec<Vec<f32>> = (0..nranks)
+                .map(|d| vec![(c.rank() * 7 + d) as f32; payload])
+                .collect();
+            let once = collectives::alltoall(&c, send.clone());
+            let twice = collectives::alltoall(&c, once);
+            (send, twice)
+        });
+        for (send, twice) in out {
+            prop_assert_eq!(send, twice);
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_all(nranks in 1usize..7, root_pick in any::<u8>(), len in 1usize..16) {
+        let root = root_pick as usize % nranks;
+        let out = CommWorld::run(nranks, |c| {
+            let mut buf = if c.rank() == root {
+                (0..len).map(|i| i as f32 * 1.5).collect()
+            } else {
+                vec![0.0; len]
+            };
+            collectives::broadcast(&c, root, &mut buf);
+            buf
+        });
+        let want: Vec<f32> = (0..len).map(|i| i as f32 * 1.5).collect();
+        for got in &out {
+            prop_assert_eq!(got, &want);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Minibatch container and random batch generation.
+
+use crate::configs::DlrmConfig;
+use crate::distributions::IndexDistribution;
+use dlrm_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One minibatch of DLRM training data.
+///
+/// Dense features use the `C×N` convention of the MLP kernels (features are
+/// rows, samples are columns). Sparse features are per-table CSR bags:
+/// `offsets[t]` has `N+1` entries indexing into `indices[t]`.
+#[derive(Debug, Clone)]
+pub struct MiniBatch {
+    /// Dense features, `dense_features × N`.
+    pub dense: Matrix,
+    /// Per-table look-up indices.
+    pub indices: Vec<Vec<u32>>,
+    /// Per-table bag offsets (`N+1` entries each).
+    pub offsets: Vec<Vec<usize>>,
+    /// Click labels in `{0.0, 1.0}`, length `N`.
+    pub labels: Vec<f32>,
+}
+
+impl MiniBatch {
+    /// Number of samples.
+    pub fn batch_size(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of tables.
+    pub fn num_tables(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Generates a fully random batch (random labels — no learnable signal;
+    /// the paper's "random dataset" used for the Small/Large configs).
+    pub fn random(cfg: &DlrmConfig, n: usize, dist: IndexDistribution, rng: &mut StdRng) -> Self {
+        let dense = Matrix::from_fn(cfg.dense_features, n, |_, _| rng.gen_range(-1.0..1.0f32));
+        let mut indices = Vec::with_capacity(cfg.num_tables);
+        let mut offsets = Vec::with_capacity(cfg.num_tables);
+        for t in 0..cfg.num_tables {
+            let m = cfg.table_rows[t];
+            let mut idx = Vec::with_capacity(n * cfg.lookups_per_table);
+            let mut off = Vec::with_capacity(n + 1);
+            off.push(0usize);
+            for _ in 0..n {
+                for _ in 0..cfg.lookups_per_table {
+                    idx.push(dist.sample(m, rng));
+                }
+                off.push(idx.len());
+            }
+            indices.push(idx);
+            offsets.push(off);
+        }
+        let labels = (0..n).map(|_| if rng.gen_bool(0.5) { 1.0 } else { 0.0 }).collect();
+        MiniBatch {
+            dense,
+            indices,
+            offsets,
+            labels,
+        }
+    }
+
+    /// Extracts the sample sub-range `lo..hi` as its own batch (used to
+    /// shard a global minibatch across ranks).
+    pub fn slice(&self, lo: usize, hi: usize) -> MiniBatch {
+        assert!(lo <= hi && hi <= self.batch_size(), "bad slice range");
+        let d = self.dense.rows();
+        let dense = Matrix::from_fn(d, hi - lo, |r, c| self.dense[(r, lo + c)]);
+        let mut indices = Vec::with_capacity(self.num_tables());
+        let mut offsets = Vec::with_capacity(self.num_tables());
+        for t in 0..self.num_tables() {
+            let (start, end) = (self.offsets[t][lo], self.offsets[t][hi]);
+            indices.push(self.indices[t][start..end].to_vec());
+            offsets.push(
+                self.offsets[t][lo..=hi]
+                    .iter()
+                    .map(|&o| o - start)
+                    .collect(),
+            );
+        }
+        MiniBatch {
+            dense,
+            indices,
+            offsets,
+            labels: self.labels[lo..hi].to_vec(),
+        }
+    }
+
+    /// Validity check used by tests and debug assertions.
+    pub fn validate(&self, cfg: &DlrmConfig) {
+        let n = self.batch_size();
+        assert_eq!(self.dense.shape(), (cfg.dense_features, n));
+        assert_eq!(self.indices.len(), cfg.num_tables);
+        assert_eq!(self.offsets.len(), cfg.num_tables);
+        for t in 0..cfg.num_tables {
+            assert_eq!(self.offsets[t].len(), n + 1);
+            assert_eq!(*self.offsets[t].last().unwrap(), self.indices[t].len());
+            assert!(self.indices[t].iter().all(|&i| (i as u64) < cfg.table_rows[t]));
+        }
+        assert!(self.labels.iter().all(|&l| l == 0.0 || l == 1.0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrm_tensor::init::seeded_rng;
+
+    fn tiny_cfg() -> DlrmConfig {
+        DlrmConfig::small().scaled_down(100, 64)
+    }
+
+    #[test]
+    fn random_batch_is_valid() {
+        let cfg = tiny_cfg();
+        let mut rng = seeded_rng(3, 0);
+        let b = MiniBatch::random(&cfg, 16, IndexDistribution::Uniform, &mut rng);
+        b.validate(&cfg);
+        assert_eq!(b.batch_size(), 16);
+        assert_eq!(b.indices[0].len(), 16 * cfg.lookups_per_table);
+    }
+
+    #[test]
+    fn slices_partition_the_batch() {
+        let cfg = tiny_cfg();
+        let mut rng = seeded_rng(4, 0);
+        let b = MiniBatch::random(&cfg, 12, IndexDistribution::Uniform, &mut rng);
+        let lo = b.slice(0, 5);
+        let hi = b.slice(5, 12);
+        lo.validate(&cfg);
+        hi.validate(&cfg);
+        assert_eq!(lo.batch_size() + hi.batch_size(), 12);
+        // Index content is preserved.
+        let rejoined: Vec<u32> = lo.indices[0]
+            .iter()
+            .chain(hi.indices[0].iter())
+            .copied()
+            .collect();
+        assert_eq!(rejoined, b.indices[0]);
+        // Labels preserved.
+        assert_eq!(&lo.labels[..], &b.labels[..5]);
+    }
+
+    #[test]
+    fn slice_of_full_range_is_identity() {
+        let cfg = tiny_cfg();
+        let mut rng = seeded_rng(5, 0);
+        let b = MiniBatch::random(&cfg, 8, IndexDistribution::Uniform, &mut rng);
+        let s = b.slice(0, 8);
+        assert_eq!(s.indices, b.indices);
+        assert_eq!(s.offsets, b.offsets);
+        assert_eq!(s.dense.as_slice(), b.dense.as_slice());
+    }
+
+    #[test]
+    fn empty_slice_is_allowed() {
+        let cfg = tiny_cfg();
+        let mut rng = seeded_rng(6, 0);
+        let b = MiniBatch::random(&cfg, 4, IndexDistribution::Uniform, &mut rng);
+        let s = b.slice(2, 2);
+        assert_eq!(s.batch_size(), 0);
+        assert!(s.indices[0].is_empty());
+    }
+}

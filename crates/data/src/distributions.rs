@@ -1,0 +1,167 @@
+//! Index-distribution generators for embedding look-ups.
+//!
+//! The contention behaviour of the embedding update (Figures 7–8) depends
+//! entirely on index reuse: uniform random indices over a million-row table
+//! almost never collide, whereas real click logs are heavily skewed (a few
+//! hot users/items dominate). The Zipf and clustered generators reproduce
+//! that skew synthetically.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How look-up indices are drawn from `0..m`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+pub enum IndexDistribution {
+    /// Uniform over the table — the paper's random Small/Large datasets.
+    Uniform,
+    /// Zipf-like with exponent `s > 0` (`s` near 1 ⇒ heavy skew toward low
+    /// indices), approximating click-log popularity.
+    Zipf {
+        /// Skew exponent.
+        s: f64,
+    },
+    /// With probability `hot_prob`, draw from the first
+    /// `hot_fraction · m` rows — the "indices are clustered" case the paper
+    /// flags as the load-imbalance risk of the race-free update.
+    Clustered {
+        /// Fraction of the table that is hot.
+        hot_fraction: f64,
+        /// Probability a look-up hits the hot region.
+        hot_prob: f64,
+    },
+}
+
+impl IndexDistribution {
+    /// Draws one index in `0..m`.
+    pub fn sample(&self, m: u64, rng: &mut StdRng) -> u32 {
+        debug_assert!(m >= 1);
+        let idx = match *self {
+            IndexDistribution::Uniform => rng.gen_range(0..m),
+            IndexDistribution::Zipf { s } => zipf_sample(m, s, rng),
+            IndexDistribution::Clustered {
+                hot_fraction,
+                hot_prob,
+            } => {
+                let hot = ((m as f64 * hot_fraction).ceil() as u64).clamp(1, m);
+                if rng.gen_bool(hot_prob.clamp(0.0, 1.0)) {
+                    rng.gen_range(0..hot)
+                } else {
+                    rng.gen_range(0..m)
+                }
+            }
+        };
+        idx as u32
+    }
+
+    /// Fills a vector with `count` indices in `0..m`.
+    pub fn sample_many(&self, m: u64, count: usize, rng: &mut StdRng) -> Vec<u32> {
+        (0..count).map(|_| self.sample(m, rng)).collect()
+    }
+}
+
+/// Approximate Zipf(s) sampling over `1..=m` via inverse-CDF of the
+/// continuous power-law envelope — accurate enough for workload generation
+/// and O(1) per sample for tables of tens of millions of rows.
+fn zipf_sample(m: u64, s: f64, rng: &mut StdRng) -> u64 {
+    let s = s.max(1e-6);
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let x = if (s - 1.0).abs() < 1e-9 {
+        // F(x) ∝ ln x  ⇒  x = m^u
+        (m as f64).powf(u)
+    } else {
+        // F(x) ∝ (x^{1-s} − 1)  ⇒  invert
+        let t = 1.0 - s;
+        ((m as f64).powf(t) * u + (1.0 - u)).powf(1.0 / t)
+    };
+    (x.floor() as u64).clamp(1, m) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrm_tensor::init::seeded_rng;
+
+    fn histogram(dist: IndexDistribution, m: u64, n: usize) -> Vec<usize> {
+        let mut rng = seeded_rng(42, 0);
+        let mut h = vec![0usize; m as usize];
+        for _ in 0..n {
+            h[dist.sample(m, &mut rng) as usize] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds_and_covers() {
+        let h = histogram(IndexDistribution::Uniform, 50, 20_000);
+        assert!(h.iter().all(|&c| c > 0), "all bins should be hit");
+        let (min, max) = (h.iter().min().unwrap(), h.iter().max().unwrap());
+        assert!(*max < 3 * *min, "uniform should be roughly flat");
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let h = histogram(IndexDistribution::Zipf { s: 1.1 }, 1000, 50_000);
+        let head: usize = h[..10].iter().sum();
+        let tail: usize = h[500..].iter().sum();
+        assert!(
+            head > 5 * tail.max(1),
+            "zipf head {head} should dominate tail {tail}"
+        );
+        // Monotone-ish: first bin is the most popular.
+        assert_eq!(h.iter().enumerate().max_by_key(|&(_, &c)| c).unwrap().0, 0);
+    }
+
+    #[test]
+    fn clustered_hits_hot_region() {
+        let dist = IndexDistribution::Clustered {
+            hot_fraction: 0.01,
+            hot_prob: 0.9,
+        };
+        let h = histogram(dist, 1000, 50_000);
+        let hot: usize = h[..10].iter().sum();
+        assert!(
+            hot as f64 > 0.85 * 50_000.0,
+            "≈90% of hits should land in the hot 1% (got {hot})"
+        );
+    }
+
+    #[test]
+    fn single_row_table_always_zero() {
+        let mut rng = seeded_rng(1, 0);
+        for dist in [
+            IndexDistribution::Uniform,
+            IndexDistribution::Zipf { s: 1.2 },
+            IndexDistribution::Clustered {
+                hot_fraction: 0.5,
+                hot_prob: 0.5,
+            },
+        ] {
+            for _ in 0..100 {
+                assert_eq!(dist.sample(1, &mut rng), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn samples_are_reproducible() {
+        let dist = IndexDistribution::Zipf { s: 1.05 };
+        let a = dist.sample_many(10_000, 64, &mut seeded_rng(7, 3));
+        let b = dist.sample_many(10_000, 64, &mut seeded_rng(7, 3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_samples_in_bounds_for_huge_tables() {
+        let mut rng = seeded_rng(9, 0);
+        let m = 39_884_406u64; // largest MLPerf table
+        for dist in [
+            IndexDistribution::Uniform,
+            IndexDistribution::Zipf { s: 1.2 },
+        ] {
+            for _ in 0..1000 {
+                assert!((dist.sample(m, &mut rng) as u64) < m);
+            }
+        }
+    }
+}

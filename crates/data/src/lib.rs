@@ -1,0 +1,30 @@
+//! # dlrm-data — model configurations and synthetic datasets
+//!
+//! * [`configs`] — the three DLRM configurations of Table I (Small, Large,
+//!   MLPerf) plus laptop-scaled variants, with the derived quantities of
+//!   Table II (memory footprints, Eq. 1 allreduce size, Eq. 2 alltoall
+//!   volume).
+//! * [`distributions`] — index-distribution generators (uniform, Zipf,
+//!   clustered). The paper's Figure 7/8 contrast hinges on index reuse: the
+//!   random Small config has "very little contention" while the
+//!   Criteo-Terabyte-driven MLPerf config has heavy reuse that thrashes the
+//!   atomic/RTM strategies.
+//! * [`batch`] — minibatch container + random batch generator.
+//! * [`clicklog`] — a synthetic click-through log with *learnable*
+//!   structure: a frozen random teacher model produces ground-truth click
+//!   probabilities, substituting for the Criteo Terabyte dataset in the
+//!   Figure 16 convergence study.
+//! * [`loader`] — data loaders, including the paper's "reads the full
+//!   global minibatch on every rank" behaviour whose cost grows with weak
+//!   scaling (Figure 13 discussion).
+
+pub mod batch;
+pub mod clicklog;
+pub mod configs;
+pub mod distributions;
+pub mod loader;
+
+pub use batch::MiniBatch;
+pub use clicklog::ClickLog;
+pub use configs::DlrmConfig;
+pub use distributions::IndexDistribution;

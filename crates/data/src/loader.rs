@@ -1,0 +1,137 @@
+//! Data loaders for distributed training.
+//!
+//! The paper observes (Figure 13 discussion) that "the current data loader
+//! design always reads the data for the full global minibatch on each rank",
+//! so loader cost grows linearly with rank count under weak scaling.
+//! [`LoaderMode::FullGlobalBatch`] reproduces that design;
+//! [`LoaderMode::Sharded`] is the fixed version that materializes only the
+//! local shard.
+
+use crate::batch::MiniBatch;
+use crate::clicklog::ClickLog;
+
+/// How much of the global batch each rank materializes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoaderMode {
+    /// Every rank generates all `GN` samples, then keeps its shard — the
+    /// paper's (inefficient) baseline loader.
+    FullGlobalBatch,
+    /// Every rank generates only its own `LN` samples.
+    Sharded,
+}
+
+/// Per-rank loader over a [`ClickLog`].
+pub struct RankLoader<'a> {
+    log: &'a ClickLog,
+    mode: LoaderMode,
+    rank: usize,
+    nranks: usize,
+    local_n: usize,
+    next_batch: u64,
+}
+
+impl<'a> RankLoader<'a> {
+    /// Creates a loader for `rank` of `nranks`, yielding `local_n` samples
+    /// per step.
+    pub fn new(
+        log: &'a ClickLog,
+        mode: LoaderMode,
+        rank: usize,
+        nranks: usize,
+        local_n: usize,
+    ) -> Self {
+        assert!(rank < nranks);
+        RankLoader {
+            log,
+            mode,
+            rank,
+            nranks,
+            local_n,
+            next_batch: 0,
+        }
+    }
+
+    /// Global batch size.
+    pub fn global_n(&self) -> usize {
+        self.local_n * self.nranks
+    }
+
+    /// Produces this rank's next local batch. In `FullGlobalBatch` mode the
+    /// cost of generating all `GN` samples is really paid (and then all but
+    /// the local shard discarded), matching the paper's loader.
+    ///
+    /// All ranks of a step see consistent shards of the same global batch.
+    pub fn next_batch(&mut self) -> MiniBatch {
+        let idx = self.next_batch;
+        self.next_batch += 1;
+        match self.mode {
+            LoaderMode::FullGlobalBatch => {
+                let global = self.log.batch(self.global_n(), idx, 0);
+                let lo = self.rank * self.local_n;
+                global.slice(lo, lo + self.local_n)
+            }
+            LoaderMode::Sharded => {
+                // Each rank generates an independent stream; shards differ
+                // from FullGlobalBatch's but are equally distributed.
+                self.log
+                    .batch(self.local_n, idx, 0x5AD0 + self.rank as u64)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::DlrmConfig;
+    use crate::distributions::IndexDistribution;
+
+    fn tiny_log() -> ClickLog {
+        let cfg = DlrmConfig::small().scaled_down(100, 128);
+        ClickLog::new(&cfg, IndexDistribution::Uniform, 21)
+    }
+
+    #[test]
+    fn full_global_shards_are_consistent() {
+        let log = tiny_log();
+        let nranks = 4;
+        let ln = 8;
+        let shards: Vec<MiniBatch> = (0..nranks)
+            .map(|r| RankLoader::new(&log, LoaderMode::FullGlobalBatch, r, nranks, ln).next_batch())
+            .collect();
+        // Together the shards must reproduce the global batch exactly.
+        let global = log.batch(nranks * ln, 0, 0);
+        let mut labels = vec![];
+        for s in &shards {
+            assert_eq!(s.batch_size(), ln);
+            labels.extend_from_slice(&s.labels);
+        }
+        assert_eq!(labels, global.labels);
+    }
+
+    #[test]
+    fn sharded_mode_yields_local_size() {
+        let log = tiny_log();
+        let mut l = RankLoader::new(&log, LoaderMode::Sharded, 2, 4, 8);
+        let b = l.next_batch();
+        assert_eq!(b.batch_size(), 8);
+        b.validate(log.config());
+    }
+
+    #[test]
+    fn sharded_ranks_get_different_data() {
+        let log = tiny_log();
+        let a = RankLoader::new(&log, LoaderMode::Sharded, 0, 2, 16).next_batch();
+        let b = RankLoader::new(&log, LoaderMode::Sharded, 1, 2, 16).next_batch();
+        assert_ne!(a.indices, b.indices);
+    }
+
+    #[test]
+    fn loader_advances_between_steps() {
+        let log = tiny_log();
+        let mut l = RankLoader::new(&log, LoaderMode::FullGlobalBatch, 0, 2, 8);
+        let b0 = l.next_batch();
+        let b1 = l.next_batch();
+        assert_ne!(b0.indices, b1.indices);
+    }
+}

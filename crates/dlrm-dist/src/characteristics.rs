@@ -1,0 +1,72 @@
+//! Table II: "DLRM model characteristics for distributed run".
+
+use dlrm_data::DlrmConfig;
+
+/// The derived distributed-run characteristics of one configuration.
+#[derive(Debug, Clone)]
+pub struct DistCharacteristics {
+    /// Configuration name.
+    pub name: String,
+    /// Memory capacity required for all tables, bytes.
+    pub table_bytes: u64,
+    /// Minimum sockets required to hold the tables.
+    pub min_sockets: usize,
+    /// Maximum ranks (one per table at most).
+    pub max_ranks: usize,
+    /// Total allreduce size per iteration, bytes (Eq. 1).
+    pub allreduce_bytes: u64,
+    /// Strong-scaling alltoall volume, bytes (Eq. 2 at `GN`).
+    pub alltoall_bytes: u64,
+}
+
+impl DistCharacteristics {
+    /// Computes the Table II row for `cfg` given usable DRAM per socket.
+    pub fn for_config(cfg: &DlrmConfig, bytes_per_socket: u64) -> Self {
+        DistCharacteristics {
+            name: cfg.name.clone(),
+            table_bytes: cfg.total_table_bytes(),
+            min_sockets: cfg.min_sockets(bytes_per_socket),
+            max_ranks: cfg.max_ranks(),
+            allreduce_bytes: cfg.allreduce_bytes(),
+            alltoall_bytes: cfg.alltoall_bytes(cfg.gn_strong),
+        }
+    }
+
+    /// All three paper configurations with the 8-socket node's 192 GB
+    /// sockets (the machine the paper sizes Table II against).
+    pub fn paper_table() -> Vec<Self> {
+        DlrmConfig::all_paper()
+            .iter()
+            .map(|cfg| Self::for_config(cfg, 192 * (1 << 30)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table_matches_table2() {
+        let rows = DistCharacteristics::paper_table();
+        assert_eq!(rows.len(), 3);
+
+        let small = &rows[0];
+        assert_eq!(small.min_sockets, 1);
+        assert_eq!(small.max_ranks, 8);
+        let mb = small.allreduce_bytes as f64 / (1 << 20) as f64;
+        assert!((8.5..10.5).contains(&mb), "small allreduce {mb:.1} MiB (paper 9.5)");
+
+        let large = &rows[1];
+        assert!(large.min_sockets >= 2, "large spans sockets");
+        assert_eq!(large.max_ranks, 64);
+        let gb = large.table_bytes as f64 / 1e9;
+        assert!((380.0..420.0).contains(&gb), "large tables {gb:.0} GB (paper 384)");
+
+        let mlperf = &rows[2];
+        assert_eq!(mlperf.max_ranks, 26);
+        assert_eq!(mlperf.min_sockets, 1, "paper: 1 socket (*large-memory node)");
+        let a2a = mlperf.alltoall_bytes as f64 / (1 << 20) as f64;
+        assert!((195.0..215.0).contains(&a2a), "mlperf alltoall {a2a:.0} MiB (paper 208)");
+    }
+}

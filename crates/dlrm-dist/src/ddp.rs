@@ -1,0 +1,148 @@
+//! DDP-style gradient allreduce: flatten every MLP gradient into one
+//! buffer, allreduce (reduce-scatter + allgather), unflatten, apply the
+//! averaged SGD step.
+//!
+//! The flat-buffer copies here are exactly the "Allreduce-Framework" time
+//! of Figures 11/14; the collective itself is the "Allreduce-Wait".
+
+use dlrm::layers::Mlp;
+use dlrm_comm::collectives;
+use dlrm_comm::nonblocking::{OpOutput, ProgressEngine};
+use dlrm_comm::world::Communicator;
+
+/// Flattens the weight and bias gradients of the given MLPs (in order)
+/// into one contiguous buffer — Eq. 1's `Σ f_i·f_o + f_o` elements.
+pub fn flatten_grads(mlps: &[&Mlp]) -> Vec<f32> {
+    let mut buf = Vec::new();
+    for mlp in mlps {
+        for layer in &mlp.layers {
+            buf.extend_from_slice(layer.dw.as_slice());
+            buf.extend_from_slice(&layer.db);
+        }
+    }
+    buf
+}
+
+/// Writes a flat gradient buffer back into the MLPs' gradient tensors.
+///
+/// # Panics
+/// Panics if `buf` does not match the MLPs' total gradient length.
+pub fn unflatten_grads(buf: &[f32], mlps: &mut [&mut Mlp]) {
+    let mut off = 0;
+    for mlp in mlps {
+        for layer in &mut mlp.layers {
+            let wlen = layer.dw.len();
+            layer
+                .dw
+                .as_mut_slice()
+                .copy_from_slice(&buf[off..off + wlen]);
+            off += wlen;
+            let blen = layer.db.len();
+            layer.db.copy_from_slice(&buf[off..off + blen]);
+            off += blen;
+        }
+    }
+    assert_eq!(off, buf.len(), "flat gradient length mismatch");
+}
+
+/// Allreduces (sums) the flattened gradients of `bottom` and `top` across
+/// ranks and writes the sums back. With `engine`, the allreduce goes
+/// through the nonblocking progress channel 1 (so an in-flight alltoall on
+/// channel 0 is not serialized behind it — the CCL behaviour); otherwise it
+/// is a blocking ring allreduce.
+pub fn allreduce_mlp_grads(
+    comm: &Communicator,
+    engine: Option<&ProgressEngine>,
+    bottom: &mut Mlp,
+    top: &mut Mlp,
+) {
+    let flat = flatten_grads(&[&*bottom, &*top]);
+    let reduced = match engine {
+        Some(eng) => match eng.allreduce(1, flat).wait() {
+            OpOutput::Flat(v) => v,
+            other => panic!("unexpected op output: {other:?}"),
+        },
+        None => {
+            let mut buf = flat;
+            collectives::allreduce_sum(comm, &mut buf);
+            buf
+        }
+    };
+    unflatten_grads(&reduced, &mut [bottom, top]);
+}
+
+/// Applies the averaged SGD step after an allreduce of summed gradients:
+/// `w -= (lr / nranks) · g_sum`.
+pub fn averaged_sgd_step(mlp: &mut Mlp, lr: f32, nranks: usize) {
+    for layer in &mut mlp.layers {
+        dlrm_kernels::sgd::sgd_step_scaled(
+            layer.w.as_mut_slice(),
+            layer.dw.as_slice(),
+            lr,
+            nranks as f32,
+        );
+        dlrm_kernels::sgd::sgd_step_scaled(&mut layer.b, &layer.db, lr, nranks as f32);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrm::layers::{Activation, Mlp};
+    use dlrm_comm::world::CommWorld;
+    use dlrm_tensor::init::seeded_rng;
+    use dlrm_tensor::Matrix;
+
+    fn mlp_with_grads(seed: u64, fill: f32) -> Mlp {
+        let mut rng = seeded_rng(seed, 0);
+        let mut mlp = Mlp::new(3, &[4, 2], Activation::None, &mut rng);
+        for layer in &mut mlp.layers {
+            layer.dw = Matrix::from_fn(layer.dw.rows(), layer.dw.cols(), |_, _| fill);
+            layer.db = vec![fill; layer.db.len()];
+        }
+        mlp
+    }
+
+    #[test]
+    fn flatten_unflatten_round_trip() {
+        let mut a = mlp_with_grads(1, 0.0);
+        let mut rng = seeded_rng(2, 0);
+        for layer in &mut a.layers {
+            layer.dw = dlrm_tensor::init::uniform(layer.dw.rows(), layer.dw.cols(), -1.0, 1.0, &mut rng);
+            layer.db = (0..layer.db.len()).map(|i| i as f32).collect();
+        }
+        let flat = flatten_grads(&[&a]);
+        assert_eq!(flat.len(), 3 * 4 + 4 + 4 * 2 + 2);
+        let mut b = mlp_with_grads(1, 0.0);
+        unflatten_grads(&flat, &mut [&mut b]);
+        for (la, lb) in a.layers.iter().zip(&b.layers) {
+            assert_eq!(la.dw.as_slice(), lb.dw.as_slice());
+            assert_eq!(la.db, lb.db);
+        }
+    }
+
+    #[test]
+    fn allreduce_sums_gradients_across_ranks() {
+        let out = CommWorld::run(4, |comm| {
+            let mut bottom = mlp_with_grads(7, comm.rank() as f32 + 1.0);
+            let mut top = mlp_with_grads(8, 10.0 * (comm.rank() as f32 + 1.0));
+            allreduce_mlp_grads(&comm, None, &mut bottom, &mut top);
+            (
+                bottom.layers[0].dw[(0, 0)],
+                top.layers[0].db[0],
+            )
+        });
+        for (dw, db) in out {
+            assert_eq!(dw, 1.0 + 2.0 + 3.0 + 4.0);
+            assert_eq!(db, 10.0 * (1.0 + 2.0 + 3.0 + 4.0));
+        }
+    }
+
+    #[test]
+    fn averaged_step_divides_by_ranks() {
+        let mut mlp = mlp_with_grads(3, 8.0);
+        let w0 = mlp.layers[0].w[(0, 0)];
+        averaged_sgd_step(&mut mlp, 0.5, 4);
+        assert!((mlp.layers[0].w[(0, 0)] - (w0 - 0.5 * 2.0)).abs() < 1e-6);
+    }
+}

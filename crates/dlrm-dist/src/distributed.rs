@@ -1,0 +1,346 @@
+//! The hybrid-parallel distributed DLRM trainer.
+
+use crate::ddp::{allreduce_mlp_grads, averaged_sgd_step};
+use crate::exchange::{forward_exchange, backward_exchange, tables_of, ExchangeStrategy};
+use dlrm::embedding_layer::EmbeddingLayer;
+use dlrm::interaction::Interaction;
+use dlrm::layers::{Activation, Execution, Mlp};
+use dlrm::model::DlrmModel;
+use dlrm_comm::nonblocking::{create_channel_worlds, Backend, ProgressEngine};
+use dlrm_comm::world::{CommWorld, Communicator};
+use dlrm_data::{DlrmConfig, MiniBatch};
+use dlrm_kernels::embedding::UpdateStrategy;
+use dlrm_kernels::loss::{bce_with_logits_backward, bce_with_logits_loss};
+use dlrm_tensor::init::seeded_rng;
+use dlrm_tensor::Matrix;
+
+/// Options for constructing a distributed trainer.
+#[derive(Clone)]
+pub struct DistOptions {
+    /// Embedding-exchange strategy.
+    pub strategy: ExchangeStrategy,
+    /// Embedding update strategy on each rank.
+    pub update: UpdateStrategy,
+    /// Worker threads per rank's compute pool.
+    pub threads_per_rank: usize,
+    /// Model seed — must match the single-process model for equivalence.
+    pub seed: u64,
+}
+
+impl Default for DistOptions {
+    fn default() -> Self {
+        DistOptions {
+            strategy: ExchangeStrategy::Alltoall,
+            update: UpdateStrategy::RaceFree,
+            threads_per_rank: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// One rank of a hybrid-parallel DLRM.
+///
+/// MLPs are replicated (data parallel); this rank additionally owns the
+/// embedding tables `t ≡ rank (mod nranks)` (model parallel).
+pub struct DistDlrm {
+    /// The model configuration.
+    pub cfg: DlrmConfig,
+    comm: Communicator,
+    engine: Option<ProgressEngine>,
+    exec: Execution,
+    /// Replicated bottom MLP.
+    pub bottom: Mlp,
+    /// Replicated top MLP.
+    pub top: Mlp,
+    /// `(global_table_index, layer)` for each owned table.
+    pub local_tables: Vec<(usize, EmbeddingLayer)>,
+    interaction: Interaction,
+    strategy: ExchangeStrategy,
+}
+
+impl DistDlrm {
+    /// Builds this rank's share of the model. Weights are seeded per
+    /// component so they agree bit-for-bit with [`DlrmModel::new`] under
+    /// the same seed.
+    pub fn new(
+        cfg: &DlrmConfig,
+        comm: Communicator,
+        engine: Option<ProgressEngine>,
+        opts: &DistOptions,
+    ) -> Self {
+        assert!(
+            comm.nranks() <= cfg.max_ranks(),
+            "at most one rank per embedding table"
+        );
+        let bottom = Mlp::new(
+            cfg.dense_features,
+            &cfg.bottom_mlp,
+            Activation::Relu,
+            &mut seeded_rng(opts.seed, DlrmModel::BOTTOM_STREAM),
+        );
+        let top = Mlp::new(
+            cfg.interaction_output_dim(),
+            &cfg.top_mlp,
+            Activation::None,
+            &mut seeded_rng(opts.seed, DlrmModel::TOP_STREAM),
+        );
+        let local_tables = tables_of(cfg.num_tables, comm.nranks(), comm.rank())
+            .into_iter()
+            .map(|t| (t, DlrmModel::build_table(cfg, t, opts.update, opts.seed)))
+            .collect();
+        DistDlrm {
+            cfg: cfg.clone(),
+            comm,
+            engine,
+            exec: Execution::optimized(opts.threads_per_rank),
+            bottom,
+            top,
+            local_tables,
+            interaction: Interaction::new(cfg.emb_dim),
+            strategy: opts.strategy,
+        }
+    }
+
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    /// World size.
+    pub fn nranks(&self) -> usize {
+        self.comm.nranks()
+    }
+
+    /// One hybrid-parallel training iteration over a *global* minibatch
+    /// (every rank passes the same batch; each processes its slice).
+    /// Returns this rank's local loss.
+    pub fn train_step(&mut self, global: &MiniBatch, lr: f32) -> f64 {
+        let r = self.nranks();
+        let gn = global.batch_size();
+        assert_eq!(gn % r, 0, "global minibatch must divide by ranks");
+        let n = gn / r;
+        let me = self.rank();
+        let exec = self.exec.clone();
+        let e = self.cfg.emb_dim;
+
+        // --- forward ------------------------------------------------------
+        let local = global.slice(me * n, (me + 1) * n);
+        let z0 = self.bottom.forward(&exec, &local.dense);
+
+        // Model-parallel embedding forward over the full global batch.
+        let local_outs: Vec<Matrix> = self
+            .local_tables
+            .iter_mut()
+            .map(|(t, layer)| layer.forward(&exec, &global.indices[*t], &global.offsets[*t]))
+            .collect();
+
+        // Model-parallel -> data-parallel switch.
+        let slices = forward_exchange(
+            self.strategy,
+            &self.comm,
+            self.engine.as_ref(),
+            &local_outs,
+            self.cfg.num_tables,
+            n,
+            e,
+        );
+
+        let inter = self.interaction.forward(&exec, &z0, &slices);
+        let logits_m = self.top.forward(&exec, &inter);
+        let logits = logits_m.as_slice();
+
+        let loss = bce_with_logits_loss(logits, &local.labels);
+
+        // --- backward -----------------------------------------------------
+        let mut dlogits = vec![0.0f32; n];
+        bce_with_logits_backward(logits, &local.labels, &mut dlogits);
+        let d_inter = self
+            .top
+            .backward(&exec, Matrix::from_slice(1, n, &dlogits));
+        let (d_bottom, d_tables) = self.interaction.backward(&d_inter);
+
+        // Data-parallel -> model-parallel switch for embedding gradients.
+        let full_grads = backward_exchange(
+            self.strategy,
+            &self.comm,
+            self.engine.as_ref(),
+            &d_tables,
+            self.cfg.num_tables,
+            n,
+            e,
+        );
+        // Local gradients are means over n = GN/R samples; dividing the
+        // learning rate by R makes the sparse update a global-batch mean.
+        let emb_lr = lr / r as f32;
+        for ((_, layer), grad) in self.local_tables.iter_mut().zip(&full_grads) {
+            layer.backward_update(&exec, grad, emb_lr);
+        }
+
+        let _ = self.bottom.backward(&exec, d_bottom);
+
+        // DDP: sum MLP gradients, apply the averaged step.
+        allreduce_mlp_grads(&self.comm, self.engine.as_ref(), &mut self.bottom, &mut self.top);
+        averaged_sgd_step(&mut self.bottom, lr, r);
+        averaged_sgd_step(&mut self.top, lr, r);
+
+        loss
+    }
+}
+
+/// Convenience driver: trains `nranks` thread-ranks for the given global
+/// batches and returns each rank's loss trajectory (rank-major).
+pub fn run_training(
+    cfg: &DlrmConfig,
+    nranks: usize,
+    opts: &DistOptions,
+    batches: &[MiniBatch],
+    lr: f32,
+) -> Vec<Vec<f64>> {
+    let engines = if opts.strategy == ExchangeStrategy::CclAlltoall {
+        Some(std::sync::Mutex::new(create_channel_worlds(
+            nranks,
+            Backend::CclLike { workers: 2 },
+        )))
+    } else {
+        None
+    };
+    CommWorld::run(nranks, |comm| {
+        let engine = engines.as_ref().map(|m| {
+            let comms = std::mem::take(&mut m.lock().unwrap()[comm.rank()]);
+            ProgressEngine::new(Backend::CclLike { workers: 2 }, comms)
+        });
+        let mut rank_model = DistDlrm::new(cfg, comm, engine, opts);
+        batches
+            .iter()
+            .map(|b| rank_model.train_step(b, lr))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrm::precision::PrecisionMode;
+    use dlrm_data::IndexDistribution;
+
+    fn tiny_cfg() -> DlrmConfig {
+        let mut cfg = DlrmConfig::small().scaled_down(32, 512);
+        cfg.dense_features = 6;
+        cfg.bottom_mlp = vec![8, 4];
+        cfg.emb_dim = 4;
+        cfg.num_tables = 4;
+        cfg.table_rows = vec![32, 16, 8, 24];
+        cfg.lookups_per_table = 2;
+        cfg.top_mlp = vec![8, 1];
+        cfg
+    }
+
+    fn global_batches(cfg: &DlrmConfig, gn: usize, count: usize) -> Vec<MiniBatch> {
+        (0..count)
+            .map(|i| {
+                MiniBatch::random(
+                    cfg,
+                    gn,
+                    IndexDistribution::Uniform,
+                    &mut seeded_rng(1000 + i as u64, 5),
+                )
+            })
+            .collect()
+    }
+
+    /// Single-process reference loss trajectory on the same batches.
+    fn single_process_losses(cfg: &DlrmConfig, batches: &[MiniBatch], lr: f32, seed: u64) -> Vec<f64> {
+        let mut model = DlrmModel::new(
+            cfg,
+            Execution::Reference,
+            UpdateStrategy::Reference,
+            PrecisionMode::Fp32,
+            seed,
+        );
+        batches.iter().map(|b| model.train_step(b, lr)).collect()
+    }
+
+    /// Average of per-rank local losses = global-batch loss.
+    fn mean_losses(per_rank: &[Vec<f64>]) -> Vec<f64> {
+        let steps = per_rank[0].len();
+        (0..steps)
+            .map(|s| per_rank.iter().map(|r| r[s]).sum::<f64>() / per_rank.len() as f64)
+            .collect()
+    }
+
+    #[test]
+    fn distributed_matches_single_process_every_strategy() {
+        let cfg = tiny_cfg();
+        let batches = global_batches(&cfg, 12, 4);
+        let want = single_process_losses(&cfg, &batches, 0.1, 77);
+
+        for strategy in ExchangeStrategy::ALL {
+            for nranks in [2usize, 4] {
+                let opts = DistOptions {
+                    strategy,
+                    seed: 77,
+                    ..Default::default()
+                };
+                let got = run_training(&cfg, nranks, &opts, &batches, 0.1);
+                let mean = mean_losses(&got);
+                for (step, (g, w)) in mean.iter().zip(&want).enumerate() {
+                    assert!(
+                        (g - w).abs() < 5e-3,
+                        "{strategy} R={nranks} step {step}: dist {g} vs single {w}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_distributed_equals_single_process() {
+        let cfg = tiny_cfg();
+        let batches = global_batches(&cfg, 8, 3);
+        let want = single_process_losses(&cfg, &batches, 0.2, 3);
+        let got = run_training(
+            &cfg,
+            1,
+            &DistOptions {
+                seed: 3,
+                ..Default::default()
+            },
+            &batches,
+            0.2,
+        );
+        for (g, w) in got[0].iter().zip(&want) {
+            assert!((g - w).abs() < 1e-4, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn losses_decrease_under_distributed_training() {
+        let cfg = tiny_cfg();
+        // Repeat the same batch so the loss must fall.
+        let batch = &global_batches(&cfg, 16, 1)[0];
+        let batches: Vec<MiniBatch> = (0..25).map(|_| batch.clone()).collect();
+        let got = run_training(&cfg, 4, &DistOptions::default(), &batches, 0.3);
+        let mean = mean_losses(&got);
+        assert!(
+            mean.last().unwrap() < &(mean[0] * 0.8),
+            "loss {0} -> {1}",
+            mean[0],
+            mean.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn rank_count_must_not_exceed_tables() {
+        let cfg = tiny_cfg(); // 4 tables
+        let result = std::panic::catch_unwind(|| {
+            let _ = run_training(
+                &cfg,
+                5,
+                &DistOptions::default(),
+                &global_batches(&cfg, 10, 1),
+                0.1,
+            );
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,412 @@
+//! The four embedding-exchange strategies of Section IV-B.
+//!
+//! After the model-parallel embedding forward, rank `q` holds, for each of
+//! its tables, the bag outputs of the *whole* global minibatch (`GN×E`).
+//! The interaction needs, on every rank `r`, the rows `r·n..(r+1)·n` of
+//! *every* table's output. The backward pass needs the reverse mapping for
+//! the gradients.
+//!
+//! All strategies move exactly the same Eq. 2 volume; they differ in call
+//! structure (S scatters vs R scatters vs 1 alltoall) and in which backend
+//! drives them — exactly the contrast Figures 9/12 quantify in time. Here,
+//! in the functional substrate, they must all produce identical tensors.
+
+use dlrm_comm::collectives;
+use dlrm_comm::nonblocking::{OpOutput, ProgressEngine};
+use dlrm_comm::world::Communicator;
+use dlrm_tensor::Matrix;
+
+/// Strategy for the embedding exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExchangeStrategy {
+    /// One scatter per table (the original multi-device DLRM code).
+    ScatterList,
+    /// One scatter per owner rank, tables coalesced into one buffer.
+    FusedScatter,
+    /// One native pairwise alltoall (blocking).
+    Alltoall,
+    /// The alltoall submitted to a CCL-like multi-channel progress engine.
+    CclAlltoall,
+}
+
+impl ExchangeStrategy {
+    /// All strategies in the figures' order.
+    pub const ALL: [ExchangeStrategy; 4] = [
+        ExchangeStrategy::ScatterList,
+        ExchangeStrategy::FusedScatter,
+        ExchangeStrategy::Alltoall,
+        ExchangeStrategy::CclAlltoall,
+    ];
+}
+
+impl std::fmt::Display for ExchangeStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ExchangeStrategy::ScatterList => "ScatterList",
+            ExchangeStrategy::FusedScatter => "Fused Scatter",
+            ExchangeStrategy::Alltoall => "Alltoall",
+            ExchangeStrategy::CclAlltoall => "CCL Alltoall",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Tables owned by rank `q` (round-robin), in ascending order.
+pub fn tables_of(num_tables: usize, nranks: usize, q: usize) -> Vec<usize> {
+    (0..num_tables).filter(|t| t % nranks == q).collect()
+}
+
+/// Owner rank of table `t`.
+#[inline]
+pub fn owner_of(t: usize, nranks: usize) -> usize {
+    t % nranks
+}
+
+/// Forward exchange: `local_outputs[j]` is the `GN×E` output of this
+/// rank's `j`-th table (ascending global index). Returns the `n×E` slice
+/// of every global table for this rank, ordered by global table index.
+pub fn forward_exchange(
+    strategy: ExchangeStrategy,
+    comm: &Communicator,
+    engine: Option<&ProgressEngine>,
+    local_outputs: &[Matrix],
+    num_tables: usize,
+    local_n: usize,
+    emb_dim: usize,
+) -> Vec<Matrix> {
+    let r = comm.nranks();
+    let me = comm.rank();
+    let mine = tables_of(num_tables, r, me);
+    assert_eq!(local_outputs.len(), mine.len(), "one output per local table");
+    for m in local_outputs {
+        assert_eq!(m.shape(), (local_n * r, emb_dim), "global-batch table output");
+    }
+    let chunk = local_n * emb_dim;
+
+    let assemble = |recv: &[Vec<f32>]| -> Vec<Matrix> {
+        // recv[q] = concat over q's tables of my row block.
+        let mut out: Vec<Option<Matrix>> = (0..num_tables).map(|_| None).collect();
+        for (q, payload) in recv.iter().enumerate() {
+            let qt = tables_of(num_tables, r, q);
+            assert_eq!(payload.len(), qt.len() * chunk, "payload size from rank {q}");
+            for (j, &t) in qt.iter().enumerate() {
+                out[t] = Some(Matrix::from_slice(
+                    local_n,
+                    emb_dim,
+                    &payload[j * chunk..(j + 1) * chunk],
+                ));
+            }
+        }
+        out.into_iter().map(|m| m.expect("missing table slice")).collect()
+    };
+
+    match strategy {
+        ExchangeStrategy::Alltoall | ExchangeStrategy::CclAlltoall => {
+            // send[p] = concat over my tables of p's row block.
+            let send: Vec<Vec<f32>> = (0..r)
+                .map(|p| {
+                    let mut buf = Vec::with_capacity(mine.len() * chunk);
+                    for out in local_outputs {
+                        buf.extend_from_slice(
+                            &out.as_slice()[p * chunk..(p + 1) * chunk],
+                        );
+                    }
+                    buf
+                })
+                .collect();
+            let recv = match (strategy, engine) {
+                (ExchangeStrategy::CclAlltoall, Some(eng)) => {
+                    match eng.alltoall(0, send).wait() {
+                        OpOutput::PerRank(v) => v,
+                        other => panic!("unexpected op output: {other:?}"),
+                    }
+                }
+                _ => collectives::alltoall(comm, send),
+            };
+            assemble(&recv)
+        }
+        ExchangeStrategy::ScatterList => {
+            // One scatter per table, rooted at its owner (global order).
+            let mut out = Vec::with_capacity(num_tables);
+            for t in 0..num_tables {
+                let root = owner_of(t, r);
+                let parts = (root == me).then(|| {
+                    let j = mine.iter().position(|&x| x == t).unwrap();
+                    (0..r)
+                        .map(|p| local_outputs[j].as_slice()[p * chunk..(p + 1) * chunk].to_vec())
+                        .collect::<Vec<_>>()
+                });
+                let slice = collectives::scatter(comm, root, parts);
+                out.push(Matrix::from_slice(local_n, emb_dim, &slice));
+            }
+            out
+        }
+        ExchangeStrategy::FusedScatter => {
+            // One scatter per owner with all its tables coalesced.
+            let mut recv: Vec<Vec<f32>> = (0..r).map(|_| Vec::new()).collect();
+            #[allow(clippy::needless_range_loop)] // root is a rank id
+            for root in 0..r {
+                let parts = (root == me).then(|| {
+                    (0..r)
+                        .map(|p| {
+                            let mut buf = Vec::with_capacity(mine.len() * chunk);
+                            for out in local_outputs {
+                                buf.extend_from_slice(
+                                    &out.as_slice()[p * chunk..(p + 1) * chunk],
+                                );
+                            }
+                            buf
+                        })
+                        .collect::<Vec<_>>()
+                });
+                recv[root] = collectives::scatter(comm, root, parts);
+            }
+            assemble(&recv)
+        }
+    }
+}
+
+/// Backward exchange: `grads[t]` is this rank's `n×E` gradient for global
+/// table `t`. Returns, for each *local* table (ascending global index), the
+/// assembled `GN×E` gradient (rank slices stacked in rank order).
+pub fn backward_exchange(
+    strategy: ExchangeStrategy,
+    comm: &Communicator,
+    engine: Option<&ProgressEngine>,
+    grads: &[Matrix],
+    num_tables: usize,
+    local_n: usize,
+    emb_dim: usize,
+) -> Vec<Matrix> {
+    let r = comm.nranks();
+    let me = comm.rank();
+    let mine = tables_of(num_tables, r, me);
+    assert_eq!(grads.len(), num_tables, "one gradient per global table");
+    for g in grads {
+        assert_eq!(g.shape(), (local_n, emb_dim), "local gradient shape");
+    }
+    let chunk = local_n * emb_dim;
+
+    let assemble_local = |per_rank: &[Vec<f32>]| -> Vec<Matrix> {
+        // per_rank[p] = concat over my tables of p's gradient block.
+        let mut out = Vec::with_capacity(mine.len());
+        for (j, _t) in mine.iter().enumerate() {
+            let mut full = Matrix::zeros(local_n * r, emb_dim);
+            for (p, payload) in per_rank.iter().enumerate() {
+                full.as_mut_slice()[p * chunk..(p + 1) * chunk]
+                    .copy_from_slice(&payload[j * chunk..(j + 1) * chunk]);
+            }
+            out.push(full);
+        }
+        out
+    };
+
+    match strategy {
+        ExchangeStrategy::Alltoall | ExchangeStrategy::CclAlltoall => {
+            // send[q] = concat over q's tables of my gradient block.
+            let send: Vec<Vec<f32>> = (0..r)
+                .map(|q| {
+                    let mut buf = Vec::new();
+                    for &t in &tables_of(num_tables, r, q) {
+                        buf.extend_from_slice(grads[t].as_slice());
+                    }
+                    buf
+                })
+                .collect();
+            let recv = match (strategy, engine) {
+                (ExchangeStrategy::CclAlltoall, Some(eng)) => {
+                    match eng.alltoall(0, send).wait() {
+                        OpOutput::PerRank(v) => v,
+                        other => panic!("unexpected op output: {other:?}"),
+                    }
+                }
+                _ => collectives::alltoall(comm, send),
+            };
+            assemble_local(&recv)
+        }
+        ExchangeStrategy::ScatterList => {
+            // Reverse of a scatter is a gather: one per table.
+            let mut out: Vec<Matrix> = Vec::with_capacity(mine.len());
+            #[allow(clippy::needless_range_loop)] // t is a global table id
+            for t in 0..num_tables {
+                let root = owner_of(t, r);
+                let gathered = collectives::gather(comm, root, grads[t].as_slice().to_vec());
+                if let Some(parts) = gathered {
+                    let mut full = Matrix::zeros(local_n * r, emb_dim);
+                    for (p, payload) in parts.iter().enumerate() {
+                        full.as_mut_slice()[p * chunk..(p + 1) * chunk]
+                            .copy_from_slice(payload);
+                    }
+                    out.push(full);
+                }
+            }
+            out
+        }
+        ExchangeStrategy::FusedScatter => {
+            // One gather per owner with its tables coalesced.
+            let mut mine_parts: Option<Vec<Vec<f32>>> = None;
+            for root in 0..r {
+                let mut buf = Vec::new();
+                for &t in &tables_of(num_tables, r, root) {
+                    buf.extend_from_slice(grads[t].as_slice());
+                }
+                let gathered = collectives::gather(comm, root, buf);
+                if root == me {
+                    mine_parts = gathered;
+                }
+            }
+            assemble_local(&mine_parts.expect("gather must return parts at root"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrm_comm::nonblocking::{create_channel_worlds, Backend};
+    use dlrm_comm::world::CommWorld;
+
+    /// Synthetic table output: value encodes (table, global row, column).
+    fn table_output(t: usize, gn: usize, e: usize) -> Matrix {
+        Matrix::from_fn(gn, e, |row, col| (t * 1_000_000 + row * 100 + col) as f32)
+    }
+
+    fn check_forward(strategy: ExchangeStrategy, nranks: usize, num_tables: usize) {
+        let (local_n, e) = (3usize, 2usize);
+        let gn = local_n * nranks;
+        let engines = if strategy == ExchangeStrategy::CclAlltoall {
+            Some(create_channel_worlds(nranks, Backend::CclLike { workers: 2 }))
+        } else {
+            None
+        };
+        let engines = std::sync::Mutex::new(engines);
+        let out = CommWorld::run(nranks, |comm| {
+            let me = comm.rank();
+            let eng = {
+                let mut guard = engines.lock().unwrap();
+                guard.as_mut().map(|worlds| {
+                    ProgressEngine::new(Backend::CclLike { workers: 2 }, std::mem::take(&mut worlds[me]))
+                })
+            };
+            let outputs: Vec<Matrix> = tables_of(num_tables, nranks, me)
+                .into_iter()
+                .map(|t| table_output(t, gn, e))
+                .collect();
+            forward_exchange(strategy, &comm, eng.as_ref(), &outputs, num_tables, local_n, e)
+        });
+        for (rank, slices) in out.iter().enumerate() {
+            assert_eq!(slices.len(), num_tables);
+            for (t, m) in slices.iter().enumerate() {
+                for row in 0..local_n {
+                    for col in 0..e {
+                        let want = (t * 1_000_000 + (rank * local_n + row) * 100 + col) as f32;
+                        assert_eq!(
+                            m[(row, col)],
+                            want,
+                            "{strategy}: rank {rank} table {t} ({row},{col})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forward_exchange_all_strategies_agree() {
+        for strategy in ExchangeStrategy::ALL {
+            check_forward(strategy, 4, 8); // Small-style: S divisible by R
+            check_forward(strategy, 3, 8); // uneven tables per rank
+            check_forward(strategy, 1, 5); // degenerate single rank
+        }
+    }
+
+    #[test]
+    fn backward_exchange_reassembles_rank_slices() {
+        let (nranks, num_tables, local_n, e) = (3usize, 5usize, 2usize, 2usize);
+        for strategy in [
+            ExchangeStrategy::ScatterList,
+            ExchangeStrategy::FusedScatter,
+            ExchangeStrategy::Alltoall,
+        ] {
+            let out = CommWorld::run(nranks, |comm| {
+                let me = comm.rank();
+                // grad for table t from rank r: constant r*10 + t.
+                let grads: Vec<Matrix> = (0..num_tables)
+                    .map(|t| Matrix::from_fn(local_n, e, |_, _| (me * 10 + t) as f32))
+                    .collect();
+                backward_exchange(strategy, &comm, None, &grads, num_tables, local_n, e)
+            });
+            for (rank, full_grads) in out.iter().enumerate() {
+                let mine = tables_of(num_tables, nranks, rank);
+                assert_eq!(full_grads.len(), mine.len(), "{strategy}");
+                for (j, &t) in mine.iter().enumerate() {
+                    let g = &full_grads[j];
+                    assert_eq!(g.rows(), local_n * nranks);
+                    for p in 0..nranks {
+                        for row in 0..local_n {
+                            assert_eq!(
+                                g[(p * local_n + row, 0)],
+                                (p * 10 + t) as f32,
+                                "{strategy}: owner {rank} table {t} from rank {p}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forward_then_backward_round_trip() {
+        // Scatter out, gather back: owners must recover exactly what the
+        // ranks received.
+        let (nranks, num_tables, local_n, e) = (4usize, 6usize, 2usize, 3usize);
+        let gn = local_n * nranks;
+        let out = CommWorld::run(nranks, |comm| {
+            let me = comm.rank();
+            let outputs: Vec<Matrix> = tables_of(num_tables, nranks, me)
+                .into_iter()
+                .map(|t| table_output(t, gn, e))
+                .collect();
+            let slices = forward_exchange(
+                ExchangeStrategy::Alltoall,
+                &comm,
+                None,
+                &outputs,
+                num_tables,
+                local_n,
+                e,
+            );
+            let back = backward_exchange(
+                ExchangeStrategy::Alltoall,
+                &comm,
+                None,
+                &slices,
+                num_tables,
+                local_n,
+                e,
+            );
+            (outputs, back)
+        });
+        for (outputs, back) in out {
+            for (o, b) in outputs.iter().zip(&back) {
+                assert_eq!(o.as_slice(), b.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn table_ownership_is_a_partition() {
+        for nranks in 1..=6 {
+            let mut seen = [false; 26];
+            for q in 0..nranks {
+                for t in tables_of(26, nranks, q) {
+                    assert!(!seen[t]);
+                    assert_eq!(owner_of(t, nranks), q);
+                    seen[t] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # dlrm-dist — hybrid-parallel distributed DLRM (Section IV)
+//!
+//! The paper's parallelization strategy, reproduced functionally with
+//! threads as ranks over the `dlrm-comm` substrate:
+//!
+//! * **MLPs are data-parallel**: every rank holds a replica of the bottom
+//!   and top MLPs and processes its `LN = GN/R` slice of the global
+//!   minibatch; weight gradients are summed with an allreduce
+//!   (reduce-scatter + allgather) and applied with an averaged SGD step —
+//!   the Distributed-Data-Parallel pattern.
+//! * **Embeddings are model-parallel**: table `t` lives on rank `t mod R`
+//!   and its owner processes the *whole* global minibatch for it. The
+//!   resulting minibatch mismatch at the interaction is fixed by an
+//!   embedding **exchange**, for which the paper compares four strategies
+//!   ([`exchange::ExchangeStrategy`]): ScatterList (one scatter per
+//!   table), FusedScatter (one coalesced scatter per owner), Alltoall (one
+//!   native alltoall), and CCL-Alltoall (the alltoall on the multi-worker
+//!   nonblocking backend).
+//!
+//! The headline correctness property — verified by this crate's tests and
+//! the workspace integration tests — is that **every strategy at every
+//! rank count reproduces the single-process model's loss trajectory** on
+//! the same global batches (up to float-summation reassociation).
+
+pub mod bucketing;
+pub mod characteristics;
+pub mod ddp;
+pub mod distributed;
+pub mod exchange;
+
+pub use characteristics::DistCharacteristics;
+pub use distributed::{DistDlrm, DistOptions};
+pub use exchange::ExchangeStrategy;

@@ -1,0 +1,226 @@
+//! The embedding-table layer: EmbeddingBag forward/backward plus the
+//! selectable update strategy of Section III-A.
+
+use crate::layers::Execution;
+use dlrm_kernels::embedding::{self, UpdateStrategy};
+use dlrm_tensor::init::embedding_table;
+use dlrm_tensor::Matrix;
+use rand::rngs::StdRng;
+
+/// One embedding table with its update strategy.
+pub struct EmbeddingLayer {
+    /// Table weights, `M×E`.
+    pub weight: Matrix,
+    /// Update strategy (Figure 7's four bars).
+    pub strategy: UpdateStrategy,
+    /// Fuse backward+update (skips materializing `dW[NS][E]`; only valid
+    /// outside framework-autograd constraints — Section III-A).
+    pub fused: bool,
+    /// Force the framework-naive (PyTorch-v1.4-style) kernels for this
+    /// table regardless of the execution tier — the Figure 7 baseline,
+    /// which pairs fast (MKL-backed) MLPs with the pathological embedding
+    /// path.
+    pub framework_naive: bool,
+    saved_indices: Vec<u32>,
+    saved_offsets: Vec<usize>,
+}
+
+impl EmbeddingLayer {
+    /// New table with DLRM's `U(-1/√M, 1/√M)` initialization.
+    pub fn new(m: usize, e: usize, strategy: UpdateStrategy, rng: &mut StdRng) -> Self {
+        EmbeddingLayer {
+            weight: embedding_table(m, e, rng),
+            strategy,
+            fused: false,
+            framework_naive: false,
+            saved_indices: Vec::new(),
+            saved_offsets: Vec::new(),
+        }
+    }
+
+    /// Rows.
+    pub fn rows(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// EmbeddingBag forward: sums the rows of each bag. Output is `N×E`.
+    pub fn forward(&mut self, exec: &Execution, indices: &[u32], offsets: &[usize]) -> Matrix {
+        let n = offsets.len() - 1;
+        let mut out = Matrix::zeros(n, self.dim());
+        match exec {
+            Execution::Reference => {
+                embedding::forward_reference(&self.weight, indices, offsets, &mut out)
+            }
+            Execution::Optimized(_) if self.framework_naive => {
+                embedding::forward_reference(&self.weight, indices, offsets, &mut out)
+            }
+            Execution::Optimized(pool) => {
+                embedding::forward(pool, &self.weight, indices, offsets, &mut out)
+            }
+        }
+        self.saved_indices = indices.to_vec();
+        self.saved_offsets = offsets.to_vec();
+        out
+    }
+
+    /// Backward + SGD update in one call (the sparse gradient never leaves
+    /// this layer). `dy` is `N×E`; `lr` the learning rate.
+    pub fn backward_update(&mut self, exec: &Execution, dy: &Matrix, lr: f32) {
+        let alpha = -lr;
+        match exec {
+            Execution::Reference => {
+                // Materialize dW[NS][E] then apply the framework-naive
+                // update — the "focused on functionality instead of
+                // performance" kernel that made 99% of the reference
+                // DLRM's runtime in the paper's profile.
+                let ns = *self.saved_offsets.last().unwrap();
+                let mut dw = Matrix::zeros(ns, self.dim());
+                for bag in 0..self.saved_offsets.len() - 1 {
+                    for s in self.saved_offsets[bag]..self.saved_offsets[bag + 1] {
+                        dw.row_mut(s).copy_from_slice(dy.row(bag));
+                    }
+                }
+                embedding::update_framework_naive(
+                    &mut self.weight,
+                    &dw,
+                    &self.saved_indices,
+                    alpha,
+                );
+            }
+            Execution::Optimized(_) if self.framework_naive => {
+                let ns = *self.saved_offsets.last().unwrap();
+                let mut dw = Matrix::zeros(ns, self.dim());
+                for bag in 0..self.saved_offsets.len() - 1 {
+                    for s in self.saved_offsets[bag]..self.saved_offsets[bag + 1] {
+                        dw.row_mut(s).copy_from_slice(dy.row(bag));
+                    }
+                }
+                embedding::update_framework_naive(
+                    &mut self.weight,
+                    &dw,
+                    &self.saved_indices,
+                    alpha,
+                );
+            }
+            Execution::Optimized(pool) => {
+                if self.fused {
+                    embedding::fused_backward_update(
+                        pool,
+                        &mut self.weight,
+                        dy,
+                        &self.saved_indices,
+                        &self.saved_offsets,
+                        alpha,
+                    );
+                } else {
+                    let ns = *self.saved_offsets.last().unwrap();
+                    let mut dw = Matrix::zeros(ns, self.dim());
+                    embedding::backward(pool, dy, &self.saved_offsets, &mut dw);
+                    embedding::update(
+                        pool,
+                        self.strategy,
+                        &mut self.weight,
+                        &dw,
+                        &self.saved_indices,
+                        alpha,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrm_tensor::assert_allclose;
+    use dlrm_tensor::init::seeded_rng;
+
+    fn bags() -> (Vec<u32>, Vec<usize>) {
+        (vec![0, 1, 1, 3, 2], vec![0, 2, 3, 5])
+    }
+
+    #[test]
+    fn forward_sums_bag_rows() {
+        let mut rng = seeded_rng(1, 0);
+        let mut layer = EmbeddingLayer::new(4, 2, UpdateStrategy::RaceFree, &mut rng);
+        layer.weight = Matrix::from_fn(4, 2, |r, c| (r * 10 + c) as f32);
+        let (idx, off) = bags();
+        let out = layer.forward(&Execution::Reference, &idx, &off);
+        assert_eq!(out.row(0), &[10.0, 12.0]); // rows 0 + 1
+        assert_eq!(out.row(1), &[10.0, 11.0]); // row 1
+        assert_eq!(out.row(2), &[50.0, 52.0]); // rows 3 + 2
+    }
+
+    #[test]
+    fn reference_and_optimized_agree_end_to_end() {
+        let mut rng = seeded_rng(2, 0);
+        let w0 = embedding_table(10, 4, &mut rng);
+        let (idx, off) = bags();
+        let dy = Matrix::from_fn(3, 4, |r, c| (r as f32 - 1.0) * 0.1 + c as f32 * 0.01);
+
+        let run = |exec: &Execution, strategy| {
+            let mut layer = EmbeddingLayer::new(10, 4, strategy, &mut seeded_rng(0, 0));
+            layer.weight = w0.clone();
+            let out = layer.forward(exec, &idx, &off);
+            layer.backward_update(exec, &dy, 0.1);
+            (out, layer.weight)
+        };
+
+        let (out_ref, w_ref) = run(&Execution::Reference, UpdateStrategy::Reference);
+        for strategy in [
+            UpdateStrategy::AtomicXchg,
+            UpdateStrategy::Rtm,
+            UpdateStrategy::RaceFree,
+        ] {
+            let (out, w) = run(&Execution::optimized(4), strategy);
+            assert_eq!(out.as_slice(), out_ref.as_slice(), "{strategy} fwd");
+            assert_allclose(w.as_slice(), w_ref.as_slice(), 1e-5, &format!("{strategy} upd"));
+        }
+    }
+
+    #[test]
+    fn fused_matches_unfused() {
+        let mut rng = seeded_rng(3, 0);
+        let w0 = embedding_table(8, 3, &mut rng);
+        let (idx, off) = bags();
+        let dy = Matrix::from_fn(3, 3, |r, c| ((r + c) as f32) * 0.05);
+        let exec = Execution::optimized(3);
+
+        let mut unfused = EmbeddingLayer::new(8, 3, UpdateStrategy::RaceFree, &mut rng);
+        unfused.weight = w0.clone();
+        let _ = unfused.forward(&exec, &idx, &off);
+        unfused.backward_update(&exec, &dy, 0.2);
+
+        let mut fused = EmbeddingLayer::new(8, 3, UpdateStrategy::RaceFree, &mut rng);
+        fused.weight = w0.clone();
+        fused.fused = true;
+        let _ = fused.forward(&exec, &idx, &off);
+        fused.backward_update(&exec, &dy, 0.2);
+
+        assert_allclose(
+            fused.weight.as_slice(),
+            unfused.weight.as_slice(),
+            1e-6,
+            "fused",
+        );
+    }
+
+    #[test]
+    fn update_moves_against_gradient() {
+        let mut rng = seeded_rng(4, 0);
+        let mut layer = EmbeddingLayer::new(3, 2, UpdateStrategy::RaceFree, &mut rng);
+        layer.weight = Matrix::zeros(3, 2);
+        let exec = Execution::optimized(2);
+        let _ = layer.forward(&exec, &[1], &[0, 1]);
+        let dy = Matrix::from_slice(1, 2, &[1.0, -1.0]);
+        layer.backward_update(&exec, &dy, 0.5);
+        assert_eq!(layer.weight.row(1), &[-0.5, 0.5]);
+        assert_eq!(layer.weight.row(0), &[0.0, 0.0]);
+    }
+}

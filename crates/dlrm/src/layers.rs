@@ -1,0 +1,407 @@
+//! Fully-connected layers and MLP stacks.
+//!
+//! Two execution tiers mirror Figure 7's contrast:
+//!
+//! * [`Execution::Reference`] — naive single-threaded GEMMs (the
+//!   functionality-first framework baseline);
+//! * [`Execution::Optimized`] — thread-pool-parallel GEMM kernels from
+//!   `dlrm_kernels`.
+//!
+//! Tensors follow the paper's `Y = W·X` convention: `W ∈ R^{K×C}`,
+//! activations are `features × batch`.
+
+use dlrm_kernels::activations::{bias_add_rows, bias_grad_rows, relu_backward, relu_forward};
+use dlrm_kernels::gemm;
+use dlrm_kernels::ThreadPool;
+use dlrm_tensor::init::xavier_uniform;
+use dlrm_tensor::Matrix;
+use rand::rngs::StdRng;
+use std::sync::Arc;
+
+/// Which kernel tier to run on.
+#[derive(Clone)]
+pub enum Execution {
+    /// Naive single-threaded kernels.
+    Reference,
+    /// Optimized kernels over a shared thread pool.
+    Optimized(Arc<ThreadPool>),
+}
+
+impl Execution {
+    /// An optimized execution with `n` worker threads.
+    pub fn optimized(n: usize) -> Self {
+        Execution::Optimized(Arc::new(ThreadPool::new(n)))
+    }
+
+    /// The thread pool, if optimized.
+    pub fn pool(&self) -> Option<&ThreadPool> {
+        match self {
+            Execution::Reference => None,
+            Execution::Optimized(p) => Some(p),
+        }
+    }
+
+    fn gemm_nn(&self, a: &Matrix, b: &Matrix, c: &mut Matrix) {
+        match self {
+            Execution::Reference => gemm::gemm_nn(a, b, c),
+            Execution::Optimized(p) => gemm::par_gemm_nn(p, a, b, c),
+        }
+    }
+
+    fn gemm_tn(&self, a: &Matrix, b: &Matrix, c: &mut Matrix) {
+        match self {
+            Execution::Reference => gemm::gemm_tn(a, b, c),
+            Execution::Optimized(p) => gemm::par_gemm_tn(p, a, b, c),
+        }
+    }
+
+    fn gemm_nt(&self, a: &Matrix, b: &Matrix, c: &mut Matrix) {
+        match self {
+            Execution::Reference => gemm::gemm_nt(a, b, c),
+            Execution::Optimized(p) => gemm::par_gemm_nt(p, a, b, c),
+        }
+    }
+}
+
+/// Activation applied after the affine transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Identity (the logit-producing final layer).
+    None,
+}
+
+/// One fully-connected layer with its gradients and saved activations.
+pub struct Linear {
+    /// Weights, `K×C`.
+    pub w: Matrix,
+    /// Bias, length `K`.
+    pub b: Vec<f32>,
+    /// Weight gradient of the last backward.
+    pub dw: Matrix,
+    /// Bias gradient of the last backward.
+    pub db: Vec<f32>,
+    /// Post-GEMM activation.
+    pub act: Activation,
+    x_saved: Option<Matrix>,
+    y_saved: Option<Matrix>,
+}
+
+impl Linear {
+    /// Xavier-initialized layer `C → K`.
+    pub fn new(c: usize, k: usize, act: Activation, rng: &mut StdRng) -> Self {
+        Linear {
+            w: xavier_uniform(k, c, rng),
+            b: vec![0.0; k],
+            dw: Matrix::zeros(k, c),
+            db: vec![0.0; k],
+            act,
+            x_saved: None,
+            y_saved: None,
+        }
+    }
+
+    /// Input features.
+    pub fn in_features(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Output features.
+    pub fn out_features(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Blocking factors for this layer at minibatch `n`.
+    fn blocking(&self, n: usize) -> dlrm_tensor::Blocking {
+        dlrm_tensor::Blocking::for_shape(n, self.w.cols(), self.w.rows())
+    }
+
+    /// Forward: `y = act(W·x + b)`; saves what backward needs.
+    ///
+    /// The optimized tier runs the blocked batch-reduce GEMM of
+    /// Algorithm 5 (weights packed per call — O(K·C), amortized by the
+    /// O(K·C·N) GEMM); the reference tier runs the naive kernels.
+    pub fn forward(&mut self, exec: &Execution, x: &Matrix) -> Matrix {
+        let (k, n) = (self.w.rows(), x.cols());
+        assert_eq!(x.rows(), self.w.cols(), "Linear input feature mismatch");
+        let y = match exec {
+            Execution::Reference => {
+                let mut y = Matrix::zeros(k, n);
+                exec.gemm_nn(&self.w, x, &mut y);
+                bias_add_rows(y.as_mut_slice(), k, n, &self.b);
+                if self.act == Activation::Relu {
+                    relu_forward(y.as_mut_slice());
+                }
+                y
+            }
+            Execution::Optimized(pool) => {
+                // Bias and ReLU are fused into the GEMM epilogue while each
+                // output panel is cache-hot (Section II).
+                let blk = self.blocking(n);
+                let wb = dlrm_tensor::BlockedWeights::pack(&self.w, blk);
+                let xb = dlrm_tensor::BlockedActivations::pack(x, blk.bc, blk.bn);
+                let mut yb = dlrm_tensor::BlockedActivations::zeros(k, n, blk.bk, blk.bn);
+                gemm::fc_forward_fused(
+                    pool,
+                    &wb,
+                    &xb,
+                    &mut yb,
+                    Some(&self.b),
+                    self.act == Activation::Relu,
+                );
+                yb.unpack()
+            }
+        };
+        self.x_saved = Some(x.clone());
+        self.y_saved = Some(y.clone());
+        y
+    }
+
+    /// Backward: consumes the gradient w.r.t. this layer's output and
+    /// returns the gradient w.r.t. its input; fills `dw`/`db`.
+    pub fn backward(&mut self, exec: &Execution, mut dy: Matrix) -> Matrix {
+        let x = self.x_saved.as_ref().expect("backward before forward");
+        let y = self.y_saved.as_ref().unwrap();
+        assert_eq!(dy.shape(), y.shape(), "Linear dY shape");
+        if self.act == Activation::Relu {
+            relu_backward(y.as_slice(), dy.as_mut_slice());
+        }
+        let (k, n) = dy.shape();
+        // db = row-sums of dY
+        bias_grad_rows(dy.as_slice(), k, n, &mut self.db);
+        match exec {
+            Execution::Reference => {
+                // dW = dY · Xᵀ
+                self.dw.fill_zero();
+                exec.gemm_nt(&dy, x, &mut self.dw);
+                // dX = Wᵀ · dY
+                let mut dx = Matrix::zeros(self.w.cols(), n);
+                exec.gemm_tn(&self.w, &dy, &mut dx);
+                dx
+            }
+            Execution::Optimized(pool) => {
+                let blk = self.blocking(n);
+                let wb = dlrm_tensor::BlockedWeights::pack(&self.w, blk);
+                let xb = dlrm_tensor::BlockedActivations::pack(x, blk.bc, blk.bn);
+                let dyb = dlrm_tensor::BlockedActivations::pack(&dy, blk.bk, blk.bn);
+                let mut dwb = dlrm_tensor::BlockedWeights::zeros(k, self.w.cols(), blk);
+                gemm::fc_backward_weights(pool, &xb, &dyb, &mut dwb);
+                self.dw = dwb.unpack();
+                let mut dxb =
+                    dlrm_tensor::BlockedActivations::zeros(self.w.cols(), n, blk.bc, blk.bn);
+                gemm::fc_backward_data(pool, &wb, &dyb, &mut dxb);
+                dxb.unpack()
+            }
+        }
+    }
+
+    /// Plain FP32 SGD on weights and bias.
+    pub fn sgd_step(&mut self, exec: &Execution, lr: f32) {
+        match exec {
+            Execution::Reference => {
+                dlrm_kernels::sgd::sgd_step(self.w.as_mut_slice(), self.dw.as_slice(), lr)
+            }
+            Execution::Optimized(p) => {
+                dlrm_kernels::sgd::par_sgd_step(p, self.w.as_mut_slice(), self.dw.as_slice(), lr)
+            }
+        }
+        dlrm_kernels::sgd::sgd_step(&mut self.b, &self.db, lr);
+    }
+}
+
+/// A stack of fully-connected layers (ReLU between layers; the final
+/// layer's activation is configurable — identity for the logit head).
+pub struct Mlp {
+    /// The layers in forward order.
+    pub layers: Vec<Linear>,
+}
+
+impl Mlp {
+    /// Builds an MLP from `input_dim` through `sizes`, ReLU on all layers
+    /// except the last, which uses `last_act`.
+    pub fn new(input_dim: usize, sizes: &[usize], last_act: Activation, rng: &mut StdRng) -> Self {
+        assert!(!sizes.is_empty(), "MLP needs at least one layer");
+        let mut layers = Vec::with_capacity(sizes.len());
+        let mut prev = input_dim;
+        for (i, &s) in sizes.iter().enumerate() {
+            let act = if i + 1 == sizes.len() {
+                last_act
+            } else {
+                Activation::Relu
+            };
+            layers.push(Linear::new(prev, s, act, rng));
+            prev = s;
+        }
+        Mlp { layers }
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.layers.last().unwrap().out_features()
+    }
+
+    /// Forward through all layers.
+    pub fn forward(&mut self, exec: &Execution, x: &Matrix) -> Matrix {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(exec, &cur);
+        }
+        cur
+    }
+
+    /// Backward through all layers; returns gradient w.r.t. the input.
+    pub fn backward(&mut self, exec: &Execution, dy: Matrix) -> Matrix {
+        let mut cur = dy;
+        for layer in self.layers.iter_mut().rev() {
+            cur = layer.backward(exec, cur);
+        }
+        cur
+    }
+
+    /// FP32 SGD on every layer.
+    pub fn sgd_step(&mut self, exec: &Execution, lr: f32) {
+        for layer in &mut self.layers {
+            layer.sgd_step(exec, lr);
+        }
+    }
+
+    /// Total parameter count (weights + biases).
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.w.len() + l.b.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrm_tensor::assert_allclose;
+    use dlrm_tensor::init::{seeded_rng, uniform};
+
+    fn both_execs() -> Vec<Execution> {
+        vec![Execution::Reference, Execution::optimized(3)]
+    }
+
+    #[test]
+    fn forward_matches_manual_affine() {
+        for exec in both_execs() {
+            let mut rng = seeded_rng(1, 0);
+            let mut layer = Linear::new(3, 2, Activation::None, &mut rng);
+            layer.w = Matrix::from_slice(2, 3, &[1.0, 0.0, -1.0, 0.5, 0.5, 0.5]);
+            layer.b = vec![1.0, -1.0];
+            let x = Matrix::from_slice(3, 1, &[2.0, 4.0, 6.0]);
+            let y = layer.forward(&exec, &x);
+            assert_eq!(y.as_slice(), &[2.0 - 6.0 + 1.0, 6.0 - 1.0]);
+        }
+    }
+
+    #[test]
+    fn relu_masks_forward_and_backward() {
+        let exec = Execution::Reference;
+        let mut rng = seeded_rng(2, 0);
+        let mut layer = Linear::new(1, 1, Activation::Relu, &mut rng);
+        layer.w = Matrix::from_slice(1, 1, &[1.0]);
+        layer.b = vec![0.0];
+        let y = layer.forward(&exec, &Matrix::from_slice(1, 2, &[-3.0, 3.0]));
+        assert_eq!(y.as_slice(), &[0.0, 3.0]);
+        let dx = layer.backward(&exec, Matrix::from_slice(1, 2, &[1.0, 1.0]));
+        assert_eq!(dx.as_slice(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn reference_and_optimized_agree() {
+        let mut rng_a = seeded_rng(3, 0);
+        let mut rng_b = seeded_rng(3, 0);
+        let mut mlp_ref = Mlp::new(8, &[16, 4, 1], Activation::None, &mut rng_a);
+        let mut mlp_opt = Mlp::new(8, &[16, 4, 1], Activation::None, &mut rng_b);
+        let x = uniform(8, 10, -1.0, 1.0, &mut seeded_rng(4, 0));
+        let opt = Execution::optimized(4);
+
+        let y_ref = mlp_ref.forward(&Execution::Reference, &x);
+        let y_opt = mlp_opt.forward(&opt, &x);
+        assert_allclose(y_opt.as_slice(), y_ref.as_slice(), 1e-5, "fwd");
+
+        let dy = uniform(1, 10, -1.0, 1.0, &mut seeded_rng(5, 0));
+        let dx_ref = mlp_ref.backward(&Execution::Reference, dy.clone());
+        let dx_opt = mlp_opt.backward(&opt, dy);
+        assert_allclose(dx_opt.as_slice(), dx_ref.as_slice(), 1e-5, "bwd dx");
+        for (a, b) in mlp_ref.layers.iter().zip(&mlp_opt.layers) {
+            assert_allclose(b.dw.as_slice(), a.dw.as_slice(), 1e-5, "dw");
+            assert_allclose(&b.db, &a.db, 1e-5, "db");
+        }
+    }
+
+    #[test]
+    fn gradient_check_linear() {
+        // Finite-difference check of dW through a scalar loss L = sum(y).
+        let exec = Execution::Reference;
+        let mut rng = seeded_rng(6, 0);
+        let mut layer = Linear::new(4, 3, Activation::Relu, &mut rng);
+        let x = uniform(4, 5, -1.0, 1.0, &mut rng);
+
+        let y = layer.forward(&exec, &x);
+        let dy = Matrix::from_fn(y.rows(), y.cols(), |_, _| 1.0);
+        let _ = layer.backward(&exec, dy);
+        let analytic = layer.dw.clone();
+
+        let h = 1e-3f32;
+        for (r, c) in [(0usize, 0usize), (1, 2), (2, 3)] {
+            let orig = layer.w[(r, c)];
+            layer.w[(r, c)] = orig + h;
+            let lp: f64 = layer.forward(&exec, &x).sum();
+            layer.w[(r, c)] = orig - h;
+            let lm: f64 = layer.forward(&exec, &x).sum();
+            layer.w[(r, c)] = orig;
+            let fd = ((lp - lm) / (2.0 * h as f64)) as f32;
+            assert!(
+                (analytic[(r, c)] - fd).abs() < 2e-2,
+                "dW[{r}][{c}]: analytic {} vs fd {}",
+                analytic[(r, c)],
+                fd
+            );
+        }
+    }
+
+    #[test]
+    fn sgd_reduces_simple_regression_loss() {
+        let exec = Execution::Reference;
+        let mut rng = seeded_rng(7, 0);
+        let mut mlp = Mlp::new(2, &[8, 1], Activation::None, &mut rng);
+        let x = uniform(2, 32, -1.0, 1.0, &mut rng);
+        // Target: y = x0 - 2*x1.
+        let target: Vec<f32> = (0..32).map(|j| x[(0, j)] - 2.0 * x[(1, j)]).collect();
+
+        let loss = |y: &Matrix, t: &[f32]| -> f64 {
+            y.as_slice()
+                .iter()
+                .zip(t)
+                .map(|(&a, &b)| ((a - b) as f64).powi(2))
+                .sum::<f64>()
+        };
+        let y0 = mlp.forward(&exec, &x);
+        let before = loss(&y0, &target);
+        for _ in 0..200 {
+            let y = mlp.forward(&exec, &x);
+            let dy = Matrix::from_fn(1, 32, |_, j| 2.0 * (y[(0, j)] - target[j]) / 32.0);
+            let _ = mlp.backward(&exec, dy);
+            mlp.sgd_step(&exec, 0.05);
+        }
+        let after = loss(&mlp.forward(&exec, &x), &target);
+        assert!(after < before * 0.05, "loss {before} -> {after}");
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = seeded_rng(8, 0);
+        let mlp = Mlp::new(10, &[4, 2], Activation::None, &mut rng);
+        assert_eq!(mlp.param_count(), 10 * 4 + 4 + 4 * 2 + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature mismatch")]
+    fn shape_mismatch_panics() {
+        let mut rng = seeded_rng(9, 0);
+        let mut layer = Linear::new(4, 2, Activation::None, &mut rng);
+        let _ = layer.forward(&Execution::Reference, &Matrix::zeros(3, 1));
+    }
+}

@@ -1,0 +1,42 @@
+//! # dlrm — the paper's core contribution: an optimized DLRM trainer
+//!
+//! A from-scratch implementation of Facebook's Deep Learning
+//! Recommendation Model (Section II) with the single-socket optimizations
+//! of Section III:
+//!
+//! * [`layers`] — fully-connected layers and MLP stacks in the `Y = W·X`
+//!   convention, with a *reference* execution tier (naive single-threaded
+//!   GEMMs — the PyTorch-v1.4-like baseline of Figure 7) and an
+//!   *optimized* tier (thread-pool parallel GEMM kernels).
+//! * [`embedding_layer`] — the EmbeddingBag stack over `dlrm_kernels`'
+//!   Algorithm 1–4 kernels, with the update strategy selectable per run.
+//! * [`interaction`] — the dot-product feature interaction (pairwise dots
+//!   of all sparse/dense feature vectors) and its backward pass.
+//! * [`model`] — the full network: bottom MLP ∥ embeddings → interaction →
+//!   top MLP → BCE loss, with a per-op [`profiler`] that produces
+//!   Figure 8's Embeddings/MLP/Rest split.
+//! * [`precision`] — FP32 / Split-SGD-BF16 / FP24 training modes
+//!   (Section VII) via bit-accurate emulation.
+//! * [`metrics`] — ROC AUC (Figure 16's metric) and log-loss.
+//! * [`trainer`] — the training loop over a synthetic click log with
+//!   periodic test-set evaluation.
+
+pub mod embedding_layer;
+pub mod interaction;
+pub mod layers;
+pub mod metrics;
+pub mod model;
+pub mod precision;
+pub mod profiler;
+pub mod trainer;
+
+/// Convenience re-exports for examples and downstream crates.
+pub mod prelude {
+    pub use crate::layers::Execution;
+    pub use crate::metrics::roc_auc;
+    pub use crate::model::DlrmModel;
+    pub use crate::precision::PrecisionMode;
+    pub use crate::profiler::{OpClass, Profiler};
+    pub use crate::trainer::{TrainReport, Trainer, TrainerOptions};
+    pub use dlrm_kernels::embedding::UpdateStrategy;
+}

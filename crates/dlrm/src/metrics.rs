@@ -1,0 +1,127 @@
+//! Evaluation metrics: ROC AUC (Figure 16's y-axis) and log-loss.
+
+/// ROC AUC via the Mann–Whitney U statistic with average ranks for ties.
+///
+/// `labels` are `{0.0, 1.0}`. Returns 0.5 for degenerate inputs (a single
+/// class present).
+pub fn roc_auc(scores: &[f32], labels: &[f32]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "roc_auc length mismatch");
+    let n = scores.len();
+    let n_pos = labels.iter().filter(|&&l| l > 0.5).count();
+    let n_neg = n - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    // total_cmp keeps the sort well-defined even for NaN scores (a diverged
+    // model must yield a bad AUC, not a panic); NaNs sort above +inf and
+    // never tie, so they contribute like uniquely-ranked extreme scores.
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+
+    // Average ranks over tie groups (1-based ranks).
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j + 2) as f64 / 2.0; // ranks i+1 ..= j+1
+        for &k in &order[i..=j] {
+            if labels[k] > 0.5 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+
+    let u = rank_sum_pos - (n_pos as f64) * (n_pos as f64 + 1.0) / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// Mean binary log-loss over probabilities (clamped for stability).
+pub fn log_loss(probs: &[f32], labels: &[f32]) -> f64 {
+    assert_eq!(probs.len(), labels.len());
+    assert!(!probs.is_empty());
+    let mut acc = 0.0f64;
+    for (&p, &l) in probs.iter().zip(labels) {
+        let p = (p as f64).clamp(1e-7, 1.0 - 1e-7);
+        acc -= if l > 0.5 { p.ln() } else { (1.0 - p).ln() };
+    }
+    acc / probs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_is_one() {
+        let auc = roc_auc(&[0.1, 0.2, 0.8, 0.9], &[0.0, 0.0, 1.0, 1.0]);
+        assert_eq!(auc, 1.0);
+    }
+
+    #[test]
+    fn inverted_separation_is_zero() {
+        let auc = roc_auc(&[0.9, 0.8, 0.1, 0.2], &[0.0, 0.0, 1.0, 1.0]);
+        assert_eq!(auc, 0.0);
+    }
+
+    #[test]
+    fn random_scores_near_half() {
+        let scores: Vec<f32> = (0..2000).map(|i| ((i * 2654435761u64 as usize) % 997) as f32).collect();
+        let labels: Vec<f32> = (0..2000).map(|i| ((i * 40503) % 2) as f32).collect();
+        let auc = roc_auc(&scores, &labels);
+        assert!((auc - 0.5).abs() < 0.05, "auc = {auc}");
+    }
+
+    #[test]
+    fn ties_get_half_credit() {
+        // All scores equal: AUC must be exactly 0.5.
+        let auc = roc_auc(&[1.0; 6], &[0.0, 1.0, 0.0, 1.0, 0.0, 1.0]);
+        assert_eq!(auc, 0.5);
+    }
+
+    #[test]
+    fn single_class_is_half() {
+        assert_eq!(roc_auc(&[0.1, 0.9], &[1.0, 1.0]), 0.5);
+        assert_eq!(roc_auc(&[0.1, 0.9], &[0.0, 0.0]), 0.5);
+    }
+
+    #[test]
+    fn auc_is_rank_invariant() {
+        let labels = [0.0, 1.0, 0.0, 1.0, 1.0];
+        let s1 = [0.1f32, 0.3, 0.2, 0.8, 0.5];
+        let s2: Vec<f32> = s1.iter().map(|&x| x * 100.0 - 3.0).collect();
+        assert_eq!(roc_auc(&s1, &labels), roc_auc(&s2, &labels));
+    }
+
+    #[test]
+    fn known_partial_auc() {
+        // pos scores {0.4, 0.9}, neg {0.5}; pairs: (0.4 > 0.5)? no,
+        // (0.9 > 0.5)? yes -> AUC = 1/2.
+        let auc = roc_auc(&[0.4, 0.5, 0.9], &[1.0, 0.0, 1.0]);
+        assert_eq!(auc, 0.5);
+    }
+
+    #[test]
+    fn nan_scores_do_not_panic() {
+        // A diverged model (e.g. FP16 overflow) must produce a number.
+        let auc = roc_auc(&[f32::NAN, 0.2, 0.8, f32::NAN], &[0.0, 0.0, 1.0, 1.0]);
+        assert!((0.0..=1.0).contains(&auc));
+    }
+
+    #[test]
+    fn log_loss_basics() {
+        assert!(log_loss(&[0.99], &[1.0]) < 0.02);
+        assert!(log_loss(&[0.01], &[1.0]) > 4.0);
+        let balanced = log_loss(&[0.5, 0.5], &[0.0, 1.0]);
+        assert!((balanced - std::f64::consts::LN_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_loss_clamps_extremes() {
+        assert!(log_loss(&[0.0, 1.0], &[1.0, 0.0]).is_finite());
+    }
+}

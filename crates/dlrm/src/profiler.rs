@@ -1,0 +1,162 @@
+//! Per-op wall-clock profiler — the instrument behind Figure 8's
+//! "Embeddings / MLP / Rest" split.
+
+use std::time::{Duration, Instant};
+
+/// The three buckets of Figure 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Embedding forward/backward/update.
+    Embeddings,
+    /// Bottom- and top-MLP GEMMs (+ their SGD).
+    Mlp,
+    /// Everything else: interaction, loss, activation glue, framework.
+    Rest,
+}
+
+impl std::fmt::Display for OpClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            OpClass::Embeddings => "Embeddings",
+            OpClass::Mlp => "MLP",
+            OpClass::Rest => "Rest",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Accumulating per-class profiler (single-threaded use: the training loop
+/// owns it).
+#[derive(Debug, Default, Clone)]
+pub struct Profiler {
+    emb: Duration,
+    mlp: Duration,
+    rest: Duration,
+    iters: u64,
+}
+
+impl Profiler {
+    /// Fresh profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times `f`, charging it to `class`.
+    pub fn time<T>(&mut self, class: OpClass, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.add(class, t0.elapsed());
+        out
+    }
+
+    /// Adds a pre-measured duration.
+    pub fn add(&mut self, class: OpClass, d: Duration) {
+        match class {
+            OpClass::Embeddings => self.emb += d,
+            OpClass::Mlp => self.mlp += d,
+            OpClass::Rest => self.rest += d,
+        }
+    }
+
+    /// Marks one iteration complete (for per-iteration averages).
+    pub fn end_iteration(&mut self) {
+        self.iters += 1;
+    }
+
+    /// Accumulated time in a bucket.
+    pub fn total(&self, class: OpClass) -> Duration {
+        match class {
+            OpClass::Embeddings => self.emb,
+            OpClass::Mlp => self.mlp,
+            OpClass::Rest => self.rest,
+        }
+    }
+
+    /// Sum over all buckets.
+    pub fn grand_total(&self) -> Duration {
+        self.emb + self.mlp + self.rest
+    }
+
+    /// Iterations recorded.
+    pub fn iterations(&self) -> u64 {
+        self.iters
+    }
+
+    /// Average ms per iteration.
+    pub fn ms_per_iter(&self) -> f64 {
+        if self.iters == 0 {
+            return 0.0;
+        }
+        self.grand_total().as_secs_f64() * 1e3 / self.iters as f64
+    }
+
+    /// Fraction of total time in each bucket `(emb, mlp, rest)`.
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let t = self.grand_total().as_secs_f64();
+        if t == 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            self.emb.as_secs_f64() / t,
+            self.mlp.as_secs_f64() / t,
+            self.rest.as_secs_f64() / t,
+        )
+    }
+
+    /// Clears all counters.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_accumulate_independently() {
+        let mut p = Profiler::new();
+        p.add(OpClass::Embeddings, Duration::from_millis(10));
+        p.add(OpClass::Mlp, Duration::from_millis(30));
+        p.add(OpClass::Embeddings, Duration::from_millis(5));
+        assert_eq!(p.total(OpClass::Embeddings), Duration::from_millis(15));
+        assert_eq!(p.total(OpClass::Mlp), Duration::from_millis(30));
+        assert_eq!(p.grand_total(), Duration::from_millis(45));
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut p = Profiler::new();
+        p.add(OpClass::Embeddings, Duration::from_millis(20));
+        p.add(OpClass::Mlp, Duration::from_millis(20));
+        p.add(OpClass::Rest, Duration::from_millis(60));
+        let (e, m, r) = p.fractions();
+        assert!((e + m + r - 1.0).abs() < 1e-12);
+        assert!((r - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ms_per_iter_averages() {
+        let mut p = Profiler::new();
+        p.add(OpClass::Rest, Duration::from_millis(30));
+        p.end_iteration();
+        p.end_iteration();
+        p.end_iteration();
+        assert!((p.ms_per_iter() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_closure_returns_value() {
+        let mut p = Profiler::new();
+        let v = p.time(OpClass::Mlp, || 7);
+        assert_eq!(v, 7);
+        assert!(p.total(OpClass::Mlp) > Duration::ZERO);
+    }
+
+    #[test]
+    fn empty_profiler_is_calm() {
+        let p = Profiler::new();
+        assert_eq!(p.ms_per_iter(), 0.0);
+        assert_eq!(p.fractions(), (0.0, 0.0, 0.0));
+    }
+}

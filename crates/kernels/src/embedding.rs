@@ -1,0 +1,624 @@
+//! EmbeddingBag kernels — Algorithms 1–4 of the paper plus the fused
+//! backward+update.
+//!
+//! An embedding bag gathers `P` rows of a table `W ∈ R^{M×E}` per sample and
+//! sums them (`L = AᵀW` with multi-hot `A`). A minibatch of `N` samples is
+//! described by CSR-style `offsets` (`N+1` entries) into a flat `indices`
+//! array of `NS` lookups.
+//!
+//! The *update* is where the paper's single-socket analysis lives: applying
+//! per-lookup gradient rows `dW[NS][E]` back into the table races when the
+//! same row is referenced twice. The four strategies of Section III-A:
+//!
+//! * [`UpdateStrategy::Reference`] — Algorithm 3, single-threaded (the
+//!   PyTorch-v1.4-style baseline of Figure 7).
+//! * [`UpdateStrategy::AtomicXchg`] — parallel over lookups; each scalar
+//!   accumulation is a compare-exchange loop on the table element (Xeons
+//!   have no native FP atomic add).
+//! * [`UpdateStrategy::Rtm`] — optimistic row-granular critical sections.
+//!   Hardware TSX is not reachable from stable Rust (and is fused off on
+//!   current parts), so this is emulated with striped spinlocks; like RTM it
+//!   permits SIMD inside the critical section, unlike per-element CAS.
+//! * [`UpdateStrategy::RaceFree`] — Algorithm 4: each thread owns a
+//!   contiguous row range `[M·tid/T, M·(tid+1)/T)` and scans the *entire*
+//!   index list, applying only the updates that land in its range. No
+//!   synchronization, better locality, but load-imbalanced for clustered
+//!   indices.
+//!
+//! [`fused_backward_update`] skips materializing `dW[NS][E]` entirely and
+//! scatters `α·dY[n]` straight into the owned rows — the standalone-only
+//! optimization the paper credits with up to 1.6× on embedding updates.
+
+// Index-based loops in this module mirror the paper's Algorithms 1-4
+// pseudocode line for line; keep them index-based for reviewability.
+#![allow(clippy::needless_range_loop)]
+
+use crate::threadpool::ThreadPool;
+use dlrm_tensor::util::partition_range;
+use dlrm_tensor::Matrix;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+/// The four update strategies of Section III-A / Figure 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateStrategy {
+    /// Single-threaded Algorithm 3 (the naive-framework baseline).
+    Reference,
+    /// Parallel over lookups with per-element CAS float adds.
+    AtomicXchg,
+    /// Optimistic row-granular critical sections (RTM emulated via striped
+    /// spinlocks), SIMD inside the section.
+    Rtm,
+    /// Algorithm 4: race-free row-range ownership.
+    RaceFree,
+}
+
+impl UpdateStrategy {
+    /// All strategies in Figure 7's bar order.
+    pub const ALL: [UpdateStrategy; 4] = [
+        UpdateStrategy::Reference,
+        UpdateStrategy::AtomicXchg,
+        UpdateStrategy::Rtm,
+        UpdateStrategy::RaceFree,
+    ];
+}
+
+impl std::fmt::Display for UpdateStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            UpdateStrategy::Reference => "Reference",
+            UpdateStrategy::AtomicXchg => "Atomic XCHG",
+            UpdateStrategy::Rtm => "RTM",
+            UpdateStrategy::RaceFree => "Race Free",
+        };
+        f.write_str(s)
+    }
+}
+
+fn check_bags(indices: &[u32], offsets: &[usize], m: usize) {
+    assert!(!offsets.is_empty(), "offsets must have N+1 entries");
+    assert_eq!(
+        *offsets.last().unwrap(),
+        indices.len(),
+        "last offset must equal number of lookups"
+    );
+    debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be sorted");
+    debug_assert!(
+        indices.iter().all(|&i| (i as usize) < m),
+        "index out of table bounds"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Forward (Algorithm 1)
+// ---------------------------------------------------------------------------
+
+/// Reference forward: the scalar, functionality-first loop nest of
+/// Algorithm 1 with no parallelism — deliberately naive.
+pub fn forward_reference(weight: &Matrix, indices: &[u32], offsets: &[usize], out: &mut Matrix) {
+    let n = offsets.len() - 1;
+    let e = weight.cols();
+    check_bags(indices, offsets, weight.rows());
+    assert_eq!(out.shape(), (n, e), "forward output shape");
+    for bag in 0..n {
+        for j in 0..e {
+            out[(bag, j)] = 0.0;
+        }
+        for s in offsets[bag]..offsets[bag + 1] {
+            let ind = indices[s] as usize;
+            for j in 0..e {
+                out[(bag, j)] += weight[(ind, j)];
+            }
+        }
+    }
+}
+
+/// Optimized forward: parallel over bags, vectorized row accumulation.
+/// This is the GUPS-like kernel expected to run at memory bandwidth.
+pub fn forward(
+    pool: &ThreadPool,
+    weight: &Matrix,
+    indices: &[u32],
+    offsets: &[usize],
+    out: &mut Matrix,
+) {
+    let n = offsets.len() - 1;
+    let e = weight.cols();
+    check_bags(indices, offsets, weight.rows());
+    assert_eq!(out.shape(), (n, e), "forward output shape");
+    let out_base = crate::gemm::SendMutPtr(out.as_mut_slice().as_mut_ptr());
+
+    pool.parallel_for(n, move |_tid, bags| {
+        for bag in bags {
+            // SAFETY: each bag row is owned by exactly one thread.
+            let out_row = unsafe { std::slice::from_raw_parts_mut(out_base.get().add(bag * e), e) };
+            out_row.fill(0.0);
+            for s in offsets[bag]..offsets[bag + 1] {
+                let src = weight.row(indices[s] as usize);
+                for (o, &w) in out_row.iter_mut().zip(src) {
+                    *o += w;
+                }
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Backward (Algorithm 2)
+// ---------------------------------------------------------------------------
+
+/// Backward: expands `dY[N][E]` into per-lookup gradient rows `dW[NS][E]`.
+/// (Each lookup in bag `n` receives a copy of `dY[n]` — the multi-hot
+/// weights are all 1.)
+pub fn backward(pool: &ThreadPool, dy: &Matrix, offsets: &[usize], dw: &mut Matrix) {
+    let n = offsets.len() - 1;
+    let e = dy.cols();
+    assert_eq!(dy.rows(), n, "backward dY rows");
+    assert_eq!(dw.shape(), (*offsets.last().unwrap(), e), "backward dW shape");
+    let dw_base = crate::gemm::SendMutPtr(dw.as_mut_slice().as_mut_ptr());
+
+    pool.parallel_for(n, move |_tid, bags| {
+        for bag in bags {
+            let src = dy.row(bag);
+            for s in offsets[bag]..offsets[bag + 1] {
+                // SAFETY: lookup slots s are partitioned by bag, and bags are
+                // partitioned across threads.
+                let dst = unsafe { std::slice::from_raw_parts_mut(dw_base.get().add(s * e), e) };
+                dst.copy_from_slice(src);
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Update (Algorithms 3 & 4)
+// ---------------------------------------------------------------------------
+
+/// Number of lock stripes for the RTM-emulation strategy. Power of two,
+/// large enough that uniform random rows rarely collide on a stripe.
+const RTM_STRIPES: usize = 1024;
+
+/// A minimal test-and-test-and-set spinlock used as the RTM surrogate.
+struct StripeLock(AtomicBool);
+
+impl StripeLock {
+    #[inline]
+    fn lock(&self) {
+        loop {
+            if !self.0.swap(true, Ordering::Acquire) {
+                return;
+            }
+            while self.0.load(Ordering::Relaxed) {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    #[inline]
+    fn unlock(&self) {
+        self.0.store(false, Ordering::Release);
+    }
+}
+
+/// Applies `W[indices[i]] += alpha * dW[i]` for all `NS` lookups using the
+/// chosen strategy. Pass `alpha = -lr` for an SGD step.
+pub fn update(
+    pool: &ThreadPool,
+    strategy: UpdateStrategy,
+    weight: &mut Matrix,
+    dw: &Matrix,
+    indices: &[u32],
+    alpha: f32,
+) {
+    let (m, e) = weight.shape();
+    assert_eq!(dw.shape(), (indices.len(), e), "update dW shape");
+    debug_assert!(indices.iter().all(|&i| (i as usize) < m));
+
+    match strategy {
+        UpdateStrategy::Reference => update_reference(weight, dw, indices, alpha),
+        UpdateStrategy::AtomicXchg => update_atomic(pool, weight, dw, indices, alpha),
+        UpdateStrategy::Rtm => update_rtm(pool, weight, dw, indices, alpha),
+        UpdateStrategy::RaceFree => update_race_free(pool, weight, dw, indices, alpha),
+    }
+}
+
+/// Algorithm 3, single-threaded.
+fn update_reference(weight: &mut Matrix, dw: &Matrix, indices: &[u32], alpha: f32) {
+    let e = weight.cols();
+    for (i, &ind) in indices.iter().enumerate() {
+        for j in 0..e {
+            weight[(ind as usize, j)] += alpha * dw[(i, j)];
+        }
+    }
+}
+
+/// The *framework-naive* update emulating the PyTorch-v1.4 CPU backend the
+/// paper profiled ("a naive CPU backend implementation which was focused on
+/// functionality instead of performance" — the kernel that made 99% of the
+/// reference DLRM's runtime). It follows the framework's sparse-gradient
+/// pipeline literally:
+///
+/// 1. **coalesce** the sparse gradient: per-step allocation of an ordered
+///    row → gradient-row map, one boxed row per unique index, f64
+///    accumulation of duplicates (what `Tensor::coalesce` does via sort);
+/// 2. **apply** with accessor-style element addressing: flat offset
+///    re-derived from `(row, col)` per scalar, bounds-checked, through a
+///    dynamically dispatched accumulate (the type-erased scalar kernel).
+///
+/// Numerically equivalent to Algorithm 3 up to the f64 rounding of each
+/// accumulate and the per-row (instead of per-lookup) application order —
+/// but at framework speed.
+pub fn update_framework_naive(weight: &mut Matrix, dw: &Matrix, indices: &[u32], alpha: f32) {
+    let (rows, e) = weight.shape();
+    // Step 1: coalesce duplicates into an ordered sparse structure.
+    let mut coalesced: std::collections::BTreeMap<u32, Vec<f64>> = std::collections::BTreeMap::new();
+    for (i, &ind) in indices.iter().enumerate() {
+        let entry = coalesced.entry(ind).or_insert_with(|| vec![0.0f64; e]);
+        for j in 0..e {
+            entry[j] += alpha as f64 * dw[(i, j)] as f64;
+        }
+    }
+    // Step 2: scalar accessor-style application.
+    let accumulate: Box<dyn Fn(f64, f64) -> f64> = Box::new(|w, g| w + g);
+    for (ind, grad_row) in coalesced {
+        for (j, &g) in grad_row.iter().enumerate() {
+            let r = ind as usize;
+            assert!(r < rows && j < e, "index out of bounds");
+            let flat = r * e + j;
+            let w = weight.as_slice()[flat] as f64;
+            weight.as_mut_slice()[flat] = std::hint::black_box(accumulate(w, g)) as f32;
+        }
+    }
+}
+
+/// CAS loop implementing a float atomic add on a `u32` cell.
+#[inline]
+fn atomic_add_f32(cell: &AtomicU32, v: f32) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let new = (f32::from_bits(cur) + v).to_bits();
+        match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// Parallel over lookups; per-element CAS adds.
+fn update_atomic(pool: &ThreadPool, weight: &mut Matrix, dw: &Matrix, indices: &[u32], alpha: f32) {
+    let e = weight.cols();
+    let len = weight.len();
+    // SAFETY: AtomicU32 has the same size/alignment as f32; all concurrent
+    // access during this call goes through the atomic view.
+    let cells =
+        unsafe { std::slice::from_raw_parts(weight.as_mut_slice().as_ptr().cast::<AtomicU32>(), len) };
+
+    pool.parallel_for(indices.len(), move |_tid, lookups| {
+        for i in lookups {
+            let base = indices[i] as usize * e;
+            let grad = dw.row(i);
+            for (j, &g) in grad.iter().enumerate() {
+                atomic_add_f32(&cells[base + j], alpha * g);
+            }
+        }
+    });
+}
+
+/// Optimistic row-granular critical sections (RTM surrogate): lock the
+/// stripe owning the row, then do a vectorized row update.
+fn update_rtm(pool: &ThreadPool, weight: &mut Matrix, dw: &Matrix, indices: &[u32], alpha: f32) {
+    let e = weight.cols();
+    let locks: Vec<StripeLock> = (0..RTM_STRIPES).map(|_| StripeLock(AtomicBool::new(false))).collect();
+    let w_base = crate::gemm::SendMutPtr(weight.as_mut_slice().as_mut_ptr());
+
+    pool.parallel_for(indices.len(), |_tid, lookups| {
+        for i in lookups {
+            let row = indices[i] as usize;
+            let grad = dw.row(i);
+            let lock = &locks[row & (RTM_STRIPES - 1)];
+            lock.lock();
+            // SAFETY: the stripe lock serializes all writers of this row
+            // (rows map to exactly one stripe).
+            let dst = unsafe { std::slice::from_raw_parts_mut(w_base.get().add(row * e), e) };
+            for (wv, &g) in dst.iter_mut().zip(grad) {
+                *wv += alpha * g;
+            }
+            lock.unlock();
+        }
+    });
+}
+
+/// Algorithm 4: every thread scans all lookups, applying only those whose
+/// row falls in its owned range.
+fn update_race_free(
+    pool: &ThreadPool,
+    weight: &mut Matrix,
+    dw: &Matrix,
+    indices: &[u32],
+    alpha: f32,
+) {
+    let (m, e) = weight.shape();
+    let t = pool.num_threads();
+    let w_base = crate::gemm::SendMutPtr(weight.as_mut_slice().as_mut_ptr());
+
+    pool.broadcast(|tid| {
+        let owned = partition_range(m, t, tid);
+        for (i, &ind) in indices.iter().enumerate() {
+            let row = ind as usize;
+            if owned.contains(&row) {
+                // SAFETY: row ranges are disjoint across threads.
+                let dst = unsafe { std::slice::from_raw_parts_mut(w_base.get().add(row * e), e) };
+                for (wv, &g) in dst.iter_mut().zip(dw.row(i)) {
+                    *wv += alpha * g;
+                }
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Fused backward + update
+// ---------------------------------------------------------------------------
+
+/// Fused Algorithm 2 + Algorithm 4: scatters `alpha · dY[n]` directly into
+/// the owned table rows, never materializing the `dW[NS][E]` intermediate.
+/// Standalone-only in the paper (framework autograd boundaries prevent the
+/// fusion); measured there at up to 1.6× for embedding updates.
+pub fn fused_backward_update(
+    pool: &ThreadPool,
+    weight: &mut Matrix,
+    dy: &Matrix,
+    indices: &[u32],
+    offsets: &[usize],
+    alpha: f32,
+) {
+    let (m, e) = weight.shape();
+    let n = offsets.len() - 1;
+    assert_eq!(dy.shape(), (n, e), "fused update dY shape");
+    check_bags(indices, offsets, m);
+    let t = pool.num_threads();
+    let w_base = crate::gemm::SendMutPtr(weight.as_mut_slice().as_mut_ptr());
+
+    pool.broadcast(|tid| {
+        let owned = partition_range(m, t, tid);
+        for bag in 0..n {
+            let grad = dy.row(bag);
+            for s in offsets[bag]..offsets[bag + 1] {
+                let row = indices[s] as usize;
+                if owned.contains(&row) {
+                    // SAFETY: row ranges are disjoint across threads.
+                    let dst = unsafe { std::slice::from_raw_parts_mut(w_base.get().add(row * e), e) };
+                    for (wv, &g) in dst.iter_mut().zip(grad) {
+                        *wv += alpha * g;
+                    }
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrm_tensor::init::{seeded_rng, uniform};
+    use dlrm_tensor::assert_allclose;
+    use rand::Rng;
+
+    /// Random bag structure: n bags, up to `max_p` lookups each.
+    fn random_bags(
+        m: usize,
+        n: usize,
+        max_p: usize,
+        seed: u64,
+    ) -> (Vec<u32>, Vec<usize>) {
+        let mut rng = seeded_rng(seed, 17);
+        let mut offsets = vec![0usize];
+        let mut indices = vec![];
+        for _ in 0..n {
+            let p = rng.gen_range(0..=max_p);
+            for _ in 0..p {
+                indices.push(rng.gen_range(0..m as u32));
+            }
+            offsets.push(indices.len());
+        }
+        (indices, offsets)
+    }
+
+    #[test]
+    fn forward_matches_reference() {
+        let pool = ThreadPool::new(4);
+        let mut rng = seeded_rng(1, 0);
+        let w = uniform(50, 16, -1.0, 1.0, &mut rng);
+        let (indices, offsets) = random_bags(50, 33, 8, 2);
+        let n = offsets.len() - 1;
+        let mut want = Matrix::zeros(n, 16);
+        forward_reference(&w, &indices, &offsets, &mut want);
+        let mut got = Matrix::zeros(n, 16);
+        forward(&pool, &w, &indices, &offsets, &mut got);
+        assert_eq!(got.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn forward_empty_bag_yields_zero_row() {
+        let pool = ThreadPool::new(2);
+        let w = Matrix::from_fn(4, 3, |r, _| r as f32 + 1.0);
+        let indices = vec![0u32, 2];
+        let offsets = vec![0usize, 1, 1, 2]; // bag 1 is empty
+        let mut out = Matrix::zeros(3, 3);
+        forward(&pool, &w, &indices, &offsets, &mut out);
+        assert_eq!(out.row(0), &[1.0, 1.0, 1.0]);
+        assert_eq!(out.row(1), &[0.0, 0.0, 0.0]);
+        assert_eq!(out.row(2), &[3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn forward_is_sparse_matrix_product() {
+        // L = A^T W with multi-hot A: check one bag against explicit sum.
+        let pool = ThreadPool::new(2);
+        let w = Matrix::from_fn(6, 2, |r, c| (r * 2 + c) as f32);
+        let indices = vec![1u32, 1, 4]; // repeated index counts twice
+        let offsets = vec![0usize, 3];
+        let mut out = Matrix::zeros(1, 2);
+        forward(&pool, &w, &indices, &offsets, &mut out);
+        assert_eq!(out.row(0), &[2.0 + 2.0 + 8.0, 3.0 + 3.0 + 9.0]);
+    }
+
+    #[test]
+    fn backward_expands_rows() {
+        let pool = ThreadPool::new(3);
+        let dy = Matrix::from_fn(2, 4, |r, c| (r * 10 + c) as f32);
+        let offsets = vec![0usize, 3, 5];
+        let mut dw = Matrix::zeros(5, 4);
+        backward(&pool, &dy, &offsets, &mut dw);
+        for s in 0..3 {
+            assert_eq!(dw.row(s), dy.row(0), "lookup {s}");
+        }
+        for s in 3..5 {
+            assert_eq!(dw.row(s), dy.row(1), "lookup {s}");
+        }
+    }
+
+    /// All four strategies must produce the same table (up to FP
+    /// reassociation in the atomic strategy).
+    fn check_update_agreement(m: usize, e: usize, n: usize, max_p: usize, seed: u64) {
+        let pool = ThreadPool::new(4);
+        let mut rng = seeded_rng(seed, 3);
+        let w0 = uniform(m, e, -1.0, 1.0, &mut rng);
+        let (indices, offsets) = random_bags(m, n, max_p, seed + 1);
+        let ns = *offsets.last().unwrap();
+        let dw = uniform(ns, e, -1.0, 1.0, &mut rng);
+        let alpha = -0.05f32;
+
+        let mut want = w0.clone();
+        update(&pool, UpdateStrategy::Reference, &mut want, &dw, &indices, alpha);
+
+        for strat in [
+            UpdateStrategy::AtomicXchg,
+            UpdateStrategy::Rtm,
+            UpdateStrategy::RaceFree,
+        ] {
+            let mut got = w0.clone();
+            update(&pool, strat, &mut got, &dw, &indices, alpha);
+            assert_allclose(
+                got.as_slice(),
+                want.as_slice(),
+                1e-5,
+                &format!("update {strat}"),
+            );
+        }
+    }
+
+    #[test]
+    fn update_strategies_agree_uniform_indices() {
+        check_update_agreement(64, 8, 40, 6, 10);
+    }
+
+    #[test]
+    fn update_strategies_agree_high_contention() {
+        // Tiny table: every strategy hammers the same few rows.
+        check_update_agreement(3, 16, 64, 8, 11);
+    }
+
+    #[test]
+    fn update_strategies_agree_single_row_table() {
+        check_update_agreement(1, 4, 16, 4, 12);
+    }
+
+    #[test]
+    fn race_free_is_bit_exact_vs_reference() {
+        // Unlike the atomic strategy, race-free preserves the per-row
+        // application order (index-list order), so it is bit-identical.
+        let pool = ThreadPool::new(4);
+        let mut rng = seeded_rng(13, 0);
+        let w0 = uniform(32, 8, -1.0, 1.0, &mut rng);
+        let (indices, offsets) = random_bags(32, 50, 5, 14);
+        let ns = *offsets.last().unwrap();
+        let dw = uniform(ns, 8, -1.0, 1.0, &mut rng);
+
+        let mut want = w0.clone();
+        update(&pool, UpdateStrategy::Reference, &mut want, &dw, &indices, -0.1);
+        let mut got = w0.clone();
+        update(&pool, UpdateStrategy::RaceFree, &mut got, &dw, &indices, -0.1);
+        assert_eq!(got.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn fused_equals_backward_then_update() {
+        let pool = ThreadPool::new(4);
+        let mut rng = seeded_rng(15, 0);
+        let w0 = uniform(40, 8, -1.0, 1.0, &mut rng);
+        let (indices, offsets) = random_bags(40, 25, 6, 16);
+        let n = offsets.len() - 1;
+        let ns = *offsets.last().unwrap();
+        let dy = uniform(n, 8, -1.0, 1.0, &mut rng);
+        let alpha = -0.02f32;
+
+        // Unfused: backward expand, then race-free update.
+        let mut dw = Matrix::zeros(ns, 8);
+        backward(&pool, &dy, &offsets, &mut dw);
+        let mut want = w0.clone();
+        update(&pool, UpdateStrategy::RaceFree, &mut want, &dw, &indices, alpha);
+
+        let mut got = w0.clone();
+        fused_backward_update(&pool, &mut got, &dy, &indices, &offsets, alpha);
+        assert_allclose(got.as_slice(), want.as_slice(), 1e-6, "fused");
+    }
+
+    #[test]
+    fn framework_naive_matches_reference() {
+        let mut rng = seeded_rng(44, 0);
+        let w0 = uniform(20, 8, -1.0, 1.0, &mut rng);
+        let (indices, offsets) = random_bags(20, 30, 4, 45);
+        let _ = offsets;
+        let ns = indices.len();
+        let dw = uniform(ns, 8, -1.0, 1.0, &mut rng);
+        let pool = ThreadPool::new(1);
+
+        let mut want = w0.clone();
+        update(&pool, UpdateStrategy::Reference, &mut want, &dw, &indices, -0.07);
+        let mut got = w0.clone();
+        update_framework_naive(&mut got, &dw, &indices, -0.07);
+        assert_allclose(got.as_slice(), want.as_slice(), 1e-6, "framework naive");
+    }
+
+    #[test]
+    fn update_rows_not_referenced_are_untouched() {
+        let pool = ThreadPool::new(2);
+        let w0 = Matrix::from_fn(8, 2, |r, _| r as f32);
+        let indices = vec![3u32];
+        let dw = Matrix::from_slice(1, 2, &[1.0, 1.0]);
+        for strat in UpdateStrategy::ALL {
+            let mut w = w0.clone();
+            update(&pool, strat, &mut w, &dw, &indices, 1.0);
+            for r in 0..8 {
+                if r != 3 {
+                    assert_eq!(w.row(r), w0.row(r), "{strat} touched row {r}");
+                }
+            }
+            assert_eq!(w.row(3), &[4.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn atomic_add_f32_is_correct_under_contention() {
+        let cell = AtomicU32::new(0.0f32.to_bits());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        atomic_add_f32(&cell, 1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(f32::from_bits(cell.load(Ordering::Relaxed)), 4000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "last offset")]
+    fn forward_rejects_inconsistent_offsets() {
+        let pool = ThreadPool::new(1);
+        let w = Matrix::zeros(4, 2);
+        let mut out = Matrix::zeros(1, 2);
+        forward(&pool, &w, &[0, 1], &[0usize, 1], &mut out);
+    }
+}

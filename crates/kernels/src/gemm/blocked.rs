@@ -1,0 +1,376 @@
+//! Fully-connected layer passes on blocked tensors (Algorithm 5).
+//!
+//! Each pass assigns output *blocks* to the thread team (line 1 of
+//! Algorithm 5: "based on thread id calculate ... to assign output work
+//! items"), prepares the batch-reduce pointer lists (lines 5–7) and invokes
+//! the microkernel once per output block (line 9). Threads write disjoint
+//! output panels, so no synchronization is needed beyond the team barrier.
+
+use super::micro::{brgemm_bwd_data, brgemm_bwd_wt, brgemm_fwd, detect_isa, PanelDims};
+use super::SendMutPtr;
+use crate::threadpool::ThreadPool;
+use dlrm_tensor::{BlockedActivations, BlockedWeights};
+
+/// Forward pass: `Y = W · X` with `W: K×C`, `X: C×N`, `Y: K×N`.
+///
+/// `y` must be pre-zeroed (the kernel accumulates, which is what lets the
+/// same code serve fused residual adds).
+pub fn fc_forward(
+    pool: &ThreadPool,
+    w: &BlockedWeights,
+    x: &BlockedActivations,
+    y: &mut BlockedActivations,
+) {
+    assert_eq!(w.c, x.c, "fc_forward: W columns != X rows");
+    assert_eq!(y.c, w.k, "fc_forward: Y rows != W rows");
+    assert_eq!(y.n, x.n, "fc_forward: batch mismatch");
+    assert_eq!(w.blk.bc, x.bc, "fc_forward: bc mismatch");
+    assert_eq!(y.bc, w.blk.bk, "fc_forward: bk mismatch");
+    assert_eq!(y.bn, x.bn, "fc_forward: bn mismatch");
+
+    let d = PanelDims {
+        bn: x.bn,
+        bc: x.bc,
+        bk: w.blk.bk,
+    };
+    let (kb, cb, nb) = (w.kb(), w.cb(), x.nb());
+    let isa = detect_isa();
+    let y_base = SendMutPtr(y.as_mut_slice().as_mut_ptr());
+    let panel = d.bn * d.bk;
+
+    // Output blocks (ibk, ibn) flattened; ibn-major so consecutive threads
+    // share weight sub-tensors from the cache where possible.
+    pool.parallel_for(kb * nb, |_tid, range| {
+        let mut w_ptrs: Vec<*const f32> = Vec::with_capacity(cb);
+        let mut x_ptrs: Vec<*const f32> = Vec::with_capacity(cb);
+        for blk_idx in range {
+            let (ibn, ibk) = (blk_idx / kb, blk_idx % kb);
+            w_ptrs.clear();
+            x_ptrs.clear();
+            for ibc in 0..cb {
+                w_ptrs.push(w.block(ibk, ibc).as_ptr());
+                x_ptrs.push(x.block_ptr(ibc, ibn));
+            }
+            // Y block (ibk, ibn): same block-major order as BlockedActivations.
+            let y_off = (ibk * nb + ibn) * panel;
+            // SAFETY: each (ibk, ibn) pair is visited by exactly one thread,
+            // and panels are disjoint slices of y.
+            unsafe { brgemm_fwd(isa, &w_ptrs, &x_ptrs, y_base.get().add(y_off), d) };
+        }
+    });
+}
+
+/// Forward pass with a fused epilogue: `Y = act(W·X + b)` where the bias
+/// add and ReLU happen per output panel *immediately after its batch-reduce
+/// GEMM*, while the panel is still hot in cache — "ReLU can directly happen
+/// inside a custom GEMM routine when the C matrix is still hot in caches"
+/// (Section II). Saves one full read+write sweep of `Y` versus applying the
+/// activation as a separate pass.
+pub fn fc_forward_fused(
+    pool: &ThreadPool,
+    w: &BlockedWeights,
+    x: &BlockedActivations,
+    y: &mut BlockedActivations,
+    bias: Option<&[f32]>,
+    relu: bool,
+) {
+    assert_eq!(w.c, x.c, "fc_forward_fused: W columns != X rows");
+    assert_eq!(y.c, w.k, "fc_forward_fused: Y rows != W rows");
+    assert_eq!(y.n, x.n, "fc_forward_fused: batch mismatch");
+    assert_eq!(w.blk.bc, x.bc, "fc_forward_fused: bc mismatch");
+    assert_eq!(y.bc, w.blk.bk, "fc_forward_fused: bk mismatch");
+    assert_eq!(y.bn, x.bn, "fc_forward_fused: bn mismatch");
+    if let Some(b) = bias {
+        assert_eq!(b.len(), w.k, "fc_forward_fused: bias length");
+    }
+
+    let d = PanelDims {
+        bn: x.bn,
+        bc: x.bc,
+        bk: w.blk.bk,
+    };
+    let (kb, cb, nb) = (w.kb(), w.cb(), x.nb());
+    let isa = detect_isa();
+    let y_base = SendMutPtr(y.as_mut_slice().as_mut_ptr());
+    let panel = d.bn * d.bk;
+
+    pool.parallel_for(kb * nb, |_tid, range| {
+        let mut w_ptrs: Vec<*const f32> = Vec::with_capacity(cb);
+        let mut x_ptrs: Vec<*const f32> = Vec::with_capacity(cb);
+        for blk_idx in range {
+            let (ibn, ibk) = (blk_idx / kb, blk_idx % kb);
+            w_ptrs.clear();
+            x_ptrs.clear();
+            for ibc in 0..cb {
+                w_ptrs.push(w.block(ibk, ibc).as_ptr());
+                x_ptrs.push(x.block_ptr(ibc, ibn));
+            }
+            let y_off = (ibk * nb + ibn) * panel;
+            // SAFETY: disjoint (ibk, ibn) output panels per thread; the
+            // epilogue below touches only this panel.
+            unsafe {
+                brgemm_fwd(isa, &w_ptrs, &x_ptrs, y_base.get().add(y_off), d);
+                let out = std::slice::from_raw_parts_mut(y_base.get().add(y_off), panel);
+                // Panel layout is [bn][bk]; bias indexes the K dimension.
+                if let Some(b) = bias {
+                    let b_blk = &b[ibk * d.bk..(ibk + 1) * d.bk];
+                    for rn in 0..d.bn {
+                        for (v, &bv) in out[rn * d.bk..(rn + 1) * d.bk].iter_mut().zip(b_blk) {
+                            *v += bv;
+                        }
+                    }
+                }
+                if relu {
+                    for v in out.iter_mut() {
+                        if *v < 0.0 {
+                            *v = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Backward-by-data pass: `dX = Wᵀ · dY`.
+///
+/// `dx` must be pre-zeroed.
+pub fn fc_backward_data(
+    pool: &ThreadPool,
+    w: &BlockedWeights,
+    dy: &BlockedActivations,
+    dx: &mut BlockedActivations,
+) {
+    assert_eq!(dy.c, w.k, "fc_backward_data: dY rows != W rows");
+    assert_eq!(dx.c, w.c, "fc_backward_data: dX rows != W cols");
+    assert_eq!(dx.n, dy.n, "fc_backward_data: batch mismatch");
+    assert_eq!(dy.bc, w.blk.bk, "fc_backward_data: bk mismatch");
+    assert_eq!(dx.bc, w.blk.bc, "fc_backward_data: bc mismatch");
+
+    let d = PanelDims {
+        bn: dy.bn,
+        bc: w.blk.bc,
+        bk: w.blk.bk,
+    };
+    let (kb, cb, nb) = (w.kb(), w.cb(), dy.nb());
+    let isa = detect_isa();
+    let dx_base = SendMutPtr(dx.as_mut_slice().as_mut_ptr());
+    let panel = d.bn * d.bc;
+
+    pool.parallel_for(cb * nb, |_tid, range| {
+        let mut w_ptrs: Vec<*const f32> = Vec::with_capacity(kb);
+        let mut dy_ptrs: Vec<*const f32> = Vec::with_capacity(kb);
+        for blk_idx in range {
+            let (ibn, ibc) = (blk_idx / cb, blk_idx % cb);
+            w_ptrs.clear();
+            dy_ptrs.clear();
+            for ibk in 0..kb {
+                w_ptrs.push(w.block(ibk, ibc).as_ptr());
+                dy_ptrs.push(dy.block_ptr(ibk, ibn));
+            }
+            let dx_off = (ibc * nb + ibn) * panel;
+            // SAFETY: disjoint (ibc, ibn) output panels per thread.
+            unsafe { brgemm_bwd_data(isa, &w_ptrs, &dy_ptrs, dx_base.get().add(dx_off), d) };
+        }
+    });
+}
+
+/// Backward-by-weights pass: `dW = dY · Xᵀ`.
+///
+/// `dw` must be pre-zeroed.
+pub fn fc_backward_weights(
+    pool: &ThreadPool,
+    x: &BlockedActivations,
+    dy: &BlockedActivations,
+    dw: &mut BlockedWeights,
+) {
+    assert_eq!(dw.k, dy.c, "fc_backward_weights: dW rows != dY rows");
+    assert_eq!(dw.c, x.c, "fc_backward_weights: dW cols != X rows");
+    assert_eq!(x.n, dy.n, "fc_backward_weights: batch mismatch");
+    assert_eq!(dw.blk.bc, x.bc, "fc_backward_weights: bc mismatch");
+    assert_eq!(dw.blk.bk, dy.bc, "fc_backward_weights: bk mismatch");
+
+    let d = PanelDims {
+        bn: x.bn,
+        bc: x.bc,
+        bk: dw.blk.bk,
+    };
+    let (kb, cb, nb) = (dw.kb(), dw.cb(), x.nb());
+    let isa = detect_isa();
+    let dw_base = SendMutPtr(dw.as_mut_slice().as_mut_ptr());
+    let panel = d.bc * d.bk;
+
+    // The reduction here is over the minibatch blocks — this is the pass
+    // whose locality motivated the paper's [Cb][Nb][bn][bc] activation
+    // layout choice.
+    pool.parallel_for(kb * cb, |_tid, range| {
+        let mut x_ptrs: Vec<*const f32> = Vec::with_capacity(nb);
+        let mut dy_ptrs: Vec<*const f32> = Vec::with_capacity(nb);
+        for blk_idx in range {
+            let (ibk, ibc) = (blk_idx / cb, blk_idx % cb);
+            x_ptrs.clear();
+            dy_ptrs.clear();
+            for ibn in 0..nb {
+                x_ptrs.push(x.block_ptr(ibc, ibn));
+                dy_ptrs.push(dy.block_ptr(ibk, ibn));
+            }
+            let dw_off = (ibk * cb + ibc) * panel;
+            // SAFETY: disjoint (ibk, ibc) output panels per thread.
+            unsafe { brgemm_bwd_wt(isa, &x_ptrs, &dy_ptrs, dw_base.get().add(dw_off), d) };
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::naive;
+    use dlrm_tensor::blocked::Blocking;
+    use dlrm_tensor::init::{seeded_rng, uniform};
+    use dlrm_tensor::{assert_allclose, Matrix};
+
+    struct Problem {
+        w: Matrix,  // K x C
+        x: Matrix,  // C x N
+        dy: Matrix, // K x N
+        blk: Blocking,
+    }
+
+    fn problem(k: usize, c: usize, n: usize, blk: Blocking, seed: u64) -> Problem {
+        let mut rng = seeded_rng(seed, 0);
+        Problem {
+            w: uniform(k, c, -1.0, 1.0, &mut rng),
+            x: uniform(c, n, -1.0, 1.0, &mut rng),
+            dy: uniform(k, n, -1.0, 1.0, &mut rng),
+            blk,
+        }
+    }
+
+    fn check_all_passes(p: &Problem, pool: &ThreadPool) {
+        let (k, c) = p.w.shape();
+        let n = p.x.cols();
+        let Blocking { bn, bc, bk } = p.blk;
+
+        // Forward.
+        let wb = dlrm_tensor::BlockedWeights::pack(&p.w, p.blk);
+        let xb = dlrm_tensor::BlockedActivations::pack(&p.x, bc, bn);
+        let mut yb = dlrm_tensor::BlockedActivations::zeros(k, n, bk, bn);
+        fc_forward(pool, &wb, &xb, &mut yb);
+        let mut y_ref = Matrix::zeros(k, n);
+        naive::gemm_nn(&p.w, &p.x, &mut y_ref);
+        let y_unpacked = yb.unpack();
+        assert_allclose(y_unpacked.as_slice(), y_ref.as_slice(), 1e-4, "fwd");
+
+        // Backward by data: dX = W^T dY.
+        let dyb = dlrm_tensor::BlockedActivations::pack(&p.dy, bk, bn);
+        let mut dxb = dlrm_tensor::BlockedActivations::zeros(c, n, bc, bn);
+        fc_backward_data(pool, &wb, &dyb, &mut dxb);
+        let mut dx_ref = Matrix::zeros(c, n);
+        naive::gemm_tn(&p.w, &p.dy, &mut dx_ref);
+        let dx_unpacked = dxb.unpack();
+        assert_allclose(dx_unpacked.as_slice(), dx_ref.as_slice(), 1e-4, "bwd_data");
+
+        // Backward by weights: dW = dY X^T.
+        let mut dwb = dlrm_tensor::BlockedWeights::zeros(k, c, p.blk);
+        fc_backward_weights(pool, &xb, &dyb, &mut dwb);
+        let mut dw_ref = Matrix::zeros(k, c);
+        naive::gemm_nt(&p.dy, &p.x, &mut dw_ref);
+        let dw_unpacked = dwb.unpack();
+        assert_allclose(dw_unpacked.as_slice(), dw_ref.as_slice(), 1e-4, "bwd_wt");
+    }
+
+    #[test]
+    fn matches_naive_square() {
+        let pool = ThreadPool::new(4);
+        let blk = Blocking { bn: 8, bc: 16, bk: 16 };
+        check_all_passes(&problem(64, 64, 32, blk, 1), &pool);
+    }
+
+    #[test]
+    fn matches_naive_rectangular() {
+        let pool = ThreadPool::new(3);
+        let blk = Blocking { bn: 4, bc: 8, bk: 32 };
+        check_all_passes(&problem(96, 40, 20, blk, 2), &pool);
+    }
+
+    #[test]
+    fn matches_naive_single_block() {
+        let pool = ThreadPool::new(2);
+        let blk = Blocking { bn: 8, bc: 8, bk: 8 };
+        check_all_passes(&problem(8, 8, 8, blk, 3), &pool);
+    }
+
+    #[test]
+    fn matches_naive_odd_scalar_path() {
+        // bk=6 forces the scalar microkernel everywhere.
+        let pool = ThreadPool::new(2);
+        let blk = Blocking { bn: 3, bc: 5, bk: 6 };
+        check_all_passes(&problem(18, 15, 9, blk, 4), &pool);
+    }
+
+    #[test]
+    fn single_thread_pool_matches() {
+        let pool = ThreadPool::new(1);
+        let blk = Blocking { bn: 8, bc: 16, bk: 16 };
+        check_all_passes(&problem(32, 48, 16, blk, 5), &pool);
+    }
+
+    #[test]
+    fn more_threads_than_blocks_matches() {
+        let pool = ThreadPool::new(16);
+        let blk = Blocking { bn: 16, bc: 16, bk: 16 };
+        check_all_passes(&problem(16, 16, 16, blk, 6), &pool);
+    }
+
+    #[test]
+    fn fused_epilogue_matches_separate_passes() {
+        let pool = ThreadPool::new(3);
+        let blk = Blocking { bn: 4, bc: 8, bk: 16 };
+        let (k, c, n) = (32usize, 24usize, 12usize);
+        let p = problem(k, c, n, blk, 9);
+        let bias: Vec<f32> = (0..k).map(|i| (i as f32 - 16.0) * 0.3).collect();
+
+        let wb = dlrm_tensor::BlockedWeights::pack(&p.w, blk);
+        let xb = dlrm_tensor::BlockedActivations::pack(&p.x, blk.bc, blk.bn);
+
+        // Fused path.
+        let mut y_fused = dlrm_tensor::BlockedActivations::zeros(k, n, blk.bk, blk.bn);
+        fc_forward_fused(&pool, &wb, &xb, &mut y_fused, Some(&bias), true);
+
+        // Separate passes: gemm, then bias, then relu on the unpacked form.
+        let mut y_ref = Matrix::zeros(k, n);
+        naive::gemm_nn(&p.w, &p.x, &mut y_ref);
+        for kk in 0..k {
+            for nn in 0..n {
+                y_ref[(kk, nn)] = (y_ref[(kk, nn)] + bias[kk]).max(0.0);
+            }
+        }
+        let got = y_fused.unpack();
+        assert_allclose(got.as_slice(), y_ref.as_slice(), 1e-4, "fused epilogue");
+    }
+
+    #[test]
+    fn fused_without_bias_or_relu_equals_plain_forward() {
+        let pool = ThreadPool::new(2);
+        let blk = Blocking { bn: 2, bc: 4, bk: 8 };
+        let p = problem(16, 8, 6, blk, 10);
+        let wb = dlrm_tensor::BlockedWeights::pack(&p.w, blk);
+        let xb = dlrm_tensor::BlockedActivations::pack(&p.x, blk.bc, blk.bn);
+        let mut a = dlrm_tensor::BlockedActivations::zeros(16, 6, blk.bk, blk.bn);
+        fc_forward(&pool, &wb, &xb, &mut a);
+        let mut b = dlrm_tensor::BlockedActivations::zeros(16, 6, blk.bk, blk.bn);
+        fc_forward_fused(&pool, &wb, &xb, &mut b, None, false);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "bc mismatch")]
+    fn forward_rejects_inconsistent_blocking() {
+        let pool = ThreadPool::new(1);
+        let blk = Blocking { bn: 4, bc: 8, bk: 8 };
+        let w = dlrm_tensor::BlockedWeights::zeros(8, 16, blk);
+        let x = dlrm_tensor::BlockedActivations::zeros(16, 8, 4, 4); // bc=4 != 8
+        let mut y = dlrm_tensor::BlockedActivations::zeros(8, 8, 8, 4);
+        fc_forward(&pool, &w, &x, &mut y);
+    }
+}

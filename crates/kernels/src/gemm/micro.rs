@@ -1,0 +1,628 @@
+//! Batch-reduce GEMM microkernels with runtime ISA dispatch.
+//!
+//! The paper's MLP kernels are built on a single primitive: the
+//! *batch-reduce GEMM* (Georganas et al., IPDPS'20). The caller prepares an
+//! array of A-panel and B-panel pointers and the microkernel multiplies and
+//! reduces *all* of them into one output panel, amortizing the load/store of
+//! the C accumulator over the whole reduction ("lines 5–9 of Algorithm 5").
+//!
+//! Three variants cover the three training passes (panel layouts are those
+//! of `dlrm_tensor::blocked`):
+//!
+//! * [`brgemm_fwd`]      — `Y[bn][bk] += Σ_p X_p[bn][bc] · W_p[bc][bk]`
+//! * [`brgemm_bwd_data`] — `dX[bn][bc] += Σ_p dY_p[bn][bk] · W_p[bc][bk]ᵀ`
+//! * [`brgemm_bwd_wt`]   — `dW[bc][bk] += Σ_p X_p[bn][bc]ᵀ · dY_p[bn][bk]`
+//!
+//! Each has a scalar, an AVX2 and an AVX-512 implementation; [`detect_isa`]
+//! picks the widest available at runtime and [`set_isa_override`] lets the
+//! ablation benches force a tier.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Instruction-set tier for the microkernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Isa {
+    /// Portable scalar code (still autovectorizable by LLVM).
+    Scalar,
+    /// 8-wide FMA via AVX2 intrinsics.
+    Avx2,
+    /// 16-wide FMA via AVX-512F intrinsics.
+    Avx512,
+}
+
+/// 0 = undetected, 1 = scalar, 2 = avx2, 3 = avx512.
+static ISA_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Forces all subsequent microkernel calls onto a tier (or back to
+/// auto-detection with `None`). Used by the ISA-ablation bench.
+pub fn set_isa_override(isa: Option<Isa>) {
+    let v = match isa {
+        None => 0,
+        Some(Isa::Scalar) => 1,
+        Some(Isa::Avx2) => 2,
+        Some(Isa::Avx512) => 3,
+    };
+    ISA_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// Returns the widest ISA supported by this CPU (or the forced override).
+pub fn detect_isa() -> Isa {
+    match ISA_OVERRIDE.load(Ordering::Relaxed) {
+        1 => return Isa::Scalar,
+        2 => return Isa::Avx2,
+        3 => return Isa::Avx512,
+        _ => {}
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx512f") {
+            return Isa::Avx512;
+        }
+        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+            return Isa::Avx2;
+        }
+    }
+    Isa::Scalar
+}
+
+/// Panel-size description shared by all three kernels.
+#[derive(Debug, Clone, Copy)]
+pub struct PanelDims {
+    /// Minibatch block.
+    pub bn: usize,
+    /// Input-feature block.
+    pub bc: usize,
+    /// Output-feature block.
+    pub bk: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Forward: Y[bn][bk] += sum_p X_p[bn][bc] * W_p[bc][bk]
+// ---------------------------------------------------------------------------
+
+/// Batch-reduce forward microkernel.
+///
+/// # Safety
+/// Every pointer in `x_panels` must be valid for `bn*bc` reads, every
+/// pointer in `w_panels` for `bc*bk` reads, and `y` must hold `bn*bk`
+/// elements. Panels must not alias `y`.
+pub unsafe fn brgemm_fwd(
+    isa: Isa,
+    w_panels: &[*const f32],
+    x_panels: &[*const f32],
+    y: *mut f32,
+    d: PanelDims,
+) {
+    debug_assert_eq!(w_panels.len(), x_panels.len());
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 if d.bk.is_multiple_of(16) => brgemm_fwd_avx512(w_panels, x_panels, y, d),
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 | Isa::Avx512 if d.bk.is_multiple_of(8) => brgemm_fwd_avx2(w_panels, x_panels, y, d),
+        _ => brgemm_fwd_scalar(w_panels, x_panels, y, d),
+    }
+}
+
+unsafe fn brgemm_fwd_scalar(
+    w_panels: &[*const f32],
+    x_panels: &[*const f32],
+    y: *mut f32,
+    d: PanelDims,
+) {
+    let PanelDims { bn, bc, bk } = d;
+    for p in 0..w_panels.len() {
+        let w = w_panels[p];
+        let x = x_panels[p];
+        for r_n in 0..bn {
+            let x_row = std::slice::from_raw_parts(x.add(r_n * bc), bc);
+            let y_row = std::slice::from_raw_parts_mut(y.add(r_n * bk), bk);
+            for (r_c, &xv) in x_row.iter().enumerate() {
+                let w_row = std::slice::from_raw_parts(w.add(r_c * bk), bk);
+                for (yv, &wv) in y_row.iter_mut().zip(w_row) {
+                    *yv += xv * wv;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn brgemm_fwd_avx2(
+    w_panels: &[*const f32],
+    x_panels: &[*const f32],
+    y: *mut f32,
+    d: PanelDims,
+) {
+    use std::arch::x86_64::*;
+    let PanelDims { bn, bc, bk } = d;
+    debug_assert_eq!(bk % 8, 0);
+    for r_n in 0..bn {
+        for kb in (0..bk).step_by(8) {
+            let yp = y.add(r_n * bk + kb);
+            let mut acc = _mm256_loadu_ps(yp);
+            for p in 0..w_panels.len() {
+                let w = w_panels[p];
+                let x = x_panels[p].add(r_n * bc);
+                for r_c in 0..bc {
+                    let xv = _mm256_set1_ps(*x.add(r_c));
+                    let wv = _mm256_loadu_ps(w.add(r_c * bk + kb));
+                    acc = _mm256_fmadd_ps(xv, wv, acc);
+                }
+            }
+            _mm256_storeu_ps(yp, acc);
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn brgemm_fwd_avx512(
+    w_panels: &[*const f32],
+    x_panels: &[*const f32],
+    y: *mut f32,
+    d: PanelDims,
+) {
+    use std::arch::x86_64::*;
+    let PanelDims { bn, bc, bk } = d;
+    debug_assert_eq!(bk % 16, 0);
+    // Register-block 4 minibatch rows x one 16-wide K vector: the C
+    // accumulators stay in zmm registers across the whole batch reduction.
+    let n4 = bn / 4 * 4;
+    for kb in (0..bk).step_by(16) {
+        let mut r_n = 0;
+        while r_n < n4 {
+            let y0 = y.add(r_n * bk + kb);
+            let y1 = y.add((r_n + 1) * bk + kb);
+            let y2 = y.add((r_n + 2) * bk + kb);
+            let y3 = y.add((r_n + 3) * bk + kb);
+            let mut a0 = _mm512_loadu_ps(y0);
+            let mut a1 = _mm512_loadu_ps(y1);
+            let mut a2 = _mm512_loadu_ps(y2);
+            let mut a3 = _mm512_loadu_ps(y3);
+            for p in 0..w_panels.len() {
+                let w = w_panels[p];
+                let x = x_panels[p];
+                let x0 = x.add(r_n * bc);
+                let x1 = x.add((r_n + 1) * bc);
+                let x2 = x.add((r_n + 2) * bc);
+                let x3 = x.add((r_n + 3) * bc);
+                for r_c in 0..bc {
+                    let wv = _mm512_loadu_ps(w.add(r_c * bk + kb));
+                    a0 = _mm512_fmadd_ps(_mm512_set1_ps(*x0.add(r_c)), wv, a0);
+                    a1 = _mm512_fmadd_ps(_mm512_set1_ps(*x1.add(r_c)), wv, a1);
+                    a2 = _mm512_fmadd_ps(_mm512_set1_ps(*x2.add(r_c)), wv, a2);
+                    a3 = _mm512_fmadd_ps(_mm512_set1_ps(*x3.add(r_c)), wv, a3);
+                }
+            }
+            _mm512_storeu_ps(y0, a0);
+            _mm512_storeu_ps(y1, a1);
+            _mm512_storeu_ps(y2, a2);
+            _mm512_storeu_ps(y3, a3);
+            r_n += 4;
+        }
+        // Remainder rows.
+        while r_n < bn {
+            let yp = y.add(r_n * bk + kb);
+            let mut acc = _mm512_loadu_ps(yp);
+            for p in 0..w_panels.len() {
+                let w = w_panels[p];
+                let x = x_panels[p].add(r_n * bc);
+                for r_c in 0..bc {
+                    let wv = _mm512_loadu_ps(w.add(r_c * bk + kb));
+                    acc = _mm512_fmadd_ps(_mm512_set1_ps(*x.add(r_c)), wv, acc);
+                }
+            }
+            _mm512_storeu_ps(yp, acc);
+            r_n += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backward by data: dX[bn][bc] += sum_p dY_p[bn][bk] * W_p[bc][bk]^T
+// ---------------------------------------------------------------------------
+
+/// Batch-reduce backward-by-data microkernel.
+///
+/// # Safety
+/// Every pointer in `dy_panels` must be valid for `bn*bk` reads, every
+/// pointer in `w_panels` for `bc*bk` reads, and `dx` must hold `bn*bc`
+/// elements. Panels must not alias `dx`.
+pub unsafe fn brgemm_bwd_data(
+    isa: Isa,
+    w_panels: &[*const f32],
+    dy_panels: &[*const f32],
+    dx: *mut f32,
+    d: PanelDims,
+) {
+    debug_assert_eq!(w_panels.len(), dy_panels.len());
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 if d.bk.is_multiple_of(16) => brgemm_bwd_data_avx512(w_panels, dy_panels, dx, d),
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 | Isa::Avx512 if d.bk.is_multiple_of(8) => {
+            brgemm_bwd_data_avx2(w_panels, dy_panels, dx, d)
+        }
+        _ => brgemm_bwd_data_scalar(w_panels, dy_panels, dx, d),
+    }
+}
+
+unsafe fn brgemm_bwd_data_scalar(
+    w_panels: &[*const f32],
+    dy_panels: &[*const f32],
+    dx: *mut f32,
+    d: PanelDims,
+) {
+    let PanelDims { bn, bc, bk } = d;
+    for p in 0..w_panels.len() {
+        let w = w_panels[p];
+        let dy = dy_panels[p];
+        for r_n in 0..bn {
+            let dy_row = std::slice::from_raw_parts(dy.add(r_n * bk), bk);
+            let dx_row = std::slice::from_raw_parts_mut(dx.add(r_n * bc), bc);
+            for (r_c, dxv) in dx_row.iter_mut().enumerate() {
+                let w_row = std::slice::from_raw_parts(w.add(r_c * bk), bk);
+                let mut acc = 0.0f32;
+                for (&dyv, &wv) in dy_row.iter().zip(w_row) {
+                    acc += dyv * wv;
+                }
+                *dxv += acc;
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn brgemm_bwd_data_avx2(
+    w_panels: &[*const f32],
+    dy_panels: &[*const f32],
+    dx: *mut f32,
+    d: PanelDims,
+) {
+    use std::arch::x86_64::*;
+    let PanelDims { bn, bc, bk } = d;
+    for r_n in 0..bn {
+        for r_c in 0..bc {
+            let mut acc = _mm256_setzero_ps();
+            for p in 0..w_panels.len() {
+                let w = w_panels[p].add(r_c * bk);
+                let dy = dy_panels[p].add(r_n * bk);
+                for kb in (0..bk).step_by(8) {
+                    acc = _mm256_fmadd_ps(
+                        _mm256_loadu_ps(dy.add(kb)),
+                        _mm256_loadu_ps(w.add(kb)),
+                        acc,
+                    );
+                }
+            }
+            // Horizontal sum of 8 lanes.
+            let hi = _mm256_extractf128_ps::<1>(acc);
+            let lo = _mm256_castps256_ps128(acc);
+            let s = _mm_add_ps(hi, lo);
+            let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+            let s = _mm_add_ss(s, _mm_shuffle_ps::<1>(s, s));
+            *dx.add(r_n * bc + r_c) += _mm_cvtss_f32(s);
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn brgemm_bwd_data_avx512(
+    w_panels: &[*const f32],
+    dy_panels: &[*const f32],
+    dx: *mut f32,
+    d: PanelDims,
+) {
+    use std::arch::x86_64::*;
+    let PanelDims { bn, bc, bk } = d;
+    for r_n in 0..bn {
+        for r_c in 0..bc {
+            let mut acc = _mm512_setzero_ps();
+            for p in 0..w_panels.len() {
+                let w = w_panels[p].add(r_c * bk);
+                let dy = dy_panels[p].add(r_n * bk);
+                for kb in (0..bk).step_by(16) {
+                    acc = _mm512_fmadd_ps(
+                        _mm512_loadu_ps(dy.add(kb)),
+                        _mm512_loadu_ps(w.add(kb)),
+                        acc,
+                    );
+                }
+            }
+            *dx.add(r_n * bc + r_c) += _mm512_reduce_add_ps(acc);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backward by weights: dW[bc][bk] += sum_p X_p[bn][bc]^T * dY_p[bn][bk]
+// ---------------------------------------------------------------------------
+
+/// Batch-reduce backward-by-weights microkernel.
+///
+/// # Safety
+/// Every pointer in `x_panels` must be valid for `bn*bc` reads, every
+/// pointer in `dy_panels` for `bn*bk` reads, and `dw` must hold `bc*bk`
+/// elements. Panels must not alias `dw`.
+pub unsafe fn brgemm_bwd_wt(
+    isa: Isa,
+    x_panels: &[*const f32],
+    dy_panels: &[*const f32],
+    dw: *mut f32,
+    d: PanelDims,
+) {
+    debug_assert_eq!(x_panels.len(), dy_panels.len());
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 if d.bk.is_multiple_of(16) => brgemm_bwd_wt_avx512(x_panels, dy_panels, dw, d),
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 | Isa::Avx512 if d.bk.is_multiple_of(8) => brgemm_bwd_wt_avx2(x_panels, dy_panels, dw, d),
+        _ => brgemm_bwd_wt_scalar(x_panels, dy_panels, dw, d),
+    }
+}
+
+unsafe fn brgemm_bwd_wt_scalar(
+    x_panels: &[*const f32],
+    dy_panels: &[*const f32],
+    dw: *mut f32,
+    d: PanelDims,
+) {
+    let PanelDims { bn, bc, bk } = d;
+    for p in 0..x_panels.len() {
+        let x = x_panels[p];
+        let dy = dy_panels[p];
+        for r_n in 0..bn {
+            let x_row = std::slice::from_raw_parts(x.add(r_n * bc), bc);
+            let dy_row = std::slice::from_raw_parts(dy.add(r_n * bk), bk);
+            for (r_c, &xv) in x_row.iter().enumerate() {
+                let dw_row = std::slice::from_raw_parts_mut(dw.add(r_c * bk), bk);
+                for (dwv, &dyv) in dw_row.iter_mut().zip(dy_row) {
+                    *dwv += xv * dyv;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn brgemm_bwd_wt_avx2(
+    x_panels: &[*const f32],
+    dy_panels: &[*const f32],
+    dw: *mut f32,
+    d: PanelDims,
+) {
+    use std::arch::x86_64::*;
+    let PanelDims { bn, bc, bk } = d;
+    for r_c in 0..bc {
+        for kb in (0..bk).step_by(8) {
+            let dwp = dw.add(r_c * bk + kb);
+            let mut acc = _mm256_loadu_ps(dwp);
+            for p in 0..x_panels.len() {
+                let x = x_panels[p];
+                let dy = dy_panels[p];
+                for r_n in 0..bn {
+                    acc = _mm256_fmadd_ps(
+                        _mm256_set1_ps(*x.add(r_n * bc + r_c)),
+                        _mm256_loadu_ps(dy.add(r_n * bk + kb)),
+                        acc,
+                    );
+                }
+            }
+            _mm256_storeu_ps(dwp, acc);
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn brgemm_bwd_wt_avx512(
+    x_panels: &[*const f32],
+    dy_panels: &[*const f32],
+    dw: *mut f32,
+    d: PanelDims,
+) {
+    use std::arch::x86_64::*;
+    let PanelDims { bn, bc, bk } = d;
+    let c4 = bc / 4 * 4;
+    for kb in (0..bk).step_by(16) {
+        let mut r_c = 0;
+        while r_c < c4 {
+            let p0 = dw.add(r_c * bk + kb);
+            let p1 = dw.add((r_c + 1) * bk + kb);
+            let p2 = dw.add((r_c + 2) * bk + kb);
+            let p3 = dw.add((r_c + 3) * bk + kb);
+            let mut a0 = _mm512_loadu_ps(p0);
+            let mut a1 = _mm512_loadu_ps(p1);
+            let mut a2 = _mm512_loadu_ps(p2);
+            let mut a3 = _mm512_loadu_ps(p3);
+            for p in 0..x_panels.len() {
+                let x = x_panels[p];
+                let dy = dy_panels[p];
+                for r_n in 0..bn {
+                    let dyv = _mm512_loadu_ps(dy.add(r_n * bk + kb));
+                    let xr = x.add(r_n * bc + r_c);
+                    a0 = _mm512_fmadd_ps(_mm512_set1_ps(*xr), dyv, a0);
+                    a1 = _mm512_fmadd_ps(_mm512_set1_ps(*xr.add(1)), dyv, a1);
+                    a2 = _mm512_fmadd_ps(_mm512_set1_ps(*xr.add(2)), dyv, a2);
+                    a3 = _mm512_fmadd_ps(_mm512_set1_ps(*xr.add(3)), dyv, a3);
+                }
+            }
+            _mm512_storeu_ps(p0, a0);
+            _mm512_storeu_ps(p1, a1);
+            _mm512_storeu_ps(p2, a2);
+            _mm512_storeu_ps(p3, a3);
+            r_c += 4;
+        }
+        while r_c < bc {
+            let dwp = dw.add(r_c * bk + kb);
+            let mut acc = _mm512_loadu_ps(dwp);
+            for p in 0..x_panels.len() {
+                let x = x_panels[p];
+                let dy = dy_panels[p];
+                for r_n in 0..bn {
+                    acc = _mm512_fmadd_ps(
+                        _mm512_set1_ps(*x.add(r_n * bc + r_c)),
+                        _mm512_loadu_ps(dy.add(r_n * bk + kb)),
+                        acc,
+                    );
+                }
+            }
+            _mm512_storeu_ps(dwp, acc);
+            r_c += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_isas() -> Vec<Isa> {
+        let mut v = vec![Isa::Scalar];
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+                v.push(Isa::Avx2);
+            }
+            if is_x86_feature_detected!("avx512f") {
+                v.push(Isa::Avx512);
+            }
+        }
+        v
+    }
+
+    /// Builds pseudo-random panels and the scalar ground truth, then checks
+    /// every available ISA agrees.
+    fn check_fwd(d: PanelDims, batch: usize) {
+        let mk = |seed: usize, len: usize| -> Vec<f32> {
+            (0..len)
+                .map(|i| (((i * 2654435761 + seed * 40503) % 1000) as f32 - 500.0) / 250.0)
+                .collect()
+        };
+        let ws: Vec<Vec<f32>> = (0..batch).map(|p| mk(p, d.bc * d.bk)).collect();
+        let xs: Vec<Vec<f32>> = (0..batch).map(|p| mk(p + 99, d.bn * d.bc)).collect();
+        let wp: Vec<*const f32> = ws.iter().map(|v| v.as_ptr()).collect();
+        let xp: Vec<*const f32> = xs.iter().map(|v| v.as_ptr()).collect();
+
+        let mut want = vec![0.1f32; d.bn * d.bk];
+        unsafe { brgemm_fwd_scalar(&wp, &xp, want.as_mut_ptr(), d) };
+
+        for isa in all_isas() {
+            let mut got = vec![0.1f32; d.bn * d.bk];
+            unsafe { brgemm_fwd(isa, &wp, &xp, got.as_mut_ptr(), d) };
+            dlrm_tensor::assert_allclose(&got, &want, 1e-4, &format!("fwd {isa:?} {d:?}"));
+        }
+    }
+
+    fn check_bwd_data(d: PanelDims, batch: usize) {
+        let mk = |seed: usize, len: usize| -> Vec<f32> {
+            (0..len)
+                .map(|i| (((i * 1103515245 + seed * 12345) % 997) as f32 - 498.0) / 300.0)
+                .collect()
+        };
+        let ws: Vec<Vec<f32>> = (0..batch).map(|p| mk(p, d.bc * d.bk)).collect();
+        let dys: Vec<Vec<f32>> = (0..batch).map(|p| mk(p + 7, d.bn * d.bk)).collect();
+        let wp: Vec<*const f32> = ws.iter().map(|v| v.as_ptr()).collect();
+        let dyp: Vec<*const f32> = dys.iter().map(|v| v.as_ptr()).collect();
+
+        let mut want = vec![-0.2f32; d.bn * d.bc];
+        unsafe { brgemm_bwd_data_scalar(&wp, &dyp, want.as_mut_ptr(), d) };
+
+        for isa in all_isas() {
+            let mut got = vec![-0.2f32; d.bn * d.bc];
+            unsafe { brgemm_bwd_data(isa, &wp, &dyp, got.as_mut_ptr(), d) };
+            dlrm_tensor::assert_allclose(&got, &want, 1e-4, &format!("bwd_d {isa:?} {d:?}"));
+        }
+    }
+
+    fn check_bwd_wt(d: PanelDims, batch: usize) {
+        let mk = |seed: usize, len: usize| -> Vec<f32> {
+            (0..len)
+                .map(|i| (((i * 69069 + seed * 999331) % 991) as f32 - 495.0) / 400.0)
+                .collect()
+        };
+        let xs: Vec<Vec<f32>> = (0..batch).map(|p| mk(p, d.bn * d.bc)).collect();
+        let dys: Vec<Vec<f32>> = (0..batch).map(|p| mk(p + 3, d.bn * d.bk)).collect();
+        let xp: Vec<*const f32> = xs.iter().map(|v| v.as_ptr()).collect();
+        let dyp: Vec<*const f32> = dys.iter().map(|v| v.as_ptr()).collect();
+
+        let mut want = vec![0.0f32; d.bc * d.bk];
+        unsafe { brgemm_bwd_wt_scalar(&xp, &dyp, want.as_mut_ptr(), d) };
+
+        for isa in all_isas() {
+            let mut got = vec![0.0f32; d.bc * d.bk];
+            unsafe { brgemm_bwd_wt(isa, &xp, &dyp, got.as_mut_ptr(), d) };
+            dlrm_tensor::assert_allclose(&got, &want, 1e-4, &format!("bwd_w {isa:?} {d:?}"));
+        }
+    }
+
+    #[test]
+    fn fwd_all_isas_agree_square() {
+        check_fwd(PanelDims { bn: 8, bc: 32, bk: 32 }, 4);
+    }
+
+    #[test]
+    fn fwd_all_isas_agree_odd_bn() {
+        // bn=5 exercises the AVX-512 remainder-row path.
+        check_fwd(PanelDims { bn: 5, bc: 16, bk: 48 }, 3);
+    }
+
+    #[test]
+    fn fwd_scalar_fallback_for_odd_bk() {
+        check_fwd(PanelDims { bn: 4, bc: 8, bk: 10 }, 2);
+    }
+
+    #[test]
+    fn fwd_single_panel() {
+        check_fwd(PanelDims { bn: 2, bc: 2, bk: 16 }, 1);
+    }
+
+    #[test]
+    fn bwd_data_all_isas_agree() {
+        check_bwd_data(PanelDims { bn: 8, bc: 24, bk: 32 }, 4);
+        check_bwd_data(PanelDims { bn: 3, bc: 5, bk: 16 }, 2);
+        check_bwd_data(PanelDims { bn: 4, bc: 8, bk: 9 }, 2); // scalar path
+    }
+
+    #[test]
+    fn bwd_wt_all_isas_agree() {
+        check_bwd_wt(PanelDims { bn: 8, bc: 32, bk: 32 }, 4);
+        check_bwd_wt(PanelDims { bn: 7, bc: 5, bk: 16 }, 3); // remainder cols
+        check_bwd_wt(PanelDims { bn: 4, bc: 8, bk: 12 }, 2); // avx2/scalar
+    }
+
+    #[test]
+    fn override_forces_tier() {
+        set_isa_override(Some(Isa::Scalar));
+        assert_eq!(detect_isa(), Isa::Scalar);
+        set_isa_override(None);
+        let _ = detect_isa(); // whatever the CPU supports; just must not panic
+    }
+
+    #[test]
+    fn batch_reduce_equals_sequential_calls() {
+        // Reducing P panels in one call must equal P accumulating calls.
+        let d = PanelDims { bn: 4, bc: 8, bk: 16 };
+        let mk = |seed: usize, len: usize| -> Vec<f32> {
+            (0..len).map(|i| ((i + seed) % 17) as f32 * 0.21 - 1.5).collect()
+        };
+        let ws: Vec<Vec<f32>> = (0..5).map(|p| mk(p, d.bc * d.bk)).collect();
+        let xs: Vec<Vec<f32>> = (0..5).map(|p| mk(p + 31, d.bn * d.bc)).collect();
+        let wp: Vec<*const f32> = ws.iter().map(|v| v.as_ptr()).collect();
+        let xp: Vec<*const f32> = xs.iter().map(|v| v.as_ptr()).collect();
+
+        let isa = detect_isa();
+        let mut batched = vec![0.0f32; d.bn * d.bk];
+        unsafe { brgemm_fwd(isa, &wp, &xp, batched.as_mut_ptr(), d) };
+
+        let mut seq = vec![0.0f32; d.bn * d.bk];
+        for p in 0..5 {
+            unsafe { brgemm_fwd(isa, &wp[p..p + 1], &xp[p..p + 1], seq.as_mut_ptr(), d) };
+        }
+        dlrm_tensor::assert_allclose(&batched, &seq, 1e-4, "batch vs sequential");
+    }
+}

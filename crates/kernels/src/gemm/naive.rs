@@ -1,0 +1,131 @@
+//! Naive single-threaded GEMM reference kernels.
+//!
+//! These are the ground truth every optimized kernel is validated against,
+//! and the building block of the deliberately unoptimized "reference DLRM"
+//! implementation (the Figure 7 baseline). Loops are written in the
+//! textbook order with no blocking.
+
+use dlrm_tensor::Matrix;
+
+/// `C += A · B` for row-major `A (m×k)`, `B (k×n)`, `C (m×n)`.
+pub fn gemm_nn(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let (m, ka) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(ka, kb, "gemm_nn inner dimension mismatch");
+    assert_eq!(c.shape(), (m, n), "gemm_nn output shape mismatch");
+    for i in 0..m {
+        let a_row = a.row(i);
+        let c_row = c.row_mut(i);
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            let b_row = b.row(p);
+            for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row) {
+                *c_ij += a_ip * b_pj;
+            }
+        }
+    }
+}
+
+/// `C += Aᵀ · B` for row-major `A (k×m)`, `B (k×n)`, `C (m×n)`.
+pub fn gemm_tn(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let (ka, m) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(ka, kb, "gemm_tn inner dimension mismatch");
+    assert_eq!(c.shape(), (m, n), "gemm_tn output shape mismatch");
+    for p in 0..ka {
+        let a_row = a.row(p);
+        let b_row = b.row(p);
+        for (i, &a_pi) in a_row.iter().enumerate() {
+            let c_row = c.row_mut(i);
+            for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row) {
+                *c_ij += a_pi * b_pj;
+            }
+        }
+    }
+}
+
+/// `C += A · Bᵀ` for row-major `A (m×k)`, `B (n×k)`, `C (m×n)`.
+pub fn gemm_nt(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let (m, ka) = a.shape();
+    let (n, kb) = b.shape();
+    assert_eq!(ka, kb, "gemm_nt inner dimension mismatch");
+    assert_eq!(c.shape(), (m, n), "gemm_nt output shape mismatch");
+    for i in 0..m {
+        let a_row = a.row(i);
+        let c_row = c.row_mut(i);
+        for (c_ij, j) in c_row.iter_mut().zip(0..n) {
+            let b_row = b.row(j);
+            let mut acc = 0.0f32;
+            for (&x, &y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            *c_ij += acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrm_tensor::assert_allclose;
+    use dlrm_tensor::init::{seeded_rng, uniform};
+
+    #[test]
+    fn identity_times_matrix() {
+        let eye = Matrix::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        let b = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32);
+        let mut y = Matrix::zeros(3, 2);
+        gemm_nn(&eye, &b, &mut y);
+        assert_eq!(y.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn known_product() {
+        let a = Matrix::from_slice(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_slice(2, 2, &[5.0, 6.0, 7.0, 8.0]);
+        let mut c = Matrix::zeros(2, 2);
+        gemm_nn(&a, &b, &mut c);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn accumulates_into_c() {
+        let a = Matrix::from_slice(1, 1, &[2.0]);
+        let b = Matrix::from_slice(1, 1, &[3.0]);
+        let mut c = Matrix::from_slice(1, 1, &[10.0]);
+        gemm_nn(&a, &b, &mut c);
+        assert_eq!(c.as_slice(), &[16.0]);
+    }
+
+    #[test]
+    fn tn_matches_explicit_transpose() {
+        let mut rng = seeded_rng(11, 0);
+        let a = uniform(6, 4, -1.0, 1.0, &mut rng);
+        let b = uniform(6, 5, -1.0, 1.0, &mut rng);
+        let mut got = Matrix::zeros(4, 5);
+        gemm_tn(&a, &b, &mut got);
+        let mut want = Matrix::zeros(4, 5);
+        gemm_nn(&a.transposed(), &b, &mut want);
+        assert_allclose(got.as_slice(), want.as_slice(), 1e-6, "gemm_tn");
+    }
+
+    #[test]
+    fn nt_matches_explicit_transpose() {
+        let mut rng = seeded_rng(12, 0);
+        let a = uniform(3, 7, -1.0, 1.0, &mut rng);
+        let b = uniform(5, 7, -1.0, 1.0, &mut rng);
+        let mut got = Matrix::zeros(3, 5);
+        gemm_nt(&a, &b, &mut got);
+        let mut want = Matrix::zeros(3, 5);
+        gemm_nn(&a, &b.transposed(), &mut want);
+        assert_allclose(got.as_slice(), want.as_slice(), 1e-6, "gemm_nt");
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension")]
+    fn shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let mut c = Matrix::zeros(2, 2);
+        gemm_nn(&a, &b, &mut c);
+    }
+}

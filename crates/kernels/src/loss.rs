@@ -1,0 +1,89 @@
+//! Binary cross-entropy loss — DLRM's "classic cross-entropy loss function".
+//!
+//! Computed from *logits* for numerical stability; the backward pass
+//! produces the gradient with respect to the logits directly
+//! (`sigmoid(z) − t`, scaled by `1/N`), which is both stabler and cheaper
+//! than chaining sigmoid and BCE gradients.
+
+use crate::activations::sigmoid;
+
+/// Mean BCE-with-logits loss over a batch.
+///
+/// Uses the standard stable form
+/// `max(z, 0) − z·t + ln(1 + e^{−|z|})` averaged over samples.
+pub fn bce_with_logits_loss(logits: &[f32], targets: &[f32]) -> f64 {
+    assert_eq!(logits.len(), targets.len(), "loss length mismatch");
+    assert!(!logits.is_empty(), "loss over empty batch");
+    let mut acc = 0.0f64;
+    for (&z, &t) in logits.iter().zip(targets) {
+        let z64 = z as f64;
+        let t64 = t as f64;
+        acc += z64.max(0.0) - z64 * t64 + (1.0 + (-z64.abs()).exp()).ln();
+    }
+    acc / logits.len() as f64
+}
+
+/// Gradient of [`bce_with_logits_loss`] w.r.t. the logits:
+/// `(sigmoid(z) − t) / N`.
+pub fn bce_with_logits_backward(logits: &[f32], targets: &[f32], grad: &mut [f32]) {
+    assert_eq!(logits.len(), targets.len());
+    assert_eq!(logits.len(), grad.len());
+    let inv_n = 1.0 / logits.len() as f32;
+    for ((g, &z), &t) in grad.iter_mut().zip(logits).zip(targets) {
+        *g = (sigmoid(z) - t) * inv_n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_at_confident_correct_prediction_is_small() {
+        assert!(bce_with_logits_loss(&[10.0], &[1.0]) < 1e-4);
+        assert!(bce_with_logits_loss(&[-10.0], &[0.0]) < 1e-4);
+    }
+
+    #[test]
+    fn loss_at_confident_wrong_prediction_is_large() {
+        assert!(bce_with_logits_loss(&[10.0], &[0.0]) > 9.0);
+    }
+
+    #[test]
+    fn loss_at_zero_logit_is_ln2() {
+        let l = bce_with_logits_loss(&[0.0, 0.0], &[0.0, 1.0]);
+        assert!((l - std::f64::consts::LN_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extreme_logits_stay_finite() {
+        let l = bce_with_logits_loss(&[500.0, -500.0], &[0.0, 1.0]);
+        assert!(l.is_finite());
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = [0.3f32, -1.2, 2.0];
+        let targets = [1.0f32, 0.0, 1.0];
+        let mut grad = [0.0f32; 3];
+        bce_with_logits_backward(&logits, &targets, &mut grad);
+        let h = 1e-3f32;
+        for i in 0..3 {
+            let mut lp = logits;
+            let mut lm = logits;
+            lp[i] += h;
+            lm[i] -= h;
+            let fd = (bce_with_logits_loss(&lp, &targets)
+                - bce_with_logits_loss(&lm, &targets)) as f32
+                / (2.0 * h);
+            assert!((grad[i] - fd).abs() < 1e-4, "i={i}: {} vs {}", grad[i], fd);
+        }
+    }
+
+    #[test]
+    fn gradient_is_zero_at_perfect_prediction() {
+        let mut grad = [0.0f32; 1];
+        bce_with_logits_backward(&[30.0], &[1.0], &mut grad);
+        assert!(grad[0].abs() < 1e-6);
+    }
+}

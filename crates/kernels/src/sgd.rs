@@ -1,0 +1,79 @@
+//! Dense SGD update kernels, including the Split-SGD-BF16 step.
+
+use crate::threadpool::ThreadPool;
+use dlrm_precision::split::SplitTensor;
+
+/// Plain FP32 SGD: `w -= lr * g`, single-threaded.
+pub fn sgd_step(w: &mut [f32], g: &[f32], lr: f32) {
+    assert_eq!(w.len(), g.len(), "sgd_step length mismatch");
+    for (wv, &gv) in w.iter_mut().zip(g) {
+        *wv -= lr * gv;
+    }
+}
+
+/// Plain FP32 SGD across a thread team — the shape of work the paper's
+/// dedicated "MLP SGD threads" perform while overlapped with backward
+/// GEMMs.
+pub fn par_sgd_step(pool: &ThreadPool, w: &mut [f32], g: &[f32], lr: f32) {
+    assert_eq!(w.len(), g.len(), "par_sgd_step length mismatch");
+    let base = crate::gemm::SendMutPtr(w.as_mut_ptr());
+    pool.parallel_for(w.len(), move |_tid, range| {
+        // SAFETY: parallel_for ranges are disjoint.
+        let wc = unsafe { std::slice::from_raw_parts_mut(base.get().add(range.start), range.len()) };
+        sgd_step(wc, &g[range], lr);
+    });
+}
+
+/// Split-SGD-BF16 step on a [`SplitTensor`] (delegates to the precision
+/// crate; provided here so callers depend on one kernels API).
+pub fn split_sgd_step(w: &mut SplitTensor, g: &[f32], lr: f32) {
+    w.sgd_step(g, lr);
+}
+
+/// SGD with per-parameter gradient averaging by `1/scale` — used by the
+/// data-parallel path where gradients arrive as sums over ranks.
+pub fn sgd_step_scaled(w: &mut [f32], g: &[f32], lr: f32, scale: f32) {
+    assert_eq!(w.len(), g.len());
+    let eff = lr / scale;
+    for (wv, &gv) in w.iter_mut().zip(g) {
+        *wv -= eff * gv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrm_precision::split::LoBits;
+
+    #[test]
+    fn basic_step() {
+        let mut w = [1.0f32, 2.0];
+        sgd_step(&mut w, &[0.5, -0.5], 0.1);
+        assert_eq!(w, [0.95, 2.05]);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let pool = ThreadPool::new(4);
+        let g: Vec<f32> = (0..1003).map(|i| (i as f32).sin()).collect();
+        let mut a: Vec<f32> = (0..1003).map(|i| i as f32 * 0.01).collect();
+        let mut b = a.clone();
+        sgd_step(&mut a, &g, 0.05);
+        par_sgd_step(&pool, &mut b, &g, 0.05);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scaled_step_averages() {
+        let mut w = [0.0f32];
+        sgd_step_scaled(&mut w, &[8.0], 0.5, 4.0); // avg grad = 2.0
+        assert_eq!(w, [-1.0]);
+    }
+
+    #[test]
+    fn split_step_delegates() {
+        let mut t = SplitTensor::from_f32(&[1.0, -1.0], LoBits::Sixteen);
+        split_sgd_step(&mut t, &[1.0, 1.0], 0.25);
+        assert_eq!(t.to_f32_full(), vec![0.75, -1.25]);
+    }
+}

@@ -1,0 +1,311 @@
+//! A persistent worker-team thread pool with explicit thread ids.
+//!
+//! The paper's kernels use *static* work partitioning ("based on thread id
+//! calculate `Kb_start`, `Kb_end`, ..." — Algorithm 5) and hand-built thread
+//! teams (compute threads vs. dedicated SGD/communication threads,
+//! Section IV-A). Work-stealing schedulers hide exactly the structure the
+//! paper exploits, so this pool exposes the low-level broadcast model: a
+//! closure is run once per worker with its `(thread_id, num_threads)` pair
+//! and the caller blocks until the whole team finishes.
+//!
+//! Worker threads park between jobs; a broadcast wakes all of them, they run
+//! the job, and the last one to finish releases the caller. Panics in
+//! workers are captured and re-thrown on the calling thread.
+
+use parking_lot::{Condvar, Mutex};
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Type-erased job: `f(thread_id)`.
+type Job = Arc<dyn Fn(usize) + Send + Sync>;
+
+struct Shared {
+    state: Mutex<State>,
+    work_ready: Condvar,
+    work_done: Condvar,
+}
+
+struct State {
+    /// Monotonic id of the current job; workers run a job once per epoch.
+    epoch: u64,
+    job: Option<Job>,
+    /// Workers still running the current job.
+    outstanding: usize,
+    /// First captured panic payload from a worker.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+    shutdown: bool,
+}
+
+/// A fixed-size team of persistent worker threads.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    n: usize,
+}
+
+impl ThreadPool {
+    /// Spawns a pool with `n` worker threads (`n >= 1`).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "thread pool needs at least one worker");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                outstanding: 0,
+                panic: None,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            work_done: Condvar::new(),
+        });
+        let handles = (0..n)
+            .map(|tid| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dlrm-worker-{tid}"))
+                    .spawn(move || worker_loop(tid, &shared))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        ThreadPool { shared, handles, n }
+    }
+
+    /// Pool with one worker per available CPU.
+    pub fn with_default_parallelism() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        Self::new(n)
+    }
+
+    /// Number of worker threads.
+    #[inline]
+    pub fn num_threads(&self) -> usize {
+        self.n
+    }
+
+    /// Runs `f(thread_id)` once on every worker and waits for the team.
+    ///
+    /// The closure may borrow from the caller's stack: the call does not
+    /// return until every worker has finished (or panicked), so the borrow
+    /// outlives all uses.
+    pub fn broadcast<F>(&self, f: F)
+    where
+        F: Fn(usize) + Send + Sync,
+    {
+        // Erase the closure's lifetime. SAFETY: `broadcast` blocks until
+        // `outstanding == 0`, i.e. no worker can touch the job after we
+        // return, and the Arc below keeps the erased pointer alive while
+        // any worker still holds a clone.
+        let job: Arc<dyn Fn(usize) + Send + Sync> = unsafe {
+            std::mem::transmute::<Arc<dyn Fn(usize) + Send + Sync + '_>, Job>(Arc::new(f))
+        };
+
+        let mut st = self.shared.state.lock();
+        debug_assert_eq!(st.outstanding, 0, "broadcast is not reentrant");
+        st.job = Some(job);
+        st.epoch += 1;
+        st.outstanding = self.n;
+        self.shared.work_ready.notify_all();
+        while st.outstanding > 0 {
+            self.shared.work_done.wait(&mut st);
+        }
+        st.job = None;
+        if let Some(payload) = st.panic.take() {
+            drop(st);
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    /// Statically partitions `0..n_items` across the team and runs
+    /// `f(thread_id, range)` per worker. Ranges follow the paper's
+    /// `(n·tid/T, n·(tid+1)/T)` split.
+    pub fn parallel_for<F>(&self, n_items: usize, f: F)
+    where
+        F: Fn(usize, Range<usize>) + Send + Sync,
+    {
+        let t = self.n;
+        self.broadcast(move |tid| {
+            let range = (n_items * tid / t)..(n_items * (tid + 1) / t);
+            if !range.is_empty() {
+                f(tid, range);
+            }
+        });
+    }
+
+    /// Dynamically partitions `0..n_items` into unit tasks claimed from a
+    /// shared counter — used where the paper notes static partitioning load
+    /// imbalance (clustered embedding indices).
+    pub fn parallel_for_dynamic<F>(&self, n_items: usize, chunk: usize, f: F)
+    where
+        F: Fn(usize, Range<usize>) + Send + Sync,
+    {
+        assert!(chunk > 0);
+        let next = AtomicUsize::new(0);
+        self.broadcast(move |tid| loop {
+            let start = next.fetch_add(chunk, Ordering::Relaxed);
+            if start >= n_items {
+                break;
+            }
+            f(tid, start..(start + chunk).min(n_items));
+        });
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+            self.shared.work_ready.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(tid: usize, shared: &Shared) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    seen_epoch = st.epoch;
+                    break st.job.clone().expect("epoch advanced without a job");
+                }
+                shared.work_ready.wait(&mut st);
+            }
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| job(tid)));
+        // Drop our Arc clone before signalling completion so the erased
+        // closure is guaranteed dead by the time `broadcast` returns.
+        drop(job);
+        let mut st = shared.state.lock();
+        if let Err(payload) = result {
+            if st.panic.is_none() {
+                st.panic = Some(payload);
+            }
+        }
+        st.outstanding -= 1;
+        if st.outstanding == 0 {
+            shared.work_done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    #[test]
+    fn broadcast_runs_once_per_thread() {
+        let pool = ThreadPool::new(4);
+        let hits = AtomicUsize::new(0);
+        let mask = AtomicUsize::new(0);
+        pool.broadcast(|tid| {
+            hits.fetch_add(1, Ordering::SeqCst);
+            mask.fetch_or(1 << tid, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+        assert_eq!(mask.load(Ordering::SeqCst), 0b1111);
+    }
+
+    #[test]
+    fn broadcast_can_borrow_stack_data() {
+        let pool = ThreadPool::new(3);
+        let data = [1u64, 2, 3, 4, 5, 6];
+        let sum = AtomicU64::new(0);
+        pool.broadcast(|tid| {
+            let part: u64 = data.iter().skip(tid).step_by(3).sum();
+            sum.fetch_add(part, Ordering::SeqCst);
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), 21);
+    }
+
+    #[test]
+    fn sequential_broadcasts_reuse_workers() {
+        let pool = ThreadPool::new(2);
+        let count = AtomicUsize::new(0);
+        for _ in 0..100 {
+            pool.broadcast(|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(count.load(Ordering::SeqCst), 200);
+    }
+
+    #[test]
+    fn parallel_for_covers_every_item_once() {
+        let pool = ThreadPool::new(5);
+        let n = 1237;
+        let marks: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(n, |_tid, range| {
+            for i in range {
+                marks[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(marks.iter().all(|m| m.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn parallel_for_dynamic_covers_every_item_once() {
+        let pool = ThreadPool::new(4);
+        let n = 999;
+        let marks: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for_dynamic(n, 7, |_tid, range| {
+            for i in range {
+                marks[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(marks.iter().all(|m| m.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn parallel_for_with_more_threads_than_items() {
+        let pool = ThreadPool::new(8);
+        let hits = AtomicUsize::new(0);
+        pool.parallel_for(3, |_tid, range| {
+            hits.fetch_add(range.len(), Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let pool = ThreadPool::new(3);
+        let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.broadcast(|tid| {
+                if tid == 1 {
+                    panic!("worker exploded");
+                }
+            });
+        }));
+        assert!(res.is_err());
+        // Pool remains usable afterwards.
+        let ok = AtomicUsize::new(0);
+        pool.broadcast(|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn single_thread_pool_works() {
+        let pool = ThreadPool::new(1);
+        let mut out = 0u64;
+        let cell = parking_lot::Mutex::new(&mut out);
+        pool.broadcast(|_| {
+            **cell.lock() += 42;
+        });
+        assert_eq!(out, 42);
+    }
+}

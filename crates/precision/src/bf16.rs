@@ -1,0 +1,193 @@
+//! BFLOAT16 (1 sign, 8 exponent, 7 mantissa bits).
+//!
+//! BF16 keeps the full FP32 exponent range — the property that lets DLRM
+//! train with the default SGD optimizer where FP16 fails (not enough range /
+//! mantissa interplay, cf. the paper's introduction).
+
+use crate::Rounding;
+
+/// A BFLOAT16 value stored as its raw 16-bit pattern.
+///
+/// The bit pattern is exactly the upper half of the corresponding FP32
+/// value, so widening is a 16-bit left shift and narrowing (with truncation)
+/// is a 16-bit right shift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(transparent)]
+pub struct Bf16(pub u16);
+
+impl Bf16 {
+    /// Positive zero.
+    pub const ZERO: Bf16 = Bf16(0);
+    /// One.
+    pub const ONE: Bf16 = Bf16(0x3F80);
+    /// Machine epsilon: 2^-7.
+    pub const EPSILON: Bf16 = Bf16(0x3C00);
+
+    /// Converts from FP32 with the given rounding mode.
+    #[inline]
+    pub fn from_f32(x: f32, mode: Rounding) -> Bf16 {
+        let bits = x.to_bits();
+        match mode {
+            Rounding::Truncate => Bf16((bits >> 16) as u16),
+            Rounding::NearestEven => {
+                if x.is_nan() {
+                    // Quiet the NaN, keep payload MSBs: avoids producing an
+                    // infinity from a signalling-NaN pattern during rounding.
+                    return Bf16(((bits >> 16) | 0x0040) as u16);
+                }
+                // Round-to-nearest-even on the 16 discarded bits.
+                let lsb = (bits >> 16) & 1;
+                let rounded = bits.wrapping_add(0x7FFF + lsb);
+                Bf16((rounded >> 16) as u16)
+            }
+        }
+    }
+
+    /// Converts from FP32 with round-to-nearest-even (the common path).
+    #[inline]
+    pub fn from_f32_rne(x: f32) -> Bf16 {
+        Bf16::from_f32(x, Rounding::NearestEven)
+    }
+
+    /// Widens to FP32 (exact: BF16 values are a subset of FP32).
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+
+    /// Raw bit pattern.
+    #[inline]
+    pub fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Builds from a raw bit pattern.
+    #[inline]
+    pub fn from_bits(bits: u16) -> Bf16 {
+        Bf16(bits)
+    }
+}
+
+/// Narrows a whole FP32 slice into BF16 with round-to-nearest-even.
+pub fn narrow_slice(src: &[f32], dst: &mut [Bf16]) {
+    assert_eq!(src.len(), dst.len());
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = Bf16::from_f32_rne(s);
+    }
+}
+
+/// Widens a whole BF16 slice into FP32.
+pub fn widen_slice(src: &[Bf16], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len());
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = s.to_f32();
+    }
+}
+
+/// The quantization applied to every value that passes through BF16 storage:
+/// `f32 -> bf16 -> f32`. Exposed because the emulated-BF16 training path
+/// applies it tensor-wide between layers.
+#[inline]
+pub fn quantize_f32(x: f32) -> f32 {
+    Bf16::from_f32_rne(x).to_f32()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_round_trip() {
+        let big = 2.0f32.powi(100); // power of two: exact in bf16
+        for &v in &[0.0f32, 1.0, -1.0, 0.5, -0.5, 2.0, 256.0, big, -1.0 / big] {
+            let b = Bf16::from_f32_rne(v);
+            assert_eq!(b.to_f32(), v, "value {v} should be exactly representable");
+        }
+    }
+
+    #[test]
+    fn aliases_upper_half_of_f32() {
+        let x = 1.2345678f32;
+        let b = Bf16::from_f32(x, Rounding::Truncate);
+        assert_eq!(b.to_bits(), (x.to_bits() >> 16) as u16);
+        // Widen: lower half zeroed.
+        assert_eq!(b.to_f32().to_bits() & 0xFFFF, 0);
+        assert_eq!(b.to_f32().to_bits() >> 16, b.to_bits() as u32);
+    }
+
+    #[test]
+    fn rne_rounds_to_nearest() {
+        // 1.0 + 2^-8 is exactly halfway between bf16(1.0) and bf16(1.0+2^-7);
+        // nearest-even must choose 1.0 (even mantissa).
+        let halfway = 1.0 + 2.0f32.powi(-8);
+        assert_eq!(Bf16::from_f32_rne(halfway).to_f32(), 1.0);
+        // Just above halfway rounds up.
+        let above = 1.0 + 2.0f32.powi(-8) + 2.0f32.powi(-12);
+        assert_eq!(Bf16::from_f32_rne(above).to_f32(), 1.0 + 2.0f32.powi(-7));
+        // Odd-mantissa halfway rounds up to even.
+        let odd_halfway = 1.0 + 2.0f32.powi(-7) + 2.0f32.powi(-8);
+        assert_eq!(
+            Bf16::from_f32_rne(odd_halfway).to_f32(),
+            1.0 + 2.0f32.powi(-6)
+        );
+    }
+
+    #[test]
+    fn truncate_vs_rne_differ() {
+        let x = 1.0 + 2.0f32.powi(-8) + 2.0f32.powi(-9);
+        assert_eq!(Bf16::from_f32(x, Rounding::Truncate).to_f32(), 1.0);
+        assert_eq!(Bf16::from_f32_rne(x).to_f32(), 1.0 + 2.0f32.powi(-7));
+    }
+
+    #[test]
+    fn error_bound_is_half_ulp() {
+        // For values in [1, 2), ULP = 2^-7, so RNE error <= 2^-8.
+        let mut x = 1.0f32;
+        while x < 2.0 {
+            let err = (quantize_f32(x) - x).abs();
+            assert!(err <= 2.0f32.powi(-8), "x={x} err={err}");
+            x += 0.000317;
+        }
+    }
+
+    #[test]
+    fn specials_preserved() {
+        assert_eq!(Bf16::from_f32_rne(f32::INFINITY).to_f32(), f32::INFINITY);
+        assert_eq!(
+            Bf16::from_f32_rne(f32::NEG_INFINITY).to_f32(),
+            f32::NEG_INFINITY
+        );
+        assert!(Bf16::from_f32_rne(f32::NAN).to_f32().is_nan());
+        // Signed zero.
+        assert_eq!(Bf16::from_f32_rne(-0.0).to_bits(), 0x8000);
+    }
+
+    #[test]
+    fn rne_never_turns_finite_into_nan() {
+        // Near-overflow values round to infinity, not NaN.
+        let big = f32::from_bits(0x7F7F_FFFF); // max finite f32
+        let b = Bf16::from_f32_rne(big);
+        assert_eq!(b.to_f32(), f32::INFINITY);
+    }
+
+    #[test]
+    fn slice_helpers_round_trip() {
+        let src: Vec<f32> = (0..100).map(|i| (i as f32 - 50.0) * 0.25).collect();
+        let mut b = vec![Bf16::ZERO; 100];
+        narrow_slice(&src, &mut b);
+        let mut back = vec![0.0f32; 100];
+        widen_slice(&b, &mut back);
+        // quarters up to 12.5 are exactly representable in bf16? Not all are;
+        // check against elementwise quantize instead.
+        for (i, &x) in src.iter().enumerate() {
+            assert_eq!(back[i], quantize_f32(x));
+        }
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(Bf16::ONE.to_f32(), 1.0);
+        assert_eq!(Bf16::ZERO.to_f32(), 0.0);
+        assert_eq!(Bf16::EPSILON.to_f32(), 2.0f32.powi(-7));
+    }
+}

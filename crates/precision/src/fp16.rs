@@ -1,0 +1,272 @@
+//! IEEE-754 half precision (1 sign, 5 exponent, 10 mantissa bits) with
+//! optional stochastic rounding.
+//!
+//! The paper could *not* train DLRM with FP16 + default SGD: unlike BF16,
+//! FP16 trades exponent range for mantissa, so embedding gradients (tiny,
+//! after the `1/N` loss scaling) underflow and large activations overflow.
+//! It also reports that replicating "training with low-precision embedding
+//! tables" (Zhang et al. — FP16 embeddings with stochastic quantization)
+//! failed to reach state-of-the-art on DLRM. This module provides the
+//! bit-accurate FP16 type and stochastic rounding needed to reproduce that
+//! negative result.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// An IEEE-754 binary16 value stored as its raw bit pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(transparent)]
+pub struct Fp16(pub u16);
+
+const MAN_BITS: u32 = 10;
+const EXP_BIAS: i32 = 15;
+/// Largest finite f16 value (65504).
+pub const FP16_MAX: f32 = 65504.0;
+/// Smallest positive normal f16 (2^-14).
+pub const FP16_MIN_NORMAL: f32 = 6.103_515_6e-5;
+
+impl Fp16 {
+    /// Converts from FP32 with round-to-nearest-even, IEEE semantics
+    /// (overflow → ±inf, subnormal support, NaN preserved).
+    pub fn from_f32_rne(x: f32) -> Fp16 {
+        Fp16(f32_to_f16_bits_rne(x))
+    }
+
+    /// Converts from FP32 with *stochastic rounding*: rounds up with
+    /// probability proportional to the discarded fraction, giving unbiased
+    /// quantization in expectation (the scheme of the low-precision
+    /// embedding-table work the paper tried to replicate).
+    pub fn from_f32_stochastic(x: f32, rng: &mut StdRng) -> Fp16 {
+        if !x.is_finite() {
+            return Fp16::from_f32_rne(x);
+        }
+        let down = f32_to_f16_bits_trunc(x);
+        let lo = f16_bits_to_f32(down);
+        if lo == x {
+            return Fp16(down);
+        }
+        // Next representable toward the sign direction of x.
+        let up = down.wrapping_add(1);
+        let hi = f16_bits_to_f32(up);
+        if !hi.is_finite() {
+            return Fp16(down);
+        }
+        let frac = ((x - lo) / (hi - lo)).clamp(0.0, 1.0);
+        if rng.gen_range(0.0f32..1.0) < frac {
+            Fp16(up)
+        } else {
+            Fp16(down)
+        }
+    }
+
+    /// Widens to FP32 (exact).
+    pub fn to_f32(self) -> f32 {
+        f16_bits_to_f32(self.0)
+    }
+}
+
+/// `f32 -> f16 -> f32` with round-to-nearest-even.
+pub fn quantize_f32(x: f32) -> f32 {
+    Fp16::from_f32_rne(x).to_f32()
+}
+
+/// `f32 -> f16 -> f32` with stochastic rounding.
+pub fn quantize_f32_stochastic(x: f32, rng: &mut StdRng) -> f32 {
+    Fp16::from_f32_stochastic(x, rng).to_f32()
+}
+
+fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h >> 15) & 1) as u32;
+    let exp = ((h >> MAN_BITS) & 0x1F) as u32;
+    let man = (h & 0x3FF) as u32;
+    let bits = if exp == 0 {
+        if man == 0 {
+            sign << 31 // signed zero
+        } else {
+            // Subnormal: value = man * 2^-24.
+            let v = man as f32 * 2.0f32.powi(-24);
+            return if sign == 1 { -v } else { v };
+        }
+    } else if exp == 0x1F {
+        (sign << 31) | 0x7F80_0000 | (man << 13) // inf / NaN
+    } else {
+        let e32 = exp as i32 - EXP_BIAS + 127;
+        (sign << 31) | ((e32 as u32) << 23) | (man << 13)
+    };
+    f32::from_bits(bits)
+}
+
+/// Round-to-nearest-even f32 -> f16 bit conversion.
+fn f32_to_f16_bits_rne(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 31) & 1) as u16;
+    let abs = bits & 0x7FFF_FFFF;
+    if abs >= 0x7F80_0000 {
+        // Inf or NaN.
+        let man = if abs > 0x7F80_0000 { 0x200 } else { 0 };
+        return (sign << 15) | 0x7C00 | man;
+    }
+    let e32 = ((abs >> 23) as i32) - 127;
+    if e32 > 15 {
+        // Overflow (or would round to overflow) -> inf.
+        // Check the exact boundary: values >= 65520 round to inf.
+        return if x.abs() >= 65520.0 {
+            (sign << 15) | 0x7C00
+        } else {
+            (sign << 15) | 0x7BFF
+        };
+    }
+    if e32 >= -14 {
+        // Normal range: keep 10 mantissa bits, RNE on the 13 dropped.
+        let man32 = abs & 0x7F_FFFF;
+        let mut h = ((e32 + EXP_BIAS) as u32) << MAN_BITS | (man32 >> 13);
+        let rem = man32 & 0x1FFF;
+        let half = 0x1000;
+        if rem > half || (rem == half && (h & 1) == 1) {
+            h += 1; // carries ripple correctly into the exponent
+        }
+        (sign << 15) | h as u16
+    } else if e32 >= -25 {
+        // Subnormal: value = round(|x| / 2^-24).
+        let scaled = x.abs() * 2.0f32.powi(24);
+        let mut q = scaled as u32;
+        let rem = scaled - q as f32;
+        if rem > 0.5 || (rem == 0.5 && q % 2 == 1) {
+            q += 1;
+        }
+        (sign << 15) | q.min(0x3FF + 1) as u16
+    } else {
+        sign << 15 // underflow to zero
+    }
+}
+
+/// Truncate-toward-zero f32 -> f16 bit conversion (floor of |x| on the f16
+/// grid) — the "down" neighbour for stochastic rounding.
+fn f32_to_f16_bits_trunc(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 31) & 1) as u16;
+    let abs = bits & 0x7FFF_FFFF;
+    if abs >= 0x7F80_0000 {
+        return f32_to_f16_bits_rne(x);
+    }
+    if x.abs() >= FP16_MAX {
+        return (sign << 15) | 0x7BFF;
+    }
+    let e32 = ((abs >> 23) as i32) - 127;
+    if e32 >= -14 {
+        let man32 = abs & 0x7F_FFFF;
+        let h = ((e32 + EXP_BIAS) as u32) << MAN_BITS | (man32 >> 13);
+        (sign << 15) | h as u16
+    } else if e32 >= -25 {
+        let q = (x.abs() * 2.0f32.powi(24)) as u32;
+        (sign << 15) | q.min(0x3FF) as u16
+    } else {
+        sign << 15
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrm_tensor_free::seeded_rng;
+
+    /// Avoid a dev-dependency cycle: minimal local seeded rng.
+    mod dlrm_tensor_free {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        pub fn seeded_rng(seed: u64) -> StdRng {
+            StdRng::seed_from_u64(seed)
+        }
+    }
+
+    #[test]
+    fn exact_values_round_trip() {
+        for &v in &[0.0f32, 1.0, -1.0, 0.5, 2.0, 1024.0, 65504.0, -0.125] {
+            assert_eq!(quantize_f32(v), v, "{v}");
+        }
+    }
+
+    #[test]
+    fn range_is_tiny_compared_to_bf16() {
+        // The paper's core argument against FP16: range.
+        assert_eq!(quantize_f32(1.0e5), f32::INFINITY, "overflows at 1e5");
+        assert_eq!(quantize_f32(1.0e-9), 0.0, "underflows at 1e-9");
+        // BF16 handles both fine.
+        assert!(crate::bf16::quantize_f32(1.0e5).is_finite());
+        assert!(crate::bf16::quantize_f32(1.0e-9) != 0.0);
+    }
+
+    #[test]
+    fn rne_is_nearest() {
+        // 1 + 2^-11 is halfway between 1.0 and 1+2^-10: rounds to even (1.0).
+        assert_eq!(quantize_f32(1.0 + 2.0f32.powi(-11)), 1.0);
+        let above = 1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-14);
+        assert_eq!(quantize_f32(above), 1.0 + 2.0f32.powi(-10));
+    }
+
+    #[test]
+    fn subnormals_work() {
+        let tiny = 2.0f32.powi(-24); // smallest positive f16 subnormal
+        assert_eq!(quantize_f32(tiny), tiny);
+        assert_eq!(quantize_f32(3.5 * tiny), 4.0 * tiny); // RNE on the grid
+        assert_eq!(quantize_f32(-tiny), -tiny);
+    }
+
+    #[test]
+    fn specials() {
+        assert_eq!(quantize_f32(f32::INFINITY), f32::INFINITY);
+        assert!(quantize_f32(f32::NAN).is_nan());
+        assert_eq!(Fp16::from_f32_rne(-0.0).to_f32().to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn stochastic_rounding_is_unbiased() {
+        // Quantize 1 + 0.3*ulp many times; mean must approach 1 + 0.3*ulp.
+        let ulp = 2.0f32.powi(-10);
+        let x = 1.0 + 0.3 * ulp;
+        let mut rng = seeded_rng(9);
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| quantize_f32_stochastic(x, &mut rng) as f64)
+            .sum::<f64>()
+            / n as f64;
+        let err = (mean - x as f64).abs();
+        assert!(err < 0.02 * ulp as f64, "bias {err} vs ulp {ulp}");
+        // Whereas RNE always rounds this value down.
+        assert_eq!(quantize_f32(x), 1.0);
+    }
+
+    #[test]
+    fn stochastic_only_picks_neighbours() {
+        let mut rng = seeded_rng(10);
+        let x = 0.123456f32;
+        let lo = f16_bits_to_f32(f32_to_f16_bits_trunc(x));
+        let hi = f16_bits_to_f32(f32_to_f16_bits_trunc(x).wrapping_add(1));
+        for _ in 0..200 {
+            let q = quantize_f32_stochastic(x, &mut rng);
+            assert!(q == lo || q == hi, "{q} not in {{{lo}, {hi}}}");
+        }
+    }
+
+    #[test]
+    fn stochastic_exact_values_stay_exact() {
+        let mut rng = seeded_rng(11);
+        for _ in 0..50 {
+            assert_eq!(quantize_f32_stochastic(0.25, &mut rng), 0.25);
+        }
+    }
+
+    #[test]
+    fn widen_matches_reference_for_all_f16_bit_patterns() {
+        // Exhaustive: every finite f16 round-trips f16 -> f32 -> f16.
+        for bits in 0..=u16::MAX {
+            let exp = (bits >> 10) & 0x1F;
+            if exp == 0x1F {
+                continue; // inf/NaN
+            }
+            let f = f16_bits_to_f32(bits);
+            let back = f32_to_f16_bits_rne(f);
+            assert_eq!(back, bits, "bits {bits:#06x} -> {f} -> {back:#06x}");
+        }
+    }
+}

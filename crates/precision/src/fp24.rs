@@ -1,0 +1,107 @@
+//! FP24 (1 sign, 8 exponent, 15 mantissa bits) — the "BF16 + 8 LSBs" format
+//! of Figure 16.
+//!
+//! The paper evaluates this format as the third convergence curve ("FP24
+//! (1-8-15)") and also reports that keeping only 8 *additional* LSBs as
+//! optimizer state (i.e. updating in FP24 rather than FP32) is *not* enough
+//! to train DLRM to state-of-the-art accuracy. We reproduce both points.
+
+use crate::Rounding;
+
+/// An FP24 value stored as an FP32 bit pattern whose low 8 mantissa bits are
+/// zero.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(transparent)]
+pub struct Fp24(pub u32);
+
+/// Number of FP32 mantissa bits dropped by FP24.
+const DROP_BITS: u32 = 8;
+const DROP_MASK: u32 = (1 << DROP_BITS) - 1;
+
+impl Fp24 {
+    /// Converts from FP32 with the given rounding mode.
+    #[inline]
+    pub fn from_f32(x: f32, mode: Rounding) -> Fp24 {
+        let bits = x.to_bits();
+        match mode {
+            Rounding::Truncate => Fp24(bits & !DROP_MASK),
+            Rounding::NearestEven => {
+                if x.is_nan() {
+                    return Fp24((bits | 0x0040_0000) & !DROP_MASK);
+                }
+                let lsb = (bits >> DROP_BITS) & 1;
+                let rounded = bits.wrapping_add((DROP_MASK >> 1) + lsb);
+                Fp24(rounded & !DROP_MASK)
+            }
+        }
+    }
+
+    /// Converts from FP32 with round-to-nearest-even.
+    #[inline]
+    pub fn from_f32_rne(x: f32) -> Fp24 {
+        Fp24::from_f32(x, Rounding::NearestEven)
+    }
+
+    /// Widens to FP32 (exact).
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits(self.0)
+    }
+}
+
+/// `f32 -> fp24 -> f32` quantization with round-to-nearest-even.
+#[inline]
+pub fn quantize_f32(x: f32) -> f32 {
+    Fp24::from_f32_rne(x).to_f32()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_bits_are_cleared() {
+        let q = Fp24::from_f32_rne(std::f32::consts::PI);
+        assert_eq!(q.0 & DROP_MASK, 0);
+    }
+
+    #[test]
+    fn exact_values_survive() {
+        for &v in &[0.0f32, 1.0, -2.5, 1024.0, 2.0f32.powi(68) * 1.5] {
+            assert_eq!(quantize_f32(v), v);
+        }
+    }
+
+    #[test]
+    fn strictly_more_precise_than_bf16() {
+        // A value bf16 cannot represent but fp24 can: 1 + 2^-10.
+        let x = 1.0 + 2.0f32.powi(-10);
+        assert_eq!(quantize_f32(x), x);
+        assert_ne!(crate::bf16::quantize_f32(x), x);
+    }
+
+    #[test]
+    fn error_bound_is_half_ulp() {
+        // In [1, 2), fp24 ULP = 2^-15; RNE error <= 2^-16.
+        let mut x = 1.0f32;
+        while x < 2.0 {
+            let err = (quantize_f32(x) - x).abs();
+            assert!(err <= 2.0f32.powi(-16), "x={x} err={err}");
+            x += 0.000719;
+        }
+    }
+
+    #[test]
+    fn halfway_rounds_to_even() {
+        // 1.0 + 2^-16 is halfway between fp24(1.0) and the next value.
+        let halfway = 1.0 + 2.0f32.powi(-16);
+        assert_eq!(quantize_f32(halfway), 1.0);
+    }
+
+    #[test]
+    fn specials() {
+        assert_eq!(quantize_f32(f32::INFINITY), f32::INFINITY);
+        assert!(quantize_f32(f32::NAN).is_nan());
+        assert_eq!(Fp24::from_f32_rne(-0.0).to_f32().to_bits(), (-0.0f32).to_bits());
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the reduced-precision substrate.
+
+use dlrm_precision::bf16::{self, Bf16};
+use dlrm_precision::fp24::{self, Fp24};
+use dlrm_precision::split::{LoBits, SplitTensor};
+use dlrm_precision::Rounding;
+use proptest::prelude::*;
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    any::<f32>().prop_filter("finite", |x| x.is_finite())
+}
+
+proptest! {
+    #[test]
+    fn bf16_aliases_upper_half(x in finite_f32()) {
+        let b = Bf16::from_f32(x, Rounding::Truncate);
+        prop_assert_eq!(b.to_bits() as u32, x.to_bits() >> 16);
+        prop_assert_eq!(b.to_f32().to_bits(), x.to_bits() & 0xFFFF_0000);
+    }
+
+    #[test]
+    fn bf16_rne_is_idempotent(x in finite_f32()) {
+        let once = bf16::quantize_f32(x);
+        prop_assert_eq!(bf16::quantize_f32(once).to_bits(), once.to_bits());
+    }
+
+    #[test]
+    fn bf16_rne_is_nearest(x in -1.0e30f32..1.0e30) {
+        let q = bf16::quantize_f32(x);
+        if q.is_finite() {
+            // The truncated neighbour and its successor bracket x; RNE must
+            // pick whichever is closer (ties allowed either way here).
+            let lo = Bf16::from_f32(x, Rounding::Truncate).to_f32();
+            let hi = f32::from_bits(Bf16::from_f32(x, Rounding::Truncate).to_f32().to_bits().wrapping_add(1 << 16));
+            let d_q = (q as f64 - x as f64).abs();
+            let best = (lo as f64 - x as f64).abs().min((hi as f64 - x as f64).abs());
+            prop_assert!(d_q <= best + f64::EPSILON, "x={x} q={q} lo={lo} hi={hi}");
+        }
+    }
+
+    #[test]
+    fn bf16_monotone(a in -1.0e20f32..1.0e20, b in -1.0e20f32..1.0e20) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bf16::quantize_f32(lo) <= bf16::quantize_f32(hi));
+    }
+
+    #[test]
+    fn fp24_error_smaller_than_bf16(x in -1.0e20f32..1.0e20) {
+        let e24 = (fp24::quantize_f32(x) as f64 - x as f64).abs();
+        let e16 = (bf16::quantize_f32(x) as f64 - x as f64).abs();
+        prop_assert!(e24 <= e16, "x={x} fp24 err {e24} > bf16 err {e16}");
+    }
+
+    #[test]
+    fn fp24_preserves_sign_and_clears_bits(x in finite_f32()) {
+        let q = Fp24::from_f32_rne(x);
+        prop_assert_eq!(q.0 & 0xFF, 0);
+        if q.to_f32() != 0.0 {
+            prop_assert_eq!(q.to_f32().is_sign_negative(), x.is_sign_negative());
+        }
+    }
+
+    #[test]
+    fn split16_round_trip_exact(vals in prop::collection::vec(finite_f32(), 1..64)) {
+        let t = SplitTensor::from_f32(&vals, LoBits::Sixteen);
+        prop_assert_eq!(t.to_f32_full(), vals);
+    }
+
+    #[test]
+    fn split_sgd_equals_fp32_sgd(
+        init in prop::collection::vec(-10.0f32..10.0, 1..32),
+        grads in prop::collection::vec(-1.0f32..1.0, 1..32),
+        lr in 0.0001f32..0.5,
+    ) {
+        let n = init.len().min(grads.len());
+        let init = &init[..n];
+        let grads = &grads[..n];
+        let mut t = SplitTensor::from_f32(init, LoBits::Sixteen);
+        for _ in 0..10 {
+            t.sgd_step(grads, lr);
+        }
+        let mut w = init.to_vec();
+        for _ in 0..10 {
+            for (wi, &g) in w.iter_mut().zip(grads) {
+                *wi -= lr * g;
+            }
+        }
+        prop_assert_eq!(t.to_f32_full(), w);
+    }
+
+    #[test]
+    fn split_model_view_is_bf16_truncation(vals in prop::collection::vec(finite_f32(), 1..32)) {
+        let t = SplitTensor::from_f32(&vals, LoBits::Sixteen);
+        for (i, &v) in vals.iter().enumerate() {
+            prop_assert_eq!(t.model_value(i).to_bits(), v.to_bits() & 0xFFFF_0000);
+        }
+    }
+
+    #[test]
+    fn dot_bf16_close_to_f64(
+        pairs in prop::collection::vec((-4.0f32..4.0, -4.0f32..4.0), 0..64),
+    ) {
+        let a: Vec<Bf16> = pairs.iter().map(|&(x, _)| Bf16::from_f32_rne(x)).collect();
+        let b: Vec<Bf16> = pairs.iter().map(|&(_, y)| Bf16::from_f32_rne(y)).collect();
+        let got = dlrm_precision::dot::dot_bf16(&a, &b) as f64;
+        let want: f64 = a.iter().zip(&b)
+            .map(|(&x, &y)| x.to_f32() as f64 * y.to_f32() as f64)
+            .sum();
+        // f32 accumulation error grows with length; generous bound.
+        let bound = 1e-3 * (pairs.len() as f64 + 1.0);
+        prop_assert!((got - want).abs() <= bound, "got {got} want {want}");
+    }
+}

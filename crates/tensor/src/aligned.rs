@@ -1,0 +1,207 @@
+//! Cache-line-aligned `f32` storage.
+//!
+//! The embedding tables in DLRM are read a full row (several consecutive
+//! cache lines) at a time; the GEMM microkernels use wide SIMD loads.
+//! Both want storage aligned to the 64-byte cache-line boundary, which the
+//! global allocator does not guarantee for `Vec<f32>`.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::ops::{Deref, DerefMut};
+
+/// Alignment (bytes) of every [`AlignedVec`] allocation: one x86 cache line.
+pub const CACHE_LINE: usize = 64;
+
+/// A fixed-length, 64-byte-aligned, zero-initialized `f32` buffer.
+///
+/// Unlike `Vec<f32>` the length is fixed at construction; tensors in this
+/// workspace never grow in place. Dereferences to `[f32]`.
+pub struct AlignedVec {
+    ptr: *mut f32,
+    len: usize,
+}
+
+// SAFETY: AlignedVec owns its allocation exclusively; it is a plain buffer
+// of `f32` with no interior mutability, so moving it across threads or
+// sharing `&AlignedVec` between threads is sound.
+unsafe impl Send for AlignedVec {}
+unsafe impl Sync for AlignedVec {}
+
+impl AlignedVec {
+    /// Allocates a zeroed buffer of `len` floats aligned to [`CACHE_LINE`].
+    pub fn zeroed(len: usize) -> Self {
+        if len == 0 {
+            return Self {
+                ptr: std::ptr::NonNull::<f32>::dangling().as_ptr(),
+                len: 0,
+            };
+        }
+        let layout = Self::layout(len);
+        // SAFETY: layout has non-zero size (len > 0 checked above).
+        let raw = unsafe { alloc_zeroed(layout) };
+        if raw.is_null() {
+            handle_alloc_error(layout);
+        }
+        Self {
+            ptr: raw.cast::<f32>(),
+            len,
+        }
+    }
+
+    /// Builds an aligned buffer holding a copy of `data`.
+    pub fn from_slice(data: &[f32]) -> Self {
+        let mut v = Self::zeroed(data.len());
+        v.copy_from_slice(data);
+        v
+    }
+
+    /// Builds an aligned buffer from an element-producing closure.
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> f32) -> Self {
+        let mut v = Self::zeroed(len);
+        for (i, x) in v.iter_mut().enumerate() {
+            *x = f(i);
+        }
+        v
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the buffer holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Raw pointer to the first element (64-byte aligned).
+    #[inline]
+    pub fn as_ptr(&self) -> *const f32 {
+        self.ptr
+    }
+
+    /// Mutable raw pointer to the first element (64-byte aligned).
+    #[inline]
+    pub fn as_mut_ptr(&mut self) -> *mut f32 {
+        self.ptr
+    }
+
+    /// Resets every element to `0.0`.
+    pub fn fill_zero(&mut self) {
+        self.fill(0.0);
+    }
+
+    fn layout(len: usize) -> Layout {
+        Layout::from_size_align(len * std::mem::size_of::<f32>(), CACHE_LINE)
+            .expect("AlignedVec layout overflow")
+    }
+}
+
+impl Drop for AlignedVec {
+    fn drop(&mut self) {
+        if self.len != 0 {
+            // SAFETY: ptr was allocated with exactly this layout in `zeroed`.
+            unsafe { dealloc(self.ptr.cast(), Self::layout(self.len)) };
+        }
+    }
+}
+
+impl Deref for AlignedVec {
+    type Target = [f32];
+    #[inline]
+    fn deref(&self) -> &[f32] {
+        // SAFETY: ptr is valid for len f32s for the lifetime of self.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl DerefMut for AlignedVec {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [f32] {
+        // SAFETY: ptr is valid for len f32s and we hold &mut self.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
+    }
+}
+
+impl Clone for AlignedVec {
+    fn clone(&self) -> Self {
+        Self::from_slice(self)
+    }
+}
+
+impl std::fmt::Debug for AlignedVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AlignedVec(len={})", self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_is_zero_and_aligned() {
+        let v = AlignedVec::zeroed(1027);
+        assert_eq!(v.len(), 1027);
+        assert!(v.iter().all(|&x| x == 0.0));
+        assert_eq!(v.as_ptr() as usize % CACHE_LINE, 0);
+    }
+
+    #[test]
+    fn empty_buffer_is_usable() {
+        let v = AlignedVec::zeroed(0);
+        assert!(v.is_empty());
+        assert_eq!(&v[..], &[] as &[f32]);
+        let _ = v.clone();
+    }
+
+    #[test]
+    fn from_slice_round_trips() {
+        let data: Vec<f32> = (0..257).map(|i| i as f32 * 0.5).collect();
+        let v = AlignedVec::from_slice(&data);
+        assert_eq!(&v[..], &data[..]);
+    }
+
+    #[test]
+    fn from_fn_fills_in_order() {
+        let v = AlignedVec::from_fn(8, |i| (i * i) as f32);
+        assert_eq!(&v[..], &[0.0, 1.0, 4.0, 9.0, 16.0, 25.0, 36.0, 49.0]);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a = AlignedVec::from_slice(&[1.0, 2.0]);
+        let b = a.clone();
+        a[0] = 7.0;
+        assert_eq!(b[0], 1.0);
+    }
+
+    #[test]
+    fn fill_zero_clears() {
+        let mut v = AlignedVec::from_slice(&[3.0; 33]);
+        v.fill_zero();
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn mutation_through_index() {
+        let mut v = AlignedVec::zeroed(4);
+        v[2] = 5.5;
+        assert_eq!(v[2], 5.5);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let v = std::sync::Arc::new(AlignedVec::from_fn(1024, |i| i as f32));
+        let mut handles = vec![];
+        for t in 0..4 {
+            let v = v.clone();
+            handles.push(std::thread::spawn(move || {
+                v.iter().skip(t).step_by(4).sum::<f32>()
+            }));
+        }
+        let total: f32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, (0..1024).sum::<i32>() as f32);
+    }
+}

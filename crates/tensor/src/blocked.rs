@@ -1,0 +1,357 @@
+//! Blocked 4-D tensor layouts of Algorithm 5 in the paper.
+//!
+//! A fully-connected layer computes `Y = W · X` with `W ∈ R^{K×C}`,
+//! `X ∈ R^{C×N}`, `Y ∈ R^{K×N}`. Instead of flat row-major 2-D tensors, the
+//! paper blocks every dimension:
+//!
+//! * weights: `W[Kb][Cb][bc][bk]` with `K = Kb·bk`, `C = Cb·bc`
+//! * activations (and outputs): `X[Cb][Nb][bn][bc]`, `Y[Kb][Nb][bn][bk]`
+//!
+//! The innermost `[bn][bc]` / `[bc][bk]` panels are the operands of the
+//! batch-reduce GEMM microkernel; blocking the leading dimensions avoids the
+//! large power-of-two strides that cause TLB misses and cache-conflict
+//! misses. Note the activation layout is the `[Cb][Nb][bn][bc]` variant the
+//! paper chose (instead of `[Nb][Cb][bn][bc]` of prior work) because it makes
+//! the backward-by-weights pass symmetric with the forward pass.
+
+use crate::aligned::AlignedVec;
+use crate::matrix::Matrix;
+
+/// Blocking factors for one fully-connected layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Blocking {
+    /// Minibatch block size (`bn`).
+    pub bn: usize,
+    /// Input-feature block size (`bc`).
+    pub bc: usize,
+    /// Output-feature block size (`bk`).
+    pub bk: usize,
+}
+
+impl Blocking {
+    /// The default blocking used by the optimized MLP kernels: panels sized
+    /// so that a `bn×bk` accumulator fits comfortably in registers/L1 and
+    /// `bk` is a multiple of the 16-lane AVX-512 vector width.
+    pub const DEFAULT: Blocking = Blocking {
+        bn: 32,
+        bc: 64,
+        bk: 64,
+    };
+
+    /// Chooses a blocking that divides the given problem exactly, starting
+    /// from [`Blocking::DEFAULT`] and shrinking each factor to the largest
+    /// divisor of the corresponding dimension.
+    pub fn for_shape(n: usize, c: usize, k: usize) -> Blocking {
+        Blocking {
+            bn: largest_divisor_at_most(n, Blocking::DEFAULT.bn),
+            bc: largest_divisor_at_most(c, Blocking::DEFAULT.bc),
+            bk: largest_divisor_at_most(k, Blocking::DEFAULT.bk),
+        }
+    }
+}
+
+/// Largest divisor of `n` that is `<= cap` (always >= 1 for n >= 1).
+pub fn largest_divisor_at_most(n: usize, cap: usize) -> usize {
+    assert!(n >= 1, "dimension must be positive");
+    let mut best = 1;
+    let mut d = 1;
+    while d <= cap && d <= n {
+        if n.is_multiple_of(d) {
+            best = d;
+        }
+        d += 1;
+    }
+    best
+}
+
+/// Weight tensor in `[Kb][Cb][bc][bk]` layout.
+pub struct BlockedWeights {
+    data: AlignedVec,
+    /// Output features.
+    pub k: usize,
+    /// Input features.
+    pub c: usize,
+    /// Blocking factors (`bn` unused here).
+    pub blk: Blocking,
+}
+
+impl BlockedWeights {
+    /// Number of K blocks.
+    #[inline]
+    pub fn kb(&self) -> usize {
+        self.k / self.blk.bk
+    }
+
+    /// Number of C blocks.
+    #[inline]
+    pub fn cb(&self) -> usize {
+        self.c / self.blk.bc
+    }
+
+    /// Zero-initialized blocked weight tensor.
+    ///
+    /// # Panics
+    /// Panics unless `bk | k` and `bc | c`.
+    pub fn zeros(k: usize, c: usize, blk: Blocking) -> Self {
+        assert_eq!(k % blk.bk, 0, "bk must divide K");
+        assert_eq!(c % blk.bc, 0, "bc must divide C");
+        Self {
+            data: AlignedVec::zeroed(k * c),
+            k,
+            c,
+            blk,
+        }
+    }
+
+    /// Packs a row-major `K×C` matrix into blocked layout.
+    pub fn pack(w: &Matrix, blk: Blocking) -> Self {
+        let (k, c) = w.shape();
+        let mut out = Self::zeros(k, c, blk);
+        for kk in 0..k {
+            for cc in 0..c {
+                let idx = out.index_of(kk, cc);
+                out.data[idx] = w[(kk, cc)];
+            }
+        }
+        out
+    }
+
+    /// Unpacks back to a row-major `K×C` matrix.
+    pub fn unpack(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.k, self.c);
+        for kk in 0..self.k {
+            for cc in 0..self.c {
+                m[(kk, cc)] = self.data[self.index_of(kk, cc)];
+            }
+        }
+        m
+    }
+
+    /// Flat offset of logical element `W[k][c]`.
+    ///
+    /// Layout: `[Kb][Cb][bc][bk]` — within a block, `bc` is the slow axis and
+    /// `bk` the contiguous one, so the microkernel's B-broadcast/A-vector
+    /// FMA reads unit-stride along `bk`.
+    #[inline]
+    pub fn index_of(&self, k: usize, c: usize) -> usize {
+        let Blocking { bc, bk, .. } = self.blk;
+        let (ibk, rk) = (k / bk, k % bk);
+        let (ibc, rc) = (c / bc, c % bc);
+        ((ibk * self.cb() + ibc) * bc + rc) * bk + rk
+    }
+
+    /// Borrow of the `(ibk, ibc)` panel: `bc·bk` floats, `[bc][bk]` row-major.
+    #[inline]
+    pub fn block(&self, ibk: usize, ibc: usize) -> &[f32] {
+        let Blocking { bc, bk, .. } = self.blk;
+        let start = (ibk * self.cb() + ibc) * bc * bk;
+        &self.data[start..start + bc * bk]
+    }
+
+    /// Mutable borrow of the `(ibk, ibc)` panel.
+    #[inline]
+    pub fn block_mut(&mut self, ibk: usize, ibc: usize) -> &mut [f32] {
+        let Blocking { bc, bk, .. } = self.blk;
+        let start = (ibk * self.cb() + ibc) * bc * bk;
+        &mut self.data[start..start + bc * bk]
+    }
+
+    /// Full backing storage (block-major order).
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable full backing storage (block-major order).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+}
+
+/// Activation tensor in `[Cb][Nb][bn][bc]` layout (logical shape `C×N`).
+///
+/// Also used for outputs, which are `[Kb][Nb][bn][bk]`: identical structure
+/// with `(k, bk)` in place of `(c, bc)`.
+pub struct BlockedActivations {
+    data: AlignedVec,
+    /// Feature dimension (C for inputs, K for outputs).
+    pub c: usize,
+    /// Minibatch dimension.
+    pub n: usize,
+    /// Feature block size (`bc` for inputs, `bk` for outputs).
+    pub bc: usize,
+    /// Minibatch block size.
+    pub bn: usize,
+}
+
+impl BlockedActivations {
+    /// Number of feature blocks.
+    #[inline]
+    pub fn cb(&self) -> usize {
+        self.c / self.bc
+    }
+
+    /// Number of minibatch blocks.
+    #[inline]
+    pub fn nb(&self) -> usize {
+        self.n / self.bn
+    }
+
+    /// Zero-initialized blocked activation tensor.
+    ///
+    /// # Panics
+    /// Panics unless `bc | c` and `bn | n`.
+    pub fn zeros(c: usize, n: usize, bc: usize, bn: usize) -> Self {
+        assert_eq!(c % bc, 0, "bc must divide C");
+        assert_eq!(n % bn, 0, "bn must divide N");
+        Self {
+            data: AlignedVec::zeroed(c * n),
+            c,
+            n,
+            bc,
+            bn,
+        }
+    }
+
+    /// Packs a row-major `C×N` matrix into blocked layout.
+    pub fn pack(x: &Matrix, bc: usize, bn: usize) -> Self {
+        let (c, n) = x.shape();
+        let mut out = Self::zeros(c, n, bc, bn);
+        for cc in 0..c {
+            for nn in 0..n {
+                let idx = out.index_of(cc, nn);
+                out.data[idx] = x[(cc, nn)];
+            }
+        }
+        out
+    }
+
+    /// Unpacks back to a row-major `C×N` matrix.
+    pub fn unpack(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.c, self.n);
+        for cc in 0..self.c {
+            for nn in 0..self.n {
+                m[(cc, nn)] = self.data[self.index_of(cc, nn)];
+            }
+        }
+        m
+    }
+
+    /// Flat offset of logical element `X[c][n]`.
+    #[inline]
+    pub fn index_of(&self, c: usize, n: usize) -> usize {
+        let (ibc, rc) = (c / self.bc, c % self.bc);
+        let (ibn, rn) = (n / self.bn, n % self.bn);
+        ((ibc * self.nb() + ibn) * self.bn + rn) * self.bc + rc
+    }
+
+    /// Borrow of the `(ibc, ibn)` panel: `bn·bc` floats, `[bn][bc]` row-major.
+    #[inline]
+    pub fn block(&self, ibc: usize, ibn: usize) -> &[f32] {
+        let start = (ibc * self.nb() + ibn) * self.bn * self.bc;
+        &self.data[start..start + self.bn * self.bc]
+    }
+
+    /// Mutable borrow of the `(ibc, ibn)` panel.
+    #[inline]
+    pub fn block_mut(&mut self, ibc: usize, ibn: usize) -> &mut [f32] {
+        let start = (ibc * self.nb() + ibn) * self.bn * self.bc;
+        &mut self.data[start..start + self.bn * self.bc]
+    }
+
+    /// Raw pointer to the `(ibc, ibn)` panel — used by the multithreaded
+    /// kernels that partition panels across a thread team.
+    #[inline]
+    pub fn block_ptr(&self, ibc: usize, ibn: usize) -> *const f32 {
+        self.block(ibc, ibn).as_ptr()
+    }
+
+    /// Full backing storage (block-major order).
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable full backing storage (block-major order).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divisor_helper() {
+        assert_eq!(largest_divisor_at_most(1024, 64), 64);
+        assert_eq!(largest_divisor_at_most(100, 64), 50);
+        assert_eq!(largest_divisor_at_most(7, 4), 1);
+        assert_eq!(largest_divisor_at_most(6, 6), 6);
+    }
+
+    #[test]
+    fn blocking_for_shape_divides() {
+        let b = Blocking::for_shape(1008, 1024, 4096);
+        assert_eq!(1008 % b.bn, 0);
+        assert_eq!(1024 % b.bc, 0);
+        assert_eq!(4096 % b.bk, 0);
+        assert!(b.bn <= 32 && b.bc <= 64 && b.bk <= 64);
+    }
+
+    #[test]
+    fn weights_pack_unpack_round_trip() {
+        let w = Matrix::from_fn(8, 12, |r, c| (r * 100 + c) as f32);
+        let blk = Blocking { bn: 2, bc: 4, bk: 4 };
+        let bw = BlockedWeights::pack(&w, blk);
+        assert_eq!(bw.kb(), 2);
+        assert_eq!(bw.cb(), 3);
+        assert_eq!(bw.unpack().as_slice(), w.as_slice());
+    }
+
+    #[test]
+    fn weights_block_contents() {
+        let w = Matrix::from_fn(4, 4, |r, c| (r * 10 + c) as f32);
+        let blk = Blocking { bn: 1, bc: 2, bk: 2 };
+        let bw = BlockedWeights::pack(&w, blk);
+        // Block (ibk=1, ibc=0) covers k in {2,3}, c in {0,1}; layout [bc][bk].
+        let b = bw.block(1, 0);
+        assert_eq!(b, &[20.0, 30.0, 21.0, 31.0]);
+    }
+
+    #[test]
+    fn activations_pack_unpack_round_trip() {
+        let x = Matrix::from_fn(6, 8, |r, c| (r * 1000 + c) as f32);
+        let ba = BlockedActivations::pack(&x, 3, 4);
+        assert_eq!(ba.cb(), 2);
+        assert_eq!(ba.nb(), 2);
+        assert_eq!(ba.unpack().as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn activations_block_contents() {
+        let x = Matrix::from_fn(4, 4, |r, c| (r * 10 + c) as f32);
+        let ba = BlockedActivations::pack(&x, 2, 2);
+        // Block (ibc=0, ibn=1) covers c in {0,1}, n in {2,3}; layout [bn][bc].
+        let b = ba.block(0, 1);
+        assert_eq!(b, &[2.0, 12.0, 3.0, 13.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn weights_reject_non_dividing_blocking() {
+        let _ = BlockedWeights::zeros(10, 10, Blocking { bn: 1, bc: 3, bk: 2 });
+    }
+
+    #[test]
+    fn index_of_consistent_with_block_slices() {
+        let blk = Blocking { bn: 2, bc: 4, bk: 8 };
+        let bw = BlockedWeights::zeros(16, 8, blk);
+        // element (k=9, c=5) lives in block (ibk=1, ibc=1) at [rc=1][rk=1]
+        let flat = bw.index_of(9, 5);
+        let block_start = (bw.cb() + 1) * blk.bc * blk.bk;
+        assert_eq!(flat, block_start + blk.bk + 1);
+    }
+}

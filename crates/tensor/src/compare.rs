@@ -1,0 +1,78 @@
+//! Tolerant numeric comparison used by kernel-vs-reference tests.
+
+/// Maximum absolute elementwise difference between two slices.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "max_abs_diff length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y).abs())
+        .fold(0.0, f32::max)
+}
+
+/// Maximum elementwise relative difference `|x−y| / max(|x|, |y|, 1)`.
+///
+/// The `1` floor means values near zero are compared absolutely, which is the
+/// right behaviour for gradients that legitimately cancel to ~0.
+pub fn max_rel_diff(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "max_rel_diff length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y).abs() / x.abs().max(y.abs()).max(1.0))
+        .fold(0.0, f32::max)
+}
+
+/// Asserts elementwise closeness with a relative tolerance (absolute near 0).
+///
+/// # Panics
+/// Panics with the offending index, values and observed error on mismatch.
+pub fn assert_allclose(a: &[f32], b: &[f32], rtol: f32, what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+        let denom = x.abs().max(y.abs()).max(1.0);
+        let err = (x - y).abs() / denom;
+        assert!(
+            err <= rtol && x.is_finite() == y.is_finite(),
+            "{what}: mismatch at [{i}]: {x} vs {y} (rel err {err:.3e} > {rtol:.1e})"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abs_diff_basics() {
+        assert_eq!(max_abs_diff(&[1.0, 2.0], &[1.5, 2.0]), 0.5);
+        assert_eq!(max_abs_diff(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn rel_diff_uses_floor_near_zero() {
+        // 1e-6 vs 0: relative to max(|a|,|b|,1)=1 -> 1e-6, not 1.0.
+        assert!(max_rel_diff(&[1e-6], &[0.0]) < 1e-5);
+        // 100 vs 101 -> ~1%.
+        let d = max_rel_diff(&[100.0], &[101.0]);
+        assert!((d - 1.0 / 101.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn allclose_accepts_within_tolerance() {
+        assert_allclose(&[1.0, 1e-7], &[1.0000001, 0.0], 1e-5, "ok");
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch at [1]")]
+    fn allclose_reports_index() {
+        assert_allclose(&[1.0, 2.0], &[1.0, 3.0], 1e-5, "boom");
+    }
+
+    #[test]
+    #[should_panic]
+    fn allclose_rejects_nan_vs_finite() {
+        assert_allclose(&[f32::NAN], &[0.0], 1.0, "nan");
+    }
+}

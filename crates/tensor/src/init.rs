@@ -1,0 +1,93 @@
+//! Reproducible random initializers.
+//!
+//! All randomness in the workspace flows through explicitly seeded
+//! [`rand::rngs::StdRng`] instances so that every experiment (and the
+//! distributed-equals-single-process tests) is bit-reproducible.
+
+use crate::matrix::Matrix;
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Returns a deterministically seeded RNG; `stream` lets callers derive
+/// independent substreams from one experiment seed.
+pub fn seeded_rng(seed: u64, stream: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Xavier/Glorot uniform initialization for a `K×C` weight matrix:
+/// `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    let a = (6.0 / (rows + cols) as f64).sqrt() as f32;
+    uniform(rows, cols, -a, a, rng)
+}
+
+/// Uniform `U(lo, hi)` matrix.
+pub fn uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut StdRng) -> Matrix {
+    let dist = Uniform::new(lo, hi);
+    Matrix::from_fn(rows, cols, |_, _| dist.sample(rng))
+}
+
+/// Standard-normal matrix scaled by `std`.
+pub fn normal(rows: usize, cols: usize, std: f32, rng: &mut StdRng) -> Matrix {
+    // Box-Muller: avoids pulling in a distributions crate beyond `rand`.
+    Matrix::from_fn(rows, cols, |_, _| {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    })
+}
+
+/// Embedding-table initialization used by the DLRM reference code:
+/// `U(-1/sqrt(M), 1/sqrt(M))` for a table with `M` rows.
+pub fn embedding_table(m: usize, e: usize, rng: &mut StdRng) -> Matrix {
+    let a = (1.0 / (m as f64).sqrt()) as f32;
+    uniform(m, e, -a, a, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_reproducible() {
+        let a = uniform(4, 4, 0.0, 1.0, &mut seeded_rng(7, 0));
+        let b = uniform(4, 4, 0.0, 1.0, &mut seeded_rng(7, 0));
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let a = uniform(4, 4, 0.0, 1.0, &mut seeded_rng(7, 0));
+        let b = uniform(4, 4, 0.0, 1.0, &mut seeded_rng(7, 1));
+        assert_ne!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn xavier_bound_holds() {
+        let m = xavier_uniform(64, 64, &mut seeded_rng(1, 0));
+        let a = (6.0f64 / 128.0).sqrt() as f32;
+        assert!(m.as_slice().iter().all(|&x| x > -a && x < a));
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let m = normal(64, 64, 2.0, &mut seeded_rng(3, 0));
+        let n = m.len() as f64;
+        let mean = m.sum() / n;
+        let var = m
+            .as_slice()
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        assert!(mean.abs() < 0.15, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.6, "var {var}");
+    }
+
+    #[test]
+    fn embedding_table_bound() {
+        let t = embedding_table(100, 16, &mut seeded_rng(5, 0));
+        assert!(t.as_slice().iter().all(|&x| x.abs() <= 0.1));
+    }
+}

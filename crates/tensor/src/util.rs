@@ -1,0 +1,76 @@
+//! Small shared utilities: byte formatting and work partitioning.
+
+/// Formats a byte count with binary units ("1.5 GiB").
+pub fn format_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 6] = ["B", "KiB", "MiB", "GiB", "TiB", "PiB"];
+    let mut v = bytes as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u + 1 < UNITS.len() {
+        v /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{v:.2} {}", UNITS[u])
+    }
+}
+
+/// Splits `n` work items among `parts` workers the way the paper's
+/// race-free embedding update does: worker `i` owns the half-open range
+/// `[n·i/parts, n·(i+1)/parts)`. Every item is owned by exactly one worker
+/// and ranges differ in size by at most one.
+#[inline]
+pub fn partition_range(n: usize, parts: usize, i: usize) -> std::ops::Range<usize> {
+    debug_assert!(i < parts);
+    (n * i / parts)..(n * (i + 1) / parts)
+}
+
+/// Splits `0..n` into chunks of at most `chunk` items.
+pub fn chunks(n: usize, chunk: usize) -> impl Iterator<Item = std::ops::Range<usize>> {
+    assert!(chunk > 0);
+    (0..n.div_ceil(chunk)).map(move |i| (i * chunk)..((i + 1) * chunk).min(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_formatting() {
+        assert_eq!(format_bytes(512), "512 B");
+        assert_eq!(format_bytes(2048), "2.00 KiB");
+        assert_eq!(format_bytes(98 * 1024 * 1024 * 1024), "98.00 GiB");
+    }
+
+    #[test]
+    fn partition_covers_exactly_once() {
+        for n in [0usize, 1, 7, 100, 101] {
+            for parts in [1usize, 2, 3, 7, 28] {
+                let mut seen = vec![0u32; n];
+                for i in 0..parts {
+                    for j in partition_range(n, parts, i) {
+                        seen[j] += 1;
+                    }
+                }
+                assert!(seen.iter().all(|&c| c == 1), "n={n} parts={parts}");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_balanced() {
+        for i in 0..7 {
+            let r = partition_range(100, 7, i);
+            let len = r.end - r.start;
+            assert!((14..=15).contains(&len));
+        }
+    }
+
+    #[test]
+    fn chunks_cover_range() {
+        let collected: Vec<_> = chunks(10, 3).collect();
+        assert_eq!(collected, vec![0..3, 3..6, 6..9, 9..10]);
+        assert_eq!(chunks(0, 4).count(), 0);
+    }
+}

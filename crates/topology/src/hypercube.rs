@@ -1,0 +1,346 @@
+//! The 8-socket twisted-hypercube UPI fabric (Fig. 3, Inspur TS860M5).
+//!
+//! Each Platinum-series socket has 3 UPI links but 7 peers, so the sockets
+//! are wired as a *twisted* hypercube: a 3-cube with one dimension's links
+//! crossed. The twist shortens the worst-case distance from 3 hops (plain
+//! cube, antipodal) to 2 hops, balancing the communication paths — 3 peers
+//! at 1 hop, 4 peers at 2 hops from every socket.
+
+use crate::{bfs_hops, Bps, Interconnect, Seconds};
+
+/// Per-direction bandwidth of one UPI link (≈22 GB/s bidirectional per the
+/// paper; we model 22 GB/s usable for a one-way stream since DLRM's
+/// collectives are symmetric and keep both directions busy).
+pub const UPI_LINK_BPS: Bps = 22.0e9;
+
+/// UPI hop latency — sub-microsecond; 0.1 µs per hop.
+pub const UPI_HOP_LATENCY: Seconds = 0.1e-6;
+
+/// The 8-socket twisted hypercube.
+pub struct TwistedHypercube8 {
+    adj: Vec<Vec<usize>>,
+    hops: Vec<Vec<usize>>,
+}
+
+impl Default for TwistedHypercube8 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TwistedHypercube8 {
+    /// Builds the fabric with the canonical twisted wiring.
+    pub fn new() -> Self {
+        // Dimensions 0 and 1 are plain cube edges; dimension 2 is twisted:
+        // the (2,6)/(3,7) pair is crossed into (2,7)/(3,6).
+        let edges: [(usize, usize); 12] = [
+            (0, 1),
+            (2, 3),
+            (4, 5),
+            (6, 7), // dim 0
+            (0, 2),
+            (1, 3),
+            (4, 6),
+            (5, 7), // dim 1
+            (0, 4),
+            (1, 5),
+            (2, 7),
+            (3, 6), // dim 2, twisted
+        ];
+        let mut adj = vec![Vec::new(); 8];
+        for &(a, b) in &edges {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        let hops = (0..8).map(|s| bfs_hops(&adj, s)).collect();
+        TwistedHypercube8 { adj, hops }
+    }
+
+    /// Number of unique UPI links (12 — paper: "260 GB/s aggregated" at
+    /// 22 GB/s per link).
+    pub fn num_links(&self) -> usize {
+        self.adj.iter().map(|n| n.len()).sum::<usize>() / 2
+    }
+
+    /// Direct neighbours of a socket.
+    pub fn neighbors(&self, s: usize) -> &[usize] {
+        &self.adj[s]
+    }
+
+    /// Aggregate fabric bandwidth (all links, both directions counted once).
+    pub fn aggregate_bandwidth(&self) -> Bps {
+        self.num_links() as f64 * UPI_LINK_BPS
+    }
+
+    /// The deterministic shortest route `a → b` (lowest-numbered neighbour
+    /// first on ties), as the list of sockets visited including both ends.
+    pub fn route(&self, a: usize, b: usize) -> Vec<usize> {
+        let mut path = vec![a];
+        let mut cur = a;
+        while cur != b {
+            // Greedy step to any neighbour strictly closer to b.
+            let next = *self.adj[cur]
+                .iter()
+                .filter(|&&n| self.hops(n, b) < self.hops(cur, b))
+                .min()
+                .expect("connected fabric always has a closer neighbour");
+            path.push(next);
+            cur = next;
+        }
+        path
+    }
+
+    /// Directed per-link traffic of a uniform alltoall over the first
+    /// `ranks` sockets with this deterministic routing: how many (src, dst)
+    /// unit flows cross each physical link. The imbalance of this histogram
+    /// is why the generic pairwise schedule leaves UPI bandwidth on the
+    /// table beyond 4 sockets (Section VI-D3).
+    pub fn alltoall_link_loads(&self, ranks: usize) -> std::collections::BTreeMap<(usize, usize), u32> {
+        assert!((1..=8).contains(&ranks));
+        let mut loads = std::collections::BTreeMap::new();
+        for a in 0..ranks {
+            for b in 0..ranks {
+                if a == b {
+                    continue;
+                }
+                for hop in self.route(a, b).windows(2) {
+                    *loads.entry((hop[0], hop[1])).or_insert(0) += 1;
+                }
+            }
+        }
+        loads
+    }
+
+    /// Maximum directed-link load of the uniform alltoall (the congestion
+    /// bottleneck), in unit flows.
+    pub fn max_link_load(&self, ranks: usize) -> u32 {
+        self.alltoall_link_loads(ranks)
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl Interconnect for TwistedHypercube8 {
+    fn nranks(&self) -> usize {
+        8
+    }
+
+    fn hops(&self, a: usize, b: usize) -> usize {
+        self.hops[a][b]
+    }
+
+    fn latency(&self, a: usize, b: usize) -> Seconds {
+        self.hops(a, b) as f64 * UPI_HOP_LATENCY
+    }
+
+    fn path_bandwidth(&self, a: usize, b: usize) -> Bps {
+        if a == b {
+            f64::INFINITY
+        } else {
+            UPI_LINK_BPS
+        }
+    }
+
+    fn ring_bandwidth(&self, ranks: usize) -> Bps {
+        assert!((1..=8).contains(&ranks));
+        if ranks == 1 {
+            return f64::INFINITY;
+        }
+        // A ring embedded over socket ids 0..ranks traverses on average
+        // `avg_hops` physical links per logical hop; links shared by two
+        // logical hops halve the sustained rate.
+        let mut total_hops = 0usize;
+        for r in 0..ranks {
+            total_hops += self.hops(r, (r + 1) % ranks);
+        }
+        let avg = total_hops as f64 / ranks as f64;
+        UPI_LINK_BPS / avg.max(1.0)
+    }
+
+    fn alltoall_bandwidth(&self, ranks: usize) -> Bps {
+        assert!((1..=8).contains(&ranks));
+        if ranks == 1 {
+            return f64::INFINITY;
+        }
+        // Each socket injects through its min(ranks-1, 3) links; traffic to
+        // 2-hop peers crosses two links. The sustained per-rank rate is the
+        // injection capacity divided by the average path length, further
+        // degraded because the alltoall schedule is not tuned for the
+        // twisted wiring (Section VI-D3: "the alltoall implementation is
+        // not optimally tuned for twisted-hypercube connectivity").
+        let links = (ranks - 1).min(3) as f64;
+        let mut tot = 0usize;
+        let mut pairs = 0usize;
+        for a in 0..ranks {
+            for b in 0..ranks {
+                if a != b {
+                    tot += self.hops(a, b);
+                    pairs += 1;
+                }
+            }
+        }
+        let avg_hops = tot as f64 / pairs as f64;
+        const SCHEDULE_EFFICIENCY: f64 = 0.7;
+        // Beyond 4 sockets the pairwise schedule involves 2-hop partners
+        // whose forwarded traffic collides on shared links; the generic
+        // (non-topology-aware) schedule loses a further ~30% (Section
+        // VI-D3: the alltoall cost does not drop from 4 to 8 sockets).
+        let untuned = if ranks > 4 { 0.7 } else { 1.0 };
+        untuned * SCHEDULE_EFFICIENCY * links * UPI_LINK_BPS / avg_hops
+    }
+
+    fn name(&self) -> &str {
+        "8-socket twisted hypercube (UPI)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_socket_has_three_links() {
+        let t = TwistedHypercube8::new();
+        for s in 0..8 {
+            assert_eq!(t.neighbors(s).len(), 3, "socket {s}");
+        }
+        assert_eq!(t.num_links(), 12);
+    }
+
+    #[test]
+    fn aggregate_bandwidth_matches_paper() {
+        // Paper: "an aggregated system UPI bandwidth of 260 GB/s".
+        let t = TwistedHypercube8::new();
+        let gbs = t.aggregate_bandwidth() / 1e9;
+        assert!((255.0..=270.0).contains(&gbs), "{gbs} GB/s");
+    }
+
+    #[test]
+    fn three_one_hop_and_four_two_hop_peers() {
+        // The twisted wiring's defining property (Section V-A).
+        let t = TwistedHypercube8::new();
+        for s in 0..8 {
+            let one = (0..8).filter(|&p| t.hops(s, p) == 1).count();
+            let two = (0..8).filter(|&p| t.hops(s, p) == 2).count();
+            assert_eq!((one, two), (3, 4), "socket {s}");
+            assert_eq!(t.hops(s, s), 0);
+        }
+    }
+
+    #[test]
+    fn no_peer_is_three_hops_away() {
+        let t = TwistedHypercube8::new();
+        for a in 0..8 {
+            for b in 0..8 {
+                assert!(t.hops(a, b) <= 2, "{a}->{b} = {} hops", t.hops(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn hops_are_symmetric() {
+        let t = TwistedHypercube8::new();
+        for a in 0..8 {
+            for b in 0..8 {
+                assert_eq!(t.hops(a, b), t.hops(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn ring_bandwidth_decreases_with_multi_hop_rings() {
+        let t = TwistedHypercube8::new();
+        assert_eq!(t.ring_bandwidth(1), f64::INFINITY);
+        // 2 sockets: direct link.
+        assert_eq!(t.ring_bandwidth(2), UPI_LINK_BPS);
+        // 8-socket ring includes 2-hop segments -> less than a full link.
+        assert!(t.ring_bandwidth(8) < UPI_LINK_BPS);
+        assert!(t.ring_bandwidth(8) > 0.4 * UPI_LINK_BPS);
+    }
+
+    #[test]
+    fn alltoall_bandwidth_grows_then_saturates() {
+        let t = TwistedHypercube8::new();
+        let b2 = t.alltoall_bandwidth(2);
+        let b4 = t.alltoall_bandwidth(4);
+        let b8 = t.alltoall_bandwidth(8);
+        assert!(b2 > 0.0 && b4 > 0.0 && b8 > 0.0);
+        // With 8 ranks, average path length grows, so per-rank bandwidth
+        // drops vs the 4-rank case — the "alltoall does not improve from 4
+        // to 8 sockets" observation of Fig. 15.
+        assert!(b8 < b4, "b8={b8} should be < b4={b4}");
+    }
+
+    #[test]
+    fn routes_are_valid_shortest_paths() {
+        let t = TwistedHypercube8::new();
+        for a in 0..8 {
+            for b in 0..8 {
+                let path = t.route(a, b);
+                assert_eq!(path.first(), Some(&a));
+                assert_eq!(path.last(), Some(&b));
+                assert_eq!(path.len(), t.hops(a, b) + 1, "{a}->{b}");
+                for hop in path.windows(2) {
+                    assert!(
+                        t.neighbors(hop[0]).contains(&hop[1]),
+                        "{a}->{b} uses non-edge {}->{}",
+                        hop[0],
+                        hop[1]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_link_loads_conserve_flow() {
+        let t = TwistedHypercube8::new();
+        for ranks in [2usize, 4, 8] {
+            let loads = t.alltoall_link_loads(ranks);
+            let total: u32 = loads.values().sum();
+            // Sum of per-link flows == sum of path lengths over all pairs.
+            let want: u32 = (0..ranks)
+                .flat_map(|a| (0..ranks).map(move |b| (a, b)))
+                .filter(|(a, b)| a != b)
+                .map(|(a, b)| t.hops(a, b) as u32)
+                .sum();
+            assert_eq!(total, want, "ranks={ranks}");
+            // Loads only on physical edges.
+            for &(u, v) in loads.keys() {
+                assert!(t.neighbors(u).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_routing_is_imbalanced_at_eight_sockets() {
+        // The quantitative basis of the untuned-schedule penalty: with all
+        // 56 flows routed greedily, some link carries well more than the
+        // perfectly balanced 88/24 ≈ 3.7 flows.
+        let t = TwistedHypercube8::new();
+        let loads = t.alltoall_link_loads(8);
+        let total: u32 = loads.values().sum();
+        let links = loads.len() as f64; // 24 directed links
+        let balanced = total as f64 / links;
+        let max = t.max_link_load(8) as f64;
+        assert!(
+            max >= 1.3 * balanced,
+            "max load {max} vs balanced {balanced:.1} — expected visible imbalance"
+        );
+        // At 8 sockets every one of the 24 directed links is in play, so
+        // the imbalance wastes fabric capacity that a topology-aware
+        // schedule could recover.
+        assert_eq!(loads.len(), 24, "all directed links carry traffic");
+    }
+
+    #[test]
+    fn latency_scales_with_hops() {
+        let t = TwistedHypercube8::new();
+        assert_eq!(t.latency(0, 0), 0.0);
+        assert_eq!(t.latency(0, 1), UPI_HOP_LATENCY);
+        let two_hop_peer = (0..8).find(|&p| t.hops(0, p) == 2).unwrap();
+        assert_eq!(t.latency(0, two_hop_peer), 2.0 * UPI_HOP_LATENCY);
+    }
+}

@@ -1,0 +1,90 @@
+//! Capacity planning with the cluster simulator: given a DLRM
+//! configuration, how many sockets should you buy, which exchange strategy
+//! should you run, and is the big shared-memory box or the HPC cluster the
+//! better machine?
+//!
+//! ```text
+//! cargo run --release -p dlrm-repro --example cluster_planning
+//! ```
+
+use dlrm_clustersim::experiments::{paper_rank_list, scaling_sweep, ScalingKind};
+use dlrm_clustersim::{Calibration, Cluster, RunMode, Strategy};
+use dlrm_data::DlrmConfig;
+use dlrm_dist::DistCharacteristics;
+use dlrm_tensor::util::format_bytes;
+
+fn main() {
+    let calib = Calibration::default();
+    for cfg in DlrmConfig::all_paper() {
+        println!("==============================================");
+        println!("{} configuration", cfg.name);
+        println!("==============================================");
+        let ch = DistCharacteristics::for_config(&cfg, 96 * (1 << 30));
+        println!(
+            "tables need {} -> at least {} socket(s); at most {} ranks (1 table/rank min)",
+            format_bytes(ch.table_bytes),
+            ch.min_sockets,
+            ch.max_ranks
+        );
+        println!(
+            "per-iteration volumes: allreduce {} (Eq.1), alltoall {} (Eq.2)",
+            format_bytes(ch.allreduce_bytes),
+            format_bytes(ch.alltoall_bytes)
+        );
+
+        // Which strategy? Compare at the largest usable rank count.
+        let cluster = Cluster::cluster_64socket();
+        let pts = scaling_sweep(&cfg, &cluster, &calib, ScalingKind::Strong, RunMode::Overlapping);
+        let top_r = *paper_rank_list(&cfg, 64).last().unwrap();
+        println!("\nstrategy comparison at {top_r} ranks (strong scaling, ms/iter):");
+        for s in Strategy::ALL {
+            if let Some(p) = pts.iter().find(|p| p.strategy == s && p.ranks == top_r) {
+                println!(
+                    "  {:<14} {:>8.1} ms   speedup {:>5.2}x   efficiency {:>4.0}%",
+                    s.to_string(),
+                    p.breakdown.total() * 1e3,
+                    p.speedup,
+                    p.efficiency * 100.0
+                );
+            }
+        }
+
+        // Sweet spot: the largest rank count whose efficiency stays >= 50%.
+        let best = pts
+            .iter()
+            .filter(|p| p.strategy == Strategy::CclAlltoall && p.efficiency >= 0.5)
+            .max_by_key(|p| p.ranks);
+        if let Some(p) = best {
+            println!(
+                "\nrecommendation: {} ranks with CCL-Alltoall ({:.0}% efficiency, {:.2}x)",
+                p.ranks,
+                p.efficiency * 100.0,
+                p.speedup
+            );
+        } else {
+            println!("\nrecommendation: stay at the minimum socket count — communication dominates.");
+        }
+
+        // 8-socket appliance vs cluster, if the config fits.
+        if ch.min_sockets <= 8 && cfg.max_ranks() >= 8 {
+            let node = Cluster::node_8socket();
+            let node_pts =
+                scaling_sweep(&cfg, &node, &calib, ScalingKind::Strong, RunMode::Overlapping);
+            let node8 = node_pts
+                .iter()
+                .find(|p| p.strategy == Strategy::CclAlltoall && p.ranks == 8);
+            let clus8 = pts
+                .iter()
+                .find(|p| p.strategy == Strategy::CclAlltoall && p.ranks == 8);
+            if let (Some(n8), Some(c8)) = (node8, clus8) {
+                println!(
+                    "8 sockets as one UPI node: {:.1} ms/iter vs 8 cluster sockets: {:.1} ms/iter",
+                    n8.breakdown.total() * 1e3,
+                    c8.breakdown.total() * 1e3
+                );
+                println!("(the appliance needs no external fabric — Section VI-D3's point)");
+            }
+        }
+        println!();
+    }
+}

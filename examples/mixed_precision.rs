@@ -1,0 +1,77 @@
+//! Mixed-precision ads-CTR training: the Split-SGD-BF16 optimizer vs FP32
+//! and the failed alternatives, on an MLPerf-shaped model.
+//!
+//! Demonstrates the paper's Section VII claims end to end:
+//! * Split-SGD-BF16 matches FP32 accuracy with zero extra master-weight
+//!   storage (the hi/lo planes together *are* the FP32 weights);
+//! * only 8 LSBs of optimizer state is not enough;
+//! * the forward/backward passes read a genuine BF16 tensor (2× bandwidth).
+//!
+//! ```text
+//! cargo run --release -p dlrm-repro --example mixed_precision
+//! ```
+
+use dlrm::layers::Execution;
+use dlrm::prelude::*;
+use dlrm_data::{ClickLog, DlrmConfig, IndexDistribution};
+
+fn main() {
+    let mut cfg = DlrmConfig::mlperf().scaled_down(20_000, 16);
+    cfg.bottom_mlp = vec![128, 64, 32];
+    cfg.emb_dim = 32;
+    cfg.top_mlp = vec![128, 64, 32, 1];
+    println!(
+        "MLPerf-shaped model: 26 tables, E={}, Zipf click traffic\n",
+        cfg.emb_dim
+    );
+    let log = ClickLog::new(&cfg, IndexDistribution::Zipf { s: 1.05 }, 99);
+
+    let opts = TrainerOptions {
+        lr: 0.15,
+        batch_size: 128,
+        batches_per_epoch: 400,
+        eval_every_frac: 0.25,
+        eval_batches: 8,
+    };
+
+    println!(
+        "{:<28} {:>10} {:>10} {:>14}",
+        "optimizer", "AUC @50%", "AUC @100%", "extra state"
+    );
+    let mut fp32_final = 0.0;
+    for mode in [
+        PrecisionMode::Fp32,
+        PrecisionMode::Bf16Split,
+        PrecisionMode::Fp24,
+        PrecisionMode::Bf16Split8,
+        PrecisionMode::Bf16Pure,
+    ] {
+        let model = DlrmModel::new(
+            &cfg,
+            Execution::optimized(2),
+            UpdateStrategy::RaceFree,
+            mode,
+            4242,
+        );
+        let params = model.param_count();
+        let mut trainer = Trainer::new(model, &log, opts.clone());
+        let reports = trainer.run_epoch();
+        let mid = reports[1].auc; // the 50% checkpoint (4 reports/epoch)
+        let fin = reports.last().unwrap().auc;
+        if mode == PrecisionMode::Fp32 {
+            fp32_final = fin;
+        }
+        // Split modes store weights as 2x16-bit planes = FP32-equivalent;
+        // classic mixed precision would need a full FP32 master copy.
+        let extra = match mode {
+            PrecisionMode::Bf16Split => "0 B (vs 4 B/param master)".to_string(),
+            PrecisionMode::Bf16Split8 => format!("{} B total lo", params), // 1 byte/param
+            _ => "0 B".to_string(),
+        };
+        println!("{:<28} {:>10.4} {:>10.4} {:>14}", mode.to_string(), mid, fin, extra);
+    }
+    println!(
+        "\nFP32 final AUC {fp32_final:.4}; the BF16 Split-SGD row should match it\n\
+         within ~0.001 while Fp24/8-LSB/no-state fall behind — Figure 16's shape."
+    );
+}

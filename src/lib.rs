@@ -1,0 +1,9 @@
+//! Umbrella crate for the DLRM CPU-cluster reproduction workspace.
+//!
+//! This crate exists to host the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`); the actual library surface
+//! lives in the member crates.
+
+pub mod prelude {
+    pub use dlrm_tensor::{assert_allclose, Matrix};
+}

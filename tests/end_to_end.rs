@@ -1,0 +1,153 @@
+//! Workspace integration tests: the public API exercised across crates the
+//! way the examples use it.
+
+use dlrm::layers::Execution;
+use dlrm::metrics::roc_auc;
+use dlrm::model::DlrmModel;
+use dlrm::precision::PrecisionMode;
+use dlrm::trainer::{Trainer, TrainerOptions};
+use dlrm_data::{ClickLog, DlrmConfig, IndexDistribution};
+use dlrm_kernels::embedding::UpdateStrategy;
+
+fn tiny_cfg() -> DlrmConfig {
+    let mut cfg = DlrmConfig::small().scaled_down(2_000, 64);
+    cfg.dense_features = 16;
+    cfg.bottom_mlp = vec![32, 16];
+    cfg.emb_dim = 16;
+    cfg.num_tables = 4;
+    cfg.table_rows = vec![2000, 1000, 500, 200];
+    cfg.lookups_per_table = 3;
+    cfg.top_mlp = vec![32, 16, 1];
+    cfg
+}
+
+#[test]
+fn full_pipeline_learns_synthetic_ctr() {
+    let cfg = tiny_cfg();
+    let log = ClickLog::new(&cfg, IndexDistribution::Zipf { s: 1.05 }, 5);
+    let model = DlrmModel::new(
+        &cfg,
+        Execution::optimized(2),
+        UpdateStrategy::RaceFree,
+        PrecisionMode::Fp32,
+        1,
+    );
+    let mut trainer = Trainer::new(
+        model,
+        &log,
+        TrainerOptions {
+            lr: 0.15,
+            batch_size: 96,
+            batches_per_epoch: 250,
+            eval_every_frac: 0.5,
+            eval_batches: 6,
+        },
+    );
+    let (before, _) = trainer.evaluate();
+    let reports = trainer.run_epoch();
+    let after = reports.last().unwrap().auc;
+    assert!(
+        after > before + 0.08,
+        "training must lift AUC: {before:.3} -> {after:.3}"
+    );
+}
+
+#[test]
+fn all_update_strategies_learn_equally_well() {
+    // Every Figure 7 strategy is a *performance* variant; accuracy must be
+    // unchanged. Train briefly with each and compare final AUC closely.
+    let cfg = tiny_cfg();
+    let log = ClickLog::new(&cfg, IndexDistribution::Uniform, 9);
+    let mut finals = Vec::new();
+    for strategy in [
+        UpdateStrategy::AtomicXchg,
+        UpdateStrategy::Rtm,
+        UpdateStrategy::RaceFree,
+    ] {
+        let model = DlrmModel::new(
+            &cfg,
+            Execution::optimized(3),
+            strategy,
+            PrecisionMode::Fp32,
+            2,
+        );
+        let mut trainer = Trainer::new(
+            model,
+            &log,
+            TrainerOptions {
+                lr: 0.15,
+                batch_size: 64,
+                batches_per_epoch: 120,
+                eval_every_frac: 1.0,
+                eval_batches: 6,
+            },
+        );
+        finals.push(trainer.run_epoch().last().unwrap().auc);
+    }
+    let (min, max) = (
+        finals.iter().cloned().fold(f64::INFINITY, f64::min),
+        finals.iter().cloned().fold(0.0, f64::max),
+    );
+    assert!(
+        max - min < 0.02,
+        "strategies must agree on accuracy: {finals:?}"
+    );
+}
+
+#[test]
+fn split_sgd_tracks_fp32_and_pure_bf16_does_not() {
+    let cfg = tiny_cfg();
+    let log = ClickLog::new(&cfg, IndexDistribution::Uniform, 31);
+    let run = |mode: PrecisionMode| -> f64 {
+        let model = DlrmModel::new(
+            &cfg,
+            Execution::optimized(2),
+            UpdateStrategy::RaceFree,
+            mode,
+            77,
+        );
+        let mut trainer = Trainer::new(
+            model,
+            &log,
+            TrainerOptions {
+                lr: 0.15,
+                batch_size: 96,
+                batches_per_epoch: 700,
+                eval_every_frac: 1.0,
+                eval_batches: 8,
+            },
+        );
+        trainer.run_epoch().last().unwrap().auc
+    };
+    let fp32 = run(PrecisionMode::Fp32);
+    let split = run(PrecisionMode::Bf16Split);
+    let pure = run(PrecisionMode::Bf16Pure);
+    assert!(
+        (fp32 - split).abs() < 0.01,
+        "Split-SGD must track FP32: {fp32:.4} vs {split:.4}"
+    );
+    assert!(
+        fp32 - pure > 0.01,
+        "state-free BF16 must fall behind: fp32 {fp32:.4} vs pure {pure:.4}"
+    );
+}
+
+#[test]
+fn predictions_are_probabilities() {
+    let cfg = tiny_cfg();
+    let log = ClickLog::new(&cfg, IndexDistribution::Uniform, 3);
+    let mut model = DlrmModel::new(
+        &cfg,
+        Execution::Reference,
+        UpdateStrategy::Reference,
+        PrecisionMode::Fp32,
+        4,
+    );
+    let batch = log.batch(32, 0, 1);
+    let probs = model.predict_proba(&batch);
+    assert_eq!(probs.len(), 32);
+    assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    // And the AUC of an untrained model is near chance.
+    let auc = roc_auc(&probs, &batch.labels);
+    assert!((0.2..0.8).contains(&auc), "untrained AUC {auc}");
+}
