@@ -71,16 +71,10 @@ fn bench_update_strategies(c: &mut Criterion) {
     ] {
         let s = setup(dist);
         for strategy in UpdateStrategy::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(strategy.to_string(), name),
-                &(),
-                |b, _| {
-                    let mut w = s.w.clone();
-                    b.iter(|| {
-                        embedding::update(&pool, strategy, &mut w, &s.dw, &s.indices, -0.001)
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(strategy.to_string(), name), &(), |b, _| {
+                let mut w = s.w.clone();
+                b.iter(|| embedding::update(&pool, strategy, &mut w, &s.dw, &s.indices, -0.001));
+            });
         }
     }
     group.finish();
@@ -96,7 +90,14 @@ fn bench_fused(c: &mut Criterion) {
         b.iter(|| {
             let mut dw = Matrix::zeros(s.indices.len(), E);
             embedding::backward(&pool, &s.dy, &s.offsets, &mut dw);
-            embedding::update(&pool, UpdateStrategy::RaceFree, &mut w, &dw, &s.indices, -0.001);
+            embedding::update(
+                &pool,
+                UpdateStrategy::RaceFree,
+                &mut w,
+                &dw,
+                &s.indices,
+                -0.001,
+            );
         });
     });
     group.bench_function("fused", |b| {

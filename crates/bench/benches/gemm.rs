@@ -24,27 +24,39 @@ fn bench_gemm_tiers(c: &mut Criterion) {
         let xb = BlockedActivations::pack(&x, blk.bc, blk.bn);
         group.throughput(Throughput::Elements(gemm::gemm_flops(ck, ck, n)));
 
-        group.bench_with_input(BenchmarkId::new("naive", format!("{ck}x{n}")), &(), |b, _| {
-            let mut y = Matrix::zeros(ck, n);
-            b.iter(|| {
-                y.fill_zero();
-                gemm::gemm_nn(&w, &x, &mut y);
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("flat", format!("{ck}x{n}")), &(), |b, _| {
-            let mut y = Matrix::zeros(ck, n);
-            b.iter(|| {
-                y.fill_zero();
-                gemm::par_gemm_nn(&pool, &w, &x, &mut y);
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("blocked", format!("{ck}x{n}")), &(), |b, _| {
-            let mut yb = BlockedActivations::zeros(ck, n, blk.bk, blk.bn);
-            b.iter(|| {
-                yb.as_mut_slice().fill(0.0);
-                gemm::fc_forward(&pool, &wb, &xb, &mut yb);
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("naive", format!("{ck}x{n}")),
+            &(),
+            |b, _| {
+                let mut y = Matrix::zeros(ck, n);
+                b.iter(|| {
+                    y.fill_zero();
+                    gemm::gemm_nn(&w, &x, &mut y);
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("flat", format!("{ck}x{n}")),
+            &(),
+            |b, _| {
+                let mut y = Matrix::zeros(ck, n);
+                b.iter(|| {
+                    y.fill_zero();
+                    gemm::par_gemm_nn(&pool, &w, &x, &mut y);
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("blocked", format!("{ck}x{n}")),
+            &(),
+            |b, _| {
+                let mut yb = BlockedActivations::zeros(ck, n, blk.bk, blk.bn);
+                b.iter(|| {
+                    yb.as_mut_slice().fill(0.0);
+                    gemm::fc_forward(&pool, &wb, &xb, &mut yb);
+                });
+            },
+        );
     }
     group.finish();
 }

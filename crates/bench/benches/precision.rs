@@ -28,8 +28,12 @@ fn bench_conversions(c: &mut Criterion) {
 }
 
 fn bench_dot(c: &mut Criterion) {
-    let a: Vec<Bf16> = (0..LEN).map(|i| Bf16::from_f32_rne((i as f32).sin())).collect();
-    let b_vec: Vec<Bf16> = (0..LEN).map(|i| Bf16::from_f32_rne((i as f32).cos())).collect();
+    let a: Vec<Bf16> = (0..LEN)
+        .map(|i| Bf16::from_f32_rne((i as f32).sin()))
+        .collect();
+    let b_vec: Vec<Bf16> = (0..LEN)
+        .map(|i| Bf16::from_f32_rne((i as f32).cos()))
+        .collect();
     let mut group = c.benchmark_group("vdpbf16ps_emulated");
     group.sample_size(20);
     group.throughput(Throughput::Elements(LEN as u64));

@@ -32,7 +32,14 @@ fn main() {
     let t_unfused = time_it(1, 5, || {
         let mut dw = Matrix::zeros(ns, e);
         embedding::backward(&pool, &dy, &offsets, &mut dw);
-        embedding::update(&pool, UpdateStrategy::RaceFree, &mut w, &dw, &indices, -0.01);
+        embedding::update(
+            &pool,
+            UpdateStrategy::RaceFree,
+            &mut w,
+            &dw,
+            &indices,
+            -0.01,
+        );
     });
 
     let mut w = w0.clone();
@@ -41,8 +48,16 @@ fn main() {
     });
 
     let mut t = Table::new(&["variant", "time/iter", "speedup"]);
-    t.row(vec!["backward + update".into(), fmt_time(t_unfused), "1.00x".into()]);
-    t.row(vec!["fused".into(), fmt_time(t_fused), fmt_speedup(t_unfused / t_fused)]);
+    t.row(vec![
+        "backward + update".into(),
+        fmt_time(t_unfused),
+        "1.00x".into(),
+    ]);
+    t.row(vec![
+        "fused".into(),
+        fmt_time(t_fused),
+        fmt_speedup(t_unfused / t_fused),
+    ]);
     t.print();
     println!(
         "\nPaper: up to {}x. Table {m} rows x {e}, N={n}, P={p}.",

@@ -22,13 +22,22 @@ fn main() {
         println!("\n--- {} vs {} ---", cluster.socket.name, gpu.name);
         let rows = compare(&cluster, &gpu, &calib);
         let mut t = Table::new(&[
-            "config", "tables", "fits HBM?", "CPU ms/iter (est)", "GPU ms/iter (est)", "GPU/CPU",
+            "config",
+            "tables",
+            "fits HBM?",
+            "CPU ms/iter (est)",
+            "GPU ms/iter (est)",
+            "GPU/CPU",
         ]);
         for r in rows {
             t.row(vec![
                 r.config.clone(),
                 format_bytes(r.table_bytes),
-                if r.fits_on_gpu { "yes".into() } else { "NO".into() },
+                if r.fits_on_gpu {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
                 format!("{:.1}", r.cpu_ms),
                 if r.fits_on_gpu {
                     format!("{:.1}", r.gpu_ms)

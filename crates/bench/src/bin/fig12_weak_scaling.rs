@@ -16,7 +16,13 @@ fn main() {
 
     for cfg in DlrmConfig::all_paper() {
         println!("\n--- {} (LN={}) ---", cfg.name, cfg.ln_weak);
-        let pts = scaling_sweep(&cfg, &cluster, &calib, ScalingKind::Weak, RunMode::Overlapping);
+        let pts = scaling_sweep(
+            &cfg,
+            &cluster,
+            &calib,
+            ScalingKind::Weak,
+            RunMode::Overlapping,
+        );
         let mut t = Table::new(&["ranks", "strategy", "ms/iter", "speedup", "efficiency"]);
         for p in &pts {
             t.row(vec![

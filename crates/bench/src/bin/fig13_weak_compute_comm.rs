@@ -17,7 +17,14 @@ fn main() {
     for cfg in [DlrmConfig::large(), DlrmConfig::mlperf()] {
         println!("\n--- {} ---", cfg.name);
         let rows = backend_mode_sweep(&cfg, &cluster, &calib, ScalingKind::Weak);
-        let mut t = Table::new(&["mode", "backend", "ranks", "compute ms", "comm ms", "total ms"]);
+        let mut t = Table::new(&[
+            "mode",
+            "backend",
+            "ranks",
+            "compute ms",
+            "comm ms",
+            "total ms",
+        ]);
         for (backend, mode, ranks, b) in rows {
             t.row(vec![
                 format!("{mode:?}"),

@@ -19,8 +19,13 @@ fn main() {
         println!("\n--- {} ---", cfg.name);
         let rows = backend_mode_sweep(&cfg, &cluster, &calib, ScalingKind::Weak);
         let mut t = Table::new(&[
-            "mode", "backend", "ranks",
-            "A2A-fw ms", "A2A-wait ms", "AR-fw ms", "AR-wait ms",
+            "mode",
+            "backend",
+            "ranks",
+            "A2A-fw ms",
+            "A2A-wait ms",
+            "AR-fw ms",
+            "AR-wait ms",
         ]);
         for (backend, mode, ranks, b) in rows {
             t.row(vec![

@@ -16,7 +16,13 @@ fn main() {
     for cfg in DlrmConfig::all_paper() {
         println!("\n--- {} (GN={}) ---", cfg.name, cfg.gn_strong);
         let bars = fig15_8socket(&cfg, &calib);
-        let mut t = Table::new(&["ranks", "compute ms", "allreduce ms", "alltoall ms", "total ms"]);
+        let mut t = Table::new(&[
+            "ranks",
+            "compute ms",
+            "allreduce ms",
+            "alltoall ms",
+            "total ms",
+        ]);
         for b in &bars {
             t.row(vec![
                 format!("{}R", b.ranks),

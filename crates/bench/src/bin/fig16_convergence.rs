@@ -6,8 +6,8 @@
 //! claims: BF16-Split tracks FP32 to within ~0.001 AUC; FP24 sits visibly
 //! below; 8 LSBs of optimizer state are not sufficient.
 
-use dlrm::prelude::*;
 use dlrm::layers::Execution;
+use dlrm::prelude::*;
 use dlrm_bench::{header, paper, HarnessOpts, Table};
 use dlrm_data::{ClickLog, DlrmConfig, IndexDistribution};
 
@@ -33,7 +33,9 @@ fn run_mode(
     let model = DlrmModel::new(
         cfg,
         Execution::optimized(
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
         ),
         UpdateStrategy::RaceFree,
         mode,
@@ -92,7 +94,9 @@ fn main() {
     let final_fp32 = traces[0].last().unwrap().auc;
     let final_split = traces[1].last().unwrap().auc;
     let final_fp24 = traces[2].last().unwrap().auc;
-    println!("\nFinal AUC: FP32 {final_fp32:.4}, BF16-Split {final_split:.4}, FP24 {final_fp24:.4}");
+    println!(
+        "\nFinal AUC: FP32 {final_fp32:.4}, BF16-Split {final_split:.4}, FP24 {final_fp24:.4}"
+    );
     println!(
         "FP32 vs BF16-Split gap: {:.4} (paper: < {:.3})",
         (final_fp32 - final_split).abs(),

@@ -158,7 +158,11 @@ fn main() {
     };
 
     let mut t = Table::new(&[
-        "C=K", "pass", "this work GF/s", "no batch-reduce GF/s*", "flat GEMM GF/s",
+        "C=K",
+        "pass",
+        "this work GF/s",
+        "no batch-reduce GF/s*",
+        "flat GEMM GF/s",
         "flat/this",
     ]);
     let mut ratio_acc = 0.0;

@@ -15,8 +15,16 @@ fn main() {
     );
     let bars = fig6_mlp_overlap(&Calibration::default());
     let paper_rows = [
-        ("BWD pass", paper::fig6::BWD_GEMM_MS, paper::fig6::BWD_COMM_MS),
-        ("UPD pass", paper::fig6::UPD_GEMM_MS, paper::fig6::UPD_COMM_MS),
+        (
+            "BWD pass",
+            paper::fig6::BWD_GEMM_MS,
+            paper::fig6::BWD_COMM_MS,
+        ),
+        (
+            "UPD pass",
+            paper::fig6::UPD_GEMM_MS,
+            paper::fig6::UPD_COMM_MS,
+        ),
     ];
     let mut t = Table::new(&[
         "pass",
@@ -33,7 +41,11 @@ fn main() {
             format!("{:.2}", bar.gemm_ms),
             format!("{:.2}", p.2),
             format!("{:.2}", bar.comm_ms),
-            if bar.comm_ms <= bar.gemm_ms { "yes".into() } else { "NO".into() },
+            if bar.comm_ms <= bar.gemm_ms {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
     }
     t.print();

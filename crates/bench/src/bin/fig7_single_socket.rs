@@ -12,12 +12,19 @@ fn main() {
          This machine: 1 core; tables scaled unless --paper-scale. The *shape*\n\
          (reference >> optimized; race-free wins under contention) is the result.",
     );
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     let iters = if opts.paper_scale { 2 } else { 4 };
 
     let mut t = Table::new(&[
-        "config", "strategy", "ms/iter (paper)", "ms/iter (ours)", "emb ms (ours)",
-        "speedup vs ref (ours)", "emb speedup",
+        "config",
+        "strategy",
+        "ms/iter (paper)",
+        "ms/iter (ours)",
+        "emb ms (ours)",
+        "speedup vs ref (ours)",
+        "emb speedup",
     ]);
     for (setup, paper_col) in [
         (small_scaled(opts.paper_scale), 1usize),

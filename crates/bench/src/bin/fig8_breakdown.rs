@@ -11,11 +11,16 @@ fn main() {
         "Paper: reference is embedding-dominated; after optimization Small has\n\
          embeddings ~30% (matching MLP), MLPerf embeddings < 20%.",
     );
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     let iters = if opts.paper_scale { 2 } else { 4 };
 
     let mut t = Table::new(&["config", "strategy", "Embeddings", "MLP", "Rest", "ms/iter"]);
-    for setup in [small_scaled(opts.paper_scale), mlperf_scaled(opts.paper_scale)] {
+    for setup in [
+        small_scaled(opts.paper_scale),
+        mlperf_scaled(opts.paper_scale),
+    ] {
         let (cfg, dist) = setup;
         for row in run_config(&cfg, dist, threads, iters) {
             let (e, m, r) = row.split;

@@ -17,7 +17,13 @@ fn main() {
 
     for cfg in DlrmConfig::all_paper() {
         println!("\n--- {} (GN={}) ---", cfg.name, cfg.gn_strong);
-        let pts = scaling_sweep(&cfg, &cluster, &calib, ScalingKind::Strong, RunMode::Overlapping);
+        let pts = scaling_sweep(
+            &cfg,
+            &cluster,
+            &calib,
+            ScalingKind::Strong,
+            RunMode::Overlapping,
+        );
         let mut t = Table::new(&["ranks", "strategy", "ms/iter", "speedup", "efficiency"]);
         for p in &pts {
             t.row(vec![
@@ -31,7 +37,11 @@ fn main() {
         t.print();
     }
     let (s, e) = paper::scaling::SMALL_STRONG_8R;
-    println!("\nPaper anchors: Small 8R {}x/{}; MLPerf 26R {}x/{}.",
-        s, fmt_pct(e),
-        paper::scaling::MLPERF_STRONG_26R.0, fmt_pct(paper::scaling::MLPERF_STRONG_26R.1));
+    println!(
+        "\nPaper anchors: Small 8R {}x/{}; MLPerf 26R {}x/{}.",
+        s,
+        fmt_pct(e),
+        paper::scaling::MLPERF_STRONG_26R.0,
+        fmt_pct(paper::scaling::MLPERF_STRONG_26R.1)
+    );
 }

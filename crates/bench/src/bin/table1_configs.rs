@@ -13,12 +13,9 @@ fn main() {
         "Paper values regenerated from the config definitions.",
     );
     let configs = DlrmConfig::all_paper();
-    let mut t = Table::new(&[
-        "Parameter", "Small", "Large", "MLPerf",
-    ]);
-    let cell = |f: &dyn Fn(&DlrmConfig) -> String| -> Vec<String> {
-        configs.iter().map(f).collect()
-    };
+    let mut t = Table::new(&["Parameter", "Small", "Large", "MLPerf"]);
+    let cell =
+        |f: &dyn Fn(&DlrmConfig) -> String| -> Vec<String> { configs.iter().map(f).collect() };
     let mut push = |name: &str, f: &dyn Fn(&DlrmConfig) -> String| {
         let mut row = vec![name.to_string()];
         row.extend(cell(f));
@@ -27,7 +24,9 @@ fn main() {
     push("Minibatch (single socket)", &|c| c.mb_single.to_string());
     push("Global MB (strong scaling)", &|c| c.gn_strong.to_string());
     push("Local MB (weak scaling)", &|c| c.ln_weak.to_string());
-    push("Look-ups per table (P)", &|c| c.lookups_per_table.to_string());
+    push("Look-ups per table (P)", &|c| {
+        c.lookups_per_table.to_string()
+    });
     push("Number of tables (S)", &|c| c.num_tables.to_string());
     push("Embedding dim (E)", &|c| c.emb_dim.to_string());
     push("Rows per table (M)", &|c| {
@@ -41,13 +40,25 @@ fn main() {
     });
     push("Dense features", &|c| c.dense_features.to_string());
     push("Bottom MLP", &|c| {
-        c.bottom_mlp.iter().map(|s| s.to_string()).collect::<Vec<_>>().join("-")
+        c.bottom_mlp
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join("-")
     });
     push("Top MLP", &|c| {
-        c.top_mlp.iter().map(|s| s.to_string()).collect::<Vec<_>>().join("-")
+        c.top_mlp
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join("-")
     });
-    push("Interaction output dim", &|c| c.interaction_output_dim().to_string());
-    push("All tables footprint", &|c| format_bytes(c.total_table_bytes()));
+    push("Interaction output dim", &|c| {
+        c.interaction_output_dim().to_string()
+    });
+    push("All tables footprint", &|c| {
+        format_bytes(c.total_table_bytes())
+    });
     t.print();
 
     println!("\nNote: the MLPerf top MLP uses the official 1024-1024-512-256-1");

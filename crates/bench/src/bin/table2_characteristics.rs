@@ -34,8 +34,16 @@ fn main() {
             format!("{:.1} GB", row.table_bytes as f64 / 1e9),
             format!("{}/{}", p.2, row.min_sockets),
             format!("{}/{}", p.3, row.max_ranks),
-            format!("{:.1}/{:.1}", p.4, row.allreduce_bytes as f64 / (1 << 20) as f64),
-            format!("{:.1}/{:.1}", p.5, row.alltoall_bytes as f64 / (1 << 20) as f64),
+            format!(
+                "{:.1}/{:.1}",
+                p.4,
+                row.allreduce_bytes as f64 / (1 << 20) as f64
+            ),
+            format!(
+                "{:.1}/{:.1}",
+                p.5,
+                row.alltoall_bytes as f64 / (1 << 20) as f64
+            ),
         ]);
     }
     t.print();

@@ -135,9 +135,8 @@ mod tests {
     fn table_rejects_bad_arity() {
         let mut t = Table::new(&["a", "b"]);
         t.row(vec!["1".into(), "2".into()]);
-        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            t.row(vec!["oops".into()])
-        }));
+        let r =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| t.row(vec!["oops".into()])));
         assert!(r.is_err());
     }
 

@@ -3,8 +3,8 @@
 //! reference tier and each optimized update strategy, recording time and
 //! the per-op-class split.
 
-use dlrm::prelude::*;
 use dlrm::layers::Execution;
+use dlrm::prelude::*;
 use dlrm_data::{DlrmConfig, IndexDistribution, MiniBatch};
 use dlrm_tensor::init::seeded_rng;
 

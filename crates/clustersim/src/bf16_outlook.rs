@@ -14,10 +14,9 @@ use crate::calib::Calibration;
 use crate::compute::ComputeModel;
 use crate::machine::Cluster;
 use dlrm_data::DlrmConfig;
-use serde::Serialize;
 
 /// Projected FP32-vs-BF16 single-socket iteration times.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Bf16Projection {
     /// Config name.
     pub config: String,

@@ -83,8 +83,7 @@ impl<'a> CommModel<'a> {
     /// copies of the communicated bytes at a fraction of DRAM bandwidth.
     pub fn framework_time(&self, bytes: u64, calls: usize) -> f64 {
         calls as f64 * self.calib.per_call_overhead
-            + bytes as f64
-                / (self.calib.framework_copy_bw_fraction * self.cluster.socket.mem_bw)
+            + bytes as f64 / (self.calib.framework_copy_bw_fraction * self.cluster.socket.mem_bw)
     }
 }
 

@@ -56,12 +56,8 @@ impl<'a> ComputeModel<'a> {
     /// local tables. Memory-bandwidth bound (the GUPS-like kernel).
     pub fn embedding(&self, cfg: &DlrmConfig, gn: usize, ranks: usize) -> f64 {
         let tables = self.tables_on_critical_rank(cfg, ranks) as f64;
-        let bytes = 3.0
-            * tables
-            * cfg.lookups_per_table as f64
-            * gn as f64
-            * cfg.emb_dim as f64
-            * 4.0;
+        let bytes =
+            3.0 * tables * cfg.lookups_per_table as f64 * gn as f64 * cfg.emb_dim as f64 * 4.0;
         bytes / (self.calib.emb_bw_efficiency * self.cluster.socket.mem_bw)
     }
 
@@ -142,7 +138,10 @@ mod tests {
         let cfg = dlrm_data::DlrmConfig::large();
         let t4 = m.embedding(&cfg, 16384, 4);
         let t64 = m.embedding(&cfg, 16384, 64);
-        assert!((t4 / t64 - 16.0).abs() < 1e-6, "64 tables split 4 vs 64 ways");
+        assert!(
+            (t4 / t64 - 16.0).abs() < 1e-6,
+            "64 tables split 4 vs 64 ways"
+        );
     }
 
     #[test]

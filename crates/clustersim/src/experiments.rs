@@ -7,10 +7,9 @@ use crate::machine::Cluster;
 use crate::timeline::{simulate_iteration, IterBreakdown, RunMode, SimParams};
 use crate::{BackendKind, Strategy};
 use dlrm_data::DlrmConfig;
-use serde::Serialize;
 
 /// Strong scaling (fixed `GN`) vs weak scaling (fixed `LN`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScalingKind {
     /// Global minibatch fixed at `cfg.gn_strong`.
     Strong,
@@ -19,7 +18,7 @@ pub enum ScalingKind {
 }
 
 /// One point of a scaling figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ScalingPoint {
     /// Rank count.
     pub ranks: usize,
@@ -104,7 +103,15 @@ pub fn scaling_sweep(
     mode: RunMode,
 ) -> Vec<ScalingPoint> {
     let base_r = baseline_ranks(cfg);
-    let base = point_time(cfg, cluster, calib, kind, base_r, Strategy::CclAlltoall, mode);
+    let base = point_time(
+        cfg,
+        cluster,
+        calib,
+        kind,
+        base_r,
+        Strategy::CclAlltoall,
+        mode,
+    );
     let base_t = base.total();
 
     let mut out = Vec::new();
@@ -143,7 +150,7 @@ pub fn scaling_sweep(
 // ---------------------------------------------------------------------------
 
 /// One bar pair of Figure 6.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct OverlapBar {
     /// "BWD pass" (backward-by-data, overlapped with all-gather) or
     /// "UPD pass" (backward-by-weights, overlapped with reduce-scatter).
@@ -165,8 +172,8 @@ pub fn fig6_mlp_overlap(calib: &Calibration) -> Vec<OverlapBar> {
     // The paper dedicates 4 of 28 cores to communication; 24 compute.
     let compute_fraction = 24.0 / 28.0;
     let flops_per_pass = layers as f64 * 2.0 * (c * k * n_local) as f64;
-    let gemm_s = flops_per_pass
-        / (calib.mlp_efficiency * cluster.socket.peak_flops * compute_fraction);
+    let gemm_s =
+        flops_per_pass / (calib.mlp_efficiency * cluster.socket.peak_flops * compute_fraction);
 
     let comm = CommModel {
         cluster: &cluster,
@@ -197,7 +204,7 @@ pub fn fig6_mlp_overlap(calib: &Calibration) -> Vec<OverlapBar> {
 // ---------------------------------------------------------------------------
 
 /// One bar of Figure 15.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig15Bar {
     /// Rank count.
     pub ranks: usize,
@@ -373,14 +380,22 @@ mod tests {
 
     #[test]
     fn ccl_alltoall_wins_at_every_point() {
-        for cfg in [DlrmConfig::small(), DlrmConfig::large(), DlrmConfig::mlperf()] {
+        for cfg in [
+            DlrmConfig::small(),
+            DlrmConfig::large(),
+            DlrmConfig::mlperf(),
+        ] {
             let pts = sweep(&cfg, ScalingKind::Strong);
             for r in paper_rank_list(&cfg, 64) {
                 if r < baseline_ranks(&cfg) {
                     continue;
                 }
                 let ccl = pick(&pts, Strategy::CclAlltoall, r).breakdown.total();
-                for s in [Strategy::ScatterList, Strategy::FusedScatter, Strategy::Alltoall] {
+                for s in [
+                    Strategy::ScatterList,
+                    Strategy::FusedScatter,
+                    Strategy::Alltoall,
+                ] {
                     let t = pick(&pts, s, r).breakdown.total();
                     assert!(ccl <= t, "{} R={r}: CCL {ccl} vs {s} {t}", cfg.name);
                 }
@@ -397,8 +412,13 @@ mod tests {
         let calib = Calibration::default();
         let at = |r: usize| {
             point_time(
-                &cfg, &cluster, &calib, ScalingKind::Strong, r,
-                Strategy::CclAlltoall, RunMode::Blocking,
+                &cfg,
+                &cluster,
+                &calib,
+                ScalingKind::Strong,
+                r,
+                Strategy::CclAlltoall,
+                RunMode::Blocking,
             )
         };
         let lo = at(2);

@@ -11,7 +11,6 @@ use crate::calib::Calibration;
 use crate::compute::ComputeModel;
 use crate::machine::Cluster;
 use dlrm_data::DlrmConfig;
-use serde::Serialize;
 
 /// A GPU accelerator, roofline-level.
 #[derive(Debug, Clone)]
@@ -50,7 +49,7 @@ impl GpuSpec {
 }
 
 /// One row of the CPU-vs-GPU comparison.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct GpuComparison {
     /// Config name.
     pub config: String,
@@ -68,7 +67,12 @@ pub struct GpuComparison {
 /// Estimates one optimized-GPU iteration with the same roofline the CPU
 /// model uses: MLP flops at a GEMM efficiency, embedding traffic at HBM
 /// bandwidth, plus a fixed per-iteration launch/framework overhead.
-pub fn gpu_iteration_seconds(cfg: &DlrmConfig, gpu: &GpuSpec, n: usize, calib: &Calibration) -> f64 {
+pub fn gpu_iteration_seconds(
+    cfg: &DlrmConfig,
+    gpu: &GpuSpec,
+    n: usize,
+    calib: &Calibration,
+) -> f64 {
     let mlp_flops = cfg.mlp_flops_per_iter(n) as f64;
     // DLRM's GEMMs (C, K ≤ a few thousand at minibatch ~2048) cannot keep
     // 80 SMs busy the way a 28-core socket is kept busy; sustained GEMM

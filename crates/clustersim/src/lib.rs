@@ -33,11 +33,13 @@ pub mod timeline;
 
 pub use calib::Calibration;
 pub use machine::{Cluster, Fabric, SocketSpec};
-pub use timeline::{simulate_iteration, IterBreakdown, RunMode};
+pub use timeline::{
+    simulate_iteration, simulate_iteration_faulted, FaultedIteration, IterBreakdown, RunMode,
+};
 
 /// The four embedding-exchange strategies of Figures 9/12 (the fourth is
 /// the alltoall primitive on the CCL backend).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Strategy {
     /// One scatter call per table (the original multi-device code).
     ScatterList,
@@ -80,7 +82,7 @@ impl std::fmt::Display for Strategy {
 }
 
 /// Communication backend (Section IV-C).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BackendKind {
     /// PyTorch MPI backend: one unpinned progress thread.
     Mpi,

@@ -115,7 +115,9 @@ pub fn allreduce_sum(comm: &Communicator, data: &mut [f32]) {
         return;
     }
     let reduced_chunk = reduce_scatter_sum(comm, data);
-    let counts: Vec<usize> = (0..r).map(|i| partition_range(data.len(), r, i).len()).collect();
+    let counts: Vec<usize> = (0..r)
+        .map(|i| partition_range(data.len(), r, i).len())
+        .collect();
     let gathered = allgather_varied(comm, &reduced_chunk, &counts);
     data.copy_from_slice(&gathered);
 }
@@ -283,7 +285,9 @@ mod tests {
     fn allgather_varied_sizes() {
         let counts = vec![1usize, 3, 0, 2];
         let out = CommWorld::run(4, |c| {
-            let mine: Vec<f32> = (0..counts[c.rank()]).map(|i| (c.rank() * 10 + i) as f32).collect();
+            let mine: Vec<f32> = (0..counts[c.rank()])
+                .map(|i| (c.rank() * 10 + i) as f32)
+                .collect();
             allgather_varied(&c, &mine, &counts)
         });
         for got in out {
@@ -336,7 +340,11 @@ mod tests {
                     data
                 });
                 for (rk, got) in out.iter().enumerate() {
-                    assert_eq!(got, &vec![42.0, root as f32], "rank {rk}, root {root}, R={r}");
+                    assert_eq!(
+                        got,
+                        &vec![42.0, root as f32],
+                        "rank {rk}, root {root}, R={r}"
+                    );
                 }
             }
         }
@@ -345,8 +353,8 @@ mod tests {
     #[test]
     fn scatter_distributes_parts() {
         let out = CommWorld::run(4, |c| {
-            let parts = (c.rank() == 1)
-                .then(|| (0..4).map(|d| vec![d as f32; d + 1]).collect::<Vec<_>>());
+            let parts =
+                (c.rank() == 1).then(|| (0..4).map(|d| vec![d as f32; d + 1]).collect::<Vec<_>>());
             scatter(&c, 1, parts)
         });
         for (rk, got) in out.iter().enumerate() {

@@ -19,16 +19,26 @@
 //!   multiple independent channels like oneCCL's worker threads.
 //! * [`instrument`] — per-primitive wall-clock accounting used by the
 //!   experiment harnesses to split "framework" from "wait" time.
+//! * [`chaos`] — seeded fault injection (message delay/reorder/duplicate,
+//!   drop + bounded retry, rank stalls, progress-worker kill-restart)
+//!   threaded through [`world`] and [`nonblocking`], plus the
+//!   straggler/late-message knobs `dlrm-clustersim` shares. Every fault
+//!   decision is a pure hash of the seed and logical coordinates, so any
+//!   failing schedule replays from a single `u64`.
 //!
 //! Everything is deterministic given deterministic callers: messages
 //! between a (src, dst) pair arrive in send order, and all collectives use
-//! fixed algorithms and schedules.
+//! fixed algorithms and schedules. The chaos layer preserves exactly that
+//! contract — faults perturb the physical transport and are repaired before
+//! delivery — which is what the `chaos` test suites verify bitwise.
 
+pub mod chaos;
 pub mod collectives;
 pub mod instrument;
 pub mod nonblocking;
 pub mod world;
 
+pub use chaos::{ChaosConfig, ChaosSnapshot, ChaosStats, FaultPlan};
 pub use instrument::{OpKind, TimingRecorder};
 pub use nonblocking::{Backend, ProgressEngine, Request};
 pub use world::{CommWorld, Communicator};

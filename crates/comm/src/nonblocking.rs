@@ -15,8 +15,11 @@
 //! FIFO worker thread with its own [`Communicator`] (its own p2p streams),
 //! so cross-channel operations cannot interleave incorrectly.
 
+use crate::chaos::FaultPlan;
 use crate::world::Communicator;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Which communication backend to emulate.
@@ -95,10 +98,26 @@ impl Request {
     }
 }
 
+/// Registry of progress-thread handles, shared with workers so a killed
+/// worker can register its replacement for join-at-drop.
+type HandleRegistry = Arc<parking_lot::Mutex<Vec<JoinHandle<()>>>>;
+
+/// Chaos context carried by a progress worker: the fault oracle plus the
+/// coordinates and running task index that key its kill decisions.
+struct WorkerChaos {
+    plan: Arc<FaultPlan>,
+    registry: HandleRegistry,
+    rank: usize,
+    channel: usize,
+    /// Tasks completed so far on this channel (survives restarts, so kill
+    /// decisions stay a pure function of the logical task stream).
+    task_index: u64,
+}
+
 /// A per-rank engine owning one or more progress channels.
 pub struct ProgressEngine {
     submitters: Vec<Sender<Task>>,
-    handles: Vec<JoinHandle<()>>,
+    handles: HandleRegistry,
     rank: usize,
     nranks: usize,
 }
@@ -108,6 +127,20 @@ impl ProgressEngine {
     /// world's ranks must construct their engines with the same backend and
     /// submit matching operations to matching channel indices.
     pub fn new(backend: Backend, comms: Vec<Communicator>) -> Self {
+        Self::new_with_chaos(backend, comms, None)
+    }
+
+    /// [`ProgressEngine::new`] plus a fault plan governing worker
+    /// kill-restart: after completing a task a worker may exit and be
+    /// transparently replaced by a fresh thread that resumes its channel.
+    /// (Message-level faults come from the communicators themselves — build
+    /// them via [`crate::world::CommWorld::create_with_chaos`] or
+    /// [`create_channel_worlds_with_chaos`].)
+    pub fn new_with_chaos(
+        backend: Backend,
+        comms: Vec<Communicator>,
+        plan: Option<Arc<FaultPlan>>,
+    ) -> Self {
         let nch = backend.channels();
         assert_eq!(
             comms.len(),
@@ -116,21 +149,27 @@ impl ProgressEngine {
         );
         let rank = comms[0].rank();
         let nranks = comms[0].nranks();
+        let registry: HandleRegistry = Arc::new(parking_lot::Mutex::new(Vec::new()));
         let mut submitters = Vec::with_capacity(nch);
-        let mut handles = Vec::with_capacity(nch);
         for (ch, comm) in comms.into_iter().enumerate() {
             let (tx, rx) = unbounded::<Task>();
             submitters.push(tx);
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("progress-r{rank}-c{ch}"))
-                    .spawn(move || progress_loop(comm, rx))
-                    .expect("failed to spawn progress thread"),
-            );
+            let chaos = plan.as_ref().map(|p| WorkerChaos {
+                plan: Arc::clone(p),
+                registry: Arc::clone(&registry),
+                rank,
+                channel: ch,
+                task_index: 0,
+            });
+            let handle = std::thread::Builder::new()
+                .name(format!("progress-r{rank}-c{ch}"))
+                .spawn(move || progress_loop(comm, rx, chaos))
+                .expect("failed to spawn progress thread");
+            registry.lock().push(handle);
         }
         ProgressEngine {
             submitters,
-            handles,
+            handles: registry,
             rank,
             nranks,
         }
@@ -175,13 +214,22 @@ impl Drop for ProgressEngine {
         for tx in &self.submitters {
             let _ = tx.send(Task::Shutdown);
         }
-        for h in self.handles.drain(..) {
-            let _ = h.join();
+        // Workers killed by the fault plan register their replacements in
+        // the shared registry; keep draining until no thread remains. Once
+        // every channel has consumed Shutdown no new handles can appear.
+        loop {
+            let handle = self.handles.lock().pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
         }
     }
 }
 
-fn progress_loop(comm: Communicator, rx: Receiver<Task>) {
+fn progress_loop(comm: Communicator, rx: Receiver<Task>, mut chaos: Option<WorkerChaos>) {
     while let Ok(task) = rx.recv() {
         match task {
             Task::Allreduce(mut data, done) => {
@@ -194,16 +242,55 @@ fn progress_loop(comm: Communicator, rx: Receiver<Task>) {
             }
             Task::Shutdown => return,
         }
+        // About to go idle on the task queue: release any delayed traffic a
+        // peer's in-flight collective may still be waiting for.
+        comm.flush_delayed();
+        // Kill-and-restart: this worker dies after finishing the task and a
+        // fresh thread takes over its channel (same communicator, same task
+        // queue, continued task index) — the restart is invisible to
+        // submitters, like a relaunched oneCCL worker.
+        if let Some(ctx) = &mut chaos {
+            let idx = ctx.task_index;
+            ctx.task_index += 1;
+            if ctx.plan.kill_worker(ctx.rank, ctx.channel, idx) {
+                comm.chaos_stats()
+                    .workers_killed
+                    .fetch_add(1, Ordering::Relaxed);
+                let registry = Arc::clone(&ctx.registry);
+                let (rank, ch) = (ctx.rank, ctx.channel);
+                let successor_chaos = chaos.take();
+                let handle = std::thread::Builder::new()
+                    .name(format!("progress-r{rank}-c{ch}-restart"))
+                    .spawn(move || progress_loop(comm, rx, successor_chaos))
+                    .expect("failed to respawn progress thread");
+                registry.lock().push(handle);
+                return;
+            }
+        }
     }
 }
 
 /// Creates, for each of `nranks` ranks, the vector of communicators an
 /// engine with `backend` needs (one world per channel).
 pub fn create_channel_worlds(nranks: usize, backend: Backend) -> Vec<Vec<Communicator>> {
+    create_channel_worlds_with_chaos(nranks, backend, None)
+}
+
+/// [`create_channel_worlds`] with every per-channel world built over the
+/// given fault plan, so engine-driven collectives run on a chaotic
+/// transport.
+pub fn create_channel_worlds_with_chaos(
+    nranks: usize,
+    backend: Backend,
+    plan: Option<Arc<FaultPlan>>,
+) -> Vec<Vec<Communicator>> {
     let nch = backend.channels();
     let mut per_rank: Vec<Vec<Communicator>> = (0..nranks).map(|_| Vec::new()).collect();
     for _ in 0..nch {
-        for (rank, comm) in crate::world::CommWorld::create(nranks).into_iter().enumerate() {
+        for (rank, comm) in crate::world::CommWorld::create_with_chaos(nranks, plan.clone())
+            .into_iter()
+            .enumerate()
+        {
             per_rank[rank].push(comm);
         }
     }
@@ -284,7 +371,10 @@ mod tests {
             let _ = ar.wait();
             ready_after_a2a
         });
-        assert!(flags.iter().all(|&f| f), "allreduce must complete before the later alltoall");
+        assert!(
+            flags.iter().all(|&f| f),
+            "allreduce must complete before the later alltoall"
+        );
     }
 
     #[test]

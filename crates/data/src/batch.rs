@@ -54,7 +54,9 @@ impl MiniBatch {
             indices.push(idx);
             offsets.push(off);
         }
-        let labels = (0..n).map(|_| if rng.gen_bool(0.5) { 1.0 } else { 0.0 }).collect();
+        let labels = (0..n)
+            .map(|_| if rng.gen_bool(0.5) { 1.0 } else { 0.0 })
+            .collect();
         MiniBatch {
             dense,
             indices,
@@ -98,7 +100,9 @@ impl MiniBatch {
         for t in 0..cfg.num_tables {
             assert_eq!(self.offsets[t].len(), n + 1);
             assert_eq!(*self.offsets[t].last().unwrap(), self.indices[t].len());
-            assert!(self.indices[t].iter().all(|&i| (i as u64) < cfg.table_rows[t]));
+            assert!(self.indices[t]
+                .iter()
+                .all(|&i| (i as u64) < cfg.table_rows[t]));
         }
         assert!(self.labels.iter().all(|&l| l == 0.0 || l == 1.0));
     }

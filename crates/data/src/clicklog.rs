@@ -108,13 +108,21 @@ impl ClickLog {
         };
         // Labels: Bernoulli(sigmoid(teacher logit)).
         let dense_cols: Vec<Vec<f32>> = (0..n)
-            .map(|j| (0..cfg.dense_features).map(|i| batch.dense[(i, j)]).collect())
+            .map(|j| {
+                (0..cfg.dense_features)
+                    .map(|i| batch.dense[(i, j)])
+                    .collect()
+            })
             .collect();
         #[allow(clippy::needless_range_loop)] // j indexes two parallel structures
         for j in 0..n {
             let z = self.teacher_logit(&dense_cols[j], &batch, j);
             let p = 1.0 / (1.0 + (-z).exp());
-            batch.labels[j] = if rng.gen_range(0.0f32..1.0) < p { 1.0 } else { 0.0 };
+            batch.labels[j] = if rng.gen_range(0.0f32..1.0) < p {
+                1.0
+            } else {
+                0.0
+            };
         }
         batch
     }

@@ -1,8 +1,6 @@
 //! The DLRM model configurations of Table I and their derived
 //! characteristics (Table II).
 
-use serde::{Deserialize, Serialize};
-
 /// Bytes per FP32 element.
 pub const F32_BYTES: u64 = 4;
 
@@ -10,13 +8,13 @@ pub const F32_BYTES: u64 = 4;
 /// (26 categorical features; the well-known MLPerf embedding sizes). Sums to
 /// ≈186 M rows ≈ 95 GiB at E=128 FP32 — the "98 GB" of Table II.
 pub const MLPERF_TABLE_ROWS: [u64; 26] = [
-    39_884_406, 39_043, 17_289, 7_420, 20_263, 3, 7_120, 1_543, 63, 38_532_951, 2_953_546,
-    403_346, 10, 2_208, 11_938, 155, 4, 976, 14, 39_979_771, 25_641_295, 39_664_984, 585_935,
-    12_972, 108, 36,
+    39_884_406, 39_043, 17_289, 7_420, 20_263, 3, 7_120, 1_543, 63, 38_532_951, 2_953_546, 403_346,
+    10, 2_208, 11_938, 155, 4, 976, 14, 39_979_771, 25_641_295, 39_664_984, 585_935, 12_972, 108,
+    36,
 ];
 
 /// A full DLRM model + run configuration (one column of Table I).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DlrmConfig {
     /// Human-readable name ("Small", "Large", "MLPerf", …).
     pub name: String,
@@ -204,7 +202,10 @@ impl DlrmConfig {
     /// Splits tables across `ranks` round-robin (table `t` lives on rank
     /// `t % ranks`) — the paper's pure model-parallel distribution.
     pub fn tables_for_rank(&self, rank: usize, ranks: usize) -> Vec<usize> {
-        assert!(ranks >= 1 && ranks <= self.max_ranks(), "invalid rank count");
+        assert!(
+            ranks >= 1 && ranks <= self.max_ranks(),
+            "invalid rank count"
+        );
         (0..self.num_tables).filter(|t| t % ranks == rank).collect()
     }
 
@@ -266,9 +267,15 @@ mod tests {
         let gib = c.total_table_bytes() as f64 / (1u64 << 30) as f64;
         assert!((350.0..400.0).contains(&gib), "large tables = {gib:.1} GiB");
         let ar_mib = c.allreduce_bytes() as f64 / (1u64 << 20) as f64;
-        assert!((950.0..1150.0).contains(&ar_mib), "allreduce = {ar_mib:.0} MiB");
+        assert!(
+            (950.0..1150.0).contains(&ar_mib),
+            "allreduce = {ar_mib:.0} MiB"
+        );
         let a2a_mib = c.alltoall_bytes(c.gn_strong) as f64 / (1u64 << 20) as f64;
-        assert!((950.0..1100.0).contains(&a2a_mib), "alltoall = {a2a_mib:.0} MiB");
+        assert!(
+            (950.0..1100.0).contains(&a2a_mib),
+            "alltoall = {a2a_mib:.0} MiB"
+        );
         assert_eq!(c.max_ranks(), 64);
     }
 
@@ -281,7 +288,10 @@ mod tests {
         let ar_mib = c.allreduce_bytes() as f64 / (1u64 << 20) as f64;
         assert!((8.0..10.0).contains(&ar_mib), "allreduce = {ar_mib:.1} MiB");
         let a2a_mib = c.alltoall_bytes(c.gn_strong) as f64 / (1u64 << 20) as f64;
-        assert!((195.0..215.0).contains(&a2a_mib), "alltoall = {a2a_mib:.0} MiB");
+        assert!(
+            (195.0..215.0).contains(&a2a_mib),
+            "alltoall = {a2a_mib:.0} MiB"
+        );
         assert_eq!(c.max_ranks(), 26);
     }
 

@@ -8,10 +8,9 @@
 
 use rand::rngs::StdRng;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// How look-up indices are drawn from `0..m`.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum IndexDistribution {
     /// Uniform over the table — the paper's random Small/Large datasets.
     Uniform,

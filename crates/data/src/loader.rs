@@ -73,8 +73,7 @@ impl<'a> RankLoader<'a> {
             LoaderMode::Sharded => {
                 // Each rank generates an independent stream; shards differ
                 // from FullGlobalBatch's but are equally distributed.
-                self.log
-                    .batch(self.local_n, idx, 0x5AD0 + self.rank as u64)
+                self.log.batch(self.local_n, idx, 0x5AD0 + self.rank as u64)
             }
         }
     }

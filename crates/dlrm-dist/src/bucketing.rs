@@ -66,7 +66,10 @@ pub fn allreduce_mlp_grads_bucketed(
         .enumerate()
         .map(|(i, range)| {
             let payload = flat[range.clone()].to_vec();
-            (range.clone(), engine.allreduce(i % engine.num_channels().max(1), payload))
+            (
+                range.clone(),
+                engine.allreduce(i % engine.num_channels().max(1), payload),
+            )
         })
         .collect();
 
@@ -132,10 +135,7 @@ mod tests {
             let mut b2 = mlp_with_grads(me as u64, 0.5);
             let mut t2 = mlp_with_grads(100 + me as u64, 0.25);
             allreduce_mlp_grads(&comm, None, &mut b2, &mut t2);
-            (
-                flatten_grads(&[&b1, &t1]),
-                flatten_grads(&[&b2, &t2]),
-            )
+            (flatten_grads(&[&b1, &t1]), flatten_grads(&[&b2, &t2]))
         });
         for (bucketed, single) in out {
             for (a, b) in bucketed.iter().zip(&single) {

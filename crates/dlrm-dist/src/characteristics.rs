@@ -55,18 +55,30 @@ mod tests {
         assert_eq!(small.min_sockets, 1);
         assert_eq!(small.max_ranks, 8);
         let mb = small.allreduce_bytes as f64 / (1 << 20) as f64;
-        assert!((8.5..10.5).contains(&mb), "small allreduce {mb:.1} MiB (paper 9.5)");
+        assert!(
+            (8.5..10.5).contains(&mb),
+            "small allreduce {mb:.1} MiB (paper 9.5)"
+        );
 
         let large = &rows[1];
         assert!(large.min_sockets >= 2, "large spans sockets");
         assert_eq!(large.max_ranks, 64);
         let gb = large.table_bytes as f64 / 1e9;
-        assert!((380.0..420.0).contains(&gb), "large tables {gb:.0} GB (paper 384)");
+        assert!(
+            (380.0..420.0).contains(&gb),
+            "large tables {gb:.0} GB (paper 384)"
+        );
 
         let mlperf = &rows[2];
         assert_eq!(mlperf.max_ranks, 26);
-        assert_eq!(mlperf.min_sockets, 1, "paper: 1 socket (*large-memory node)");
+        assert_eq!(
+            mlperf.min_sockets, 1,
+            "paper: 1 socket (*large-memory node)"
+        );
         let a2a = mlperf.alltoall_bytes as f64 / (1 << 20) as f64;
-        assert!((195.0..215.0).contains(&a2a), "mlperf alltoall {a2a:.0} MiB (paper 208)");
+        assert!(
+            (195.0..215.0).contains(&a2a),
+            "mlperf alltoall {a2a:.0} MiB (paper 208)"
+        );
     }
 }

@@ -108,7 +108,8 @@ mod tests {
         let mut a = mlp_with_grads(1, 0.0);
         let mut rng = seeded_rng(2, 0);
         for layer in &mut a.layers {
-            layer.dw = dlrm_tensor::init::uniform(layer.dw.rows(), layer.dw.cols(), -1.0, 1.0, &mut rng);
+            layer.dw =
+                dlrm_tensor::init::uniform(layer.dw.rows(), layer.dw.cols(), -1.0, 1.0, &mut rng);
             layer.db = (0..layer.db.len()).map(|i| i as f32).collect();
         }
         let flat = flatten_grads(&[&a]);
@@ -127,10 +128,7 @@ mod tests {
             let mut bottom = mlp_with_grads(7, comm.rank() as f32 + 1.0);
             let mut top = mlp_with_grads(8, 10.0 * (comm.rank() as f32 + 1.0));
             allreduce_mlp_grads(&comm, None, &mut bottom, &mut top);
-            (
-                bottom.layers[0].dw[(0, 0)],
-                top.layers[0].db[0],
-            )
+            (bottom.layers[0].dw[(0, 0)], top.layers[0].db[0])
         });
         for (dw, db) in out {
             assert_eq!(dw, 1.0 + 2.0 + 3.0 + 4.0);

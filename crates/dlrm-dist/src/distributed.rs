@@ -1,18 +1,20 @@
 //! The hybrid-parallel distributed DLRM trainer.
 
 use crate::ddp::{allreduce_mlp_grads, averaged_sgd_step};
-use crate::exchange::{forward_exchange, backward_exchange, tables_of, ExchangeStrategy};
+use crate::exchange::{backward_exchange, forward_exchange, tables_of, ExchangeStrategy};
 use dlrm::embedding_layer::EmbeddingLayer;
 use dlrm::interaction::Interaction;
 use dlrm::layers::{Activation, Execution, Mlp};
 use dlrm::model::DlrmModel;
-use dlrm_comm::nonblocking::{create_channel_worlds, Backend, ProgressEngine};
+use dlrm_comm::chaos::FaultPlan;
+use dlrm_comm::nonblocking::{create_channel_worlds_with_chaos, Backend, ProgressEngine};
 use dlrm_comm::world::{CommWorld, Communicator};
 use dlrm_data::{DlrmConfig, MiniBatch};
 use dlrm_kernels::embedding::UpdateStrategy;
 use dlrm_kernels::loss::{bce_with_logits_backward, bce_with_logits_loss};
 use dlrm_tensor::init::seeded_rng;
 use dlrm_tensor::Matrix;
+use std::sync::Arc;
 
 /// Options for constructing a distributed trainer.
 #[derive(Clone)]
@@ -154,9 +156,7 @@ impl DistDlrm {
         // --- backward -----------------------------------------------------
         let mut dlogits = vec![0.0f32; n];
         bce_with_logits_backward(logits, &local.labels, &mut dlogits);
-        let d_inter = self
-            .top
-            .backward(&exec, Matrix::from_slice(1, n, &dlogits));
+        let d_inter = self.top.backward(&exec, Matrix::from_slice(1, n, &dlogits));
         let (d_bottom, d_tables) = self.interaction.backward(&d_inter);
 
         // Data-parallel -> model-parallel switch for embedding gradients.
@@ -179,7 +179,12 @@ impl DistDlrm {
         let _ = self.bottom.backward(&exec, d_bottom);
 
         // DDP: sum MLP gradients, apply the averaged step.
-        allreduce_mlp_grads(&self.comm, self.engine.as_ref(), &mut self.bottom, &mut self.top);
+        allreduce_mlp_grads(
+            &self.comm,
+            self.engine.as_ref(),
+            &mut self.bottom,
+            &mut self.top,
+        );
         averaged_sgd_step(&mut self.bottom, lr, r);
         averaged_sgd_step(&mut self.top, lr, r);
 
@@ -196,18 +201,38 @@ pub fn run_training(
     batches: &[MiniBatch],
     lr: f32,
 ) -> Vec<Vec<f64>> {
+    run_training_with_chaos(cfg, nranks, opts, batches, lr, None)
+}
+
+/// [`run_training`] over a chaotic transport: the same fault plan is
+/// threaded through the blocking world *and* (for [`CclAlltoall`]) the
+/// progress-engine channel worlds. With `plan = None` this is exactly
+/// `run_training`; with a plan, losses must still be bitwise identical —
+/// the chaos test suite checks precisely that.
+///
+/// [`CclAlltoall`]: ExchangeStrategy::CclAlltoall
+pub fn run_training_with_chaos(
+    cfg: &DlrmConfig,
+    nranks: usize,
+    opts: &DistOptions,
+    batches: &[MiniBatch],
+    lr: f32,
+    plan: Option<Arc<FaultPlan>>,
+) -> Vec<Vec<f64>> {
+    let backend = Backend::CclLike { workers: 2 };
     let engines = if opts.strategy == ExchangeStrategy::CclAlltoall {
-        Some(std::sync::Mutex::new(create_channel_worlds(
+        Some(std::sync::Mutex::new(create_channel_worlds_with_chaos(
             nranks,
-            Backend::CclLike { workers: 2 },
+            backend,
+            plan.clone(),
         )))
     } else {
         None
     };
-    CommWorld::run(nranks, |comm| {
+    CommWorld::run_with_chaos(nranks, plan.clone(), |comm| {
         let engine = engines.as_ref().map(|m| {
             let comms = std::mem::take(&mut m.lock().unwrap()[comm.rank()]);
-            ProgressEngine::new(Backend::CclLike { workers: 2 }, comms)
+            ProgressEngine::new_with_chaos(backend, comms, plan.clone())
         });
         let mut rank_model = DistDlrm::new(cfg, comm, engine, opts);
         batches
@@ -249,7 +274,12 @@ mod tests {
     }
 
     /// Single-process reference loss trajectory on the same batches.
-    fn single_process_losses(cfg: &DlrmConfig, batches: &[MiniBatch], lr: f32, seed: u64) -> Vec<f64> {
+    fn single_process_losses(
+        cfg: &DlrmConfig,
+        batches: &[MiniBatch],
+        lr: f32,
+        seed: u64,
+    ) -> Vec<f64> {
         let mut model = DlrmModel::new(
             cfg,
             Execution::Reference,

@@ -77,9 +77,17 @@ pub fn forward_exchange(
     let r = comm.nranks();
     let me = comm.rank();
     let mine = tables_of(num_tables, r, me);
-    assert_eq!(local_outputs.len(), mine.len(), "one output per local table");
+    assert_eq!(
+        local_outputs.len(),
+        mine.len(),
+        "one output per local table"
+    );
     for m in local_outputs {
-        assert_eq!(m.shape(), (local_n * r, emb_dim), "global-batch table output");
+        assert_eq!(
+            m.shape(),
+            (local_n * r, emb_dim),
+            "global-batch table output"
+        );
     }
     let chunk = local_n * emb_dim;
 
@@ -88,7 +96,11 @@ pub fn forward_exchange(
         let mut out: Vec<Option<Matrix>> = (0..num_tables).map(|_| None).collect();
         for (q, payload) in recv.iter().enumerate() {
             let qt = tables_of(num_tables, r, q);
-            assert_eq!(payload.len(), qt.len() * chunk, "payload size from rank {q}");
+            assert_eq!(
+                payload.len(),
+                qt.len() * chunk,
+                "payload size from rank {q}"
+            );
             for (j, &t) in qt.iter().enumerate() {
                 out[t] = Some(Matrix::from_slice(
                     local_n,
@@ -97,7 +109,9 @@ pub fn forward_exchange(
                 ));
             }
         }
-        out.into_iter().map(|m| m.expect("missing table slice")).collect()
+        out.into_iter()
+            .map(|m| m.expect("missing table slice"))
+            .collect()
     };
 
     match strategy {
@@ -107,20 +121,16 @@ pub fn forward_exchange(
                 .map(|p| {
                     let mut buf = Vec::with_capacity(mine.len() * chunk);
                     for out in local_outputs {
-                        buf.extend_from_slice(
-                            &out.as_slice()[p * chunk..(p + 1) * chunk],
-                        );
+                        buf.extend_from_slice(&out.as_slice()[p * chunk..(p + 1) * chunk]);
                     }
                     buf
                 })
                 .collect();
             let recv = match (strategy, engine) {
-                (ExchangeStrategy::CclAlltoall, Some(eng)) => {
-                    match eng.alltoall(0, send).wait() {
-                        OpOutput::PerRank(v) => v,
-                        other => panic!("unexpected op output: {other:?}"),
-                    }
-                }
+                (ExchangeStrategy::CclAlltoall, Some(eng)) => match eng.alltoall(0, send).wait() {
+                    OpOutput::PerRank(v) => v,
+                    other => panic!("unexpected op output: {other:?}"),
+                },
                 _ => collectives::alltoall(comm, send),
             };
             assemble(&recv)
@@ -151,9 +161,7 @@ pub fn forward_exchange(
                         .map(|p| {
                             let mut buf = Vec::with_capacity(mine.len() * chunk);
                             for out in local_outputs {
-                                buf.extend_from_slice(
-                                    &out.as_slice()[p * chunk..(p + 1) * chunk],
-                                );
+                                buf.extend_from_slice(&out.as_slice()[p * chunk..(p + 1) * chunk]);
                             }
                             buf
                         })
@@ -214,12 +222,10 @@ pub fn backward_exchange(
                 })
                 .collect();
             let recv = match (strategy, engine) {
-                (ExchangeStrategy::CclAlltoall, Some(eng)) => {
-                    match eng.alltoall(0, send).wait() {
-                        OpOutput::PerRank(v) => v,
-                        other => panic!("unexpected op output: {other:?}"),
-                    }
-                }
+                (ExchangeStrategy::CclAlltoall, Some(eng)) => match eng.alltoall(0, send).wait() {
+                    OpOutput::PerRank(v) => v,
+                    other => panic!("unexpected op output: {other:?}"),
+                },
                 _ => collectives::alltoall(comm, send),
             };
             assemble_local(&recv)
@@ -234,8 +240,7 @@ pub fn backward_exchange(
                 if let Some(parts) = gathered {
                     let mut full = Matrix::zeros(local_n * r, emb_dim);
                     for (p, payload) in parts.iter().enumerate() {
-                        full.as_mut_slice()[p * chunk..(p + 1) * chunk]
-                            .copy_from_slice(payload);
+                        full.as_mut_slice()[p * chunk..(p + 1) * chunk].copy_from_slice(payload);
                     }
                     out.push(full);
                 }
@@ -275,7 +280,10 @@ mod tests {
         let (local_n, e) = (3usize, 2usize);
         let gn = local_n * nranks;
         let engines = if strategy == ExchangeStrategy::CclAlltoall {
-            Some(create_channel_worlds(nranks, Backend::CclLike { workers: 2 }))
+            Some(create_channel_worlds(
+                nranks,
+                Backend::CclLike { workers: 2 },
+            ))
         } else {
             None
         };
@@ -285,14 +293,25 @@ mod tests {
             let eng = {
                 let mut guard = engines.lock().unwrap();
                 guard.as_mut().map(|worlds| {
-                    ProgressEngine::new(Backend::CclLike { workers: 2 }, std::mem::take(&mut worlds[me]))
+                    ProgressEngine::new(
+                        Backend::CclLike { workers: 2 },
+                        std::mem::take(&mut worlds[me]),
+                    )
                 })
             };
             let outputs: Vec<Matrix> = tables_of(num_tables, nranks, me)
                 .into_iter()
                 .map(|t| table_output(t, gn, e))
                 .collect();
-            forward_exchange(strategy, &comm, eng.as_ref(), &outputs, num_tables, local_n, e)
+            forward_exchange(
+                strategy,
+                &comm,
+                eng.as_ref(),
+                &outputs,
+                num_tables,
+                local_n,
+                e,
+            )
         });
         for (rank, slices) in out.iter().enumerate() {
             assert_eq!(slices.len(), num_tables);

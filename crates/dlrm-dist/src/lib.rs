@@ -29,5 +29,5 @@ pub mod distributed;
 pub mod exchange;
 
 pub use characteristics::DistCharacteristics;
-pub use distributed::{DistDlrm, DistOptions};
+pub use distributed::{run_training, run_training_with_chaos, DistDlrm, DistOptions};
 pub use exchange::ExchangeStrategy;

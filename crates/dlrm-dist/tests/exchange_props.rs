@@ -1,0 +1,156 @@
+//! Property tests for the embedding exchange: whatever the strategy, rank
+//! count and table geometry, (a) every forward slice lands on the rank that
+//! [`owner_of`] says produced it, (b) the backward exchange conserves
+//! gradient mass table by table, and (c) forward→backward round-trips the
+//! owners' tensors bit-exactly.
+
+use dlrm_comm::world::CommWorld;
+use dlrm_dist::exchange::{
+    backward_exchange, forward_exchange, owner_of, tables_of, ExchangeStrategy,
+};
+use dlrm_tensor::Matrix;
+use proptest::prelude::*;
+
+/// Synthetic table output encoding (table, global row, col) in the value.
+fn table_output(t: usize, gn: usize, e: usize) -> Matrix {
+    Matrix::from_fn(gn, e, |row, col| {
+        (t * 1_000_000 + row * 1_000 + col) as f32 + 0.5
+    })
+}
+
+/// Synthetic gradient for table `t` on rank `me`.
+fn table_grad(me: usize, t: usize, n: usize, e: usize) -> Matrix {
+    Matrix::from_fn(n, e, |row, col| {
+        ((me * 97 + t * 13 + row * 3 + col) as f32).mul_add(0.011, -0.7)
+    })
+}
+
+fn strategies() -> Vec<ExchangeStrategy> {
+    // CclAlltoall without an engine exercises its blocking fallback.
+    ExchangeStrategy::ALL.to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn forward_slices_land_on_owner_ranks(
+        nranks in prop::sample::select(vec![1usize, 2, 4, 8]),
+        extra_tables in 0usize..6,
+        local_n in 1usize..4,
+        e in 1usize..5,
+        strategy in prop::sample::select(strategies()),
+    ) {
+        let num_tables = nranks + extra_tables;
+        let gn = local_n * nranks;
+        let out = CommWorld::run(nranks, move |comm| {
+            let me = comm.rank();
+            let outputs: Vec<Matrix> = tables_of(num_tables, nranks, me)
+                .into_iter()
+                .map(|t| table_output(t, gn, e))
+                .collect();
+            forward_exchange(strategy, &comm, None, &outputs, num_tables, local_n, e)
+        });
+        for (rank, slices) in out.iter().enumerate() {
+            prop_assert_eq!(slices.len(), num_tables);
+            for (t, m) in slices.iter().enumerate() {
+                // The slice must be the owner's rows r·n..(r+1)·n, verbatim.
+                prop_assert_eq!(owner_of(t, nranks), t % nranks);
+                for row in 0..local_n {
+                    for col in 0..e {
+                        let want =
+                            (t * 1_000_000 + (rank * local_n + row) * 1_000 + col) as f32 + 0.5;
+                        prop_assert_eq!(
+                            m[(row, col)], want,
+                            "{} rank {} table {} ({},{})", strategy, rank, t, row, col
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backward_exchange_conserves_gradient_mass(
+        nranks in prop::sample::select(vec![1usize, 2, 4, 8]),
+        extra_tables in 0usize..6,
+        local_n in 1usize..4,
+        e in 1usize..5,
+        strategy in prop::sample::select(strategies()),
+    ) {
+        let num_tables = nranks + extra_tables;
+        let out = CommWorld::run(nranks, move |comm| {
+            let me = comm.rank();
+            let grads: Vec<Matrix> = (0..num_tables)
+                .map(|t| table_grad(me, t, local_n, e))
+                .collect();
+            backward_exchange(strategy, &comm, None, &grads, num_tables, local_n, e)
+        });
+        // Each owner got its tables' full gradients; mass per table must be
+        // exactly the sum of every rank's submitted block (assembly copies,
+        // so summing in the same f64 order is exact).
+        for t in 0..num_tables {
+            let owner = owner_of(t, nranks);
+            let j = tables_of(num_tables, nranks, owner)
+                .iter()
+                .position(|&x| x == t)
+                .unwrap();
+            let assembled = &out[owner][j];
+            prop_assert_eq!(assembled.rows(), local_n * nranks);
+            let mut want = 0.0f64;
+            for rank in 0..nranks {
+                for v in table_grad(rank, t, local_n, e).as_slice() {
+                    want += *v as f64;
+                }
+            }
+            let got: f64 = assembled.as_slice().iter().map(|&v| v as f64).sum();
+            prop_assert!(
+                (got - want).abs() < 1e-9,
+                "{} table {}: mass {} vs {}", strategy, t, got, want
+            );
+            // And the per-rank blocks are verbatim copies, not just sums.
+            for rank in 0..nranks {
+                let block = &assembled.as_slice()
+                    [rank * local_n * e..(rank + 1) * local_n * e];
+                prop_assert_eq!(
+                    block,
+                    table_grad(rank, t, local_n, e).as_slice(),
+                    "{} table {} block from rank {}", strategy, t, rank
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forward_backward_round_trip_is_bit_exact(
+        nranks in prop::sample::select(vec![1usize, 2, 4, 8]),
+        extra_tables in 0usize..6,
+        local_n in 1usize..4,
+        e in 1usize..5,
+        strategy in prop::sample::select(strategies()),
+    ) {
+        let num_tables = nranks + extra_tables;
+        let gn = local_n * nranks;
+        let out = CommWorld::run(nranks, move |comm| {
+            let me = comm.rank();
+            let outputs: Vec<Matrix> = tables_of(num_tables, nranks, me)
+                .into_iter()
+                .map(|t| table_output(t, gn, e))
+                .collect();
+            let slices =
+                forward_exchange(strategy, &comm, None, &outputs, num_tables, local_n, e);
+            let back =
+                backward_exchange(strategy, &comm, None, &slices, num_tables, local_n, e);
+            (outputs, back)
+        });
+        for (rank, (outputs, back)) in out.iter().enumerate() {
+            prop_assert_eq!(outputs.len(), back.len());
+            for (o, b) in outputs.iter().zip(back) {
+                prop_assert_eq!(
+                    o.as_slice(), b.as_slice(),
+                    "{} rank {}: scatter→gather must round-trip", strategy, rank
+                );
+            }
+        }
+    }
+}

@@ -180,7 +180,12 @@ mod tests {
         ] {
             let (out, w) = run(&Execution::optimized(4), strategy);
             assert_eq!(out.as_slice(), out_ref.as_slice(), "{strategy} fwd");
-            assert_allclose(w.as_slice(), w_ref.as_slice(), 1e-5, &format!("{strategy} upd"));
+            assert_allclose(
+                w.as_slice(),
+                w_ref.as_slice(),
+                1e-5,
+                &format!("{strategy} upd"),
+            );
         }
     }
 

@@ -84,10 +84,7 @@ impl Interaction {
                 pool.parallel_for(n, |_tid, range| {
                     for s in range {
                         // SAFETY: sample columns are disjoint across threads.
-                        compute_sample(
-                            &mut |r, v| unsafe { *base.get().add(r * n + s) = v },
-                            s,
-                        );
+                        compute_sample(&mut |r, v| unsafe { *base.get().add(r * n + s) = v }, s);
                     }
                 });
             }

@@ -70,7 +70,9 @@ mod tests {
 
     #[test]
     fn random_scores_near_half() {
-        let scores: Vec<f32> = (0..2000).map(|i| ((i * 2654435761u64 as usize) % 997) as f32).collect();
+        let scores: Vec<f32> = (0..2000)
+            .map(|i| ((i * 2654435761u64 as usize) % 997) as f32)
+            .collect();
         let labels: Vec<f32> = (0..2000).map(|i| ((i * 40503) % 2) as f32).collect();
         let auc = roc_auc(&scores, &labels);
         assert!((auc - 0.5).abs() < 0.05, "auc = {auc}");

@@ -236,11 +236,7 @@ impl DlrmModel {
     pub fn param_count(&self) -> usize {
         self.bottom.param_count()
             + self.top.param_count()
-            + self
-                .tables
-                .iter()
-                .map(|t| t.weight.len())
-                .sum::<usize>()
+            + self.tables.iter().map(|t| t.weight.len()).sum::<usize>()
     }
 }
 

@@ -143,8 +143,8 @@ impl ParamOptimizer {
         if split.is_none() {
             mode.quantize_init(w);
         }
-        let rng = (mode == PrecisionMode::Fp16Stochastic)
-            .then(|| seeded_rng(0x570C, w.len() as u64));
+        let rng =
+            (mode == PrecisionMode::Fp16Stochastic).then(|| seeded_rng(0x570C, w.len() as u64));
         ParamOptimizer { mode, split, rng }
     }
 

@@ -81,7 +81,10 @@ fn check_bags(indices: &[u32], offsets: &[usize], m: usize) {
         indices.len(),
         "last offset must equal number of lookups"
     );
-    debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be sorted");
+    debug_assert!(
+        offsets.windows(2).all(|w| w[0] <= w[1]),
+        "offsets must be sorted"
+    );
     debug_assert!(
         indices.iter().all(|&i| (i as usize) < m),
         "index out of table bounds"
@@ -153,7 +156,11 @@ pub fn backward(pool: &ThreadPool, dy: &Matrix, offsets: &[usize], dw: &mut Matr
     let n = offsets.len() - 1;
     let e = dy.cols();
     assert_eq!(dy.rows(), n, "backward dY rows");
-    assert_eq!(dw.shape(), (*offsets.last().unwrap(), e), "backward dW shape");
+    assert_eq!(
+        dw.shape(),
+        (*offsets.last().unwrap(), e),
+        "backward dW shape"
+    );
     let dw_base = crate::gemm::SendMutPtr(dw.as_mut_slice().as_mut_ptr());
 
     pool.parallel_for(n, move |_tid, bags| {
@@ -250,7 +257,8 @@ fn update_reference(weight: &mut Matrix, dw: &Matrix, indices: &[u32], alpha: f3
 pub fn update_framework_naive(weight: &mut Matrix, dw: &Matrix, indices: &[u32], alpha: f32) {
     let (rows, e) = weight.shape();
     // Step 1: coalesce duplicates into an ordered sparse structure.
-    let mut coalesced: std::collections::BTreeMap<u32, Vec<f64>> = std::collections::BTreeMap::new();
+    let mut coalesced: std::collections::BTreeMap<u32, Vec<f64>> =
+        std::collections::BTreeMap::new();
     for (i, &ind) in indices.iter().enumerate() {
         let entry = coalesced.entry(ind).or_insert_with(|| vec![0.0f64; e]);
         for j in 0..e {
@@ -289,8 +297,9 @@ fn update_atomic(pool: &ThreadPool, weight: &mut Matrix, dw: &Matrix, indices: &
     let len = weight.len();
     // SAFETY: AtomicU32 has the same size/alignment as f32; all concurrent
     // access during this call goes through the atomic view.
-    let cells =
-        unsafe { std::slice::from_raw_parts(weight.as_mut_slice().as_ptr().cast::<AtomicU32>(), len) };
+    let cells = unsafe {
+        std::slice::from_raw_parts(weight.as_mut_slice().as_ptr().cast::<AtomicU32>(), len)
+    };
 
     pool.parallel_for(indices.len(), move |_tid, lookups| {
         for i in lookups {
@@ -307,7 +316,9 @@ fn update_atomic(pool: &ThreadPool, weight: &mut Matrix, dw: &Matrix, indices: &
 /// stripe owning the row, then do a vectorized row update.
 fn update_rtm(pool: &ThreadPool, weight: &mut Matrix, dw: &Matrix, indices: &[u32], alpha: f32) {
     let e = weight.cols();
-    let locks: Vec<StripeLock> = (0..RTM_STRIPES).map(|_| StripeLock(AtomicBool::new(false))).collect();
+    let locks: Vec<StripeLock> = (0..RTM_STRIPES)
+        .map(|_| StripeLock(AtomicBool::new(false)))
+        .collect();
     let w_base = crate::gemm::SendMutPtr(weight.as_mut_slice().as_mut_ptr());
 
     pool.parallel_for(indices.len(), |_tid, lookups| {
@@ -386,7 +397,8 @@ pub fn fused_backward_update(
                 let row = indices[s] as usize;
                 if owned.contains(&row) {
                     // SAFETY: row ranges are disjoint across threads.
-                    let dst = unsafe { std::slice::from_raw_parts_mut(w_base.get().add(row * e), e) };
+                    let dst =
+                        unsafe { std::slice::from_raw_parts_mut(w_base.get().add(row * e), e) };
                     for (wv, &g) in dst.iter_mut().zip(grad) {
                         *wv += alpha * g;
                     }
@@ -399,17 +411,12 @@ pub fn fused_backward_update(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dlrm_tensor::init::{seeded_rng, uniform};
     use dlrm_tensor::assert_allclose;
+    use dlrm_tensor::init::{seeded_rng, uniform};
     use rand::Rng;
 
     /// Random bag structure: n bags, up to `max_p` lookups each.
-    fn random_bags(
-        m: usize,
-        n: usize,
-        max_p: usize,
-        seed: u64,
-    ) -> (Vec<u32>, Vec<usize>) {
+    fn random_bags(m: usize, n: usize, max_p: usize, seed: u64) -> (Vec<u32>, Vec<usize>) {
         let mut rng = seeded_rng(seed, 17);
         let mut offsets = vec![0usize];
         let mut indices = vec![];
@@ -489,7 +496,14 @@ mod tests {
         let alpha = -0.05f32;
 
         let mut want = w0.clone();
-        update(&pool, UpdateStrategy::Reference, &mut want, &dw, &indices, alpha);
+        update(
+            &pool,
+            UpdateStrategy::Reference,
+            &mut want,
+            &dw,
+            &indices,
+            alpha,
+        );
 
         for strat in [
             UpdateStrategy::AtomicXchg,
@@ -535,9 +549,23 @@ mod tests {
         let dw = uniform(ns, 8, -1.0, 1.0, &mut rng);
 
         let mut want = w0.clone();
-        update(&pool, UpdateStrategy::Reference, &mut want, &dw, &indices, -0.1);
+        update(
+            &pool,
+            UpdateStrategy::Reference,
+            &mut want,
+            &dw,
+            &indices,
+            -0.1,
+        );
         let mut got = w0.clone();
-        update(&pool, UpdateStrategy::RaceFree, &mut got, &dw, &indices, -0.1);
+        update(
+            &pool,
+            UpdateStrategy::RaceFree,
+            &mut got,
+            &dw,
+            &indices,
+            -0.1,
+        );
         assert_eq!(got.as_slice(), want.as_slice());
     }
 
@@ -556,7 +584,14 @@ mod tests {
         let mut dw = Matrix::zeros(ns, 8);
         backward(&pool, &dy, &offsets, &mut dw);
         let mut want = w0.clone();
-        update(&pool, UpdateStrategy::RaceFree, &mut want, &dw, &indices, alpha);
+        update(
+            &pool,
+            UpdateStrategy::RaceFree,
+            &mut want,
+            &dw,
+            &indices,
+            alpha,
+        );
 
         let mut got = w0.clone();
         fused_backward_update(&pool, &mut got, &dy, &indices, &offsets, alpha);
@@ -574,7 +609,14 @@ mod tests {
         let pool = ThreadPool::new(1);
 
         let mut want = w0.clone();
-        update(&pool, UpdateStrategy::Reference, &mut want, &dw, &indices, -0.07);
+        update(
+            &pool,
+            UpdateStrategy::Reference,
+            &mut want,
+            &dw,
+            &indices,
+            -0.07,
+        );
         let mut got = w0.clone();
         update_framework_naive(&mut got, &dw, &indices, -0.07);
         assert_allclose(got.as_slice(), want.as_slice(), 1e-6, "framework naive");

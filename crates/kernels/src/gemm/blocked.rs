@@ -282,21 +282,33 @@ mod tests {
     #[test]
     fn matches_naive_square() {
         let pool = ThreadPool::new(4);
-        let blk = Blocking { bn: 8, bc: 16, bk: 16 };
+        let blk = Blocking {
+            bn: 8,
+            bc: 16,
+            bk: 16,
+        };
         check_all_passes(&problem(64, 64, 32, blk, 1), &pool);
     }
 
     #[test]
     fn matches_naive_rectangular() {
         let pool = ThreadPool::new(3);
-        let blk = Blocking { bn: 4, bc: 8, bk: 32 };
+        let blk = Blocking {
+            bn: 4,
+            bc: 8,
+            bk: 32,
+        };
         check_all_passes(&problem(96, 40, 20, blk, 2), &pool);
     }
 
     #[test]
     fn matches_naive_single_block() {
         let pool = ThreadPool::new(2);
-        let blk = Blocking { bn: 8, bc: 8, bk: 8 };
+        let blk = Blocking {
+            bn: 8,
+            bc: 8,
+            bk: 8,
+        };
         check_all_passes(&problem(8, 8, 8, blk, 3), &pool);
     }
 
@@ -304,28 +316,44 @@ mod tests {
     fn matches_naive_odd_scalar_path() {
         // bk=6 forces the scalar microkernel everywhere.
         let pool = ThreadPool::new(2);
-        let blk = Blocking { bn: 3, bc: 5, bk: 6 };
+        let blk = Blocking {
+            bn: 3,
+            bc: 5,
+            bk: 6,
+        };
         check_all_passes(&problem(18, 15, 9, blk, 4), &pool);
     }
 
     #[test]
     fn single_thread_pool_matches() {
         let pool = ThreadPool::new(1);
-        let blk = Blocking { bn: 8, bc: 16, bk: 16 };
+        let blk = Blocking {
+            bn: 8,
+            bc: 16,
+            bk: 16,
+        };
         check_all_passes(&problem(32, 48, 16, blk, 5), &pool);
     }
 
     #[test]
     fn more_threads_than_blocks_matches() {
         let pool = ThreadPool::new(16);
-        let blk = Blocking { bn: 16, bc: 16, bk: 16 };
+        let blk = Blocking {
+            bn: 16,
+            bc: 16,
+            bk: 16,
+        };
         check_all_passes(&problem(16, 16, 16, blk, 6), &pool);
     }
 
     #[test]
     fn fused_epilogue_matches_separate_passes() {
         let pool = ThreadPool::new(3);
-        let blk = Blocking { bn: 4, bc: 8, bk: 16 };
+        let blk = Blocking {
+            bn: 4,
+            bc: 8,
+            bk: 16,
+        };
         let (k, c, n) = (32usize, 24usize, 12usize);
         let p = problem(k, c, n, blk, 9);
         let bias: Vec<f32> = (0..k).map(|i| (i as f32 - 16.0) * 0.3).collect();
@@ -352,7 +380,11 @@ mod tests {
     #[test]
     fn fused_without_bias_or_relu_equals_plain_forward() {
         let pool = ThreadPool::new(2);
-        let blk = Blocking { bn: 2, bc: 4, bk: 8 };
+        let blk = Blocking {
+            bn: 2,
+            bc: 4,
+            bk: 8,
+        };
         let p = problem(16, 8, 6, blk, 10);
         let wb = dlrm_tensor::BlockedWeights::pack(&p.w, blk);
         let xb = dlrm_tensor::BlockedActivations::pack(&p.x, blk.bc, blk.bn);
@@ -367,7 +399,11 @@ mod tests {
     #[should_panic(expected = "bc mismatch")]
     fn forward_rejects_inconsistent_blocking() {
         let pool = ThreadPool::new(1);
-        let blk = Blocking { bn: 4, bc: 8, bk: 8 };
+        let blk = Blocking {
+            bn: 4,
+            bc: 8,
+            bk: 8,
+        };
         let w = dlrm_tensor::BlockedWeights::zeros(8, 16, blk);
         let x = dlrm_tensor::BlockedActivations::zeros(16, 8, 4, 4); // bc=4 != 8
         let mut y = dlrm_tensor::BlockedActivations::zeros(8, 8, 8, 4);

@@ -30,8 +30,7 @@ pub fn par_gemm_nn(pool: &ThreadPool, a: &Matrix, b: &Matrix, c: &mut Matrix) {
             for i in rows.clone() {
                 let a_row = &a.row(i)[pc..pend];
                 // SAFETY: each row i is owned by exactly one thread.
-                let c_row =
-                    unsafe { std::slice::from_raw_parts_mut(c_base.get().add(i * n), n) };
+                let c_row = unsafe { std::slice::from_raw_parts_mut(c_base.get().add(i * n), n) };
                 for (off, &a_ip) in a_row.iter().enumerate() {
                     let b_row = b.row(pc + off);
                     for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row) {
@@ -57,8 +56,7 @@ pub fn par_gemm_tn(pool: &ThreadPool, a: &Matrix, b: &Matrix, c: &mut Matrix) {
             let pend = (pc + KC).min(ka);
             for i in rows.clone() {
                 // SAFETY: each row i is owned by exactly one thread.
-                let c_row =
-                    unsafe { std::slice::from_raw_parts_mut(c_base.get().add(i * n), n) };
+                let c_row = unsafe { std::slice::from_raw_parts_mut(c_base.get().add(i * n), n) };
                 for p in pc..pend {
                     let a_pi = a[(p, i)];
                     let b_row = b.row(p);
@@ -101,8 +99,8 @@ pub fn par_gemm_nt(pool: &ThreadPool, a: &Matrix, b: &Matrix, c: &mut Matrix) {
 mod tests {
     use super::*;
     use crate::gemm::naive;
-    use dlrm_tensor::init::{seeded_rng, uniform};
     use dlrm_tensor::assert_allclose;
+    use dlrm_tensor::init::{seeded_rng, uniform};
 
     fn rand(r: usize, c: usize, seed: u64) -> Matrix {
         uniform(r, c, -1.0, 1.0, &mut seeded_rng(seed, 0))

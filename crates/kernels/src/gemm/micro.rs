@@ -98,7 +98,9 @@ pub unsafe fn brgemm_fwd(
         #[cfg(target_arch = "x86_64")]
         Isa::Avx512 if d.bk.is_multiple_of(16) => brgemm_fwd_avx512(w_panels, x_panels, y, d),
         #[cfg(target_arch = "x86_64")]
-        Isa::Avx2 | Isa::Avx512 if d.bk.is_multiple_of(8) => brgemm_fwd_avx2(w_panels, x_panels, y, d),
+        Isa::Avx2 | Isa::Avx512 if d.bk.is_multiple_of(8) => {
+            brgemm_fwd_avx2(w_panels, x_panels, y, d)
+        }
         _ => brgemm_fwd_scalar(w_panels, x_panels, y, d),
     }
 }
@@ -239,7 +241,9 @@ pub unsafe fn brgemm_bwd_data(
     debug_assert_eq!(w_panels.len(), dy_panels.len());
     match isa {
         #[cfg(target_arch = "x86_64")]
-        Isa::Avx512 if d.bk.is_multiple_of(16) => brgemm_bwd_data_avx512(w_panels, dy_panels, dx, d),
+        Isa::Avx512 if d.bk.is_multiple_of(16) => {
+            brgemm_bwd_data_avx512(w_panels, dy_panels, dx, d)
+        }
         #[cfg(target_arch = "x86_64")]
         Isa::Avx2 | Isa::Avx512 if d.bk.is_multiple_of(8) => {
             brgemm_bwd_data_avx2(w_panels, dy_panels, dx, d)
@@ -359,7 +363,9 @@ pub unsafe fn brgemm_bwd_wt(
         #[cfg(target_arch = "x86_64")]
         Isa::Avx512 if d.bk.is_multiple_of(16) => brgemm_bwd_wt_avx512(x_panels, dy_panels, dw, d),
         #[cfg(target_arch = "x86_64")]
-        Isa::Avx2 | Isa::Avx512 if d.bk.is_multiple_of(8) => brgemm_bwd_wt_avx2(x_panels, dy_panels, dw, d),
+        Isa::Avx2 | Isa::Avx512 if d.bk.is_multiple_of(8) => {
+            brgemm_bwd_wt_avx2(x_panels, dy_panels, dw, d)
+        }
         _ => brgemm_bwd_wt_scalar(x_panels, dy_panels, dw, d),
     }
 }
@@ -562,37 +568,107 @@ mod tests {
 
     #[test]
     fn fwd_all_isas_agree_square() {
-        check_fwd(PanelDims { bn: 8, bc: 32, bk: 32 }, 4);
+        check_fwd(
+            PanelDims {
+                bn: 8,
+                bc: 32,
+                bk: 32,
+            },
+            4,
+        );
     }
 
     #[test]
     fn fwd_all_isas_agree_odd_bn() {
         // bn=5 exercises the AVX-512 remainder-row path.
-        check_fwd(PanelDims { bn: 5, bc: 16, bk: 48 }, 3);
+        check_fwd(
+            PanelDims {
+                bn: 5,
+                bc: 16,
+                bk: 48,
+            },
+            3,
+        );
     }
 
     #[test]
     fn fwd_scalar_fallback_for_odd_bk() {
-        check_fwd(PanelDims { bn: 4, bc: 8, bk: 10 }, 2);
+        check_fwd(
+            PanelDims {
+                bn: 4,
+                bc: 8,
+                bk: 10,
+            },
+            2,
+        );
     }
 
     #[test]
     fn fwd_single_panel() {
-        check_fwd(PanelDims { bn: 2, bc: 2, bk: 16 }, 1);
+        check_fwd(
+            PanelDims {
+                bn: 2,
+                bc: 2,
+                bk: 16,
+            },
+            1,
+        );
     }
 
     #[test]
     fn bwd_data_all_isas_agree() {
-        check_bwd_data(PanelDims { bn: 8, bc: 24, bk: 32 }, 4);
-        check_bwd_data(PanelDims { bn: 3, bc: 5, bk: 16 }, 2);
-        check_bwd_data(PanelDims { bn: 4, bc: 8, bk: 9 }, 2); // scalar path
+        check_bwd_data(
+            PanelDims {
+                bn: 8,
+                bc: 24,
+                bk: 32,
+            },
+            4,
+        );
+        check_bwd_data(
+            PanelDims {
+                bn: 3,
+                bc: 5,
+                bk: 16,
+            },
+            2,
+        );
+        check_bwd_data(
+            PanelDims {
+                bn: 4,
+                bc: 8,
+                bk: 9,
+            },
+            2,
+        ); // scalar path
     }
 
     #[test]
     fn bwd_wt_all_isas_agree() {
-        check_bwd_wt(PanelDims { bn: 8, bc: 32, bk: 32 }, 4);
-        check_bwd_wt(PanelDims { bn: 7, bc: 5, bk: 16 }, 3); // remainder cols
-        check_bwd_wt(PanelDims { bn: 4, bc: 8, bk: 12 }, 2); // avx2/scalar
+        check_bwd_wt(
+            PanelDims {
+                bn: 8,
+                bc: 32,
+                bk: 32,
+            },
+            4,
+        );
+        check_bwd_wt(
+            PanelDims {
+                bn: 7,
+                bc: 5,
+                bk: 16,
+            },
+            3,
+        ); // remainder cols
+        check_bwd_wt(
+            PanelDims {
+                bn: 4,
+                bc: 8,
+                bk: 12,
+            },
+            2,
+        ); // avx2/scalar
     }
 
     #[test]
@@ -606,9 +682,15 @@ mod tests {
     #[test]
     fn batch_reduce_equals_sequential_calls() {
         // Reducing P panels in one call must equal P accumulating calls.
-        let d = PanelDims { bn: 4, bc: 8, bk: 16 };
+        let d = PanelDims {
+            bn: 4,
+            bc: 8,
+            bk: 16,
+        };
         let mk = |seed: usize, len: usize| -> Vec<f32> {
-            (0..len).map(|i| ((i + seed) % 17) as f32 * 0.21 - 1.5).collect()
+            (0..len)
+                .map(|i| ((i + seed) % 17) as f32 * 0.21 - 1.5)
+                .collect()
         };
         let ws: Vec<Vec<f32>> = (0..5).map(|p| mk(p, d.bc * d.bk)).collect();
         let xs: Vec<Vec<f32>> = (0..5).map(|p| mk(p + 31, d.bn * d.bc)).collect();

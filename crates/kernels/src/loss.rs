@@ -73,8 +73,8 @@ mod tests {
             let mut lm = logits;
             lp[i] += h;
             lm[i] -= h;
-            let fd = (bce_with_logits_loss(&lp, &targets)
-                - bce_with_logits_loss(&lm, &targets)) as f32
+            let fd = (bce_with_logits_loss(&lp, &targets) - bce_with_logits_loss(&lm, &targets))
+                as f32
                 / (2.0 * h);
             assert!((grad[i] - fd).abs() < 1e-4, "i={i}: {} vs {}", grad[i], fd);
         }

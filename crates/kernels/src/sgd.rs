@@ -19,7 +19,8 @@ pub fn par_sgd_step(pool: &ThreadPool, w: &mut [f32], g: &[f32], lr: f32) {
     let base = crate::gemm::SendMutPtr(w.as_mut_ptr());
     pool.parallel_for(w.len(), move |_tid, range| {
         // SAFETY: parallel_for ranges are disjoint.
-        let wc = unsafe { std::slice::from_raw_parts_mut(base.get().add(range.start), range.len()) };
+        let wc =
+            unsafe { std::slice::from_raw_parts_mut(base.get().add(range.start), range.len()) };
         sgd_step(wc, &g[range], lr);
     });
 }

@@ -1,0 +1,222 @@
+//! Equivalence of the four Section III-A update strategies (and the fused
+//! backward+update) against [`UpdateStrategy::Reference`] on *adversarial*
+//! index sets — the distributions where the parallel strategies actually
+//! race: hot rows, all-duplicates, empty bags, and degenerate tables —
+//! across several thread counts (including one that does not divide the
+//! table evenly).
+
+use dlrm_kernels::embedding::{backward, fused_backward_update, update, UpdateStrategy};
+use dlrm_kernels::ThreadPool;
+use dlrm_tensor::assert_allclose;
+use dlrm_tensor::init::{seeded_rng, uniform};
+use dlrm_tensor::Matrix;
+
+const THREADS: [usize; 3] = [1, 4, 7];
+
+/// A bag layout plus the table geometry it indexes.
+struct Case {
+    name: &'static str,
+    m: usize,
+    e: usize,
+    indices: Vec<u32>,
+    offsets: Vec<usize>,
+}
+
+/// The adversarial index sets: each one maximizes a different failure mode
+/// (write contention, lock convoying, ownership imbalance, empty work).
+fn adversarial_cases() -> Vec<Case> {
+    let mut cases = Vec::new();
+
+    // Hot rows: 200 lookups over a 64-row table, 90% of them hitting rows
+    // 0..4 (Zipf-like skew — the paper's motivating access pattern).
+    {
+        let mut rng = seeded_rng(71, 0);
+        let mut indices = Vec::new();
+        let mut offsets = vec![0usize];
+        use rand::Rng;
+        for _ in 0..50 {
+            for _ in 0..4 {
+                let hot = rng.gen_range(0u32..100) < 90;
+                indices.push(if hot {
+                    rng.gen_range(0u32..4)
+                } else {
+                    rng.gen_range(4u32..64)
+                });
+            }
+            offsets.push(indices.len());
+        }
+        cases.push(Case {
+            name: "hot-rows",
+            m: 64,
+            e: 16,
+            indices,
+            offsets,
+        });
+    }
+
+    // All-duplicates: every lookup in every bag is the same row — maximum
+    // contention, and the reduction order must still match Reference.
+    cases.push(Case {
+        name: "all-duplicates",
+        m: 8,
+        e: 8,
+        indices: vec![5; 48],
+        offsets: (0..=12).map(|b| b * 4).collect(),
+    });
+
+    // Empty bags interleaved with full ones (bag 0, 2, 4, ... are empty).
+    {
+        let mut indices = Vec::new();
+        let mut offsets = vec![0usize];
+        for bag in 0..16 {
+            if bag % 2 == 1 {
+                for k in 0..3u32 {
+                    indices.push((bag as u32 * 3 + k) % 20);
+                }
+            }
+            offsets.push(indices.len());
+        }
+        cases.push(Case {
+            name: "empty-bags",
+            m: 20,
+            e: 12,
+            indices,
+            offsets,
+        });
+    }
+
+    // Empty index list: zero lookups across 5 bags — nothing may change.
+    cases.push(Case {
+        name: "empty-list",
+        m: 10,
+        e: 4,
+        indices: vec![],
+        offsets: vec![0; 6],
+    });
+
+    // Single-row table: every thread's owned range but one is empty under
+    // RaceFree, and every lookup collides under the others.
+    cases.push(Case {
+        name: "single-row",
+        m: 1,
+        e: 6,
+        indices: vec![0; 30],
+        offsets: (0..=10).map(|b| b * 3).collect(),
+    });
+
+    cases
+}
+
+#[test]
+fn all_strategies_match_reference_on_adversarial_bags() {
+    for case in adversarial_cases() {
+        let ns = *case.offsets.last().unwrap();
+        let mut rng = seeded_rng(5, 9);
+        let w0 = uniform(case.m, case.e, -1.0, 1.0, &mut rng);
+        let dw = uniform(ns.max(1), case.e, -1.0, 1.0, &mut rng);
+        let dw = Matrix::from_slice(ns, case.e, &dw.as_slice()[..ns * case.e]);
+        let alpha = -0.03f32;
+
+        let ref_pool = ThreadPool::new(1);
+        let mut want = w0.clone();
+        update(
+            &ref_pool,
+            UpdateStrategy::Reference,
+            &mut want,
+            &dw,
+            &case.indices,
+            alpha,
+        );
+
+        for threads in THREADS {
+            let pool = ThreadPool::new(threads);
+            for strat in [
+                UpdateStrategy::AtomicXchg,
+                UpdateStrategy::Rtm,
+                UpdateStrategy::RaceFree,
+            ] {
+                let mut got = w0.clone();
+                update(&pool, strat, &mut got, &dw, &case.indices, alpha);
+                assert_allclose(
+                    got.as_slice(),
+                    want.as_slice(),
+                    1e-5,
+                    &format!("{strat} on {} with {threads} threads", case.name),
+                );
+            }
+            // RaceFree preserves index-list application order per row, so it
+            // must be *bit*-identical, not merely close.
+            let mut got = w0.clone();
+            update(
+                &pool,
+                UpdateStrategy::RaceFree,
+                &mut got,
+                &dw,
+                &case.indices,
+                alpha,
+            );
+            assert_eq!(
+                got.as_slice(),
+                want.as_slice(),
+                "RaceFree must be bit-exact on {} with {threads} threads",
+                case.name
+            );
+        }
+    }
+}
+
+#[test]
+fn fused_backward_update_matches_unfused_on_adversarial_bags() {
+    for case in adversarial_cases() {
+        let n = case.offsets.len() - 1;
+        let ns = *case.offsets.last().unwrap();
+        let mut rng = seeded_rng(6, 2);
+        let w0 = uniform(case.m, case.e, -1.0, 1.0, &mut rng);
+        let dy = uniform(n, case.e, -1.0, 1.0, &mut rng);
+        let alpha = -0.05f32;
+
+        for threads in THREADS {
+            let pool = ThreadPool::new(threads);
+
+            // Unfused: materialize dW[NS][E], then reference update.
+            let mut dw = Matrix::zeros(ns, case.e);
+            backward(&pool, &dy, &case.offsets, &mut dw);
+            let mut want = w0.clone();
+            update(
+                &pool,
+                UpdateStrategy::Reference,
+                &mut want,
+                &dw,
+                &case.indices,
+                alpha,
+            );
+
+            let mut got = w0.clone();
+            fused_backward_update(&pool, &mut got, &dy, &case.indices, &case.offsets, alpha);
+            assert_allclose(
+                got.as_slice(),
+                want.as_slice(),
+                1e-6,
+                &format!("fused on {} with {threads} threads", case.name),
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_index_list_leaves_table_untouched() {
+    let w0 = Matrix::from_fn(10, 4, |r, c| (r * 4 + c) as f32);
+    let dw = Matrix::zeros(0, 4);
+    for threads in THREADS {
+        let pool = ThreadPool::new(threads);
+        for strat in UpdateStrategy::ALL {
+            let mut w = w0.clone();
+            update(&pool, strat, &mut w, &dw, &[], 1.0);
+            assert_eq!(
+                w.as_slice(),
+                w0.as_slice(),
+                "{strat} with {threads} threads"
+            );
+        }
+    }
+}

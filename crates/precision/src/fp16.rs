@@ -216,7 +216,10 @@ mod tests {
     fn specials() {
         assert_eq!(quantize_f32(f32::INFINITY), f32::INFINITY);
         assert!(quantize_f32(f32::NAN).is_nan());
-        assert_eq!(Fp16::from_f32_rne(-0.0).to_f32().to_bits(), (-0.0f32).to_bits());
+        assert_eq!(
+            Fp16::from_f32_rne(-0.0).to_f32().to_bits(),
+            (-0.0f32).to_bits()
+        );
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Golden test for Split-SGD-BF16 (Section VII): after K SGD steps, the
+//! recombined hi/lo planes must be **bit-exactly** the FP32 SGD trajectory
+//! — on an adversarial weight population (subnormals, huge magnitudes,
+//! sign flips, zeros) and a gradient stream spanning many binades. The
+//! 8-bit and 0-bit ablations must *not* achieve this.
+
+use dlrm_precision::split::{LoBits, SplitTensor};
+
+const STEPS: usize = 500;
+
+/// Weight population covering the ugly corners of the FP32 lattice.
+fn adversarial_weights() -> Vec<f32> {
+    let mut w = vec![
+        0.0,
+        -0.0,
+        1.0,
+        -1.0,
+        1.5,
+        std::f32::consts::PI,
+        -std::f32::consts::E,
+        f32::MIN_POSITIVE, // smallest normal
+        -f32::MIN_POSITIVE,
+        1.0e-40,      // subnormal
+        -1.0e-42,     // subnormal
+        3.0e30,       // huge
+        -7.0e-30,     // tiny
+        0.1,          // repeating fraction in binary
+        16_777_216.0, // 2^24: f32 integer precision edge
+    ];
+    // Plus a deterministic spread over many binades.
+    for i in 0..49 {
+        let mag = 2.0f32.powi((i % 40) - 20);
+        let frac = 1.0 + (i as f32) * 0.017;
+        w.push(if i % 2 == 0 { mag * frac } else { -mag * frac });
+    }
+    w
+}
+
+/// Deterministic gradient stream mixing magnitudes so updates land above,
+/// inside and below every weight's retained-bit window.
+fn grad(step: usize, i: usize) -> f32 {
+    let scale = 2.0f32.powi(((step * 7 + i * 3) % 24) as i32 - 12);
+    let s = ((step * 31 + i * 17) % 13) as f32 - 6.0;
+    s * 0.123 * scale
+}
+
+#[test]
+fn split_sgd_recombined_halves_are_bit_exact_fp32_after_k_steps() {
+    let init = adversarial_weights();
+    let mut split = SplitTensor::from_f32(&init, LoBits::Sixteen);
+    let mut fp32 = init.clone();
+    let lr = 0.02f32;
+
+    for step in 0..STEPS {
+        let grads: Vec<f32> = (0..init.len()).map(|i| grad(step, i)).collect();
+        split.sgd_step(&grads, lr);
+        for (w, &g) in fp32.iter_mut().zip(&grads) {
+            *w -= lr * g;
+        }
+        // Bit-exact at *every* step, not just the end — the split planes
+        // are the FP32 master weights, merely stored in two halves.
+        for (i, &want) in fp32.iter().enumerate() {
+            assert_eq!(
+                split.full_value(i).to_bits(),
+                want.to_bits(),
+                "step {step} element {i}: split {} vs fp32 {}",
+                split.full_value(i),
+                want
+            );
+        }
+        // The model view is always the pure truncation of the master.
+        for (i, &want) in fp32.iter().enumerate() {
+            assert_eq!(
+                split.model_value(i).to_bits(),
+                want.to_bits() & 0xFFFF_0000,
+                "step {step} element {i}: hi plane must be the 16 MSBs"
+            );
+        }
+    }
+}
+
+#[test]
+fn eight_and_zero_bit_ablations_diverge_from_fp32() {
+    // The paper's ablation: fewer than 16 retained LSBs loses updates.
+    let init = adversarial_weights();
+    let lr = 0.02f32;
+    for lo_bits in [LoBits::Eight, LoBits::Zero] {
+        let mut split = SplitTensor::from_f32(&init, lo_bits);
+        let mut fp32 = init.clone();
+        for step in 0..STEPS {
+            let grads: Vec<f32> = (0..init.len()).map(|i| grad(step, i)).collect();
+            split.sgd_step(&grads, lr);
+            for (w, &g) in fp32.iter_mut().zip(&grads) {
+                *w -= lr * g;
+            }
+        }
+        let diverged = fp32
+            .iter()
+            .enumerate()
+            .any(|(i, &w)| split.full_value(i).to_bits() != w.to_bits());
+        assert!(
+            diverged,
+            "{lo_bits:?} tracked FP32 bit-exactly — the ablation should fail"
+        );
+    }
+}
+
+#[test]
+fn sparse_row_updates_are_bit_exact_too() {
+    // The embedding path uses sgd_step_row; same golden property per row.
+    let (rows, cols) = (16usize, 4usize);
+    let init: Vec<f32> = adversarial_weights()
+        .into_iter()
+        .take(rows * cols)
+        .collect();
+    assert_eq!(init.len(), rows * cols);
+    let mut split = SplitTensor::from_f32(&init, LoBits::Sixteen);
+    let mut fp32 = init.clone();
+    let lr = 0.05f32;
+
+    for step in 0..STEPS {
+        let row = (step * 5 + 3) % rows; // deterministic hot-row pattern
+        let grow: Vec<f32> = (0..cols).map(|j| grad(step, row * cols + j)).collect();
+        split.sgd_step_row(row, cols, &grow, lr);
+        for (j, &g) in grow.iter().enumerate() {
+            fp32[row * cols + j] -= lr * g;
+        }
+    }
+    for (i, &want) in fp32.iter().enumerate() {
+        assert_eq!(
+            split.full_value(i).to_bits(),
+            want.to_bits(),
+            "element {i} after {STEPS} sparse steps"
+        );
+    }
+}

@@ -304,7 +304,11 @@ mod tests {
     #[test]
     fn weights_pack_unpack_round_trip() {
         let w = Matrix::from_fn(8, 12, |r, c| (r * 100 + c) as f32);
-        let blk = Blocking { bn: 2, bc: 4, bk: 4 };
+        let blk = Blocking {
+            bn: 2,
+            bc: 4,
+            bk: 4,
+        };
         let bw = BlockedWeights::pack(&w, blk);
         assert_eq!(bw.kb(), 2);
         assert_eq!(bw.cb(), 3);
@@ -314,7 +318,11 @@ mod tests {
     #[test]
     fn weights_block_contents() {
         let w = Matrix::from_fn(4, 4, |r, c| (r * 10 + c) as f32);
-        let blk = Blocking { bn: 1, bc: 2, bk: 2 };
+        let blk = Blocking {
+            bn: 1,
+            bc: 2,
+            bk: 2,
+        };
         let bw = BlockedWeights::pack(&w, blk);
         // Block (ibk=1, ibc=0) covers k in {2,3}, c in {0,1}; layout [bc][bk].
         let b = bw.block(1, 0);
@@ -342,12 +350,24 @@ mod tests {
     #[test]
     #[should_panic(expected = "must divide")]
     fn weights_reject_non_dividing_blocking() {
-        let _ = BlockedWeights::zeros(10, 10, Blocking { bn: 1, bc: 3, bk: 2 });
+        let _ = BlockedWeights::zeros(
+            10,
+            10,
+            Blocking {
+                bn: 1,
+                bc: 3,
+                bk: 2,
+            },
+        );
     }
 
     #[test]
     fn index_of_consistent_with_block_slices() {
-        let blk = Blocking { bn: 2, bc: 4, bk: 8 };
+        let blk = Blocking {
+            bn: 2,
+            bc: 4,
+            bk: 8,
+        };
         let bw = BlockedWeights::zeros(16, 8, blk);
         // element (k=9, c=5) lives in block (ibk=1, ibc=1) at [rc=1][rk=1]
         let flat = bw.index_of(9, 5);

@@ -120,8 +120,7 @@ impl Interconnect for PrunedFatTree {
         // pruned up-links.
         let other = (ranks - self.sockets_per_leaf) as f64;
         let cross_frac = other / (ranks - 1) as f64;
-        let per_rank_uplink_share =
-            self.leaf_uplink_bandwidth() / self.sockets_per_leaf as f64;
+        let per_rank_uplink_share = self.leaf_uplink_bandwidth() / self.sockets_per_leaf as f64;
         // Per-rank sustained rate r satisfies: cross traffic rate
         // r*cross_frac ≤ uplink share, and total rate ≤ NIC.
         let uplink_bound = per_rank_uplink_share / cross_frac.max(1e-12);

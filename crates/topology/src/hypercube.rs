@@ -95,7 +95,10 @@ impl TwistedHypercube8 {
     /// unit flows cross each physical link. The imbalance of this histogram
     /// is why the generic pairwise schedule leaves UPI bandwidth on the
     /// table beyond 4 sockets (Section VI-D3).
-    pub fn alltoall_link_loads(&self, ranks: usize) -> std::collections::BTreeMap<(usize, usize), u32> {
+    pub fn alltoall_link_loads(
+        &self,
+        ranks: usize,
+    ) -> std::collections::BTreeMap<(usize, usize), u32> {
         assert!((1..=8).contains(&ranks));
         let mut loads = std::collections::BTreeMap::new();
         for a in 0..ranks {

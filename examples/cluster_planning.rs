@@ -34,7 +34,13 @@ fn main() {
 
         // Which strategy? Compare at the largest usable rank count.
         let cluster = Cluster::cluster_64socket();
-        let pts = scaling_sweep(&cfg, &cluster, &calib, ScalingKind::Strong, RunMode::Overlapping);
+        let pts = scaling_sweep(
+            &cfg,
+            &cluster,
+            &calib,
+            ScalingKind::Strong,
+            RunMode::Overlapping,
+        );
         let top_r = *paper_rank_list(&cfg, 64).last().unwrap();
         println!("\nstrategy comparison at {top_r} ranks (strong scaling, ms/iter):");
         for s in Strategy::ALL {
@@ -62,14 +68,21 @@ fn main() {
                 p.speedup
             );
         } else {
-            println!("\nrecommendation: stay at the minimum socket count — communication dominates.");
+            println!(
+                "\nrecommendation: stay at the minimum socket count — communication dominates."
+            );
         }
 
         // 8-socket appliance vs cluster, if the config fits.
         if ch.min_sockets <= 8 && cfg.max_ranks() >= 8 {
             let node = Cluster::node_8socket();
-            let node_pts =
-                scaling_sweep(&cfg, &node, &calib, ScalingKind::Strong, RunMode::Overlapping);
+            let node_pts = scaling_sweep(
+                &cfg,
+                &node,
+                &calib,
+                ScalingKind::Strong,
+                RunMode::Overlapping,
+            );
             let node8 = node_pts
                 .iter()
                 .find(|p| p.strategy == Strategy::CclAlltoall && p.ranks == 8);

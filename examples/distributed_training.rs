@@ -46,8 +46,14 @@ fn main() {
         PrecisionMode::Fp32,
         seed,
     );
-    let ref_losses: Vec<f64> = batches.iter().map(|b| reference.train_step(b, lr)).collect();
-    println!("single-process loss trajectory: {:?}\n", round3(&ref_losses));
+    let ref_losses: Vec<f64> = batches
+        .iter()
+        .map(|b| reference.train_step(b, lr))
+        .collect();
+    println!(
+        "single-process loss trajectory: {:?}\n",
+        round3(&ref_losses)
+    );
 
     for strategy in ExchangeStrategy::ALL {
         for ranks in [2usize, 4, 8] {

@@ -68,7 +68,13 @@ fn main() {
             PrecisionMode::Bf16Split8 => format!("{} B total lo", params), // 1 byte/param
             _ => "0 B".to_string(),
         };
-        println!("{:<28} {:>10.4} {:>10.4} {:>14}", mode.to_string(), mid, fin, extra);
+        println!(
+            "{:<28} {:>10.4} {:>10.4} {:>14}",
+            mode.to_string(),
+            mid,
+            fin,
+            extra
+        );
     }
     println!(
         "\nFP32 final AUC {fp32_final:.4}; the BF16 Split-SGD row should match it\n\

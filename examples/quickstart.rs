@@ -14,8 +14,10 @@ fn main() {
     // topology (8 tables, E=64, 2-layer bottom MLP, deep top MLP), tables
     // capped at 50k rows.
     let cfg = DlrmConfig::small().scaled_down(50_000, 16);
-    println!("config: {} — {} tables x {} rows, E={}", cfg.name,
-        cfg.num_tables, cfg.table_rows[0], cfg.emb_dim);
+    println!(
+        "config: {} — {} tables x {} rows, E={}",
+        cfg.name, cfg.num_tables, cfg.table_rows[0], cfg.emb_dim
+    );
 
     // A synthetic click log with learnable structure (stands in for real
     // click data; see DESIGN.md).
@@ -26,7 +28,9 @@ fn main() {
     let model = DlrmModel::new(
         &cfg,
         Execution::optimized(
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
         ),
         UpdateStrategy::RaceFree,
         PrecisionMode::Fp32,
@@ -47,7 +51,10 @@ fn main() {
 
     let (auc0, _) = trainer.evaluate();
     println!("untrained AUC: {auc0:.4}\n");
-    println!("{:>8}  {:>8}  {:>8}  {:>10}", "% epoch", "AUC", "logloss", "train loss");
+    println!(
+        "{:>8}  {:>8}  {:>8}  {:>10}",
+        "% epoch", "AUC", "logloss", "train loss"
+    );
     for r in trainer.run_epoch() {
         println!(
             "{:>7.0}%  {:>8.4}  {:>8.4}  {:>10.4}",

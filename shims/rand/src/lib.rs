@@ -1,0 +1,322 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the *exact* API subset it uses: [`SeedableRng::seed_from_u64`],
+//! the [`Rng`] extension methods (`gen_range`, `gen_bool`, `gen`),
+//! [`rngs::StdRng`], and [`distributions::Uniform`]. The generator is
+//! xoshiro256** seeded through SplitMix64 — high-quality, tiny, and (unlike
+//! the real `StdRng`) guaranteed stable across toolchain updates, which is
+//! what the workspace's bit-reproducibility tests actually want.
+//!
+//! Everything is deterministic; there is no `thread_rng`/OS entropy on
+//! purpose — all randomness in this repo must flow through explicit seeds.
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a single `u64` seed (via SplitMix64).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core generator interface: everything derives from `next_u64`.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// User-facing extension methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform sample from a range (`Range` or `RangeInclusive`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli sample with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// A sample of a type with a canonical uniform distribution.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Types with a canonical "whole domain / unit interval" distribution.
+pub trait Standard {
+    /// Samples the canonical distribution for this type.
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64()) as f32
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// `u64` bits → uniform f64 in `[0, 1)` using the top 53 bits.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Ranges that can produce a uniform sample.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased integer sample in `[0, n)` via Lemire-style widening multiply
+/// with rejection.
+#[inline]
+fn uniform_below<R: RngCore>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128).wrapping_mul(n as u128);
+        let lo = m as u64;
+        if lo >= n.wrapping_neg() % n {
+            return (m >> 64) as u64;
+        }
+        // Rejected to remove modulo bias; retry.
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + uniform_below(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty gen_range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t; // full-domain u64 range
+                }
+                (lo as i128 + uniform_below(rng, span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let u = unit_f64(rng.next_u64());
+                let v = self.start as f64 + u * (self.end as f64 - self.start as f64);
+                // Guard the open upper bound against FP round-up.
+                if v >= self.end as f64 { self.start } else { v as $t }
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+/// Distribution objects, mirroring `rand::distributions`.
+pub mod distributions {
+    use super::RngCore;
+
+    /// A distribution that can be sampled with any generator.
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample<R: RngCore>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over `[lo, hi)`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T> {
+        lo: T,
+        hi: T,
+    }
+
+    impl<T: Copy> Uniform<T> {
+        /// Uniform over the half-open interval `[lo, hi)`.
+        pub fn new(lo: T, hi: T) -> Self {
+            Uniform { lo, hi }
+        }
+    }
+
+    macro_rules! impl_uniform {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Uniform<$t> {
+                fn sample<R: RngCore>(&self, rng: &mut R) -> $t {
+                    use super::SampleRange;
+                    (self.lo..self.hi).sample_single(rng)
+                }
+            }
+        )*};
+    }
+
+    impl_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+}
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256** seeded via SplitMix64 — the workspace's standard
+    /// generator. Stable across platforms and toolchains by construction.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    /// Alias: the "small" generator is the same engine here.
+    pub type SmallRng = StdRng;
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: f32 = rng.gen_range(-2.0f32..2.0);
+            assert!((-2.0..2.0).contains(&y));
+            let z: u32 = rng.gen_range(0..=5);
+            assert!(z <= 5);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_domain() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_matches_probability_roughly() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((20_000..30_000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn uniform_distribution_samples_in_range() {
+        use distributions::{Distribution, Uniform};
+        let mut rng = StdRng::seed_from_u64(13);
+        let d = Uniform::new(10u64, 20u64);
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((10..20).contains(&x));
+        }
+    }
+}

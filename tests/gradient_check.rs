@@ -24,12 +24,7 @@ fn tiny_cfg() -> DlrmConfig {
 
 fn model_and_batch() -> (DlrmModel, MiniBatch) {
     let cfg = tiny_cfg();
-    let batch = MiniBatch::random(
-        &cfg,
-        6,
-        IndexDistribution::Uniform,
-        &mut seeded_rng(31, 0),
-    );
+    let batch = MiniBatch::random(&cfg, 6, IndexDistribution::Uniform, &mut seeded_rng(31, 0));
     let model = DlrmModel::new(
         &cfg,
         Execution::Reference,

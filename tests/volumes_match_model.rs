@@ -26,7 +26,12 @@ fn flattened_gradient_length_matches_eq1() {
     // Eq. 1: allreduce size = sum over layers of f_i*f_o + f_o.
     let cfg = tiny_cfg();
     let mut rng = seeded_rng(1, 0);
-    let bottom = Mlp::new(cfg.dense_features, &cfg.bottom_mlp, Activation::Relu, &mut rng);
+    let bottom = Mlp::new(
+        cfg.dense_features,
+        &cfg.bottom_mlp,
+        Activation::Relu,
+        &mut rng,
+    );
     let top = Mlp::new(
         cfg.interaction_output_dim(),
         &cfg.top_mlp,
