@@ -34,7 +34,8 @@ pub mod timeline;
 pub use calib::Calibration;
 pub use machine::{Cluster, Fabric, SocketSpec};
 pub use timeline::{
-    simulate_iteration, simulate_iteration_faulted, FaultedIteration, IterBreakdown, RunMode,
+    overlap_savings, simulate_iteration, simulate_iteration_faulted, FaultedIteration,
+    IterBreakdown, OverlapSavings, RunMode,
 };
 
 /// The four embedding-exchange strategies of Figures 9/12 (the fourth is

@@ -176,6 +176,47 @@ pub fn simulate_iteration(
     }
 }
 
+/// Exposed-communication comparison between the two [`RunMode`]s at one
+/// configuration — the analytic counterpart of `bench_overlap`'s measured
+/// sync-vs-overlapped contrast.
+#[derive(Debug, Clone)]
+pub struct OverlapSavings {
+    /// Exposed wait (alltoall + allreduce) when blocking, seconds.
+    pub blocking_exposed: f64,
+    /// Exposed wait when overlapped, seconds.
+    pub overlapped_exposed: f64,
+}
+
+impl OverlapSavings {
+    /// Fraction of the blocking exposed wait that overlap hides (0 when
+    /// nothing was exposed to begin with).
+    pub fn hidden_fraction(&self) -> f64 {
+        if self.blocking_exposed <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.overlapped_exposed / self.blocking_exposed
+        }
+    }
+}
+
+/// Simulates the same configuration blocking and overlapping and returns
+/// the exposed-wait contrast. `p.mode` is ignored.
+pub fn overlap_savings(
+    cfg: &DlrmConfig,
+    cluster: &Cluster,
+    calib: &Calibration,
+    p: SimParams,
+) -> OverlapSavings {
+    let run = |mode| {
+        let b = simulate_iteration(cfg, cluster, calib, SimParams { mode, ..p });
+        b.alltoall_wait + b.allreduce_wait
+    };
+    OverlapSavings {
+        blocking_exposed: run(RunMode::Blocking),
+        overlapped_exposed: run(RunMode::Overlapping),
+    }
+}
+
 /// One simulated iteration under a seeded [`FaultPlan`] — the same plan
 /// the functional `dlrm-comm` chaos harness consumes, so a single `u64`
 /// seed drives both the bitwise-stability tests and these analytic
@@ -467,5 +508,45 @@ mod tests {
             totals.iter().any(|t| (t - totals[0]).abs() > 1e-12),
             "aggressive plan produced a flat timeline: {totals:?}"
         );
+    }
+    #[test]
+    fn overlap_savings_hides_comm_at_scale() {
+        let cfg = DlrmConfig::large();
+        let cluster = Cluster::cluster_64socket();
+        let calib = Calibration::default();
+        for ranks in [4usize, 16, 64] {
+            let sv = overlap_savings(
+                &cfg,
+                &cluster,
+                &calib,
+                SimParams {
+                    ranks,
+                    local_n: cfg.gn_strong / ranks,
+                    strategy: Strategy::CclAlltoall,
+                    mode: RunMode::Overlapping,
+                    charge_loader: false,
+                },
+            );
+            assert!(
+                sv.overlapped_exposed < sv.blocking_exposed,
+                "R={ranks}: {sv:?}"
+            );
+            let f = sv.hidden_fraction();
+            assert!((0.0..=1.0).contains(&f), "R={ranks}: fraction {f}");
+        }
+        // Single rank: no communication, nothing to hide.
+        let sv = overlap_savings(
+            &cfg,
+            &cluster,
+            &calib,
+            SimParams {
+                ranks: 1,
+                local_n: cfg.gn_strong,
+                strategy: Strategy::CclAlltoall,
+                mode: RunMode::Blocking,
+                charge_loader: false,
+            },
+        );
+        assert_eq!(sv.hidden_fraction(), 0.0);
     }
 }

@@ -39,6 +39,20 @@ impl OpKind {
     ];
 }
 
+impl OpKind {
+    /// Stable machine-readable key (snake_case, for JSON reports).
+    pub fn json_key(self) -> &'static str {
+        match self {
+            OpKind::Compute => "compute_s",
+            OpKind::AlltoallFramework => "alltoall_framework_s",
+            OpKind::AlltoallWait => "alltoall_wait_s",
+            OpKind::AllreduceFramework => "allreduce_framework_s",
+            OpKind::AllreduceWait => "allreduce_wait_s",
+            OpKind::DataLoader => "data_loader_s",
+        }
+    }
+}
+
 impl std::fmt::Display for OpKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {
@@ -50,6 +64,17 @@ impl std::fmt::Display for OpKind {
             OpKind::DataLoader => "DataLoader",
         };
         f.write_str(s)
+    }
+}
+
+/// Times `f` against `rec` when a recorder is attached; otherwise runs `f`
+/// with zero instrumentation overhead. The hook every measured hot path
+/// threads its optional recorder through.
+#[inline]
+pub fn time_opt<T>(rec: Option<&TimingRecorder>, kind: OpKind, f: impl FnOnce() -> T) -> T {
+    match rec {
+        Some(r) => r.time(kind, f),
+        None => f(),
     }
 }
 

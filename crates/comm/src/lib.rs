@@ -39,6 +39,6 @@ pub mod nonblocking;
 pub mod world;
 
 pub use chaos::{ChaosConfig, ChaosSnapshot, ChaosStats, FaultPlan};
-pub use instrument::{OpKind, TimingRecorder};
+pub use instrument::{time_opt, OpKind, TimingRecorder};
 pub use nonblocking::{Backend, ProgressEngine, Request};
 pub use world::{CommWorld, Communicator};

@@ -83,6 +83,17 @@ impl Request {
         self.rx.recv().expect("progress channel died")
     }
 
+    /// [`Request::wait`] with the blocking time charged to `kind` on `rec`
+    /// (no-op accounting when `rec` is `None`). Split-phase callers use this
+    /// so *exposed* wait — not the full collective — is what gets measured.
+    pub fn wait_recording(
+        self,
+        rec: Option<&crate::instrument::TimingRecorder>,
+        kind: crate::instrument::OpKind,
+    ) -> OpOutput {
+        crate::instrument::time_opt(rec, kind, || self.wait())
+    }
+
     /// Non-destructive readiness probe.
     pub fn is_ready(&mut self) -> bool {
         if self.cached.is_some() {

@@ -5,24 +5,46 @@
 //! backward pass (Figure 2): as each layer's `dW` is produced, its bucket
 //! can start reducing while earlier layers are still computing. Buckets are
 //! issued in *reverse* flat order because backward produces the last
-//! layer's gradients first. Functionally the result is identical to one
-//! big allreduce; the win is overlap (modeled in time by the cluster
-//! simulator, exercised functionally here).
+//! layer's gradients first. [`BucketReducer`] is the issue-as-produced
+//! engine of the overlapped train step; [`allreduce_mlp_grads_bucketed`]
+//! is the simpler issue-all-at-once form kept for direct tests.
+//!
+//! # Bitwise determinism
+//!
+//! A ring allreduce's per-element summation order depends on the chunk
+//! partition, which depends on the buffer length — so bucketed and
+//! single-buffer reductions are *not* bitwise identical in general. What
+//! *is* bitwise stable is any two reductions of the same bucket plan: each
+//! bucket is an independent ring allreduce over the same ranks with the
+//! same length, whether it runs blocking on the main communicator, on any
+//! progress channel, early or late. The train step exploits exactly this —
+//! both schedules reduce the same plan, so overlap moves time, not bits.
 
 use crate::ddp::{flatten_grads, unflatten_grads};
 use dlrm::layers::Mlp;
+use dlrm_comm::collectives;
+use dlrm_comm::instrument::{time_opt, OpKind, TimingRecorder};
 use dlrm_comm::nonblocking::{OpOutput, ProgressEngine, Request};
+use dlrm_comm::world::Communicator;
+use std::ops::Range;
+
+/// Default bucket cap: 25 MiB of f32 gradients, matching the PyTorch DDP
+/// `bucket_cap_mb` default the paper's wrapper inherits. Models smaller
+/// than the cap get exactly one bucket, i.e. the classic single-buffer
+/// allreduce.
+pub const DEFAULT_BUCKET_CAP_BYTES: usize = 25 * 1024 * 1024;
 
 /// A bucketing plan over a flat gradient vector.
 #[derive(Debug, Clone)]
 pub struct BucketPlan {
     /// Half-open element ranges, in issue order (reverse flat order).
-    pub buckets: Vec<std::ops::Range<usize>>,
+    pub buckets: Vec<Range<usize>>,
 }
 
 impl BucketPlan {
     /// Splits `total` elements into buckets of at most `bucket_elems`,
-    /// issued back-to-front.
+    /// issued back-to-front. The final (front-most) bucket holds the
+    /// remainder — the "last bucket flush" of a DDP wrapper.
     pub fn new(total: usize, bucket_elems: usize) -> Self {
         assert!(bucket_elems > 0, "bucket size must be positive");
         let mut buckets = Vec::new();
@@ -33,6 +55,13 @@ impl BucketPlan {
             end = start;
         }
         BucketPlan { buckets }
+    }
+
+    /// Plan for `total` f32 elements under a byte cap ([`BucketPlan::new`]
+    /// with the cap converted to elements, at least one element).
+    pub fn for_bytes(total: usize, cap_bytes: usize) -> Self {
+        let elems = (cap_bytes / std::mem::size_of::<f32>()).max(1);
+        Self::new(total, elems)
     }
 
     /// Number of buckets.
@@ -46,39 +75,152 @@ impl BucketPlan {
     }
 }
 
-/// Allreduces the MLP gradients bucket by bucket through the engine's
-/// channels (round-robin), waiting for all buckets before unflattening.
-/// Numerically identical to the single-buffer path.
+/// Per-bucket state between issue and completion.
+enum BucketOp {
+    /// In flight on a progress channel.
+    InFlight(Request),
+    /// No engine: reduced blocking at [`BucketReducer::finalize`].
+    Deferred,
+}
+
+/// Issue-as-produced bucketed allreduce over a flat gradient buffer.
+///
+/// The overlapped train step writes each layer's gradients into the flat
+/// buffer *as backward produces them* (back-to-front) and calls
+/// [`BucketReducer::on_produced`]; every bucket whose elements are all
+/// present is immediately submitted to a progress channel, so it reduces
+/// while the remaining layers still compute. [`BucketReducer::finalize`]
+/// waits for the stragglers and returns the reduced buffer.
+///
+/// Without an engine the buckets are recorded and reduced blocking at
+/// `finalize` — same plan, same per-bucket ring, bitwise-identical result.
+pub struct BucketReducer {
+    flat: Vec<f32>,
+    plan: BucketPlan,
+    /// Everything in `flat[produced_down_to..]` has been written.
+    produced_down_to: usize,
+    /// Next plan index to issue.
+    next_bucket: usize,
+    issued: Vec<(Range<usize>, BucketOp)>,
+}
+
+impl BucketReducer {
+    /// Starts a reduction of `total` elements, reusing `flat` as the
+    /// backing buffer (resized as needed; contents fully overwritten by
+    /// `write`).
+    pub fn new(mut flat: Vec<f32>, total: usize, cap_bytes: usize) -> Self {
+        flat.resize(total, 0.0);
+        let plan = BucketPlan::for_bytes(total, cap_bytes);
+        let issued = Vec::with_capacity(plan.len());
+        BucketReducer {
+            flat,
+            plan,
+            produced_down_to: total,
+            next_bucket: 0,
+            issued,
+        }
+    }
+
+    /// Number of buckets in the plan.
+    pub fn num_buckets(&self) -> usize {
+        self.plan.len()
+    }
+
+    /// Copies one produced gradient slice into `flat[offset..]`.
+    pub fn write(&mut self, offset: usize, data: &[f32]) {
+        self.flat[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    /// Marks everything from `offset` to the end as produced and issues
+    /// every bucket that is now complete. Backward fills the buffer
+    /// back-to-front, so `offset` only ever decreases.
+    pub fn on_produced(
+        &mut self,
+        offset: usize,
+        engine: Option<&ProgressEngine>,
+        rec: Option<&TimingRecorder>,
+    ) {
+        debug_assert!(
+            offset <= self.produced_down_to,
+            "backward runs back-to-front"
+        );
+        self.produced_down_to = offset;
+        while self.next_bucket < self.plan.len()
+            && self.plan.buckets[self.next_bucket].start >= self.produced_down_to
+        {
+            let range = self.plan.buckets[self.next_bucket].clone();
+            let op = match engine {
+                Some(eng) => {
+                    // Keep channel 0 (the exchange channel) free so the
+                    // in-flight alltoall is never serialized behind a
+                    // bucket on an MPI-like single-channel backend — and
+                    // spread buckets round-robin on a CCL-like one.
+                    let nch = eng.num_channels().max(1);
+                    let ch = if nch > 1 {
+                        1 + self.next_bucket % (nch - 1)
+                    } else {
+                        0
+                    };
+                    let payload = time_opt(rec, OpKind::AllreduceFramework, || {
+                        self.flat[range.clone()].to_vec()
+                    });
+                    BucketOp::InFlight(eng.allreduce(ch, payload))
+                }
+                None => BucketOp::Deferred,
+            };
+            self.issued.push((range, op));
+            self.next_bucket += 1;
+        }
+    }
+
+    /// Completes all buckets (issuing any not yet produced-complete — a
+    /// safety net; a full backward pass produces everything) and returns
+    /// the reduced flat buffer for unflattening and the optimizer step.
+    pub fn finalize(
+        mut self,
+        comm: &Communicator,
+        engine: Option<&ProgressEngine>,
+        rec: Option<&TimingRecorder>,
+    ) -> Vec<f32> {
+        self.on_produced(0, engine, rec);
+        let mut flat = self.flat;
+        for (range, op) in self.issued {
+            match op {
+                BucketOp::InFlight(req) => {
+                    let reduced = match req.wait_recording(rec, OpKind::AllreduceWait) {
+                        OpOutput::Flat(v) => v,
+                        other => panic!("unexpected op output: {other:?}"),
+                    };
+                    time_opt(rec, OpKind::AllreduceFramework, || {
+                        flat[range].copy_from_slice(&reduced)
+                    });
+                }
+                BucketOp::Deferred => {
+                    time_opt(rec, OpKind::AllreduceWait, || {
+                        collectives::allreduce_sum(comm, &mut flat[range])
+                    });
+                }
+            }
+        }
+        flat
+    }
+}
+
+/// Allreduces the MLP gradients bucket by bucket (issuing everything at
+/// once — the non-fused form of [`BucketReducer`]), through the engine's
+/// channels round-robin or blocking without one.
 pub fn allreduce_mlp_grads_bucketed(
-    engine: &ProgressEngine,
+    comm: &Communicator,
+    engine: Option<&ProgressEngine>,
     bottom: &mut Mlp,
     top: &mut Mlp,
     bucket_elems: usize,
 ) {
-    let mut flat = flatten_grads(&[&*bottom, &*top]);
-    let plan = BucketPlan::new(flat.len(), bucket_elems);
-
-    // Issue every bucket immediately (they would be issued as backward
-    // produces them in a fused implementation).
-    let requests: Vec<(std::ops::Range<usize>, Request)> = plan
-        .buckets
-        .iter()
-        .enumerate()
-        .map(|(i, range)| {
-            let payload = flat[range.clone()].to_vec();
-            (
-                range.clone(),
-                engine.allreduce(i % engine.num_channels().max(1), payload),
-            )
-        })
-        .collect();
-
-    for (range, req) in requests {
-        match req.wait() {
-            OpOutput::Flat(reduced) => flat[range].copy_from_slice(&reduced),
-            other => panic!("unexpected op output: {other:?}"),
-        }
-    }
+    let flat = flatten_grads(&[&*bottom, &*top]);
+    let total = flat.len();
+    let mut reducer = BucketReducer::new(flat, total, bucket_elems * std::mem::size_of::<f32>());
+    reducer.on_produced(0, engine, None);
+    let flat = reducer.finalize(comm, engine, None);
     unflatten_grads(&flat, &mut [bottom, top]);
 }
 
@@ -111,6 +253,22 @@ mod tests {
     }
 
     #[test]
+    fn byte_cap_converts_to_elements() {
+        // 16 bytes = 4 f32s.
+        assert_eq!(
+            BucketPlan::for_bytes(10, 16).buckets,
+            vec![6..10, 2..6, 0..2]
+        );
+        // Default cap swallows small models whole: one bucket.
+        assert_eq!(
+            BucketPlan::for_bytes(1000, DEFAULT_BUCKET_CAP_BYTES).len(),
+            1
+        );
+        // Degenerate cap still makes progress.
+        assert_eq!(BucketPlan::for_bytes(3, 1).len(), 3);
+    }
+
+    #[test]
     #[should_panic(expected = "positive")]
     fn zero_bucket_size_rejected() {
         let _ = BucketPlan::new(10, 0);
@@ -130,7 +288,7 @@ mod tests {
             // Bucketed path.
             let mut b1 = mlp_with_grads(me as u64, 0.5);
             let mut t1 = mlp_with_grads(100 + me as u64, 0.25);
-            allreduce_mlp_grads_bucketed(&engine, &mut b1, &mut t1, 7);
+            allreduce_mlp_grads_bucketed(&comm, Some(&engine), &mut b1, &mut t1, 7);
             // Single-buffer path on the same inputs.
             let mut b2 = mlp_with_grads(me as u64, 0.5);
             let mut t2 = mlp_with_grads(100 + me as u64, 0.25);
@@ -142,6 +300,58 @@ mod tests {
                 assert!((a - b).abs() < 1e-5, "{a} vs {b}");
             }
         }
+    }
+
+    #[test]
+    fn engine_and_blocking_buckets_agree_bitwise() {
+        // The determinism contract the overlapped schedule rests on: the
+        // same plan reduced through progress channels vs blocking on the
+        // main communicator gives bit-identical sums.
+        let nranks = 4;
+        let backend = Backend::CclLike { workers: 3 };
+        let worlds = std::sync::Mutex::new(create_channel_worlds(nranks, backend));
+        let out = CommWorld::run(nranks, |comm| {
+            let me = comm.rank();
+            let engine = {
+                let comms = std::mem::take(&mut worlds.lock().unwrap()[me]);
+                ProgressEngine::new(backend, comms)
+            };
+            let mut b1 = mlp_with_grads(me as u64, 0.3);
+            let mut t1 = mlp_with_grads(50 + me as u64, 0.7);
+            allreduce_mlp_grads_bucketed(&comm, Some(&engine), &mut b1, &mut t1, 5);
+            let mut b2 = mlp_with_grads(me as u64, 0.3);
+            let mut t2 = mlp_with_grads(50 + me as u64, 0.7);
+            allreduce_mlp_grads_bucketed(&comm, None, &mut b2, &mut t2, 5);
+            (flatten_grads(&[&b1, &t1]), flatten_grads(&[&b2, &t2]))
+        });
+        for (eng, blk) in out {
+            assert_eq!(
+                eng.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                blk.iter().map(|f| f.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn reducer_issues_buckets_as_produced() {
+        // Single rank: reduction is the identity, so we can drive the
+        // reducer by hand and watch buckets become ready back-to-front.
+        CommWorld::run(1, |comm| {
+            let mut r = BucketReducer::new(Vec::new(), 10, 4 * 4);
+            assert_eq!(r.num_buckets(), 3); // [6..10, 2..6, 0..2]
+            let data: Vec<f32> = (0..10).map(|i| i as f32).collect();
+            r.write(6, &data[6..10]);
+            r.on_produced(6, None, None);
+            assert_eq!(r.issued.len(), 1);
+            r.write(2, &data[2..6]);
+            r.on_produced(2, None, None);
+            assert_eq!(r.issued.len(), 2);
+            r.write(0, &data[0..2]);
+            r.on_produced(0, None, None);
+            assert_eq!(r.issued.len(), 3);
+            let flat = r.finalize(&comm, None, None);
+            assert_eq!(flat, data);
+        });
     }
 
     #[test]

@@ -14,13 +14,37 @@ use dlrm_comm::world::Communicator;
 /// into one contiguous buffer — Eq. 1's `Σ f_i·f_o + f_o` elements.
 pub fn flatten_grads(mlps: &[&Mlp]) -> Vec<f32> {
     let mut buf = Vec::new();
+    flatten_grads_into(mlps, &mut buf);
+    buf
+}
+
+/// [`flatten_grads`] into a caller-owned buffer, reusing its allocation
+/// across iterations (the buffer is cleared first).
+pub fn flatten_grads_into(mlps: &[&Mlp], buf: &mut Vec<f32>) {
+    buf.clear();
     for mlp in mlps {
         for layer in &mlp.layers {
             buf.extend_from_slice(layer.dw.as_slice());
             buf.extend_from_slice(&layer.db);
         }
     }
-    buf
+}
+
+/// Flat-buffer offset of each layer's gradients (dw then db), per MLP, in
+/// [`flatten_grads`] order, plus the total length. `offsets[m][i]` is
+/// where MLP `m`'s layer `i` starts.
+pub fn grad_offsets(mlps: &[&Mlp]) -> (Vec<Vec<usize>>, usize) {
+    let mut off = 0usize;
+    let mut per_mlp = Vec::with_capacity(mlps.len());
+    for mlp in mlps {
+        let mut offs = Vec::with_capacity(mlp.layers.len());
+        for layer in &mlp.layers {
+            offs.push(off);
+            off += layer.grad_len();
+        }
+        per_mlp.push(offs);
+    }
+    (per_mlp, off)
 }
 
 /// Writes a flat gradient buffer back into the MLPs' gradient tensors.

@@ -1,12 +1,39 @@
 //! The hybrid-parallel distributed DLRM trainer.
+//!
+//! # The overlapped schedule
+//!
+//! [`Schedule::Overlapped`] restructures the train step around split-phase
+//! collectives so communication runs *behind* compute, the optimization at
+//! the heart of the paper's Figures 6/10/11:
+//!
+//! * the embedding-output alltoall is begun right after the table lookups
+//!   and finished only when the interaction needs the slices — the bottom
+//!   MLP forward runs while it is in flight;
+//! * the MLP-gradient allreduce is bucketed ([`crate::bucketing`]) and each
+//!   bucket is issued the moment backward has produced its layers, so the
+//!   reduction of the top MLP's gradients overlaps the interaction/bottom
+//!   backward and the embedding update;
+//! * the embedding-gradient alltoall is begun before the bottom backward
+//!   and finished just before the sparse update needs it.
+//!
+//! [`Schedule::Synchronous`] runs the *same* packing, the *same* bucket
+//! plan and the *same* per-bucket ring reductions, just back to back —
+//! which is why the two schedules produce bitwise-identical losses (the
+//! `schedule_equivalence` suite proves it, including under chaos plans).
+//! Overlap moves time, never bits.
 
-use crate::ddp::{allreduce_mlp_grads, averaged_sgd_step};
-use crate::exchange::{backward_exchange, forward_exchange, tables_of, ExchangeStrategy};
+use crate::bucketing::{BucketReducer, DEFAULT_BUCKET_CAP_BYTES};
+use crate::ddp::{averaged_sgd_step, grad_offsets, unflatten_grads};
+use crate::exchange::{
+    begin_backward_exchange, begin_forward_exchange, finish_backward_exchange,
+    finish_forward_exchange, tables_of, ExchangeStrategy,
+};
 use dlrm::embedding_layer::EmbeddingLayer;
 use dlrm::interaction::Interaction;
 use dlrm::layers::{Activation, Execution, Mlp};
 use dlrm::model::DlrmModel;
 use dlrm_comm::chaos::FaultPlan;
+use dlrm_comm::instrument::{time_opt, OpKind, TimingRecorder};
 use dlrm_comm::nonblocking::{create_channel_worlds_with_chaos, Backend, ProgressEngine};
 use dlrm_comm::world::{CommWorld, Communicator};
 use dlrm_data::{DlrmConfig, MiniBatch};
@@ -15,6 +42,35 @@ use dlrm_kernels::loss::{bce_with_logits_backward, bce_with_logits_loss};
 use dlrm_tensor::init::seeded_rng;
 use dlrm_tensor::Matrix;
 use std::sync::Arc;
+
+/// How the train step orders compute against communication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Every collective completes before the next compute op (the naive
+    /// baseline; kept for equivalence tests and as the bench contrast).
+    Synchronous,
+    /// Split-phase collectives hidden behind independent compute.
+    Overlapped,
+}
+
+impl std::fmt::Display for Schedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Schedule::Synchronous => "synchronous",
+            Schedule::Overlapped => "overlapped",
+        })
+    }
+}
+
+/// Half the machine per rank (the paper runs one rank per socket), at
+/// least 1 and no runaway on huge hosts.
+fn default_threads_per_rank() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .div_ceil(2)
+        .clamp(1, 8)
+}
 
 /// Options for constructing a distributed trainer.
 #[derive(Clone)]
@@ -27,6 +83,10 @@ pub struct DistOptions {
     pub threads_per_rank: usize,
     /// Model seed — must match the single-process model for equivalence.
     pub seed: u64,
+    /// Compute/communication ordering.
+    pub schedule: Schedule,
+    /// Gradient-allreduce bucket cap in bytes (DDP `bucket_cap_mb`).
+    pub bucket_cap_bytes: usize,
 }
 
 impl Default for DistOptions {
@@ -34,8 +94,10 @@ impl Default for DistOptions {
         DistOptions {
             strategy: ExchangeStrategy::Alltoall,
             update: UpdateStrategy::RaceFree,
-            threads_per_rank: 1,
+            threads_per_rank: default_threads_per_rank(),
             seed: 0,
+            schedule: Schedule::Overlapped,
+            bucket_cap_bytes: DEFAULT_BUCKET_CAP_BYTES,
         }
     }
 }
@@ -58,6 +120,17 @@ pub struct DistDlrm {
     pub local_tables: Vec<(usize, EmbeddingLayer)>,
     interaction: Interaction,
     strategy: ExchangeStrategy,
+    schedule: Schedule,
+    bucket_cap_bytes: usize,
+    /// Flat offset of each layer's gradients: `[bottom, top]`.
+    grad_offs: Vec<Vec<usize>>,
+    grad_total: usize,
+    recorder: Option<Arc<TimingRecorder>>,
+    // Iteration-persistent scratch (reused, never regrown after step 1).
+    fwd_slices: Vec<Matrix>,
+    bwd_grads: Vec<Matrix>,
+    flat_grads: Vec<f32>,
+    dlogits: Vec<f32>,
 }
 
 impl DistDlrm {
@@ -86,10 +159,12 @@ impl DistDlrm {
             Activation::None,
             &mut seeded_rng(opts.seed, DlrmModel::TOP_STREAM),
         );
-        let local_tables = tables_of(cfg.num_tables, comm.nranks(), comm.rank())
-            .into_iter()
-            .map(|t| (t, DlrmModel::build_table(cfg, t, opts.update, opts.seed)))
-            .collect();
+        let local_tables: Vec<(usize, EmbeddingLayer)> =
+            tables_of(cfg.num_tables, comm.nranks(), comm.rank())
+                .into_iter()
+                .map(|t| (t, DlrmModel::build_table(cfg, t, opts.update, opts.seed)))
+                .collect();
+        let (grad_offs, grad_total) = grad_offsets(&[&bottom, &top]);
         DistDlrm {
             cfg: cfg.clone(),
             comm,
@@ -100,6 +175,15 @@ impl DistDlrm {
             local_tables,
             interaction: Interaction::new(cfg.emb_dim),
             strategy: opts.strategy,
+            schedule: opts.schedule,
+            bucket_cap_bytes: opts.bucket_cap_bytes,
+            grad_offs,
+            grad_total,
+            recorder: None,
+            fwd_slices: Vec::new(),
+            bwd_grads: Vec::new(),
+            flat_grads: Vec::new(),
+            dlogits: Vec::new(),
         }
     }
 
@@ -113,9 +197,41 @@ impl DistDlrm {
         self.comm.nranks()
     }
 
+    /// The active schedule.
+    pub fn schedule(&self) -> Schedule {
+        self.schedule
+    }
+
+    /// Barrier over the trainer's communicator (bench/test sync points).
+    pub fn comm_barrier(&self) {
+        self.comm.barrier();
+    }
+
+    /// Attaches (or detaches) a per-rank timing recorder. Compute,
+    /// Alltoall-Wait and Allreduce-Wait are charged per [`OpKind`].
+    pub fn set_recorder(&mut self, rec: Option<Arc<TimingRecorder>>) {
+        self.recorder = rec;
+    }
+
+    /// Bytes currently held by the iteration-persistent scratch buffers —
+    /// the allocation-growth test asserts this stabilizes after step 1.
+    pub fn scratch_bytes(&self) -> usize {
+        let mats: usize = self
+            .fwd_slices
+            .iter()
+            .chain(&self.bwd_grads)
+            .map(|m| std::mem::size_of_val(m.as_slice()))
+            .sum();
+        mats + (self.flat_grads.capacity() + self.dlogits.capacity()) * std::mem::size_of::<f32>()
+    }
+
     /// One hybrid-parallel training iteration over a *global* minibatch
     /// (every rank passes the same batch; each processes its slice).
     /// Returns this rank's local loss.
+    ///
+    /// Both schedules execute the identical packing, collectives and
+    /// arithmetic; [`Schedule::Overlapped`] only moves the `finish` halves
+    /// later and the bucket issues earlier.
     pub fn train_step(&mut self, global: &MiniBatch, lr: f32) -> f64 {
         let r = self.nranks();
         let gn = global.batch_size();
@@ -124,69 +240,164 @@ impl DistDlrm {
         let me = self.rank();
         let exec = self.exec.clone();
         let e = self.cfg.emb_dim;
+        let overlapped = self.schedule == Schedule::Overlapped;
+        let rec_arc = self.recorder.clone();
+        let rec = rec_arc.as_deref();
 
         // --- forward ------------------------------------------------------
         let local = global.slice(me * n, (me + 1) * n);
-        let z0 = self.bottom.forward(&exec, &local.dense);
 
         // Model-parallel embedding forward over the full global batch.
-        let local_outs: Vec<Matrix> = self
-            .local_tables
-            .iter_mut()
-            .map(|(t, layer)| layer.forward(&exec, &global.indices[*t], &global.offsets[*t]))
-            .collect();
+        let local_outs: Vec<Matrix> = time_opt(rec, OpKind::Compute, || {
+            self.local_tables
+                .iter_mut()
+                .map(|(t, layer)| layer.forward(&exec, &global.indices[*t], &global.offsets[*t]))
+                .collect()
+        });
 
-        // Model-parallel -> data-parallel switch.
-        let slices = forward_exchange(
+        // Model-parallel -> data-parallel switch, split-phase: in flight
+        // (or packed) across the bottom MLP forward.
+        let engine = self.engine.as_ref();
+        let mut pending_fwd = Some(begin_forward_exchange(
             self.strategy,
             &self.comm,
-            self.engine.as_ref(),
+            engine,
             &local_outs,
             self.cfg.num_tables,
             n,
             e,
-        );
+            rec,
+        ));
+        if !overlapped {
+            finish_forward_exchange(
+                pending_fwd.take().unwrap(),
+                &self.comm,
+                &mut self.fwd_slices,
+                rec,
+            );
+        }
 
-        let inter = self.interaction.forward(&exec, &z0, &slices);
-        let logits_m = self.top.forward(&exec, &inter);
+        let z0 = time_opt(rec, OpKind::Compute, || {
+            self.bottom.forward(&exec, &local.dense)
+        });
+
+        if let Some(p) = pending_fwd.take() {
+            finish_forward_exchange(p, &self.comm, &mut self.fwd_slices, rec);
+        }
+
+        let logits_m = time_opt(rec, OpKind::Compute, || {
+            let inter = self.interaction.forward(&exec, &z0, &self.fwd_slices);
+            self.top.forward(&exec, &inter)
+        });
         let logits = logits_m.as_slice();
-
         let loss = bce_with_logits_loss(logits, &local.labels);
 
         // --- backward -----------------------------------------------------
-        let mut dlogits = vec![0.0f32; n];
-        bce_with_logits_backward(logits, &local.labels, &mut dlogits);
-        let d_inter = self.top.backward(&exec, Matrix::from_slice(1, n, &dlogits));
-        let (d_bottom, d_tables) = self.interaction.backward(&d_inter);
+        self.dlogits.resize(n, 0.0);
+        bce_with_logits_backward(logits, &local.labels, &mut self.dlogits);
+        let dy_top = Matrix::from_slice(1, n, &self.dlogits);
 
-        // Data-parallel -> model-parallel switch for embedding gradients.
-        let full_grads = backward_exchange(
+        // The bucketed allreduce: overlapped issues each bucket as backward
+        // produces its layers; synchronous writes/issues everything after
+        // the bottom backward. Identical plan either way.
+        let mut reducer = BucketReducer::new(
+            std::mem::take(&mut self.flat_grads),
+            self.grad_total,
+            self.bucket_cap_bytes,
+        );
+
+        let d_inter = if overlapped {
+            let offs = &self.grad_offs[1];
+            let red = &mut reducer;
+            time_opt(rec, OpKind::Compute, || {
+                self.top.backward_with(&exec, dy_top, |i, layer| {
+                    let off = offs[i];
+                    red.write(off, layer.dw.as_slice());
+                    red.write(off + layer.dw.as_slice().len(), &layer.db);
+                    red.on_produced(off, engine, None);
+                })
+            })
+        } else {
+            time_opt(rec, OpKind::Compute, || self.top.backward(&exec, dy_top))
+        };
+
+        let (d_bottom, d_tables) =
+            time_opt(rec, OpKind::Compute, || self.interaction.backward(&d_inter));
+
+        // Data-parallel -> model-parallel switch for embedding gradients,
+        // in flight (or packed) across the bottom MLP backward.
+        let mut pending_bwd = Some(begin_backward_exchange(
             self.strategy,
             &self.comm,
-            self.engine.as_ref(),
+            engine,
             &d_tables,
             self.cfg.num_tables,
             n,
             e,
-        );
+            rec,
+        ));
+        if !overlapped {
+            finish_backward_exchange(
+                pending_bwd.take().unwrap(),
+                &self.comm,
+                &mut self.bwd_grads,
+                rec,
+            );
+        }
+
+        if overlapped {
+            let offs = &self.grad_offs[0];
+            let red = &mut reducer;
+            time_opt(rec, OpKind::Compute, || {
+                self.bottom.backward_with(&exec, d_bottom, |i, layer| {
+                    let off = offs[i];
+                    red.write(off, layer.dw.as_slice());
+                    red.write(off + layer.dw.as_slice().len(), &layer.db);
+                    red.on_produced(off, engine, None);
+                });
+            });
+        } else {
+            time_opt(rec, OpKind::Compute, || {
+                let _ = self.bottom.backward(&exec, d_bottom);
+            });
+        }
+
+        if let Some(p) = pending_bwd.take() {
+            finish_backward_exchange(p, &self.comm, &mut self.bwd_grads, rec);
+        }
+
         // Local gradients are means over n = GN/R samples; dividing the
         // learning rate by R makes the sparse update a global-batch mean.
         let emb_lr = lr / r as f32;
-        for ((_, layer), grad) in self.local_tables.iter_mut().zip(&full_grads) {
-            layer.backward_update(&exec, grad, emb_lr);
+        time_opt(rec, OpKind::Compute, || {
+            for ((_, layer), grad) in self.local_tables.iter_mut().zip(&self.bwd_grads) {
+                layer.backward_update(&exec, grad, emb_lr);
+            }
+        });
+
+        // Synchronous: fill the flat buffer now (same offsets, same plan).
+        if !overlapped {
+            time_opt(rec, OpKind::AllreduceFramework, || {
+                for (m, mlp) in [&self.bottom, &self.top].into_iter().enumerate() {
+                    for (i, layer) in mlp.layers.iter().enumerate() {
+                        let off = self.grad_offs[m][i];
+                        reducer.write(off, layer.dw.as_slice());
+                        reducer.write(off + layer.dw.as_slice().len(), &layer.db);
+                    }
+                }
+            });
+            reducer.on_produced(0, engine, rec);
         }
 
-        let _ = self.bottom.backward(&exec, d_bottom);
-
-        // DDP: sum MLP gradients, apply the averaged step.
-        allreduce_mlp_grads(
-            &self.comm,
-            self.engine.as_ref(),
-            &mut self.bottom,
-            &mut self.top,
-        );
-        averaged_sgd_step(&mut self.bottom, lr, r);
-        averaged_sgd_step(&mut self.top, lr, r);
+        // DDP: complete the summed-gradient reduction, apply the averaged
+        // step.
+        let flat = reducer.finalize(&self.comm, engine, rec);
+        unflatten_grads(&flat, &mut [&mut self.bottom, &mut self.top]);
+        self.flat_grads = flat;
+        time_opt(rec, OpKind::Compute, || {
+            averaged_sgd_step(&mut self.bottom, lr, r);
+            averaged_sgd_step(&mut self.top, lr, r);
+        });
 
         loss
     }
@@ -205,10 +416,14 @@ pub fn run_training(
 }
 
 /// [`run_training`] over a chaotic transport: the same fault plan is
-/// threaded through the blocking world *and* (for [`CclAlltoall`]) the
-/// progress-engine channel worlds. With `plan = None` this is exactly
-/// `run_training`; with a plan, losses must still be bitwise identical —
-/// the chaos test suite checks precisely that.
+/// threaded through the blocking world *and* the progress-engine channel
+/// worlds. With `plan = None` this is exactly `run_training`; with a plan,
+/// losses must still be bitwise identical — the chaos test suite checks
+/// precisely that.
+///
+/// A progress engine is created when the strategy needs one
+/// ([`CclAlltoall`]) or when the overlapped schedule wants channels for
+/// its in-flight gradient buckets.
 ///
 /// [`CclAlltoall`]: ExchangeStrategy::CclAlltoall
 pub fn run_training_with_chaos(
@@ -220,7 +435,9 @@ pub fn run_training_with_chaos(
     plan: Option<Arc<FaultPlan>>,
 ) -> Vec<Vec<f64>> {
     let backend = Backend::CclLike { workers: 2 };
-    let engines = if opts.strategy == ExchangeStrategy::CclAlltoall {
+    let wants_engine =
+        opts.strategy == ExchangeStrategy::CclAlltoall || opts.schedule == Schedule::Overlapped;
+    let engines = if wants_engine {
         Some(std::sync::Mutex::new(create_channel_worlds_with_chaos(
             nranks,
             backend,
@@ -309,6 +526,7 @@ mod tests {
                 let opts = DistOptions {
                     strategy,
                     seed: 77,
+                    threads_per_rank: 1,
                     ..Default::default()
                 };
                 let got = run_training(&cfg, nranks, &opts, &batches, 0.1);
@@ -333,6 +551,7 @@ mod tests {
             1,
             &DistOptions {
                 seed: 3,
+                threads_per_rank: 1,
                 ..Default::default()
             },
             &batches,
@@ -349,7 +568,11 @@ mod tests {
         // Repeat the same batch so the loss must fall.
         let batch = &global_batches(&cfg, 16, 1)[0];
         let batches: Vec<MiniBatch> = (0..25).map(|_| batch.clone()).collect();
-        let got = run_training(&cfg, 4, &DistOptions::default(), &batches, 0.3);
+        let opts = DistOptions {
+            threads_per_rank: 1,
+            ..Default::default()
+        };
+        let got = run_training(&cfg, 4, &opts, &batches, 0.3);
         let mean = mean_losses(&got);
         assert!(
             mean.last().unwrap() < &(mean[0] * 0.8),
@@ -372,5 +595,33 @@ mod tests {
             );
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn default_threads_per_rank_is_sane() {
+        let t = DistOptions::default().threads_per_rank;
+        assert!((1..=8).contains(&t), "threads_per_rank {t}");
+    }
+
+    #[test]
+    fn small_bucket_cap_still_matches_single_process() {
+        // Force many tiny buckets: the trajectory must stay close to the
+        // single-process reference (ring order differs per bucket, so this
+        // is tolerance, not bitwise — bitwise across *schedules* is the
+        // schedule_equivalence suite's job).
+        let cfg = tiny_cfg();
+        let batches = global_batches(&cfg, 8, 3);
+        let want = single_process_losses(&cfg, &batches, 0.1, 9);
+        let opts = DistOptions {
+            seed: 9,
+            threads_per_rank: 1,
+            bucket_cap_bytes: 64, // 16 f32s per bucket
+            ..Default::default()
+        };
+        let got = run_training(&cfg, 2, &opts, &batches, 0.1);
+        let mean = mean_losses(&got);
+        for (g, w) in mean.iter().zip(&want) {
+            assert!((g - w).abs() < 5e-3, "{g} vs {w}");
+        }
     }
 }

@@ -1,4 +1,5 @@
-//! The four embedding-exchange strategies of Section IV-B.
+//! The four embedding-exchange strategies of Section IV-B, as split-phase
+//! (begin/finish) collectives.
 //!
 //! After the model-parallel embedding forward, rank `q` holds, for each of
 //! its tables, the bag outputs of the *whole* global minibatch (`GN×E`).
@@ -10,9 +11,28 @@
 //! structure (S scatters vs R scatters vs 1 alltoall) and in which backend
 //! drives them — exactly the contrast Figures 9/12 quantify in time. Here,
 //! in the functional substrate, they must all produce identical tensors.
+//!
+//! # Split-phase structure
+//!
+//! Every exchange is a `begin_*` (pack the send payloads and, when a
+//! [`ProgressEngine`] drives the strategy, put the collective in flight)
+//! followed by a `finish_*` (complete the transfer and assemble the output
+//! tensors). The overlapped train step runs compute between the two halves
+//! so the exchange is hidden behind the bottom MLP; the synchronous
+//! schedule calls them back to back. Both orders perform the *identical*
+//! packing, collective and assembly, which is why the two schedules are
+//! bitwise-equal — begin/finish only moves *when* the transfer happens,
+//! never *what* is transferred.
+//!
+//! Only [`ExchangeStrategy::CclAlltoall`] with an engine is genuinely in
+//! flight after `begin`; the blocking strategies defer their collective to
+//! `finish` (they have no progress thread to run on — the paper's blocking
+//! MPI behaviour). Either way the exposed communication time is what
+//! `finish` measures.
 
 use dlrm_comm::collectives;
-use dlrm_comm::nonblocking::{OpOutput, ProgressEngine};
+use dlrm_comm::instrument::{time_opt, OpKind, TimingRecorder};
+use dlrm_comm::nonblocking::{OpOutput, ProgressEngine, Request};
 use dlrm_comm::world::Communicator;
 use dlrm_tensor::Matrix;
 
@@ -62,10 +82,60 @@ pub fn owner_of(t: usize, nranks: usize) -> usize {
     t % nranks
 }
 
-/// Forward exchange: `local_outputs[j]` is the `GN×E` output of this
-/// rank's `j`-th table (ascending global index). Returns the `n×E` slice
-/// of every global table for this rank, ordered by global table index.
-pub fn forward_exchange(
+/// Grows/reshapes `out` to exactly `count` matrices of `rows×cols`,
+/// reusing existing allocations when the shapes already match.
+fn ensure_mats(out: &mut Vec<Matrix>, count: usize, rows: usize, cols: usize) {
+    out.truncate(count);
+    for m in out.iter_mut() {
+        if m.shape() != (rows, cols) {
+            *m = Matrix::zeros(rows, cols);
+        }
+    }
+    while out.len() < count {
+        out.push(Matrix::zeros(rows, cols));
+    }
+}
+
+/// The engine channel dedicated to embedding exchanges (allreduce buckets
+/// avoid it so an in-flight alltoall is never serialized behind them).
+pub const EXCHANGE_CHANNEL: usize = 0;
+
+/// What `begin` left for `finish` to do.
+enum PendingState {
+    /// Submitted to a progress channel; `finish` only waits.
+    InFlight(Request),
+    /// Packed payloads for a blocking pairwise alltoall, run at `finish`.
+    DeferredAlltoall(Vec<Vec<f32>>),
+    /// Per-table rooted scatter/gather payloads (forward: `Some(parts)` on
+    /// the owner; backward: one payload per table).
+    DeferredPerTable(Vec<Option<Vec<Vec<f32>>>>),
+    /// Per-root coalesced payloads (fused scatter/gather).
+    DeferredPerRoot(Vec<Vec<f32>>),
+}
+
+/// An embedding forward exchange between `begin` and `finish`.
+pub struct PendingForwardExchange {
+    num_tables: usize,
+    local_n: usize,
+    emb_dim: usize,
+    state: PendingState,
+}
+
+/// An embedding-gradient backward exchange between `begin` and `finish`.
+pub struct PendingBackwardExchange {
+    num_tables: usize,
+    local_n: usize,
+    emb_dim: usize,
+    state: PendingState,
+}
+
+/// Packs this rank's table outputs and starts the forward exchange.
+/// `local_outputs[j]` is the `GN×E` output of this rank's `j`-th table
+/// (ascending global index). Packing time is charged to
+/// `Alltoall-Framework`; an engine-driven alltoall is in flight when this
+/// returns, the blocking strategies run at `finish`.
+#[allow(clippy::too_many_arguments)] // split-phase twin of the 7-arg blocking form
+pub fn begin_forward_exchange(
     strategy: ExchangeStrategy,
     comm: &Communicator,
     engine: Option<&ProgressEngine>,
@@ -73,7 +143,8 @@ pub fn forward_exchange(
     num_tables: usize,
     local_n: usize,
     emb_dim: usize,
-) -> Vec<Matrix> {
+    rec: Option<&TimingRecorder>,
+) -> PendingForwardExchange {
     let r = comm.nranks();
     let me = comm.rank();
     let mine = tables_of(num_tables, r, me);
@@ -91,9 +162,74 @@ pub fn forward_exchange(
     }
     let chunk = local_n * emb_dim;
 
-    let assemble = |recv: &[Vec<f32>]| -> Vec<Matrix> {
-        // recv[q] = concat over q's tables of my row block.
-        let mut out: Vec<Option<Matrix>> = (0..num_tables).map(|_| None).collect();
+    // send[p] = concat over my tables of p's row block.
+    let pack_for = |p: usize| -> Vec<f32> {
+        let mut buf = Vec::with_capacity(mine.len() * chunk);
+        for out in local_outputs {
+            buf.extend_from_slice(&out.as_slice()[p * chunk..(p + 1) * chunk]);
+        }
+        buf
+    };
+
+    let state = time_opt(rec, OpKind::AlltoallFramework, || match strategy {
+        ExchangeStrategy::Alltoall | ExchangeStrategy::CclAlltoall => {
+            let send: Vec<Vec<f32>> = (0..r).map(pack_for).collect();
+            match (strategy, engine) {
+                (ExchangeStrategy::CclAlltoall, Some(eng)) => {
+                    PendingState::InFlight(eng.alltoall(EXCHANGE_CHANNEL, send))
+                }
+                _ => PendingState::DeferredAlltoall(send),
+            }
+        }
+        ExchangeStrategy::ScatterList => {
+            let parts = (0..num_tables)
+                .map(|t| {
+                    (owner_of(t, r) == me).then(|| {
+                        let j = mine.iter().position(|&x| x == t).unwrap();
+                        (0..r)
+                            .map(|p| {
+                                local_outputs[j].as_slice()[p * chunk..(p + 1) * chunk].to_vec()
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            PendingState::DeferredPerTable(parts)
+        }
+        ExchangeStrategy::FusedScatter => {
+            // My own root scatter sends pack_for(p) to each p; the other
+            // roots' scatters need no payload from us.
+            PendingState::DeferredPerRoot((0..r).map(pack_for).collect())
+        }
+    });
+    PendingForwardExchange {
+        num_tables,
+        local_n,
+        emb_dim,
+        state,
+    }
+}
+
+/// Completes a forward exchange: waits for (or runs) the collective and
+/// assembles into `out` the `n×E` slice of every global table for this
+/// rank, ordered by global table index. `out` is reused across iterations.
+/// Transfer time is charged to `Alltoall-Wait`, assembly to
+/// `Alltoall-Framework`.
+pub fn finish_forward_exchange(
+    pending: PendingForwardExchange,
+    comm: &Communicator,
+    out: &mut Vec<Matrix>,
+    rec: Option<&TimingRecorder>,
+) {
+    let r = comm.nranks();
+    let me = comm.rank();
+    let (num_tables, local_n, emb_dim) = (pending.num_tables, pending.local_n, pending.emb_dim);
+    let chunk = local_n * emb_dim;
+    ensure_mats(out, num_tables, local_n, emb_dim);
+
+    // recv[q] = concat over q's tables of my row block.
+    let assemble = |recv: &[Vec<f32>], out: &mut Vec<Matrix>| {
+        let mut seen = 0usize;
         for (q, payload) in recv.iter().enumerate() {
             let qt = tables_of(num_tables, r, q);
             assert_eq!(
@@ -102,81 +238,229 @@ pub fn forward_exchange(
                 "payload size from rank {q}"
             );
             for (j, &t) in qt.iter().enumerate() {
-                out[t] = Some(Matrix::from_slice(
-                    local_n,
-                    emb_dim,
-                    &payload[j * chunk..(j + 1) * chunk],
-                ));
+                out[t]
+                    .as_mut_slice()
+                    .copy_from_slice(&payload[j * chunk..(j + 1) * chunk]);
+                seen += 1;
             }
         }
-        out.into_iter()
-            .map(|m| m.expect("missing table slice"))
-            .collect()
+        assert_eq!(seen, num_tables, "missing table slice");
     };
 
-    match strategy {
-        ExchangeStrategy::Alltoall | ExchangeStrategy::CclAlltoall => {
-            // send[p] = concat over my tables of p's row block.
-            let send: Vec<Vec<f32>> = (0..r)
-                .map(|p| {
-                    let mut buf = Vec::with_capacity(mine.len() * chunk);
-                    for out in local_outputs {
-                        buf.extend_from_slice(&out.as_slice()[p * chunk..(p + 1) * chunk]);
-                    }
-                    buf
-                })
-                .collect();
-            let recv = match (strategy, engine) {
-                (ExchangeStrategy::CclAlltoall, Some(eng)) => match eng.alltoall(0, send).wait() {
-                    OpOutput::PerRank(v) => v,
-                    other => panic!("unexpected op output: {other:?}"),
-                },
-                _ => collectives::alltoall(comm, send),
+    match pending.state {
+        PendingState::InFlight(req) => {
+            let recv = match req.wait_recording(rec, OpKind::AlltoallWait) {
+                OpOutput::PerRank(v) => v,
+                other => panic!("unexpected op output: {other:?}"),
             };
-            assemble(&recv)
+            time_opt(rec, OpKind::AlltoallFramework, || assemble(&recv, out));
         }
-        ExchangeStrategy::ScatterList => {
+        PendingState::DeferredAlltoall(send) => {
+            let recv = time_opt(rec, OpKind::AlltoallWait, || {
+                collectives::alltoall(comm, send)
+            });
+            time_opt(rec, OpKind::AlltoallFramework, || assemble(&recv, out));
+        }
+        PendingState::DeferredPerTable(mut parts) => {
             // One scatter per table, rooted at its owner (global order).
-            let mut out = Vec::with_capacity(num_tables);
-            for t in 0..num_tables {
+            for (t, slot) in parts.iter_mut().enumerate() {
                 let root = owner_of(t, r);
-                let parts = (root == me).then(|| {
-                    let j = mine.iter().position(|&x| x == t).unwrap();
-                    (0..r)
-                        .map(|p| local_outputs[j].as_slice()[p * chunk..(p + 1) * chunk].to_vec())
-                        .collect::<Vec<_>>()
+                let slice = time_opt(rec, OpKind::AlltoallWait, || {
+                    collectives::scatter(comm, root, slot.take())
                 });
-                let slice = collectives::scatter(comm, root, parts);
-                out.push(Matrix::from_slice(local_n, emb_dim, &slice));
+                time_opt(rec, OpKind::AlltoallFramework, || {
+                    out[t].as_mut_slice().copy_from_slice(&slice)
+                });
             }
-            out
         }
-        ExchangeStrategy::FusedScatter => {
+        PendingState::DeferredPerRoot(mine_parts) => {
             // One scatter per owner with all its tables coalesced.
             let mut recv: Vec<Vec<f32>> = (0..r).map(|_| Vec::new()).collect();
             #[allow(clippy::needless_range_loop)] // root is a rank id
             for root in 0..r {
-                let parts = (root == me).then(|| {
-                    (0..r)
-                        .map(|p| {
-                            let mut buf = Vec::with_capacity(mine.len() * chunk);
-                            for out in local_outputs {
-                                buf.extend_from_slice(&out.as_slice()[p * chunk..(p + 1) * chunk]);
-                            }
-                            buf
-                        })
-                        .collect::<Vec<_>>()
+                let parts = (root == me).then(|| mine_parts.clone());
+                recv[root] = time_opt(rec, OpKind::AlltoallWait, || {
+                    collectives::scatter(comm, root, parts)
                 });
-                recv[root] = collectives::scatter(comm, root, parts);
             }
-            assemble(&recv)
+            time_opt(rec, OpKind::AlltoallFramework, || assemble(&recv, out));
         }
     }
 }
 
-/// Backward exchange: `grads[t]` is this rank's `n×E` gradient for global
-/// table `t`. Returns, for each *local* table (ascending global index), the
-/// assembled `GN×E` gradient (rank slices stacked in rank order).
+/// Packs this rank's per-table gradients and starts the backward exchange.
+/// `grads[t]` is this rank's `n×E` gradient for global table `t`.
+#[allow(clippy::too_many_arguments)] // split-phase twin of the 7-arg blocking form
+pub fn begin_backward_exchange(
+    strategy: ExchangeStrategy,
+    comm: &Communicator,
+    engine: Option<&ProgressEngine>,
+    grads: &[Matrix],
+    num_tables: usize,
+    local_n: usize,
+    emb_dim: usize,
+    rec: Option<&TimingRecorder>,
+) -> PendingBackwardExchange {
+    let r = comm.nranks();
+    assert_eq!(grads.len(), num_tables, "one gradient per global table");
+    for g in grads {
+        assert_eq!(g.shape(), (local_n, emb_dim), "local gradient shape");
+    }
+
+    // Payload for owner q: concat over q's tables of my gradient block.
+    let pack_for = |q: usize| -> Vec<f32> {
+        let mut buf = Vec::new();
+        for &t in &tables_of(num_tables, r, q) {
+            buf.extend_from_slice(grads[t].as_slice());
+        }
+        buf
+    };
+
+    let state = time_opt(rec, OpKind::AlltoallFramework, || match strategy {
+        ExchangeStrategy::Alltoall | ExchangeStrategy::CclAlltoall => {
+            let send: Vec<Vec<f32>> = (0..r).map(pack_for).collect();
+            match (strategy, engine) {
+                (ExchangeStrategy::CclAlltoall, Some(eng)) => {
+                    PendingState::InFlight(eng.alltoall(EXCHANGE_CHANNEL, send))
+                }
+                _ => PendingState::DeferredAlltoall(send),
+            }
+        }
+        ExchangeStrategy::ScatterList => {
+            // Reverse of a scatter is a gather: one payload per table.
+            let parts = (0..num_tables)
+                .map(|t| Some(vec![grads[t].as_slice().to_vec()]))
+                .collect();
+            PendingState::DeferredPerTable(parts)
+        }
+        ExchangeStrategy::FusedScatter => {
+            // One gather per owner with its tables coalesced.
+            PendingState::DeferredPerRoot((0..r).map(pack_for).collect())
+        }
+    });
+    PendingBackwardExchange {
+        num_tables,
+        local_n,
+        emb_dim,
+        state,
+    }
+}
+
+/// Completes a backward exchange: assembles into `out`, for each *local*
+/// table (ascending global index), the `GN×E` gradient (rank slices
+/// stacked in rank order). `out` is reused across iterations.
+pub fn finish_backward_exchange(
+    pending: PendingBackwardExchange,
+    comm: &Communicator,
+    out: &mut Vec<Matrix>,
+    rec: Option<&TimingRecorder>,
+) {
+    let r = comm.nranks();
+    let me = comm.rank();
+    let (num_tables, local_n, emb_dim) = (pending.num_tables, pending.local_n, pending.emb_dim);
+    let mine = tables_of(num_tables, r, me);
+    let chunk = local_n * emb_dim;
+    ensure_mats(out, mine.len(), local_n * r, emb_dim);
+
+    // per_rank[p] = concat over my tables of p's gradient block.
+    let assemble_local = |per_rank: &[Vec<f32>], out: &mut Vec<Matrix>| {
+        for (j, full) in out.iter_mut().enumerate() {
+            for (p, payload) in per_rank.iter().enumerate() {
+                full.as_mut_slice()[p * chunk..(p + 1) * chunk]
+                    .copy_from_slice(&payload[j * chunk..(j + 1) * chunk]);
+            }
+        }
+    };
+
+    match pending.state {
+        PendingState::InFlight(req) => {
+            let recv = match req.wait_recording(rec, OpKind::AlltoallWait) {
+                OpOutput::PerRank(v) => v,
+                other => panic!("unexpected op output: {other:?}"),
+            };
+            time_opt(rec, OpKind::AlltoallFramework, || {
+                assemble_local(&recv, out)
+            });
+        }
+        PendingState::DeferredAlltoall(send) => {
+            let recv = time_opt(rec, OpKind::AlltoallWait, || {
+                collectives::alltoall(comm, send)
+            });
+            time_opt(rec, OpKind::AlltoallFramework, || {
+                assemble_local(&recv, out)
+            });
+        }
+        PendingState::DeferredPerTable(parts) => {
+            let mut j = 0usize;
+            for (t, slot) in parts.into_iter().enumerate() {
+                let root = owner_of(t, r);
+                let payload = slot
+                    .map(|mut v| std::mem::take(&mut v[0]))
+                    .expect("backward scatter-list payload");
+                let gathered = time_opt(rec, OpKind::AlltoallWait, || {
+                    collectives::gather(comm, root, payload)
+                });
+                if let Some(per_rank) = gathered {
+                    time_opt(rec, OpKind::AlltoallFramework, || {
+                        let full = &mut out[j];
+                        for (p, payload) in per_rank.iter().enumerate() {
+                            full.as_mut_slice()[p * chunk..(p + 1) * chunk]
+                                .copy_from_slice(payload);
+                        }
+                    });
+                    j += 1;
+                }
+            }
+            assert_eq!(j, mine.len(), "gather must return parts at root");
+        }
+        PendingState::DeferredPerRoot(payloads) => {
+            let mut mine_parts: Option<Vec<Vec<f32>>> = None;
+            for (root, payload) in payloads.into_iter().enumerate() {
+                let gathered = time_opt(rec, OpKind::AlltoallWait, || {
+                    collectives::gather(comm, root, payload)
+                });
+                if root == me {
+                    mine_parts = gathered;
+                }
+            }
+            let per_rank = mine_parts.expect("gather must return parts at root");
+            time_opt(rec, OpKind::AlltoallFramework, || {
+                assemble_local(&per_rank, out)
+            });
+        }
+    }
+}
+
+/// Blocking forward exchange (begin + finish back to back). Returns the
+/// `n×E` slice of every global table for this rank, ordered by global
+/// table index.
+pub fn forward_exchange(
+    strategy: ExchangeStrategy,
+    comm: &Communicator,
+    engine: Option<&ProgressEngine>,
+    local_outputs: &[Matrix],
+    num_tables: usize,
+    local_n: usize,
+    emb_dim: usize,
+) -> Vec<Matrix> {
+    let pending = begin_forward_exchange(
+        strategy,
+        comm,
+        engine,
+        local_outputs,
+        num_tables,
+        local_n,
+        emb_dim,
+        None,
+    );
+    let mut out = Vec::new();
+    finish_forward_exchange(pending, comm, &mut out, None);
+    out
+}
+
+/// Blocking backward exchange (begin + finish back to back). Returns, for
+/// each *local* table (ascending global index), the assembled `GN×E`
+/// gradient (rank slices stacked in rank order).
 pub fn backward_exchange(
     strategy: ExchangeStrategy,
     comm: &Communicator,
@@ -186,83 +470,12 @@ pub fn backward_exchange(
     local_n: usize,
     emb_dim: usize,
 ) -> Vec<Matrix> {
-    let r = comm.nranks();
-    let me = comm.rank();
-    let mine = tables_of(num_tables, r, me);
-    assert_eq!(grads.len(), num_tables, "one gradient per global table");
-    for g in grads {
-        assert_eq!(g.shape(), (local_n, emb_dim), "local gradient shape");
-    }
-    let chunk = local_n * emb_dim;
-
-    let assemble_local = |per_rank: &[Vec<f32>]| -> Vec<Matrix> {
-        // per_rank[p] = concat over my tables of p's gradient block.
-        let mut out = Vec::with_capacity(mine.len());
-        for (j, _t) in mine.iter().enumerate() {
-            let mut full = Matrix::zeros(local_n * r, emb_dim);
-            for (p, payload) in per_rank.iter().enumerate() {
-                full.as_mut_slice()[p * chunk..(p + 1) * chunk]
-                    .copy_from_slice(&payload[j * chunk..(j + 1) * chunk]);
-            }
-            out.push(full);
-        }
-        out
-    };
-
-    match strategy {
-        ExchangeStrategy::Alltoall | ExchangeStrategy::CclAlltoall => {
-            // send[q] = concat over q's tables of my gradient block.
-            let send: Vec<Vec<f32>> = (0..r)
-                .map(|q| {
-                    let mut buf = Vec::new();
-                    for &t in &tables_of(num_tables, r, q) {
-                        buf.extend_from_slice(grads[t].as_slice());
-                    }
-                    buf
-                })
-                .collect();
-            let recv = match (strategy, engine) {
-                (ExchangeStrategy::CclAlltoall, Some(eng)) => match eng.alltoall(0, send).wait() {
-                    OpOutput::PerRank(v) => v,
-                    other => panic!("unexpected op output: {other:?}"),
-                },
-                _ => collectives::alltoall(comm, send),
-            };
-            assemble_local(&recv)
-        }
-        ExchangeStrategy::ScatterList => {
-            // Reverse of a scatter is a gather: one per table.
-            let mut out: Vec<Matrix> = Vec::with_capacity(mine.len());
-            #[allow(clippy::needless_range_loop)] // t is a global table id
-            for t in 0..num_tables {
-                let root = owner_of(t, r);
-                let gathered = collectives::gather(comm, root, grads[t].as_slice().to_vec());
-                if let Some(parts) = gathered {
-                    let mut full = Matrix::zeros(local_n * r, emb_dim);
-                    for (p, payload) in parts.iter().enumerate() {
-                        full.as_mut_slice()[p * chunk..(p + 1) * chunk].copy_from_slice(payload);
-                    }
-                    out.push(full);
-                }
-            }
-            out
-        }
-        ExchangeStrategy::FusedScatter => {
-            // One gather per owner with its tables coalesced.
-            let mut mine_parts: Option<Vec<Vec<f32>>> = None;
-            for root in 0..r {
-                let mut buf = Vec::new();
-                for &t in &tables_of(num_tables, r, root) {
-                    buf.extend_from_slice(grads[t].as_slice());
-                }
-                let gathered = collectives::gather(comm, root, buf);
-                if root == me {
-                    mine_parts = gathered;
-                }
-            }
-            assemble_local(&mine_parts.expect("gather must return parts at root"))
-        }
-    }
+    let pending = begin_backward_exchange(
+        strategy, comm, engine, grads, num_tables, local_n, emb_dim, None,
+    );
+    let mut out = Vec::new();
+    finish_backward_exchange(pending, comm, &mut out, None);
+    out
 }
 
 #[cfg(test)]
@@ -412,6 +625,45 @@ mod tests {
                 assert_eq!(o.as_slice(), b.as_slice());
             }
         }
+    }
+
+    #[test]
+    fn split_phase_reuses_output_allocations() {
+        // Two rounds through the same output vector: the second round must
+        // write into the first round's matrices, not fresh ones.
+        let (nranks, num_tables, local_n, e) = (2usize, 4usize, 2usize, 3usize);
+        let gn = local_n * nranks;
+        CommWorld::run(nranks, |comm| {
+            let me = comm.rank();
+            let outputs: Vec<Matrix> = tables_of(num_tables, nranks, me)
+                .into_iter()
+                .map(|t| table_output(t, gn, e))
+                .collect();
+            let mut out = Vec::new();
+            for round in 0..2 {
+                let pending = begin_forward_exchange(
+                    ExchangeStrategy::Alltoall,
+                    &comm,
+                    None,
+                    &outputs,
+                    num_tables,
+                    local_n,
+                    e,
+                    None,
+                );
+                let ptrs: Vec<*const f32> =
+                    out.iter().map(|m: &Matrix| m.as_slice().as_ptr()).collect();
+                finish_forward_exchange(pending, &comm, &mut out, None);
+                if round > 0 {
+                    for (m, p) in out.iter().zip(&ptrs) {
+                        assert!(
+                            std::ptr::eq(m.as_slice().as_ptr(), *p),
+                            "output reallocated"
+                        );
+                    }
+                }
+            }
+        });
     }
 
     #[test]

@@ -21,6 +21,12 @@
 //! the workspace integration tests — is that **every strategy at every
 //! rank count reproduces the single-process model's loss trajectory** on
 //! the same global batches (up to float-summation reassociation).
+//!
+//! The train step itself comes in two [`distributed::Schedule`]s: the
+//! naive `Synchronous` ordering, and the paper's `Overlapped` ordering
+//! built on split-phase exchanges ([`exchange`]) and an
+//! issue-as-produced bucketed allreduce ([`bucketing`]). The two are
+//! bitwise-identical in losses — overlap moves time, not bits.
 
 pub mod bucketing;
 pub mod characteristics;
@@ -28,6 +34,7 @@ pub mod ddp;
 pub mod distributed;
 pub mod exchange;
 
+pub use bucketing::{BucketPlan, BucketReducer, DEFAULT_BUCKET_CAP_BYTES};
 pub use characteristics::DistCharacteristics;
-pub use distributed::{run_training, run_training_with_chaos, DistDlrm, DistOptions};
+pub use distributed::{run_training, run_training_with_chaos, DistDlrm, DistOptions, Schedule};
 pub use exchange::ExchangeStrategy;

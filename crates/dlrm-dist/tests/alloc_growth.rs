@@ -1,0 +1,149 @@
+//! Steady-state allocation check for the train step: after warm-up, live
+//! heap bytes and the trainer's iteration-persistent scratch must stop
+//! growing. This is what the scratch-reuse in `exchange.rs` (output
+//! matrices), `ddp.rs`/`bucketing.rs` (flat gradient buffer) and the
+//! `dlogits` buffer buy — without it, every step leaked fresh `Vec`s into
+//! the allocator's working set.
+//!
+//! Uses a counting global allocator; samples are taken with every rank
+//! parked at a barrier so the heap is at a well-defined program point.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicIsize, Ordering};
+
+struct CountingAlloc;
+
+static LIVE_BYTES: AtomicIsize = AtomicIsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        LIVE_BYTES.fetch_add(layout.size() as isize, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE_BYTES.fetch_sub(layout.size() as isize, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        LIVE_BYTES.fetch_add(
+            new_size as isize - layout.size() as isize,
+            Ordering::Relaxed,
+        );
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+use dlrm_comm::nonblocking::{create_channel_worlds, Backend, ProgressEngine};
+use dlrm_comm::world::CommWorld;
+use dlrm_data::{DlrmConfig, IndexDistribution, MiniBatch};
+use dlrm_dist::distributed::{DistDlrm, DistOptions, Schedule};
+use dlrm_dist::exchange::ExchangeStrategy;
+use dlrm_tensor::init::seeded_rng;
+
+fn tiny_cfg() -> DlrmConfig {
+    let mut cfg = DlrmConfig::small().scaled_down(32, 512);
+    cfg.dense_features = 6;
+    cfg.bottom_mlp = vec![8, 4];
+    cfg.emb_dim = 4;
+    cfg.num_tables = 4;
+    cfg.table_rows = vec![32, 16, 8, 24];
+    cfg.lookups_per_table = 2;
+    cfg.top_mlp = vec![8, 1];
+    cfg
+}
+
+/// Runs `steps` training iterations at 2 ranks and returns rank 0's
+/// per-step (live-heap, scratch) samples, each taken inside a barrier
+/// sandwich so every rank is parked at a known point.
+fn sample_training(schedule: Schedule, steps: usize) -> Vec<(isize, usize)> {
+    let cfg = tiny_cfg();
+    let nranks = 2;
+    let opts = DistOptions {
+        strategy: ExchangeStrategy::CclAlltoall,
+        seed: 5,
+        threads_per_rank: 1,
+        schedule,
+        bucket_cap_bytes: 128, // several buckets: exercise the full path
+        ..Default::default()
+    };
+    let batches: Vec<MiniBatch> = (0..steps)
+        .map(|i| {
+            MiniBatch::random(
+                &cfg,
+                8,
+                IndexDistribution::Uniform,
+                &mut seeded_rng(42 + i as u64, 5),
+            )
+        })
+        .collect();
+    let backend = Backend::CclLike { workers: 2 };
+    let worlds = std::sync::Mutex::new(create_channel_worlds(nranks, backend));
+    let out = CommWorld::run(nranks, |comm| {
+        let me = comm.rank();
+        let engine = {
+            let comms = std::mem::take(&mut worlds.lock().unwrap()[me]);
+            ProgressEngine::new(backend, comms)
+        };
+        let mut model = DistDlrm::new(&cfg, comm, Some(engine), &opts);
+        let mut samples = Vec::with_capacity(steps);
+        for b in &batches {
+            model.train_step(b, 0.1);
+            model.comm_barrier();
+            if me == 0 {
+                samples.push((LIVE_BYTES.load(Ordering::Relaxed), model.scratch_bytes()));
+            }
+            model.comm_barrier();
+        }
+        samples
+    });
+    out.into_iter().next().unwrap()
+}
+
+fn assert_steady(samples: &[(isize, usize)], label: &str) {
+    // Scratch buffers must stabilize after the very first step.
+    let scratch_after_warmup = samples[1].1;
+    for (step, (_, scratch)) in samples.iter().enumerate().skip(1) {
+        assert_eq!(
+            *scratch, scratch_after_warmup,
+            "{label}: scratch grew at step {step}"
+        );
+    }
+    // Live heap: the late-window peak must not exceed the warm-up peak by
+    // more than a small slack (allocator-internal jitter, channel nodes).
+    let warm = samples[2..steps_mid(samples)]
+        .iter()
+        .map(|s| s.0)
+        .max()
+        .unwrap();
+    let late = samples[steps_mid(samples)..]
+        .iter()
+        .map(|s| s.0)
+        .max()
+        .unwrap();
+    const SLACK: isize = 64 * 1024;
+    assert!(
+        late <= warm + SLACK,
+        "{label}: live heap grew from {warm} to {late} bytes"
+    );
+}
+
+fn steps_mid(samples: &[(isize, usize)]) -> usize {
+    samples.len() / 2
+}
+
+#[test]
+fn overlapped_step_does_not_grow_allocations() {
+    let samples = sample_training(Schedule::Overlapped, 50);
+    assert_steady(&samples, "overlapped");
+}
+
+#[test]
+fn synchronous_step_does_not_grow_allocations() {
+    let samples = sample_training(Schedule::Synchronous, 50);
+    assert_steady(&samples, "synchronous");
+}

@@ -196,6 +196,12 @@ impl Linear {
         }
     }
 
+    /// Elements in this layer's gradient (`dW` then `db`) — its span in a
+    /// DDP flat gradient buffer.
+    pub fn grad_len(&self) -> usize {
+        self.dw.len() + self.db.len()
+    }
+
     /// Plain FP32 SGD on weights and bias.
     pub fn sgd_step(&mut self, exec: &Execution, lr: f32) {
         match exec {
@@ -252,9 +258,26 @@ impl Mlp {
 
     /// Backward through all layers; returns gradient w.r.t. the input.
     pub fn backward(&mut self, exec: &Execution, dy: Matrix) -> Matrix {
+        self.backward_with(exec, dy, |_, _| {})
+    }
+
+    /// [`Mlp::backward`] with a per-layer gradient hook: `on_layer(i,
+    /// layer)` fires right after layer `i`'s `dw`/`db` are final, in
+    /// production order (last layer first). This is the seam a DDP-style
+    /// overlap schedule needs — each layer's gradient bucket can start its
+    /// allreduce while earlier layers are still computing. The hook must
+    /// not change the math; backward results are identical to
+    /// [`Mlp::backward`].
+    pub fn backward_with(
+        &mut self,
+        exec: &Execution,
+        dy: Matrix,
+        mut on_layer: impl FnMut(usize, &Linear),
+    ) -> Matrix {
         let mut cur = dy;
-        for layer in self.layers.iter_mut().rev() {
+        for (i, layer) in self.layers.iter_mut().enumerate().rev() {
             cur = layer.backward(exec, cur);
+            on_layer(i, layer);
         }
         cur
     }
@@ -395,6 +418,56 @@ mod tests {
         let mut rng = seeded_rng(8, 0);
         let mlp = Mlp::new(10, &[4, 2], Activation::None, &mut rng);
         assert_eq!(mlp.param_count(), 10 * 4 + 4 + 4 * 2 + 2);
+    }
+
+    #[test]
+    fn backward_with_hook_sees_layers_in_reverse_with_final_grads() {
+        let exec = Execution::Reference;
+        let mut rng = seeded_rng(11, 0);
+        let mut a = Mlp::new(5, &[6, 3], Activation::Relu, &mut rng);
+        let mut rng = seeded_rng(11, 0);
+        let mut b = Mlp::new(5, &[6, 3], Activation::Relu, &mut rng);
+        let x = Matrix::from_fn(5, 4, |i, j| (i + j) as f32 * 0.1);
+        let dy = Matrix::from_fn(3, 4, |i, j| (i * 3 + j) as f32 * 0.01 - 0.02);
+
+        let _ = a.forward(&exec, &x);
+        let _ = b.forward(&exec, &x);
+        let plain = a.backward(&exec, dy.clone());
+
+        let mut order = Vec::new();
+        let mut hooked_bits: Vec<Vec<u32>> = vec![Vec::new(); b.layers.len()];
+        let hooked = b.backward_with(&exec, dy, |i, layer| {
+            order.push(i);
+            hooked_bits[i] = layer
+                .dw
+                .as_slice()
+                .iter()
+                .chain(&layer.db)
+                .map(|v| v.to_bits())
+                .collect();
+        });
+
+        assert_eq!(order, vec![1, 0], "hook must fire last layer first");
+        assert_eq!(plain.as_slice(), hooked.as_slice());
+        // The gradients seen by the hook are the final ones for that layer.
+        for (i, layer) in a.layers.iter().enumerate() {
+            let want: Vec<u32> = layer
+                .dw
+                .as_slice()
+                .iter()
+                .chain(&layer.db)
+                .map(|v| v.to_bits())
+                .collect();
+            assert_eq!(hooked_bits[i], want, "layer {i}");
+        }
+    }
+
+    #[test]
+    fn grad_len_matches_param_count_per_layer() {
+        let mut rng = seeded_rng(12, 0);
+        let mlp = Mlp::new(10, &[4, 2], Activation::None, &mut rng);
+        let total: usize = mlp.layers.iter().map(|l| l.grad_len()).sum();
+        assert_eq!(total, mlp.param_count());
     }
 
     #[test]
