@@ -47,6 +47,18 @@ fn main() {
         embedding::fused_backward_update(&pool, &mut w, &dy, &indices, &offsets, -0.01);
     });
 
+    // Plan-driven fused: the per-batch plan build is part of the cost, but
+    // the plan's buffers are reused (steady-state, as in the layer).
+    let mut w = w0.clone();
+    let mut plan = embedding::BagPlan::new();
+    let t_planned = time_it(1, 5, || {
+        plan.build(&pool, &indices, m);
+        plan.attach_bags(&pool, &offsets);
+        embedding::fused_backward_update_planned(
+            &pool, &mut w, &dy, &indices, &offsets, -0.01, &plan,
+        );
+    });
+
     let mut t = Table::new(&["variant", "time/iter", "speedup"]);
     t.row(vec![
         "backward + update".into(),
@@ -57,6 +69,11 @@ fn main() {
         "fused".into(),
         fmt_time(t_fused),
         fmt_speedup(t_unfused / t_fused),
+    ]);
+    t.row(vec![
+        "fused + plan".into(),
+        fmt_time(t_planned),
+        fmt_speedup(t_unfused / t_planned),
     ]);
     t.print();
     println!(

@@ -34,13 +34,19 @@ fn main() {
         let rows = run_config(&cfg, dist, threads, iters);
         let ref_ms = rows[0].ms_per_iter;
         let ref_emb_ms = rows[0].ms_per_iter * rows[0].split.0;
-        for (row, praw) in rows.iter().zip(paper::fig7::ROWS.iter()) {
-            let paper_ms = if paper_col == 1 { praw.1 } else { praw.2 };
+        // Look the paper bar up by label: measured rows now include bars
+        // (e.g. Bucketed) that Figure 7 has no counterpart for, and a
+        // positional zip would silently drop them.
+        for row in rows.iter() {
+            let paper_ms = paper::fig7::ROWS
+                .iter()
+                .find(|p| p.0 == row.label)
+                .map(|p| if paper_col == 1 { p.1 } else { p.2 });
             let emb_ms = row.ms_per_iter * row.split.0;
             t.row(vec![
                 row.config.clone(),
                 row.label.clone(),
-                format!("{paper_ms:.1}"),
+                paper_ms.map_or("-".into(), |p| format!("{p:.1}")),
                 format!("{:.1}", row.ms_per_iter),
                 format!("{emb_ms:.1}"),
                 fmt_speedup(ref_ms / row.ms_per_iter),

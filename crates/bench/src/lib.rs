@@ -17,21 +17,26 @@ pub struct HarnessOpts {
     pub paper_scale: bool,
     /// Emit machine-readable JSON lines alongside the tables.
     pub json: bool,
+    /// CI smoke mode: tiny problem sizes, single measured iteration —
+    /// exercises every code path and the artifact schema, not performance.
+    pub smoke: bool,
 }
 
 impl HarnessOpts {
-    /// Parses `--paper-scale` / `--json` from `std::env::args`.
+    /// Parses `--paper-scale` / `--json` / `--smoke` from `std::env::args`.
     pub fn from_args() -> Self {
         let mut o = HarnessOpts {
             paper_scale: false,
             json: false,
+            smoke: false,
         };
         for a in std::env::args().skip(1) {
             match a.as_str() {
                 "--paper-scale" => o.paper_scale = true,
                 "--json" => o.json = true,
+                "--smoke" => o.smoke = true,
                 "--help" | "-h" => {
-                    eprintln!("options: --paper-scale  use full Table I sizes\n         --json         emit JSON lines");
+                    eprintln!("options: --paper-scale  use full Table I sizes\n         --json         emit JSON lines\n         --smoke        tiny CI sizes");
                     std::process::exit(0);
                 }
                 other => eprintln!("warning: unknown option {other}"),
@@ -39,6 +44,57 @@ impl HarnessOpts {
         }
         o
     }
+}
+
+/// Structural schema check for `results/BENCH_embedding.json` (the
+/// `bench_embedding` artifact). No JSON parser in the workspace, so this is
+/// a key-presence + balance check: every required field of the schema must
+/// appear as a `"key":` literal and the braces/brackets must balance. Used
+/// by the emitting binary (self-validation before writing) and by CI.
+pub fn validate_bench_embedding_json(json: &str) -> Result<(), String> {
+    const REQUIRED: [&str; 12] = [
+        "\"bench\"",
+        "\"smoke\"",
+        "\"threads\"",
+        "\"config\"",
+        "\"isa_tiers\"",
+        "\"forward_gups\"",
+        "\"update_gups\"",
+        "\"clustered\"",
+        "\"bucketed_vs_racefree_speedup\"",
+        "\"fused\"",
+        "\"simd_vs_scalar_forward_ratio\"",
+        "\"equivalence_ok\"",
+    ];
+    for key in REQUIRED {
+        if !json.contains(&format!("{key}:")) {
+            return Err(format!("missing required field {key}"));
+        }
+    }
+    if !json.contains("\"bench\": \"embedding\"") {
+        return Err("\"bench\" must be \"embedding\"".into());
+    }
+    if !json.contains("\"equivalence_ok\": true") {
+        return Err("\"equivalence_ok\" must be true".into());
+    }
+    let mut depth_brace = 0i64;
+    let mut depth_bracket = 0i64;
+    for c in json.chars() {
+        match c {
+            '{' => depth_brace += 1,
+            '}' => depth_brace -= 1,
+            '[' => depth_bracket += 1,
+            ']' => depth_bracket -= 1,
+            _ => {}
+        }
+        if depth_brace < 0 || depth_bracket < 0 {
+            return Err("unbalanced braces/brackets".into());
+        }
+    }
+    if depth_brace != 0 || depth_bracket != 0 {
+        return Err("unbalanced braces/brackets".into());
+    }
+    Ok(())
 }
 
 /// Prints a section header for a figure/table harness.
@@ -144,6 +200,40 @@ mod tests {
     fn time_it_returns_positive() {
         let t = time_it(1, 3, || (0..1000).sum::<u64>());
         assert!(t > 0.0);
+    }
+
+    #[test]
+    fn json_validator_accepts_minimal_schema() {
+        let ok = r#"{
+  "bench": "embedding",
+  "smoke": true,
+  "threads": 8,
+  "config": {"rows": 10, "dim": 4, "bags": 2, "lookups_per_bag": 3},
+  "isa_tiers": ["scalar"],
+  "forward_gups": {"scalar": 0.1},
+  "update_gups": {"race_free": {"scalar": 0.1}},
+  "clustered": {"race_free_gups": 0.1, "bucketed_gups": 0.2, "bucketed_vs_racefree_speedup": 2.0},
+  "fused": {"full_scan_gups": 0.1, "planned_gups": 0.2},
+  "simd_vs_scalar_forward_ratio": 1.0,
+  "equivalence_ok": true
+}"#;
+        assert!(validate_bench_embedding_json(ok).is_ok());
+    }
+
+    #[test]
+    fn json_validator_rejects_bad_artifacts() {
+        assert!(validate_bench_embedding_json("{}").is_err());
+        let missing = r#"{"bench": "embedding", "equivalence_ok": true}"#;
+        assert!(validate_bench_embedding_json(missing).is_err());
+        let failed_gate = r#"{
+  "bench": "embedding", "smoke": false, "threads": 8, "config": {},
+  "isa_tiers": [], "forward_gups": {}, "update_gups": {},
+  "clustered": {"bucketed_vs_racefree_speedup": 1.0}, "fused": {},
+  "simd_vs_scalar_forward_ratio": 1.0, "equivalence_ok": false
+}"#;
+        assert!(validate_bench_embedding_json(failed_gate).is_err());
+        let unbalanced = failed_gate.replace("false\n}", "true\n");
+        assert!(validate_bench_embedding_json(&unbalanced).is_err());
     }
 
     #[test]

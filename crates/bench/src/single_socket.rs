@@ -88,7 +88,8 @@ pub fn measure(
     }
 }
 
-/// Runs all four Figure 7 bars for one config.
+/// Runs all four Figure 7 bars for one config, plus this repo's `Bucketed`
+/// refinement as a fifth.
 pub fn run_config(
     cfg: &DlrmConfig,
     dist: IndexDistribution,
@@ -110,6 +111,7 @@ pub fn run_config(
         UpdateStrategy::AtomicXchg,
         UpdateStrategy::Rtm,
         UpdateStrategy::RaceFree,
+        UpdateStrategy::Bucketed,
     ] {
         rows.push(measure(
             cfg,

@@ -1,8 +1,14 @@
 //! The embedding-table layer: EmbeddingBag forward/backward plus the
 //! selectable update strategy of Section III-A.
+//!
+//! All per-iteration working state — the saved batch shape, the `dW[NS][E]`
+//! gradient scratch, and the [`BagPlan`] for the bucketed/planned-fused
+//! paths — lives on the layer and is reused across steps: after the first
+//! batch of each shape the steady-state train loop performs no embedding
+//! allocations (asserted by `crates/dlrm/tests/alloc_growth.rs`).
 
 use crate::layers::Execution;
-use dlrm_kernels::embedding::{self, UpdateStrategy};
+use dlrm_kernels::embedding::{self, BagPlan, UpdateStrategy};
 use dlrm_tensor::init::embedding_table;
 use dlrm_tensor::Matrix;
 use rand::rngs::StdRng;
@@ -11,10 +17,12 @@ use rand::rngs::StdRng;
 pub struct EmbeddingLayer {
     /// Table weights, `M×E`.
     pub weight: Matrix,
-    /// Update strategy (Figure 7's four bars).
+    /// Update strategy (Figure 7's four bars, plus `Bucketed`).
     pub strategy: UpdateStrategy,
     /// Fuse backward+update (skips materializing `dW[NS][E]`; only valid
-    /// outside framework-autograd constraints — Section III-A).
+    /// outside framework-autograd constraints — Section III-A). The layer
+    /// uses the plan-driven fused kernel, so each thread touches only its
+    /// own lookups.
     pub fused: bool,
     /// Force the framework-naive (PyTorch-v1.4-style) kernels for this
     /// table regardless of the execution tier — the Figure 7 baseline,
@@ -23,6 +31,12 @@ pub struct EmbeddingLayer {
     pub framework_naive: bool,
     saved_indices: Vec<u32>,
     saved_offsets: Vec<usize>,
+    /// Iteration-persistent `dW[NS][E]` scratch (scratch semantics: fully
+    /// overwritten by `backward` before any read).
+    dw: Matrix,
+    /// Iteration-persistent lookup plan for the bucketed / planned-fused
+    /// update paths.
+    plan: BagPlan,
 }
 
 impl EmbeddingLayer {
@@ -35,7 +49,18 @@ impl EmbeddingLayer {
             framework_naive: false,
             saved_indices: Vec::new(),
             saved_offsets: Vec::new(),
+            dw: Matrix::zeros(0, e),
+            plan: BagPlan::new(),
         }
+    }
+
+    /// Bytes of iteration-persistent scratch (saved batch, `dW`, plan)
+    /// currently held by the layer — excludes the table weights.
+    pub fn scratch_bytes(&self) -> usize {
+        self.saved_indices.capacity() * std::mem::size_of::<u32>()
+            + self.saved_offsets.capacity() * std::mem::size_of::<usize>()
+            + self.dw.capacity() * std::mem::size_of::<f32>()
+            + self.plan.scratch_bytes()
     }
 
     /// Rows.
@@ -63,9 +88,23 @@ impl EmbeddingLayer {
                 embedding::forward(pool, &self.weight, indices, offsets, &mut out)
             }
         }
-        self.saved_indices = indices.to_vec();
-        self.saved_offsets = offsets.to_vec();
+        self.saved_indices.clear();
+        self.saved_indices.extend_from_slice(indices);
+        self.saved_offsets.clear();
+        self.saved_offsets.extend_from_slice(offsets);
         out
+    }
+
+    /// Serial `dW[NS][E]` expansion for the framework-naive pipeline,
+    /// reusing the persistent scratch.
+    fn expand_dw_naive(&mut self, dy: &Matrix) {
+        let ns = *self.saved_offsets.last().unwrap();
+        self.dw.resize_rows(ns);
+        for bag in 0..self.saved_offsets.len() - 1 {
+            for s in self.saved_offsets[bag]..self.saved_offsets[bag + 1] {
+                self.dw.row_mut(s).copy_from_slice(dy.row(bag));
+            }
+        }
     }
 
     /// Backward + SGD update in one call (the sparse gradient never leaves
@@ -78,57 +117,62 @@ impl EmbeddingLayer {
                 // update — the "focused on functionality instead of
                 // performance" kernel that made 99% of the reference
                 // DLRM's runtime in the paper's profile.
-                let ns = *self.saved_offsets.last().unwrap();
-                let mut dw = Matrix::zeros(ns, self.dim());
-                for bag in 0..self.saved_offsets.len() - 1 {
-                    for s in self.saved_offsets[bag]..self.saved_offsets[bag + 1] {
-                        dw.row_mut(s).copy_from_slice(dy.row(bag));
-                    }
-                }
+                self.expand_dw_naive(dy);
                 embedding::update_framework_naive(
                     &mut self.weight,
-                    &dw,
+                    &self.dw,
                     &self.saved_indices,
                     alpha,
                 );
             }
             Execution::Optimized(_) if self.framework_naive => {
-                let ns = *self.saved_offsets.last().unwrap();
-                let mut dw = Matrix::zeros(ns, self.dim());
-                for bag in 0..self.saved_offsets.len() - 1 {
-                    for s in self.saved_offsets[bag]..self.saved_offsets[bag + 1] {
-                        dw.row_mut(s).copy_from_slice(dy.row(bag));
-                    }
-                }
+                self.expand_dw_naive(dy);
                 embedding::update_framework_naive(
                     &mut self.weight,
-                    &dw,
+                    &self.dw,
                     &self.saved_indices,
                     alpha,
                 );
             }
             Execution::Optimized(pool) => {
                 if self.fused {
-                    embedding::fused_backward_update(
+                    self.plan
+                        .build(pool, &self.saved_indices, self.weight.rows());
+                    self.plan.attach_bags(pool, &self.saved_offsets);
+                    embedding::fused_backward_update_planned(
                         pool,
                         &mut self.weight,
                         dy,
                         &self.saved_indices,
                         &self.saved_offsets,
                         alpha,
+                        &self.plan,
                     );
                 } else {
                     let ns = *self.saved_offsets.last().unwrap();
-                    let mut dw = Matrix::zeros(ns, self.dim());
-                    embedding::backward(pool, dy, &self.saved_offsets, &mut dw);
-                    embedding::update(
-                        pool,
-                        self.strategy,
-                        &mut self.weight,
-                        &dw,
-                        &self.saved_indices,
-                        alpha,
-                    );
+                    self.dw.resize_rows(ns);
+                    embedding::backward(pool, dy, &self.saved_offsets, &mut self.dw);
+                    if self.strategy == UpdateStrategy::Bucketed {
+                        self.plan
+                            .build(pool, &self.saved_indices, self.weight.rows());
+                        embedding::update_bucketed(
+                            pool,
+                            &mut self.weight,
+                            &self.dw,
+                            &self.saved_indices,
+                            alpha,
+                            &self.plan,
+                        );
+                    } else {
+                        embedding::update(
+                            pool,
+                            self.strategy,
+                            &mut self.weight,
+                            &self.dw,
+                            &self.saved_indices,
+                            alpha,
+                        );
+                    }
                 }
             }
         }
@@ -177,6 +221,7 @@ mod tests {
             UpdateStrategy::AtomicXchg,
             UpdateStrategy::Rtm,
             UpdateStrategy::RaceFree,
+            UpdateStrategy::Bucketed,
         ] {
             let (out, w) = run(&Execution::optimized(4), strategy);
             assert_eq!(out.as_slice(), out_ref.as_slice(), "{strategy} fwd");
@@ -214,6 +259,34 @@ mod tests {
             1e-6,
             "fused",
         );
+    }
+
+    #[test]
+    fn scratch_stabilizes_after_first_step() {
+        let mut rng = seeded_rng(5, 0);
+        let exec = Execution::optimized(3);
+        for (strategy, fused) in [
+            (UpdateStrategy::RaceFree, false),
+            (UpdateStrategy::Bucketed, false),
+            (UpdateStrategy::RaceFree, true),
+        ] {
+            let mut layer = EmbeddingLayer::new(32, 4, strategy, &mut rng);
+            layer.fused = fused;
+            let (idx, off) = bags();
+            let dy = Matrix::from_fn(3, 4, |r, c| (r + c) as f32 * 0.01);
+            let _ = layer.forward(&exec, &idx, &off);
+            layer.backward_update(&exec, &dy, 0.1);
+            let warm = layer.scratch_bytes();
+            for _ in 0..4 {
+                let _ = layer.forward(&exec, &idx, &off);
+                layer.backward_update(&exec, &dy, 0.1);
+            }
+            assert_eq!(
+                layer.scratch_bytes(),
+                warm,
+                "{strategy} fused={fused}: scratch grew after warm-up"
+            );
+        }
     }
 
     #[test]

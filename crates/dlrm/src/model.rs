@@ -238,6 +238,14 @@ impl DlrmModel {
             + self.top.param_count()
             + self.tables.iter().map(|t| t.weight.len()).sum::<usize>()
     }
+
+    /// Bytes of iteration-persistent embedding scratch (saved batches,
+    /// `dW` buffers, bag plans) across all tables. Constant after the
+    /// first step of a fixed batch shape — see
+    /// `crates/dlrm/tests/alloc_growth.rs`.
+    pub fn embedding_scratch_bytes(&self) -> usize {
+        self.tables.iter().map(|t| t.scratch_bytes()).sum()
+    }
 }
 
 #[cfg(test)]

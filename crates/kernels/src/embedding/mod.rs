@@ -23,22 +23,44 @@
 //!   contiguous row range `[M·tid/T, M·(tid+1)/T)` and scans the *entire*
 //!   index list, applying only the updates that land in its range. No
 //!   synchronization, better locality, but load-imbalanced for clustered
-//!   indices.
+//!   indices — and O(NS·T) total scan work.
+//! * [`UpdateStrategy::Bucketed`] — race-free ownership without the full
+//!   scan: a [`plan::BagPlan`] counting-sorts the lookup list by owning
+//!   thread once per batch, so each thread applies exactly its own lookups.
+//!   O(NS) total work; bit-exact with `Reference` (the sort is stable).
 //!
 //! [`fused_backward_update`] skips materializing `dW[NS][E]` entirely and
 //! scatters `α·dY[n]` straight into the owned rows — the standalone-only
 //! optimization the paper credits with up to 1.6× on embedding updates.
+//! [`fused_backward_update_planned`] is its bucketed counterpart, driven by
+//! the same `BagPlan`.
+//!
+//! All row arithmetic goes through the shared SIMD primitives in
+//! [`rowops`] (scalar/AVX2/AVX-512 tiers behind
+//! [`gemm::micro::detect_isa`](crate::gemm::micro::detect_isa), forceable
+//! via [`gemm::micro::set_isa_override`](crate::gemm::micro::set_isa_override)),
+//! and the streaming kernels issue software prefetches of upcoming table
+//! rows keyed off the index stream.
 
 // Index-based loops in this module mirror the paper's Algorithms 1-4
 // pseudocode line for line; keep them index-based for reviewability.
 #![allow(clippy::needless_range_loop)]
 
+pub mod plan;
+pub mod rowops;
+
+pub use plan::BagPlan;
+
+use crate::gemm::micro::detect_isa;
 use crate::threadpool::ThreadPool;
 use dlrm_tensor::util::partition_range;
 use dlrm_tensor::Matrix;
+use rowops::PREFETCH_DISTANCE;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
-/// The four update strategies of Section III-A / Figure 7.
+/// The four update strategies of Section III-A / Figure 7, plus the
+/// bucketed refinement of the race-free update this repo adds as a fifth
+/// bar.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UpdateStrategy {
     /// Single-threaded Algorithm 3 (the naive-framework baseline).
@@ -48,17 +70,24 @@ pub enum UpdateStrategy {
     /// Optimistic row-granular critical sections (RTM emulated via striped
     /// spinlocks), SIMD inside the section.
     Rtm,
-    /// Algorithm 4: race-free row-range ownership.
+    /// Algorithm 4: race-free row-range ownership, every thread scanning
+    /// the full index list.
     RaceFree,
+    /// Race-free ownership driven by a [`BagPlan`]: the lookup list is
+    /// counting-sorted by owning thread once per batch, so total work drops
+    /// from O(NS·T) to O(NS) and clustered indices no longer force every
+    /// thread through a full scan.
+    Bucketed,
 }
 
 impl UpdateStrategy {
-    /// All strategies in Figure 7's bar order.
-    pub const ALL: [UpdateStrategy; 4] = [
+    /// All strategies in Figure 7's bar order (with `Bucketed` appended).
+    pub const ALL: [UpdateStrategy; 5] = [
         UpdateStrategy::Reference,
         UpdateStrategy::AtomicXchg,
         UpdateStrategy::Rtm,
         UpdateStrategy::RaceFree,
+        UpdateStrategy::Bucketed,
     ];
 }
 
@@ -69,6 +98,7 @@ impl std::fmt::Display for UpdateStrategy {
             UpdateStrategy::AtomicXchg => "Atomic XCHG",
             UpdateStrategy::Rtm => "RTM",
             UpdateStrategy::RaceFree => "Race Free",
+            UpdateStrategy::Bucketed => "Bucketed",
         };
         f.write_str(s)
     }
@@ -128,18 +158,23 @@ pub fn forward(
     let e = weight.cols();
     check_bags(indices, offsets, weight.rows());
     assert_eq!(out.shape(), (n, e), "forward output shape");
+    let isa = detect_isa();
     let out_base = crate::gemm::SendMutPtr(out.as_mut_slice().as_mut_ptr());
 
     pool.parallel_for(n, move |_tid, bags| {
+        // Lookups of a bag range are contiguous in the index stream, so the
+        // prefetch window runs over flat slots, crossing bag boundaries.
+        let slot_end = offsets[bags.end];
         for bag in bags {
             // SAFETY: each bag row is owned by exactly one thread.
             let out_row = unsafe { std::slice::from_raw_parts_mut(out_base.get().add(bag * e), e) };
             out_row.fill(0.0);
             for s in offsets[bag]..offsets[bag + 1] {
-                let src = weight.row(indices[s] as usize);
-                for (o, &w) in out_row.iter_mut().zip(src) {
-                    *o += w;
+                let ahead = s + PREFETCH_DISTANCE;
+                if ahead < slot_end {
+                    rowops::prefetch_row(weight.row(indices[ahead] as usize).as_ptr(), e);
                 }
+                rowops::accumulate(isa, out_row, weight.row(indices[s] as usize));
             }
         }
     });
@@ -206,8 +241,24 @@ impl StripeLock {
     }
 }
 
+/// The stripe-lock array, engine-static so `update_rtm` does not allocate
+/// (and re-fault) 1024 lock words on every call. One process-wide array is
+/// correct even across concurrent tables: stripes only ever serialize, they
+/// never alias rows between distinct weight matrices incorrectly (a stripe
+/// guards "whoever holds it", not a specific address).
+static RTM_LOCKS: [StripeLock; RTM_STRIPES] = {
+    // Interior mutability in a const is exactly what a static lock table is.
+    #[allow(clippy::declare_interior_mutable_const)]
+    const UNLOCKED: StripeLock = StripeLock(AtomicBool::new(false));
+    [UNLOCKED; RTM_STRIPES]
+};
+
 /// Applies `W[indices[i]] += alpha * dW[i]` for all `NS` lookups using the
 /// chosen strategy. Pass `alpha = -lr` for an SGD step.
+///
+/// For [`UpdateStrategy::Bucketed`] this convenience entry builds a
+/// throwaway [`BagPlan`] internally; steady-state callers (the embedding
+/// layer) should hold a persistent plan and call [`update_bucketed`].
 pub fn update(
     pool: &ThreadPool,
     strategy: UpdateStrategy,
@@ -225,16 +276,29 @@ pub fn update(
         UpdateStrategy::AtomicXchg => update_atomic(pool, weight, dw, indices, alpha),
         UpdateStrategy::Rtm => update_rtm(pool, weight, dw, indices, alpha),
         UpdateStrategy::RaceFree => update_race_free(pool, weight, dw, indices, alpha),
+        UpdateStrategy::Bucketed => {
+            let mut plan = BagPlan::new();
+            plan.build(pool, indices, m);
+            update_bucketed(pool, weight, dw, indices, alpha, &plan);
+        }
     }
 }
 
-/// Algorithm 3, single-threaded.
+/// Algorithm 3, single-threaded. The per-row arithmetic goes through the
+/// shared SIMD primitives — the *strategy* contrast of Figure 7 is about
+/// parallelization, not about hobbling the baseline's inner loop.
 fn update_reference(weight: &mut Matrix, dw: &Matrix, indices: &[u32], alpha: f32) {
     let e = weight.cols();
+    let isa = detect_isa();
+    let w_base = weight.as_mut_slice().as_mut_ptr();
     for (i, &ind) in indices.iter().enumerate() {
-        for j in 0..e {
-            weight[(ind as usize, j)] += alpha * dw[(i, j)];
+        let ahead = i + PREFETCH_DISTANCE;
+        if ahead < indices.len() {
+            // SAFETY (here and below): indices are checked < m by `update`.
+            rowops::prefetch_row(unsafe { w_base.add(indices[ahead] as usize * e) }, e);
         }
+        // SAFETY: the row is in-bounds and `dw` never aliases `weight`.
+        unsafe { rowops::scatter_add(isa, w_base.add(ind as usize * e), dw.row(i), alpha) };
     }
 }
 
@@ -291,18 +355,24 @@ fn atomic_add_f32(cell: &AtomicU32, v: f32) {
     }
 }
 
-/// Parallel over lookups; per-element CAS adds.
+/// Parallel over lookups; per-element CAS adds. The CAS loop is inherently
+/// scalar (x86 has no atomic SIMD read-modify-write), so this strategy's
+/// use of the row-primitive module is limited to the prefetch stream.
 fn update_atomic(pool: &ThreadPool, weight: &mut Matrix, dw: &Matrix, indices: &[u32], alpha: f32) {
     let e = weight.cols();
     let len = weight.len();
+    let w_base = crate::gemm::SendMutPtr(weight.as_mut_slice().as_mut_ptr());
     // SAFETY: AtomicU32 has the same size/alignment as f32; all concurrent
     // access during this call goes through the atomic view.
-    let cells = unsafe {
-        std::slice::from_raw_parts(weight.as_mut_slice().as_ptr().cast::<AtomicU32>(), len)
-    };
+    let cells = unsafe { std::slice::from_raw_parts(w_base.get().cast::<AtomicU32>(), len) };
 
     pool.parallel_for(indices.len(), move |_tid, lookups| {
+        let slot_end = lookups.end;
         for i in lookups {
+            let ahead = i + PREFETCH_DISTANCE;
+            if ahead < slot_end {
+                rowops::prefetch_row(unsafe { w_base.get().add(indices[ahead] as usize * e) }, e);
+            }
             let base = indices[i] as usize * e;
             let grad = dw.row(i);
             for (j, &g) in grad.iter().enumerate() {
@@ -316,23 +386,23 @@ fn update_atomic(pool: &ThreadPool, weight: &mut Matrix, dw: &Matrix, indices: &
 /// stripe owning the row, then do a vectorized row update.
 fn update_rtm(pool: &ThreadPool, weight: &mut Matrix, dw: &Matrix, indices: &[u32], alpha: f32) {
     let e = weight.cols();
-    let locks: Vec<StripeLock> = (0..RTM_STRIPES)
-        .map(|_| StripeLock(AtomicBool::new(false)))
-        .collect();
+    let isa = detect_isa();
     let w_base = crate::gemm::SendMutPtr(weight.as_mut_slice().as_mut_ptr());
 
     pool.parallel_for(indices.len(), |_tid, lookups| {
+        let slot_end = lookups.end;
         for i in lookups {
+            let ahead = i + PREFETCH_DISTANCE;
+            if ahead < slot_end {
+                rowops::prefetch_row(unsafe { w_base.get().add(indices[ahead] as usize * e) }, e);
+            }
             let row = indices[i] as usize;
             let grad = dw.row(i);
-            let lock = &locks[row & (RTM_STRIPES - 1)];
+            let lock = &RTM_LOCKS[row & (RTM_STRIPES - 1)];
             lock.lock();
             // SAFETY: the stripe lock serializes all writers of this row
             // (rows map to exactly one stripe).
-            let dst = unsafe { std::slice::from_raw_parts_mut(w_base.get().add(row * e), e) };
-            for (wv, &g) in dst.iter_mut().zip(grad) {
-                *wv += alpha * g;
-            }
+            unsafe { rowops::scatter_add(isa, w_base.get().add(row * e), grad, alpha) };
             lock.unlock();
         }
     });
@@ -349,6 +419,7 @@ fn update_race_free(
 ) {
     let (m, e) = weight.shape();
     let t = pool.num_threads();
+    let isa = detect_isa();
     let w_base = crate::gemm::SendMutPtr(weight.as_mut_slice().as_mut_ptr());
 
     pool.broadcast(|tid| {
@@ -357,11 +428,54 @@ fn update_race_free(
             let row = ind as usize;
             if owned.contains(&row) {
                 // SAFETY: row ranges are disjoint across threads.
-                let dst = unsafe { std::slice::from_raw_parts_mut(w_base.get().add(row * e), e) };
-                for (wv, &g) in dst.iter_mut().zip(dw.row(i)) {
-                    *wv += alpha * g;
-                }
+                unsafe { rowops::scatter_add(isa, w_base.get().add(row * e), dw.row(i), alpha) };
             }
+        }
+    });
+}
+
+/// The [`UpdateStrategy::Bucketed`] apply loop: thread `tid` walks exactly
+/// the lookups `plan` assigned to its bucket, in original index-list order
+/// (so per-row application order — and therefore the bits — match
+/// [`UpdateStrategy::Reference`]). O(NS) total work.
+pub fn update_bucketed(
+    pool: &ThreadPool,
+    weight: &mut Matrix,
+    dw: &Matrix,
+    indices: &[u32],
+    alpha: f32,
+    plan: &BagPlan,
+) {
+    let (m, e) = weight.shape();
+    assert_eq!(dw.shape(), (indices.len(), e), "update dW shape");
+    assert_eq!(
+        plan.buckets(),
+        pool.num_threads(),
+        "plan/team size mismatch"
+    );
+    assert_eq!(plan.rows(), m, "plan built for a different table");
+    assert_eq!(plan.ns(), indices.len(), "plan built for a different batch");
+    let isa = detect_isa();
+    let w_base = crate::gemm::SendMutPtr(weight.as_mut_slice().as_mut_ptr());
+
+    pool.broadcast(|tid| {
+        let slots = plan.bucket_slots(tid);
+        for (k, &slot) in slots.iter().enumerate() {
+            let ahead = k + PREFETCH_DISTANCE;
+            if ahead < slots.len() {
+                rowops::prefetch_row(
+                    unsafe {
+                        w_base
+                            .get()
+                            .add(indices[slots[ahead] as usize] as usize * e)
+                    },
+                    e,
+                );
+            }
+            let slot = slot as usize;
+            let row = indices[slot] as usize;
+            // SAFETY: buckets are disjoint row ranges across threads.
+            unsafe { rowops::scatter_add(isa, w_base.get().add(row * e), dw.row(slot), alpha) };
         }
     });
 }
@@ -387,6 +501,7 @@ pub fn fused_backward_update(
     assert_eq!(dy.shape(), (n, e), "fused update dY shape");
     check_bags(indices, offsets, m);
     let t = pool.num_threads();
+    let isa = detect_isa();
     let w_base = crate::gemm::SendMutPtr(weight.as_mut_slice().as_mut_ptr());
 
     pool.broadcast(|tid| {
@@ -397,13 +512,63 @@ pub fn fused_backward_update(
                 let row = indices[s] as usize;
                 if owned.contains(&row) {
                     // SAFETY: row ranges are disjoint across threads.
-                    let dst =
-                        unsafe { std::slice::from_raw_parts_mut(w_base.get().add(row * e), e) };
-                    for (wv, &g) in dst.iter_mut().zip(grad) {
-                        *wv += alpha * g;
-                    }
+                    unsafe { rowops::scatter_add(isa, w_base.get().add(row * e), grad, alpha) };
                 }
             }
+        }
+    });
+}
+
+/// [`fused_backward_update`] driven by a [`BagPlan`]: each thread scatters
+/// `alpha · dY[bag(slot)]` over exactly its own planned lookups instead of
+/// scanning every bag — O(NS) total work. Requires a plan built for this
+/// batch with [`BagPlan::attach_bags`] run (the plan supplies the slot→bag
+/// map). Bit-exact with the full-scan fused path and with
+/// backward-then-[`UpdateStrategy::Reference`]: the stable plan preserves
+/// per-row application order.
+pub fn fused_backward_update_planned(
+    pool: &ThreadPool,
+    weight: &mut Matrix,
+    dy: &Matrix,
+    indices: &[u32],
+    offsets: &[usize],
+    alpha: f32,
+    plan: &BagPlan,
+) {
+    let (m, e) = weight.shape();
+    let n = offsets.len() - 1;
+    assert_eq!(dy.shape(), (n, e), "fused update dY shape");
+    check_bags(indices, offsets, m);
+    assert_eq!(
+        plan.buckets(),
+        pool.num_threads(),
+        "plan/team size mismatch"
+    );
+    assert_eq!(plan.rows(), m, "plan built for a different table");
+    assert_eq!(plan.ns(), indices.len(), "plan built for a different batch");
+    assert!(plan.has_bags(), "plan is missing the slot->bag map");
+    let isa = detect_isa();
+    let w_base = crate::gemm::SendMutPtr(weight.as_mut_slice().as_mut_ptr());
+
+    pool.broadcast(|tid| {
+        let slots = plan.bucket_slots(tid);
+        for (k, &slot) in slots.iter().enumerate() {
+            let ahead = k + PREFETCH_DISTANCE;
+            if ahead < slots.len() {
+                rowops::prefetch_row(
+                    unsafe {
+                        w_base
+                            .get()
+                            .add(indices[slots[ahead] as usize] as usize * e)
+                    },
+                    e,
+                );
+            }
+            let slot = slot as usize;
+            let row = indices[slot] as usize;
+            let grad = dy.row(plan.bag_of(slot));
+            // SAFETY: buckets are disjoint row ranges across threads.
+            unsafe { rowops::scatter_add(isa, w_base.get().add(row * e), grad, alpha) };
         }
     });
 }
@@ -509,6 +674,7 @@ mod tests {
             UpdateStrategy::AtomicXchg,
             UpdateStrategy::Rtm,
             UpdateStrategy::RaceFree,
+            UpdateStrategy::Bucketed,
         ] {
             let mut got = w0.clone();
             update(&pool, strat, &mut got, &dw, &indices, alpha);
@@ -538,9 +704,10 @@ mod tests {
     }
 
     #[test]
-    fn race_free_is_bit_exact_vs_reference() {
+    fn race_free_and_bucketed_are_bit_exact_vs_reference() {
         // Unlike the atomic strategy, race-free preserves the per-row
-        // application order (index-list order), so it is bit-identical.
+        // application order (index-list order), so it is bit-identical;
+        // bucketed inherits the same property from the stable plan sort.
         let pool = ThreadPool::new(4);
         let mut rng = seeded_rng(13, 0);
         let w0 = uniform(32, 8, -1.0, 1.0, &mut rng);
@@ -557,16 +724,34 @@ mod tests {
             &indices,
             -0.1,
         );
-        let mut got = w0.clone();
-        update(
-            &pool,
-            UpdateStrategy::RaceFree,
-            &mut got,
-            &dw,
-            &indices,
-            -0.1,
-        );
-        assert_eq!(got.as_slice(), want.as_slice());
+        for strat in [UpdateStrategy::RaceFree, UpdateStrategy::Bucketed] {
+            let mut got = w0.clone();
+            update(&pool, strat, &mut got, &dw, &indices, -0.1);
+            assert_eq!(got.as_slice(), want.as_slice(), "{strat} not bit-exact");
+        }
+    }
+
+    #[test]
+    fn bucketed_with_persistent_plan_matches_reference() {
+        // The embedding-layer path: one plan reused (rebuilt) across batches.
+        let pool = ThreadPool::new(3);
+        let mut rng = seeded_rng(21, 0);
+        let m = 48;
+        let w0 = uniform(m, 8, -1.0, 1.0, &mut rng);
+        let mut plan = BagPlan::new();
+        for batch in 0..3 {
+            let (indices, offsets) = random_bags(m, 20 + batch, 5, 22 + batch as u64);
+            let ns = *offsets.last().unwrap();
+            let dw = uniform(ns, 8, -1.0, 1.0, &mut rng);
+
+            let mut want = w0.clone();
+            update_reference(&mut want, &dw, &indices, -0.3);
+
+            let mut got = w0.clone();
+            plan.build(&pool, &indices, m);
+            update_bucketed(&pool, &mut got, &dw, &indices, -0.3, &plan);
+            assert_eq!(got.as_slice(), want.as_slice(), "batch {batch}");
+        }
     }
 
     #[test]
@@ -596,6 +781,41 @@ mod tests {
         let mut got = w0.clone();
         fused_backward_update(&pool, &mut got, &dy, &indices, &offsets, alpha);
         assert_allclose(got.as_slice(), want.as_slice(), 1e-6, "fused");
+    }
+
+    #[test]
+    fn planned_fused_is_bit_exact_vs_full_scan_fused() {
+        let pool = ThreadPool::new(4);
+        let mut rng = seeded_rng(31, 0);
+        let m = 40;
+        let w0 = uniform(m, 8, -1.0, 1.0, &mut rng);
+        let (indices, offsets) = random_bags(m, 25, 6, 32);
+        let n = offsets.len() - 1;
+        let dy = uniform(n, 8, -1.0, 1.0, &mut rng);
+        let alpha = -0.02f32;
+
+        let mut want = w0.clone();
+        fused_backward_update(&pool, &mut want, &dy, &indices, &offsets, alpha);
+
+        let mut plan = BagPlan::new();
+        plan.build(&pool, &indices, m);
+        plan.attach_bags(&pool, &offsets);
+        let mut got = w0.clone();
+        fused_backward_update_planned(&pool, &mut got, &dy, &indices, &offsets, alpha, &plan);
+        assert_eq!(got.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "slot->bag")]
+    fn planned_fused_requires_bag_map() {
+        let pool = ThreadPool::new(2);
+        let mut w = Matrix::zeros(4, 2);
+        let dy = Matrix::zeros(1, 2);
+        let indices = vec![1u32];
+        let offsets = vec![0usize, 1];
+        let mut plan = BagPlan::new();
+        plan.build(&pool, &indices, 4); // attach_bags deliberately skipped
+        fused_backward_update_planned(&pool, &mut w, &dy, &indices, &offsets, -0.1, &plan);
     }
 
     #[test]

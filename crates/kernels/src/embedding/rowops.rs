@@ -1,0 +1,298 @@
+//! SIMD row primitives shared by every embedding kernel.
+//!
+//! The paper's single-socket thesis (Section III-A) is that EmbeddingBag
+//! forward/backward/update are GUPS-like kernels that must run at DRAM
+//! bandwidth. All of them reduce to three row operations over `E`-length
+//! table rows — gather-accumulate, scaled accumulate (axpy), and a scatter
+//! variant of axpy used from thread teams writing disjoint rows — so those
+//! live here once, with scalar/AVX2/AVX-512 tiers dispatched through the
+//! same [`Isa`] machinery as the GEMM microkernels
+//! ([`detect_isa`](crate::gemm::micro::detect_isa) /
+//! [`set_isa_override`](crate::gemm::micro::set_isa_override)).
+//!
+//! **Bit-exactness across tiers is a deliberate invariant.** Every tier
+//! performs the same `dst[i] += alpha * src[i]` two-rounding sequence per
+//! element (vector multiply then vector add — *no* FMA contraction), so a
+//! kernel built on these primitives produces bitwise identical tables under
+//! `Scalar`, `Avx2` and `Avx512`. That is what lets the equivalence suite
+//! assert bit-exact agreement with the reference update wherever the
+//! per-row application order is preserved.
+//!
+//! The module also exposes [`prefetch_row`]: embedding lookups are
+//! data-dependent loads the hardware prefetcher cannot predict, but the
+//! *index stream* is known in advance, so the kernels issue software
+//! prefetches [`PREFETCH_DISTANCE`] lookups ahead.
+
+use crate::gemm::micro::Isa;
+
+/// How many lookups ahead of the current one the embedding kernels
+/// prefetch the table row for. Far enough to cover DRAM latency at these
+/// row sizes, near enough not to thrash L1.
+pub const PREFETCH_DISTANCE: usize = 8;
+
+/// Issues T0 software prefetches covering the first `min(e, 64)` floats of
+/// the row starting at `ptr` (one prefetch per 64-byte line). A hint only:
+/// safe to call with any in-bounds row pointer, and a no-op off x86-64.
+// `_mm_prefetch` never dereferences (it cannot fault), so taking a raw
+// pointer in a safe fn is sound despite the clippy lint's heuristic.
+#[allow(clippy::not_unsafe_ptr_arg_deref)]
+#[inline]
+pub fn prefetch_row(ptr: *const f32, e: usize) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        const FLOATS_PER_LINE: usize = 16;
+        let lines = e.div_ceil(FLOATS_PER_LINE).min(4);
+        for line in 0..lines {
+            // SAFETY: prefetch is a hint; it never faults, and the caller
+            // passes a pointer into a live row anyway.
+            unsafe { _mm_prefetch::<_MM_HINT_T0>(ptr.add(line * FLOATS_PER_LINE).cast::<i8>()) };
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (ptr, e);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// accumulate: dst += src
+// ---------------------------------------------------------------------------
+
+/// `dst[i] += src[i]` — the forward-pass bag reduction.
+#[inline]
+pub fn accumulate(isa: Isa, dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "accumulate length mismatch");
+    // SAFETY: lengths checked equal; slices are valid for their lengths.
+    unsafe { accumulate_raw(isa, dst.as_mut_ptr(), src.as_ptr(), dst.len()) }
+}
+
+/// Raw-pointer [`accumulate`] for kernels that scatter into rows owned via
+/// a thread-team pointer.
+///
+/// # Safety
+/// `dst` must be valid for `len` reads+writes, `src` for `len` reads, and
+/// the two must not alias.
+pub unsafe fn accumulate_raw(isa: Isa, dst: *mut f32, src: *const f32, len: usize) {
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => accumulate_avx512(dst, src, len),
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => accumulate_avx2(dst, src, len),
+        _ => accumulate_scalar(dst, src, len),
+    }
+}
+
+unsafe fn accumulate_scalar(dst: *mut f32, src: *const f32, len: usize) {
+    for i in 0..len {
+        *dst.add(i) += *src.add(i);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn accumulate_avx2(dst: *mut f32, src: *const f32, len: usize) {
+    use std::arch::x86_64::*;
+    let mut i = 0;
+    while i + 8 <= len {
+        let d = _mm256_loadu_ps(dst.add(i));
+        let s = _mm256_loadu_ps(src.add(i));
+        _mm256_storeu_ps(dst.add(i), _mm256_add_ps(d, s));
+        i += 8;
+    }
+    while i < len {
+        *dst.add(i) += *src.add(i);
+        i += 1;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn accumulate_avx512(dst: *mut f32, src: *const f32, len: usize) {
+    use std::arch::x86_64::*;
+    let mut i = 0;
+    while i + 16 <= len {
+        let d = _mm512_loadu_ps(dst.add(i));
+        let s = _mm512_loadu_ps(src.add(i));
+        _mm512_storeu_ps(dst.add(i), _mm512_add_ps(d, s));
+        i += 16;
+    }
+    if i < len {
+        let mask: __mmask16 = (1u16 << (len - i)) - 1;
+        let d = _mm512_maskz_loadu_ps(mask, dst.add(i));
+        let s = _mm512_maskz_loadu_ps(mask, src.add(i));
+        _mm512_mask_storeu_ps(dst.add(i), mask, _mm512_add_ps(d, s));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// axpy: dst += alpha * src
+// ---------------------------------------------------------------------------
+
+/// `dst[i] += alpha * src[i]` — the SGD row update (`alpha = -lr`).
+#[inline]
+pub fn axpy(isa: Isa, dst: &mut [f32], src: &[f32], alpha: f32) {
+    assert_eq!(dst.len(), src.len(), "axpy length mismatch");
+    // SAFETY: lengths checked equal; slices are valid for their lengths.
+    unsafe { scatter_add(isa, dst.as_mut_ptr(), src, alpha) }
+}
+
+/// Scatter form of [`axpy`]: adds `alpha * src` into the `src.len()` floats
+/// at `dst`. This is the primitive every parallel update strategy uses to
+/// apply a gradient row to a table row it owns (by range, bucket, lock or
+/// plan).
+///
+/// # Safety
+/// `dst` must be valid for `src.len()` reads+writes and must not alias
+/// `src`.
+pub unsafe fn scatter_add(isa: Isa, dst: *mut f32, src: &[f32], alpha: f32) {
+    let (src, len) = (src.as_ptr(), src.len());
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => axpy_avx512(dst, src, len, alpha),
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => axpy_avx2(dst, src, len, alpha),
+        _ => axpy_scalar(dst, src, len, alpha),
+    }
+}
+
+unsafe fn axpy_scalar(dst: *mut f32, src: *const f32, len: usize, alpha: f32) {
+    for i in 0..len {
+        *dst.add(i) += alpha * *src.add(i);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn axpy_avx2(dst: *mut f32, src: *const f32, len: usize, alpha: f32) {
+    use std::arch::x86_64::*;
+    let a = _mm256_set1_ps(alpha);
+    let mut i = 0;
+    while i + 8 <= len {
+        let d = _mm256_loadu_ps(dst.add(i));
+        let s = _mm256_loadu_ps(src.add(i));
+        // mul + add, NOT fmadd: keeps the two-rounding sequence of the
+        // scalar tier so all tiers stay bitwise identical.
+        _mm256_storeu_ps(dst.add(i), _mm256_add_ps(d, _mm256_mul_ps(a, s)));
+        i += 8;
+    }
+    while i < len {
+        *dst.add(i) += alpha * *src.add(i);
+        i += 1;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn axpy_avx512(dst: *mut f32, src: *const f32, len: usize, alpha: f32) {
+    use std::arch::x86_64::*;
+    let a = _mm512_set1_ps(alpha);
+    let mut i = 0;
+    while i + 16 <= len {
+        let d = _mm512_loadu_ps(dst.add(i));
+        let s = _mm512_loadu_ps(src.add(i));
+        // mul + add, NOT fmadd: see the AVX2 tier.
+        _mm512_storeu_ps(dst.add(i), _mm512_add_ps(d, _mm512_mul_ps(a, s)));
+        i += 16;
+    }
+    if i < len {
+        let mask: __mmask16 = (1u16 << (len - i)) - 1;
+        let d = _mm512_maskz_loadu_ps(mask, dst.add(i));
+        let s = _mm512_maskz_loadu_ps(mask, src.add(i));
+        _mm512_mask_storeu_ps(dst.add(i), mask, _mm512_add_ps(d, _mm512_mul_ps(a, s)));
+    }
+}
+
+/// The ISA tiers usable on this CPU, widest last (always contains
+/// [`Isa::Scalar`]). Benches and tests iterate this to force each tier.
+pub fn available_isas() -> Vec<Isa> {
+    let mut v = vec![Isa::Scalar];
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+            v.push(Isa::Avx2);
+        }
+        if is_x86_feature_detected!("avx512f") {
+            v.push(Isa::Avx512);
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(seed: usize, len: usize) -> Vec<f32> {
+        (0..len)
+            .map(|i| (((i * 2654435761 + seed * 40503) % 1999) as f32 - 999.5) / 512.0)
+            .collect()
+    }
+
+    #[test]
+    fn axpy_all_tiers_bit_exact_vs_scalar() {
+        for len in [0usize, 1, 3, 7, 8, 15, 16, 17, 31, 64, 100, 129] {
+            let src = mk(1, len);
+            let base = mk(2, len);
+            let mut want = base.clone();
+            axpy(Isa::Scalar, &mut want, &src, -0.37);
+            for isa in available_isas() {
+                let mut got = base.clone();
+                axpy(isa, &mut got, &src, -0.37);
+                assert_eq!(got, want, "axpy {isa:?} len={len} not bit-exact");
+            }
+        }
+    }
+
+    #[test]
+    fn accumulate_all_tiers_bit_exact_vs_scalar() {
+        for len in [0usize, 1, 5, 8, 13, 16, 29, 48, 127] {
+            let src = mk(3, len);
+            let base = mk(4, len);
+            let mut want = base.clone();
+            accumulate(Isa::Scalar, &mut want, &src);
+            for isa in available_isas() {
+                let mut got = base.clone();
+                accumulate(isa, &mut got, &src);
+                assert_eq!(got, want, "accumulate {isa:?} len={len} not bit-exact");
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_matches_hand_loop() {
+        let src = [1.0f32, -2.0, 3.0, -4.0, 5.0];
+        for isa in available_isas() {
+            let mut dst = [10.0f32, 20.0, 30.0, 40.0, 50.0];
+            axpy(isa, &mut dst, &src, 2.0);
+            assert_eq!(dst, [12.0, 16.0, 36.0, 32.0, 60.0], "{isa:?}");
+        }
+    }
+
+    #[test]
+    fn scatter_add_writes_through_raw_pointer() {
+        let src = mk(5, 24);
+        for isa in available_isas() {
+            let mut dst = mk(6, 24);
+            let mut want = dst.clone();
+            axpy(Isa::Scalar, &mut want, &src, 0.5);
+            // SAFETY: dst is valid for src.len() elements and disjoint.
+            unsafe { scatter_add(isa, dst.as_mut_ptr(), &src, 0.5) };
+            assert_eq!(dst, want, "{isa:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn axpy_rejects_mismatched_lengths() {
+        let mut dst = [0.0f32; 4];
+        axpy(Isa::Scalar, &mut dst, &[1.0; 5], 1.0);
+    }
+
+    #[test]
+    fn prefetch_is_a_safe_hint() {
+        let row = [0.0f32; 256];
+        prefetch_row(row.as_ptr(), row.len());
+        prefetch_row(row.as_ptr(), 1);
+    }
+}

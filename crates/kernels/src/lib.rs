@@ -16,7 +16,12 @@
 //!   (Algorithm 2) and the four update strategies of Section III-A:
 //!   reference, atomic compare-exchange, RTM-style optimistic striped
 //!   locking, and the race-free row-partitioned update (Algorithm 4), plus
-//!   the fused backward+update the paper measured standalone.
+//!   the fused backward+update the paper measured standalone. The engine
+//!   adds [`embedding::rowops`] (shared scalar/AVX2/AVX-512 row primitives
+//!   with software prefetch, bit-identical across tiers) and
+//!   [`embedding::plan::BagPlan`] (per-batch counting-sort bucketing that
+//!   turns the race-free and fused updates from O(NS·T) scans into O(NS)
+//!   work — `UpdateStrategy::Bucketed`).
 //! * [`activations`] / [`loss`] — ReLU, sigmoid and binary cross-entropy
 //!   with their backward passes.
 //! * [`sgd`] — dense SGD including the Split-SGD-BF16 step.

@@ -60,7 +60,12 @@ proptest! {
 
         let mut want = w0.clone();
         embedding::update(&pool, UpdateStrategy::Reference, &mut want, &dw, &indices, -0.1);
-        for strat in [UpdateStrategy::AtomicXchg, UpdateStrategy::Rtm, UpdateStrategy::RaceFree] {
+        for strat in [
+            UpdateStrategy::AtomicXchg,
+            UpdateStrategy::Rtm,
+            UpdateStrategy::RaceFree,
+            UpdateStrategy::Bucketed,
+        ] {
             let mut got = w0.clone();
             embedding::update(&pool, strat, &mut got, &dw, &indices, -0.1);
             assert_allclose(got.as_slice(), want.as_slice(), 1e-4, &format!("{strat}"));

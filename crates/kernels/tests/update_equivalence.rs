@@ -1,11 +1,17 @@
-//! Equivalence of the four Section III-A update strategies (and the fused
-//! backward+update) against [`UpdateStrategy::Reference`] on *adversarial*
-//! index sets — the distributions where the parallel strategies actually
-//! race: hot rows, all-duplicates, empty bags, and degenerate tables —
-//! across several thread counts (including one that does not divide the
-//! table evenly).
+//! Equivalence of the Section III-A update strategies (plus `Bucketed` and
+//! the fused backward+update, full-scan and planned) against
+//! [`UpdateStrategy::Reference`] on *adversarial* index sets — the
+//! distributions where the parallel strategies actually race: hot rows,
+//! all-duplicates, empty bags, indices clustered inside one thread's row
+//! range, and degenerate tables — across several thread counts (including
+//! one that does not divide the table evenly), and under every forced
+//! SIMD tier available at runtime.
 
-use dlrm_kernels::embedding::{backward, fused_backward_update, update, UpdateStrategy};
+use dlrm_kernels::embedding::rowops::available_isas;
+use dlrm_kernels::embedding::{
+    backward, fused_backward_update, fused_backward_update_planned, update, BagPlan, UpdateStrategy,
+};
+use dlrm_kernels::gemm::micro::set_isa_override;
 use dlrm_kernels::ThreadPool;
 use dlrm_tensor::assert_allclose;
 use dlrm_tensor::init::{seeded_rng, uniform};
@@ -104,6 +110,22 @@ fn adversarial_cases() -> Vec<Case> {
         offsets: (0..=10).map(|b| b * 3).collect(),
     });
 
+    // Clustered in one thread's range: a 256-row table where every lookup
+    // lands in rows 0..8 — under the row-range partition one bucket owns
+    // *all* the work (worst-case load imbalance for RaceFree/Bucketed).
+    {
+        let mut rng = seeded_rng(72, 0);
+        use rand::Rng;
+        let indices: Vec<u32> = (0..240).map(|_| rng.gen_range(0u32..8)).collect();
+        cases.push(Case {
+            name: "clustered-one-range",
+            m: 256,
+            e: 16,
+            indices,
+            offsets: (0..=60).map(|b| b * 4).collect(),
+        });
+    }
+
     cases
 }
 
@@ -134,6 +156,7 @@ fn all_strategies_match_reference_on_adversarial_bags() {
                 UpdateStrategy::AtomicXchg,
                 UpdateStrategy::Rtm,
                 UpdateStrategy::RaceFree,
+                UpdateStrategy::Bucketed,
             ] {
                 let mut got = w0.clone();
                 update(&pool, strat, &mut got, &dw, &case.indices, alpha);
@@ -144,25 +167,73 @@ fn all_strategies_match_reference_on_adversarial_bags() {
                     &format!("{strat} on {} with {threads} threads", case.name),
                 );
             }
-            // RaceFree preserves index-list application order per row, so it
-            // must be *bit*-identical, not merely close.
+            // RaceFree and Bucketed preserve index-list application order
+            // per row, so they must be *bit*-identical, not merely close.
+            for strat in [UpdateStrategy::RaceFree, UpdateStrategy::Bucketed] {
+                let mut got = w0.clone();
+                update(&pool, strat, &mut got, &dw, &case.indices, alpha);
+                assert_eq!(
+                    got.as_slice(),
+                    want.as_slice(),
+                    "{strat} must be bit-exact on {} with {threads} threads",
+                    case.name
+                );
+            }
+        }
+    }
+}
+
+/// The SIMD row primitives keep all tiers bitwise identical (vector mul +
+/// vector add — never FMA), so every strategy must agree with the scalar
+/// Reference under every *forced* tier too. Only tiers the host actually
+/// supports are exercised; forcing stays inside this single test so the
+/// global override never races another test.
+#[test]
+fn strategies_agree_under_every_forced_isa_tier() {
+    let case = &adversarial_cases()[0]; // hot-rows
+    let ns = *case.offsets.last().unwrap();
+    let mut rng = seeded_rng(7, 3);
+    let w0 = uniform(case.m, case.e, -1.0, 1.0, &mut rng);
+    let dw = uniform(ns, case.e, -1.0, 1.0, &mut rng);
+    let alpha = -0.03f32;
+
+    // Scalar-tier reference, computed once.
+    set_isa_override(Some(dlrm_kernels::gemm::micro::Isa::Scalar));
+    let ref_pool = ThreadPool::new(1);
+    let mut want = w0.clone();
+    update(
+        &ref_pool,
+        UpdateStrategy::Reference,
+        &mut want,
+        &dw,
+        &case.indices,
+        alpha,
+    );
+
+    for isa in available_isas() {
+        set_isa_override(Some(isa));
+        let pool = ThreadPool::new(4);
+        for strat in [UpdateStrategy::RaceFree, UpdateStrategy::Bucketed] {
             let mut got = w0.clone();
-            update(
-                &pool,
-                UpdateStrategy::RaceFree,
-                &mut got,
-                &dw,
-                &case.indices,
-                alpha,
-            );
+            update(&pool, strat, &mut got, &dw, &case.indices, alpha);
             assert_eq!(
                 got.as_slice(),
                 want.as_slice(),
-                "RaceFree must be bit-exact on {} with {threads} threads",
-                case.name
+                "{strat} under forced {isa:?} must match the scalar reference bitwise"
+            );
+        }
+        for strat in [UpdateStrategy::AtomicXchg, UpdateStrategy::Rtm] {
+            let mut got = w0.clone();
+            update(&pool, strat, &mut got, &dw, &case.indices, alpha);
+            assert_allclose(
+                got.as_slice(),
+                want.as_slice(),
+                1e-5,
+                &format!("{strat} under forced {isa:?}"),
             );
         }
     }
+    set_isa_override(None);
 }
 
 #[test]
@@ -198,6 +269,28 @@ fn fused_backward_update_matches_unfused_on_adversarial_bags() {
                 want.as_slice(),
                 1e-6,
                 &format!("fused on {} with {threads} threads", case.name),
+            );
+
+            // The plan-driven fused kernel applies the same updates in the
+            // same per-row order — bit-exact against the full-scan fused.
+            let mut plan = BagPlan::new();
+            plan.build(&pool, &case.indices, case.m);
+            plan.attach_bags(&pool, &case.offsets);
+            let mut planned = w0.clone();
+            fused_backward_update_planned(
+                &pool,
+                &mut planned,
+                &dy,
+                &case.indices,
+                &case.offsets,
+                alpha,
+                &plan,
+            );
+            assert_eq!(
+                planned.as_slice(),
+                got.as_slice(),
+                "planned fused must be bit-exact vs full-scan fused on {} with {threads} threads",
+                case.name
             );
         }
     }

@@ -11,13 +11,19 @@ use std::ops::{Deref, DerefMut};
 /// Alignment (bytes) of every [`AlignedVec`] allocation: one x86 cache line.
 pub const CACHE_LINE: usize = 64;
 
-/// A fixed-length, 64-byte-aligned, zero-initialized `f32` buffer.
+/// A 64-byte-aligned, zero-initialized `f32` buffer.
 ///
-/// Unlike `Vec<f32>` the length is fixed at construction; tensors in this
-/// workspace never grow in place. Dereferences to `[f32]`.
+/// Unlike `Vec<f32>` the length is normally fixed at construction; tensors
+/// in this workspace never grow element by element. The one exception is
+/// [`AlignedVec::resize_scratch`], which lets iteration-persistent scratch
+/// buffers (e.g. the embedding layer's `dW[NS][E]`) track a varying batch
+/// shape without steady-state reallocations. Dereferences to `[f32]`.
 pub struct AlignedVec {
     ptr: *mut f32,
     len: usize,
+    /// Allocated capacity in elements (`len <= cap`); the allocation layout
+    /// is always derived from `cap`.
+    cap: usize,
 }
 
 // SAFETY: AlignedVec owns its allocation exclusively; it is a plain buffer
@@ -33,6 +39,7 @@ impl AlignedVec {
             return Self {
                 ptr: std::ptr::NonNull::<f32>::dangling().as_ptr(),
                 len: 0,
+                cap: 0,
             };
         }
         let layout = Self::layout(len);
@@ -44,6 +51,7 @@ impl AlignedVec {
         Self {
             ptr: raw.cast::<f32>(),
             len,
+            cap: len,
         }
     }
 
@@ -92,6 +100,26 @@ impl AlignedVec {
         self.fill(0.0);
     }
 
+    /// Allocated capacity in elements (`>= len`).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Sets the length to `new_len` with *scratch* semantics: the existing
+    /// allocation is reused whenever it is large enough (no allocator
+    /// traffic in steady state), and when it is not, a fresh zeroed buffer
+    /// replaces it **without copying** the old contents. After a growing
+    /// call the contents are unspecified; callers must fully overwrite the
+    /// buffer before reading it.
+    pub fn resize_scratch(&mut self, new_len: usize) {
+        if new_len <= self.cap {
+            self.len = new_len;
+        } else {
+            *self = Self::zeroed(new_len);
+        }
+    }
+
     fn layout(len: usize) -> Layout {
         Layout::from_size_align(len * std::mem::size_of::<f32>(), CACHE_LINE)
             .expect("AlignedVec layout overflow")
@@ -100,9 +128,9 @@ impl AlignedVec {
 
 impl Drop for AlignedVec {
     fn drop(&mut self) {
-        if self.len != 0 {
+        if self.cap != 0 {
             // SAFETY: ptr was allocated with exactly this layout in `zeroed`.
-            unsafe { dealloc(self.ptr.cast(), Self::layout(self.len)) };
+            unsafe { dealloc(self.ptr.cast(), Self::layout(self.cap)) };
         }
     }
 }
@@ -182,6 +210,33 @@ mod tests {
         let mut v = AlignedVec::from_slice(&[3.0; 33]);
         v.fill_zero();
         assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn resize_scratch_reuses_capacity() {
+        let mut v = AlignedVec::zeroed(100);
+        let p = v.as_ptr();
+        v.resize_scratch(40);
+        assert_eq!(v.len(), 40);
+        assert_eq!(v.capacity(), 100);
+        assert_eq!(v.as_ptr(), p, "shrink must not reallocate");
+        v.resize_scratch(100);
+        assert_eq!(v.len(), 100);
+        assert_eq!(v.as_ptr(), p, "regrow within capacity must not reallocate");
+        v.resize_scratch(101);
+        assert_eq!(v.len(), 101);
+        assert_eq!(v.capacity(), 101);
+        assert!(v.iter().all(|&x| x == 0.0), "fresh allocation is zeroed");
+    }
+
+    #[test]
+    fn resize_scratch_from_empty() {
+        let mut v = AlignedVec::zeroed(0);
+        v.resize_scratch(16);
+        assert_eq!(v.len(), 16);
+        assert!(v.iter().all(|&x| x == 0.0));
+        v.resize_scratch(0);
+        assert!(v.is_empty());
     }
 
     #[test]

@@ -78,6 +78,23 @@ impl Matrix {
         self.rows * self.cols
     }
 
+    /// Allocated capacity in elements (`>= len`).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Changes the row count, keeping `cols`, with *scratch* semantics: the
+    /// backing storage is reused when large enough and replaced (without
+    /// copying) when not — see [`AlignedVec::resize_scratch`]. Used by
+    /// iteration-persistent buffers like the embedding layer's `dW[NS][E]`,
+    /// whose leading dimension tracks the batch's lookup count. After a
+    /// growing call the contents are unspecified; overwrite before reading.
+    pub fn resize_rows(&mut self, rows: usize) {
+        self.data.resize_scratch(rows * self.cols);
+        self.rows = rows;
+    }
+
     /// True when the matrix holds no elements.
     #[inline]
     pub fn is_empty(&self) -> bool {
