@@ -18,6 +18,7 @@ use dlrm_clustersim::timeline::{overlap_savings, RunMode, SimParams};
 use dlrm_clustersim::{Calibration, Cluster, Strategy};
 use dlrm_comm::instrument::{OpKind, TimingRecorder};
 use dlrm_comm::nonblocking::{create_channel_worlds, Backend, ProgressEngine};
+use dlrm_comm::wire::WirePrecision;
 use dlrm_comm::world::CommWorld;
 use dlrm_data::{DlrmConfig, IndexDistribution, MiniBatch};
 use dlrm_dist::distributed::{DistDlrm, DistOptions, Schedule};
@@ -219,6 +220,7 @@ fn main() {
             strategy: Strategy::CclAlltoall,
             mode: RunMode::Overlapping,
             charge_loader: false,
+            wire: WirePrecision::Fp32,
         },
     );
     println!(

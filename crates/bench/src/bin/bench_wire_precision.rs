@@ -1,0 +1,373 @@
+//! Wire-precision benchmark — FP32 vs BF16 on-wire payloads for the
+//! hybrid-parallel data plane (the comm-side half of the paper's 16-bit
+//! outlook, Figure 9's "what if the wire were half as wide" contrast).
+//!
+//! Runs the same model, batches and seed twice under the overlapped
+//! CCL-style schedule: once with [`WirePrecision::Fp32`] on every
+//! collective and once with `WireConfig::all(Bf16)`. A single
+//! [`WireStats`] shared by the blocking world and the engine's channel
+//! worlds counts logical bytes-on-wire per collective class, so the run
+//! reports measured alltoall/allreduce traffic, per-step exchange latency
+//! and the loss trajectory delta. Gates:
+//!
+//! - BF16 alltoall and allreduce bytes are **exactly half** of FP32 (same
+//!   message schedule, 2-byte vs 4-byte elements);
+//! - a representable (small-integer) payload crosses the BF16 wire
+//!   **bitwise unchanged** vs the FP32 wire for both allreduce and
+//!   alltoall — round-to-nearest-even is the only error source, and it is
+//!   zero on representable values;
+//! - the BF16 loss trajectory stays within a small RNE-scale band of FP32.
+//!
+//! Writes `results/BENCH_wire_precision.json`, self-validated against
+//! [`validate_bench_wire_precision_json`].
+
+use dlrm_bench::{fmt_time, header, validate_bench_wire_precision_json, HarnessOpts, Table};
+use dlrm_clustersim::timeline::{simulate_iteration, RunMode, SimParams};
+use dlrm_clustersim::{Calibration, Cluster, Strategy};
+use dlrm_comm::collectives;
+use dlrm_comm::instrument::{OpKind, TimingRecorder, WireSnapshot, WireStats};
+use dlrm_comm::nonblocking::{create_channel_worlds_with_opts, Backend, ProgressEngine};
+use dlrm_comm::wire::WirePrecision;
+use dlrm_comm::world::CommWorld;
+use dlrm_data::{DlrmConfig, IndexDistribution, MiniBatch};
+use dlrm_dist::distributed::{DistDlrm, DistOptions, Schedule, WireConfig};
+use dlrm_dist::exchange::ExchangeStrategy;
+use dlrm_tensor::init::seeded_rng;
+use std::sync::Arc;
+use std::time::Instant;
+
+const RANKS: usize = 4;
+/// Small enough for several buckets on the bench model.
+const BUCKET_CAP: usize = 16 * 1024;
+
+struct BenchShape {
+    local_n: usize,
+    warmup: usize,
+    steps: usize,
+}
+
+fn shape(smoke: bool) -> BenchShape {
+    if smoke {
+        BenchShape {
+            local_n: 8,
+            warmup: 1,
+            steps: 4,
+        }
+    } else {
+        BenchShape {
+            local_n: 32,
+            warmup: 3,
+            steps: 20,
+        }
+    }
+}
+
+fn bench_cfg(paper_scale: bool) -> DlrmConfig {
+    let mut cfg = DlrmConfig::small();
+    cfg.dense_features = 16;
+    cfg.bottom_mlp = vec![64, 32];
+    cfg.emb_dim = 32;
+    cfg.num_tables = 8;
+    cfg.table_rows = vec![1000; 8];
+    cfg.lookups_per_table = 2;
+    cfg.top_mlp = vec![64, 1];
+    if paper_scale {
+        cfg.bottom_mlp = vec![512, 128];
+        cfg.emb_dim = 128;
+        cfg.table_rows = vec![20_000; 8];
+        cfg.top_mlp = vec![1024, 256, 1];
+    }
+    cfg
+}
+
+struct WireRun {
+    /// Per-rank per-step losses.
+    losses: Vec<Vec<f64>>,
+    /// Wire bytes over the measured (post-warmup) steps, all ranks.
+    wire: WireSnapshot,
+    /// Mean per-rank alltoall framework+wait seconds per measured step.
+    exchange_s_per_step: f64,
+    /// Mean per-rank wall seconds over the measured steps.
+    wall_s: f64,
+}
+
+/// One measured run at the given wire config: same model/batches/seed,
+/// overlapped CCL-style schedule, shared wire counters across the blocking
+/// world and every engine channel world.
+fn run_wire(cfg: &DlrmConfig, batches: &[MiniBatch], warmup: usize, wire: WireConfig) -> WireRun {
+    let opts = DistOptions {
+        strategy: ExchangeStrategy::CclAlltoall,
+        seed: 42,
+        threads_per_rank: 1,
+        schedule: Schedule::Overlapped,
+        bucket_cap_bytes: BUCKET_CAP,
+        wire,
+        ..Default::default()
+    };
+    let backend = Backend::CclLike { workers: 2 };
+    let wire_stats = Arc::new(WireStats::new());
+    let comms = CommWorld::create_with_opts(RANKS, None, Some(Arc::clone(&wire_stats)));
+    let worlds = std::sync::Mutex::new(create_channel_worlds_with_opts(
+        RANKS,
+        backend,
+        None,
+        Some(Arc::clone(&wire_stats)),
+    ));
+    let mut per_rank: Vec<(Vec<f64>, f64, f64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|comm| {
+                let worlds = &worlds;
+                let wire_stats = &wire_stats;
+                let opts = &opts;
+                s.spawn(move || {
+                    let me = comm.rank();
+                    let engine = {
+                        let channels = std::mem::take(&mut worlds.lock().unwrap()[me]);
+                        ProgressEngine::new(backend, channels)
+                    };
+                    let mut model = DistDlrm::new(cfg, comm, Some(engine), opts);
+                    let rec = Arc::new(TimingRecorder::new());
+                    model.set_recorder(Some(Arc::clone(&rec)));
+                    for b in &batches[..warmup] {
+                        model.train_step(b, 0.05);
+                    }
+                    // Count only steady-state traffic: every rank parks at
+                    // the barrier, rank 0 zeroes the shared counters.
+                    model.comm_barrier();
+                    if me == 0 {
+                        wire_stats.reset();
+                    }
+                    rec.reset();
+                    model.comm_barrier();
+                    let t0 = Instant::now();
+                    let losses: Vec<f64> = batches[warmup..]
+                        .iter()
+                        .map(|b| model.train_step(b, 0.05))
+                        .collect();
+                    model.comm_barrier();
+                    let wall_s = t0.elapsed().as_secs_f64();
+                    let snap = rec.snapshot();
+                    let exchange_s = snap
+                        .get(&OpKind::AlltoallFramework)
+                        .map(|d| d.as_secs_f64())
+                        .unwrap_or(0.0)
+                        + snap
+                            .get(&OpKind::AlltoallWait)
+                            .map(|d| d.as_secs_f64())
+                            .unwrap_or(0.0);
+                    (losses, exchange_s, wall_s)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
+    });
+    let steps = batches.len() - warmup;
+    let exchange_s_per_step =
+        per_rank.iter().map(|r| r.1).sum::<f64>() / (per_rank.len() * steps) as f64;
+    let wall_s = per_rank.iter().map(|r| r.2).sum::<f64>() / per_rank.len() as f64;
+    WireRun {
+        losses: per_rank
+            .iter_mut()
+            .map(|r| std::mem::take(&mut r.0))
+            .collect(),
+        wire: wire_stats.snapshot(),
+        exchange_s_per_step,
+        wall_s,
+    }
+}
+
+/// Representable-payload gate: small integers are exact in BF16, so the
+/// BF16 wire must reproduce the FP32 wire bitwise for both allreduce and
+/// alltoall.
+fn representable_bitwise_equal() -> bool {
+    let run = |wirep: WirePrecision| -> Vec<(Vec<u32>, Vec<u32>)> {
+        CommWorld::run(RANKS, |comm| {
+            let me = comm.rank();
+            let mut data: Vec<f32> = (0..64).map(|j| ((me * 7 + j) % 32) as f32 - 16.0).collect();
+            collectives::allreduce_sum_wire(&comm, &mut data, wirep);
+            let send: Vec<Vec<f32>> = (0..comm.nranks())
+                .map(|dst| {
+                    (0..24)
+                        .map(|j| ((me * 13 + dst * 5 + j) % 64) as f32 - 32.0)
+                        .collect()
+                })
+                .collect();
+            let recv = collectives::alltoall_wire(&comm, send, wirep);
+            (
+                data.iter().map(|x| x.to_bits()).collect(),
+                recv.iter()
+                    .flat_map(|c| c.iter().map(|x| x.to_bits()))
+                    .collect(),
+            )
+        })
+    };
+    run(WirePrecision::Fp32) == run(WirePrecision::Bf16)
+}
+
+fn max_loss_delta(fp: &WireRun, bf: &WireRun) -> f64 {
+    fp.losses
+        .iter()
+        .flatten()
+        .zip(bf.losses.iter().flatten())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let cfg = bench_cfg(opts.paper_scale);
+    let sh = shape(opts.smoke);
+    header(
+        "Wire precision: FP32 vs BF16 payloads on the data plane (measured)",
+        "Same model/batches/seed, overlapped CCL schedule; wire byte\n\
+         counters shared across the blocking world and engine channels.",
+    );
+
+    let gn = sh.local_n * RANKS;
+    let batches: Vec<MiniBatch> = (0..sh.warmup + sh.steps)
+        .map(|i| {
+            MiniBatch::random(
+                &cfg,
+                gn,
+                IndexDistribution::Uniform,
+                &mut seeded_rng(4200 + i as u64, 5),
+            )
+        })
+        .collect();
+
+    let fp = run_wire(&cfg, &batches, sh.warmup, WireConfig::default());
+    let bf = run_wire(
+        &cfg,
+        &batches,
+        sh.warmup,
+        WireConfig::all(WirePrecision::Bf16),
+    );
+
+    // --- byte gates ---------------------------------------------------
+    let a2a_ratio = bf.wire.alltoall_bytes as f64 / fp.wire.alltoall_bytes as f64;
+    let ar_ratio = bf.wire.allreduce_bytes() as f64 / fp.wire.allreduce_bytes() as f64;
+    assert_eq!(
+        bf.wire.alltoall_bytes * 2,
+        fp.wire.alltoall_bytes,
+        "BF16 alltoall traffic must be exactly half of FP32"
+    );
+    assert_eq!(
+        bf.wire.allreduce_bytes() * 2,
+        fp.wire.allreduce_bytes(),
+        "BF16 allreduce traffic must be exactly half of FP32"
+    );
+    assert!(
+        (0.45..=0.55).contains(&a2a_ratio) && (0.45..=0.55).contains(&ar_ratio),
+        "wire ratios out of band: alltoall {a2a_ratio:.3}, allreduce {ar_ratio:.3}"
+    );
+
+    // --- precision gates ----------------------------------------------
+    let loss_delta = max_loss_delta(&fp, &bf);
+    assert!(
+        loss_delta < 5e-2,
+        "BF16 loss trajectory drifted {loss_delta} from FP32"
+    );
+    let representable_ok = representable_bitwise_equal();
+    assert!(
+        representable_ok,
+        "representable payloads must cross the BF16 wire bitwise unchanged"
+    );
+
+    let mut t = Table::new(&[
+        "wire",
+        "a2a bytes",
+        "ar bytes",
+        "total bytes",
+        "msgs",
+        "exchange/step",
+        "wall",
+    ]);
+    for (label, r) in [("fp32", &fp), ("bf16", &bf)] {
+        t.row(vec![
+            label.to_string(),
+            r.wire.alltoall_bytes.to_string(),
+            r.wire.allreduce_bytes().to_string(),
+            r.wire.total_bytes().to_string(),
+            r.wire.messages.to_string(),
+            fmt_time(r.exchange_s_per_step),
+            fmt_time(r.wall_s),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nbytes-on-wire: alltoall x{a2a_ratio:.3}, allreduce x{ar_ratio:.3} \
+         (exactly half, by construction)"
+    );
+    println!(
+        "max |loss_bf16 - loss_fp32| over {} steps x {RANKS} ranks: {loss_delta:.2e}",
+        sh.steps
+    );
+    println!("representable payloads bitwise unchanged: {representable_ok}");
+
+    // --- analytic cross-check (cluster simulator, same shape) ---------
+    let sim = |wire| {
+        simulate_iteration(
+            &cfg,
+            &Cluster::cluster_64socket(),
+            &Calibration::default(),
+            SimParams {
+                ranks: RANKS,
+                local_n: sh.local_n,
+                strategy: Strategy::CclAlltoall,
+                mode: RunMode::Overlapping,
+                charge_loader: false,
+                wire,
+            },
+        )
+    };
+    let sim_fp = sim(WirePrecision::Fp32);
+    let sim_bf = sim(WirePrecision::Bf16);
+    println!(
+        "analytic (clustersim, 64-socket model): comm {} -> {} per iteration",
+        fmt_time(sim_fp.comm()),
+        fmt_time(sim_bf.comm()),
+    );
+
+    let run_json = |r: &WireRun| {
+        format!(
+            "{{\"alltoall_bytes\": {}, \"allreduce_bytes\": {}, \"total_bytes\": {}, \"messages\": {}, \"exchange_s_per_step\": {:.6}, \"wall_s\": {:.6}, \"final_loss_rank0\": {:.6}}}",
+            r.wire.alltoall_bytes,
+            r.wire.allreduce_bytes(),
+            r.wire.total_bytes(),
+            r.wire.messages,
+            r.exchange_s_per_step,
+            r.wall_s,
+            r.losses[0].last().copied().unwrap_or(f64::NAN),
+        )
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"wire_precision\",\n  \"smoke\": {},\n  \"config\": {{\"ranks\": {RANKS}, \"local_n\": {}, \"steps\": {}, \"warmup\": {}, \"strategy\": \"ccl_alltoall\", \"schedule\": \"overlapped\", \"bucket_cap_bytes\": {BUCKET_CAP}, \"paper_scale\": {}}},\n  \"fp32\": {},\n  \"bf16\": {},\n  \"alltoall_bytes_ratio\": {:.4},\n  \"allreduce_bytes_ratio\": {:.4},\n  \"max_loss_delta\": {:.6e},\n  \"representable_bitwise_equal\": {},\n  \"analytic\": {{\"fp32_comm_s\": {:.6}, \"bf16_comm_s\": {:.6}, \"fp32_total_s\": {:.6}, \"bf16_total_s\": {:.6}}}\n}}\n",
+        opts.smoke,
+        sh.local_n,
+        sh.steps,
+        sh.warmup,
+        opts.paper_scale,
+        run_json(&fp),
+        run_json(&bf),
+        a2a_ratio,
+        ar_ratio,
+        loss_delta,
+        representable_ok,
+        sim_fp.comm(),
+        sim_bf.comm(),
+        sim_fp.total(),
+        sim_bf.total(),
+    );
+    validate_bench_wire_precision_json(&json).expect("self-validation of artifact schema");
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_wire_precision.json", &json)
+        .expect("write results/BENCH_wire_precision.json");
+    println!("\nwrote results/BENCH_wire_precision.json");
+    if opts.json {
+        println!("{json}");
+    }
+}

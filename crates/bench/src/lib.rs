@@ -97,6 +97,58 @@ pub fn validate_bench_embedding_json(json: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Structural schema check for `results/BENCH_wire_precision.json` (the
+/// `bench_wire_precision` artifact). Same key-presence + balance approach
+/// as [`validate_bench_embedding_json`]: every required field must appear
+/// as a `"key":` literal, the bench tag and the representable-payload
+/// bitwise gate must hold, and braces/brackets must balance.
+pub fn validate_bench_wire_precision_json(json: &str) -> Result<(), String> {
+    const REQUIRED: [&str; 13] = [
+        "\"bench\"",
+        "\"smoke\"",
+        "\"config\"",
+        "\"fp32\"",
+        "\"bf16\"",
+        "\"alltoall_bytes\"",
+        "\"allreduce_bytes\"",
+        "\"exchange_s_per_step\"",
+        "\"alltoall_bytes_ratio\"",
+        "\"allreduce_bytes_ratio\"",
+        "\"max_loss_delta\"",
+        "\"representable_bitwise_equal\"",
+        "\"analytic\"",
+    ];
+    for key in REQUIRED {
+        if !json.contains(&format!("{key}:")) {
+            return Err(format!("missing required field {key}"));
+        }
+    }
+    if !json.contains("\"bench\": \"wire_precision\"") {
+        return Err("\"bench\" must be \"wire_precision\"".into());
+    }
+    if !json.contains("\"representable_bitwise_equal\": true") {
+        return Err("\"representable_bitwise_equal\" must be true".into());
+    }
+    let mut depth_brace = 0i64;
+    let mut depth_bracket = 0i64;
+    for c in json.chars() {
+        match c {
+            '{' => depth_brace += 1,
+            '}' => depth_brace -= 1,
+            '[' => depth_bracket += 1,
+            ']' => depth_bracket -= 1,
+            _ => {}
+        }
+        if depth_brace < 0 || depth_bracket < 0 {
+            return Err("unbalanced braces/brackets".into());
+        }
+    }
+    if depth_brace != 0 || depth_bracket != 0 {
+        return Err("unbalanced braces/brackets".into());
+    }
+    Ok(())
+}
+
 /// Prints a section header for a figure/table harness.
 pub fn header(title: &str, note: &str) {
     println!("\n================================================================");
@@ -234,6 +286,43 @@ mod tests {
         assert!(validate_bench_embedding_json(failed_gate).is_err());
         let unbalanced = failed_gate.replace("false\n}", "true\n");
         assert!(validate_bench_embedding_json(&unbalanced).is_err());
+    }
+
+    #[test]
+    fn wire_precision_validator_accepts_minimal_schema() {
+        let ok = r#"{
+  "bench": "wire_precision",
+  "smoke": true,
+  "config": {"ranks": 4, "local_n": 8, "steps": 4},
+  "fp32": {"alltoall_bytes": 1000, "allreduce_bytes": 2000, "exchange_s_per_step": 0.001},
+  "bf16": {"alltoall_bytes": 500, "allreduce_bytes": 1000, "exchange_s_per_step": 0.001},
+  "alltoall_bytes_ratio": 0.5,
+  "allreduce_bytes_ratio": 0.5,
+  "max_loss_delta": 0.003,
+  "representable_bitwise_equal": true,
+  "analytic": {"fp32_comm_s": 0.1, "bf16_comm_s": 0.06}
+}"#;
+        assert!(validate_bench_wire_precision_json(ok).is_ok());
+    }
+
+    #[test]
+    fn wire_precision_validator_rejects_bad_artifacts() {
+        assert!(validate_bench_wire_precision_json("{}").is_err());
+        let missing = r#"{"bench": "wire_precision", "representable_bitwise_equal": true}"#;
+        assert!(validate_bench_wire_precision_json(missing).is_err());
+        let failed_gate = r#"{
+  "bench": "wire_precision", "smoke": false, "config": {},
+  "fp32": {"alltoall_bytes": 1, "allreduce_bytes": 1, "exchange_s_per_step": 0.1},
+  "bf16": {"alltoall_bytes": 1, "allreduce_bytes": 1, "exchange_s_per_step": 0.1},
+  "alltoall_bytes_ratio": 1.0, "allreduce_bytes_ratio": 1.0,
+  "max_loss_delta": 0.0, "representable_bitwise_equal": false,
+  "analytic": {}
+}"#;
+        assert!(validate_bench_wire_precision_json(failed_gate).is_err());
+        let unbalanced = failed_gate
+            .replace("false,", "true,")
+            .replace("{}\n}", "{}\n");
+        assert!(validate_bench_wire_precision_json(&unbalanced).is_err());
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::compute::ComputeModel;
 use crate::machine::Cluster;
 use crate::timeline::{simulate_iteration, IterBreakdown, RunMode, SimParams};
 use crate::{BackendKind, Strategy};
+use dlrm_comm::wire::WirePrecision;
 use dlrm_data::DlrmConfig;
 
 /// Strong scaling (fixed `GN`) vs weak scaling (fixed `LN`).
@@ -86,6 +87,7 @@ fn point_time(
             strategy,
             mode,
             charge_loader: charges_loader(cfg),
+            wire: WirePrecision::Fp32,
         },
     )
 }

@@ -7,6 +7,7 @@ use crate::compute::ComputeModel;
 use crate::machine::Cluster;
 use crate::{BackendKind, Strategy};
 use dlrm_comm::chaos::FaultPlan;
+use dlrm_comm::wire::WirePrecision;
 use dlrm_data::DlrmConfig;
 
 /// Overlapping vs. blocking communication (the two halves of Figs. 10–14).
@@ -70,6 +71,12 @@ pub struct SimParams {
     /// paper's random datasets (Small/Large) "do not account for time spent
     /// in data loader"; the MLPerf/Criteo config does.
     pub charge_loader: bool,
+    /// On-wire element format of the alltoall and allreduce payloads: BF16
+    /// halves the exchanged bytes (the functional `dlrm-comm` wire layer's
+    /// counters confirm exactly 2×), leaving compute untouched — the
+    /// comm-side half of the paper's 16-bit outlook, complementing the
+    /// compute-side [`crate::bf16_outlook`] projection.
+    pub wire: WirePrecision,
 }
 
 /// Simulates one training iteration and returns its time breakdown.
@@ -123,9 +130,11 @@ pub fn simulate_iteration(
     // --- communication volumes ------------------------------------------
     // The alltoall moves the Eq. 2 volume once per iteration — Table II's
     // accounting. (The backward gradient exchange reuses the same pattern;
-    // the paper counts the volume once and so do we.)
-    let a2a_volume = cfg.alltoall_bytes(gn);
-    let ar_bytes = cfg.allreduce_bytes();
+    // the paper counts the volume once and so do we.) The config's byte
+    // counts assume 4-byte elements; the wire format rescales them.
+    let wire_scale = |bytes: u64| bytes * p.wire.bytes_per_elem() as u64 / 4;
+    let a2a_volume = wire_scale(cfg.alltoall_bytes(gn));
+    let ar_bytes = wire_scale(cfg.allreduce_bytes());
 
     let (a2a_total, a2a_calls) =
         comm_model.exchange(p.strategy, a2a_volume, p.ranks, cfg.num_tables);
@@ -313,6 +322,7 @@ mod tests {
                 strategy,
                 mode,
                 charge_loader: false,
+                wire: WirePrecision::Fp32,
             },
         )
     }
@@ -337,6 +347,48 @@ mod tests {
                 ov.total(),
                 bl.total()
             );
+        }
+    }
+
+    #[test]
+    fn bf16_wire_shrinks_comm_but_not_compute() {
+        let cfg = DlrmConfig::large();
+        let cluster = Cluster::cluster_64socket();
+        let calib = Calibration::default();
+        for ranks in [4usize, 16, 64] {
+            let mk = |wire| {
+                simulate_iteration(
+                    &cfg,
+                    &cluster,
+                    &calib,
+                    SimParams {
+                        ranks,
+                        local_n: cfg.gn_strong / ranks,
+                        strategy: Strategy::CclAlltoall,
+                        mode: RunMode::Blocking,
+                        charge_loader: false,
+                        wire,
+                    },
+                )
+            };
+            let fp = mk(WirePrecision::Fp32);
+            let bf = mk(WirePrecision::Bf16);
+            assert_eq!(bf.compute, fp.compute, "wire must not touch compute");
+            assert!(
+                bf.alltoall_wait < fp.alltoall_wait,
+                "R={ranks}: bf16 alltoall {} !< fp32 {}",
+                bf.alltoall_wait,
+                fp.alltoall_wait
+            );
+            assert!(
+                bf.allreduce_wait < fp.allreduce_wait,
+                "R={ranks}: bf16 allreduce {} !< fp32 {}",
+                bf.allreduce_wait,
+                fp.allreduce_wait
+            );
+            // The volume term halves exactly; latency floors keep the
+            // total wait above half.
+            assert!(bf.alltoall_wait >= fp.alltoall_wait / 2.0 - 1e-12);
         }
     }
 
@@ -407,6 +459,7 @@ mod tests {
                     strategy: Strategy::CclAlltoall,
                     mode: RunMode::Blocking,
                     charge_loader: true,
+                    wire: WirePrecision::Fp32,
                 },
             )
         };
@@ -432,6 +485,7 @@ mod tests {
             strategy: Strategy::CclAlltoall,
             mode,
             charge_loader: false,
+            wire: WirePrecision::Fp32,
         };
         let plan = ChaosConfig::aggressive(seed).plan();
         let f = simulate_iteration_faulted(&cfg, &cluster, &calib, p, &plan, iter);
@@ -450,6 +504,7 @@ mod tests {
             strategy: Strategy::Alltoall,
             mode: RunMode::Overlapping,
             charge_loader: false,
+            wire: WirePrecision::Fp32,
         };
         let plan = ChaosConfig::off(99).plan();
         let f = simulate_iteration_faulted(&cfg, &cluster, &calib, p, &plan, 0);
@@ -525,6 +580,7 @@ mod tests {
                     strategy: Strategy::CclAlltoall,
                     mode: RunMode::Overlapping,
                     charge_loader: false,
+                    wire: WirePrecision::Fp32,
                 },
             );
             assert!(
@@ -545,6 +601,7 @@ mod tests {
                 strategy: Strategy::CclAlltoall,
                 mode: RunMode::Blocking,
                 charge_loader: false,
+                wire: WirePrecision::Fp32,
             },
         );
         assert_eq!(sv.hidden_fraction(), 0.0);

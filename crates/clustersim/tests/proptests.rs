@@ -5,6 +5,7 @@
 use dlrm_clustersim::comm::CommModel;
 use dlrm_clustersim::timeline::{simulate_iteration, RunMode, SimParams};
 use dlrm_clustersim::{BackendKind, Calibration, Cluster, Strategy as ExStrategy};
+use dlrm_comm::wire::WirePrecision;
 use dlrm_data::DlrmConfig;
 use proptest::prelude::*;
 
@@ -36,6 +37,7 @@ proptest! {
                 strategy,
                 mode: if blocking { RunMode::Blocking } else { RunMode::Overlapping },
                 charge_loader: false,
+                wire: WirePrecision::Fp32,
             },
         );
         prop_assert!(b.total().is_finite() && b.total() > 0.0);
@@ -56,7 +58,7 @@ proptest! {
         let mk = |mode| {
             simulate_iteration(&cfg, &cluster, &calib, SimParams {
                 ranks, local_n, strategy: ExStrategy::CclAlltoall, mode,
-                charge_loader: false,
+                charge_loader: false, wire: WirePrecision::Fp32,
             })
         };
         prop_assert!(mk(RunMode::Overlapping).total() <= mk(RunMode::Blocking).total() + 1e-12);

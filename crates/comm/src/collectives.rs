@@ -12,8 +12,21 @@
 //! * **broadcast** is a binomial tree; **scatter/gather** are rooted linear
 //!   exchanges (they model the paper's "ScatterList" strategy, which is
 //!   deliberately the slow path).
+//!
+//! # Wire precision
+//!
+//! The hot collectives (reduce-scatter, allgather, allreduce, alltoall)
+//! come in `_wire` variants taking a [`WirePrecision`]; the plain names are
+//! the FP32 wire. The BF16 wire halves every payload: reductions still
+//! accumulate in FP32 locally, but each ring hop narrows the outgoing
+//! partial sum to BF16 (RNE) and the receiver widens it exactly before
+//! adding. See [`crate::wire`] for the accumulation policy and the
+//! single-quantization rule the variants implement.
 
-use crate::world::Communicator;
+use crate::wire::{self, WirePrecision};
+use crate::world::{Communicator, Payload};
+use dlrm_kernels::bf16wire;
+use dlrm_kernels::gemm::detect_isa;
 use dlrm_tensor_free::partition_range;
 
 /// Minimal local re-implementation to avoid a tensor dependency here.
@@ -38,6 +51,19 @@ const TAG_GATHER: u64 = 0x0600_0000;
 /// all ranks) and receives the fully-reduced chunk `partition_range(len, R,
 /// rank)`.
 pub fn reduce_scatter_sum(comm: &Communicator, data: &[f32]) -> Vec<f32> {
+    reduce_scatter_sum_wire(comm, data, WirePrecision::Fp32)
+}
+
+/// [`reduce_scatter_sum`] with a selectable wire. The BF16 wire accumulates
+/// in FP32 and narrows only the hop payloads; the returned chunk is
+/// additionally quantized once (`f32 → bf16 → f32`), so the values every
+/// rank later receives from an allgather of these chunks are bitwise the
+/// ones the owner holds.
+pub fn reduce_scatter_sum_wire(
+    comm: &Communicator,
+    data: &[f32],
+    wirep: WirePrecision,
+) -> Vec<f32> {
     let r = comm.nranks();
     let me = comm.rank();
     if r == 1 {
@@ -52,23 +78,77 @@ pub fn reduce_scatter_sum(comm: &Communicator, data: &[f32]) -> Vec<f32> {
     // step, is fully reduced when it arrives at rank c after r-1 steps:
     // rank `me` therefore sends chunk (me-s-1) and receives (me-s-2).
     let mut work = data.to_vec();
-    for s in 0..r - 1 {
-        let send_chunk = (me + 2 * r - s - 1) % r;
-        let recv_chunk = (me + 2 * r - s - 2) % r;
-        let send_range = partition_range(len, r, send_chunk);
-        comm.send(next, TAG_RS + s as u64, work[send_range].to_vec());
-        let incoming = comm.recv(prev, TAG_RS + s as u64);
-        let recv_range = partition_range(len, r, recv_chunk);
-        for (w, &x) in work[recv_range].iter_mut().zip(&incoming) {
-            *w += x;
+    match wirep {
+        WirePrecision::Fp32 => {
+            // The outgoing chunk is staged in a pooled buffer; each step
+            // recycles the buffer that just arrived, so the whole call
+            // performs no payload allocations in steady state.
+            let mut stage = wire::take_f32();
+            for s in 0..r - 1 {
+                let send_chunk = (me + 2 * r - s - 1) % r;
+                let recv_chunk = (me + 2 * r - s - 2) % r;
+                let send_range = partition_range(len, r, send_chunk);
+                stage.clear();
+                stage.extend_from_slice(&work[send_range]);
+                comm.send(next, TAG_RS + s as u64, stage);
+                let incoming = comm.recv(prev, TAG_RS + s as u64);
+                let recv_range = partition_range(len, r, recv_chunk);
+                for (w, &x) in work[recv_range].iter_mut().zip(&incoming) {
+                    *w += x;
+                }
+                stage = incoming;
+            }
+            wire::put_f32(stage);
+            work[partition_range(len, r, me)].to_vec()
+        }
+        WirePrecision::Bf16 => {
+            let isa = detect_isa();
+            let mut stage = wire::take_half();
+            for s in 0..r - 1 {
+                let send_chunk = (me + 2 * r - s - 1) % r;
+                let recv_chunk = (me + 2 * r - s - 2) % r;
+                let send_range = partition_range(len, r, send_chunk);
+                let chunk = &work[send_range];
+                stage.resize(chunk.len(), 0);
+                bf16wire::narrow_slice(isa, chunk, &mut stage);
+                comm.send_payload(next, TAG_RS + s as u64, Payload::Bf16(stage));
+                let incoming = comm.recv_payload(prev, TAG_RS + s as u64).into_bf16();
+                let recv_range = partition_range(len, r, recv_chunk);
+                wire::with_widen_scratch(incoming.len(), |widened| {
+                    bf16wire::widen_slice(isa, &incoming, widened);
+                    for (w, &x) in work[recv_range].iter_mut().zip(widened.iter()) {
+                        *w += x;
+                    }
+                });
+                stage = incoming;
+            }
+            wire::put_half(stage);
+            let mut out = work[partition_range(len, r, me)].to_vec();
+            bf16wire::quantize_slice(isa, &mut out);
+            out
         }
     }
-    work[partition_range(len, r, me)].to_vec()
 }
 
 /// Ring allgather of variable-size chunks. `counts[i]` is rank `i`'s chunk
 /// length; returns the concatenation `chunk_0 ‖ chunk_1 ‖ …`.
 pub fn allgather_varied(comm: &Communicator, mine: &[f32], counts: &[usize]) -> Vec<f32> {
+    allgather_varied_wire(comm, mine, counts, WirePrecision::Fp32)
+}
+
+/// [`allgather_varied`] with a selectable wire. On the BF16 wire each chunk
+/// is narrowed **once** at its source and then forwarded around the ring as
+/// raw halfwords (re-narrowing a BF16-representable value is the identity,
+/// so forwarding is lossless); the result equals the FP32-wire allgather of
+/// the elementwise-quantized inputs, bitwise identical on every rank —
+/// including the local copy of this rank's own chunk, which is quantized
+/// too so all `R` chunks of the output are uniformly wire-quantized.
+pub fn allgather_varied_wire(
+    comm: &Communicator,
+    mine: &[f32],
+    counts: &[usize],
+    wirep: WirePrecision,
+) -> Vec<f32> {
     let r = comm.nranks();
     let me = comm.rank();
     assert_eq!(counts.len(), r, "allgather counts length");
@@ -90,14 +170,42 @@ pub fn allgather_varied(comm: &Communicator, mine: &[f32], counts: &[usize]) -> 
     }
     let next = (me + 1) % r;
     let prev = (me + r - 1) % r;
-    // Pass chunks around the ring; after R-1 steps everyone has all chunks.
-    let mut carry = mine.to_vec();
-    for s in 0..r - 1 {
-        comm.send(next, TAG_AG + s as u64, std::mem::take(&mut carry));
-        let incoming = comm.recv(prev, TAG_AG + s as u64);
-        let owner = (me + r - s - 1) % r;
-        out[starts[owner]..starts[owner] + counts[owner]].copy_from_slice(&incoming);
-        carry = incoming;
+    match wirep {
+        WirePrecision::Fp32 => {
+            // Pass chunks around the ring; after R-1 steps everyone has all
+            // chunks. The first hop stages into a pooled buffer; later hops
+            // recycle the buffer that just arrived.
+            let mut carry = wire::take_f32();
+            carry.extend_from_slice(mine);
+            for s in 0..r - 1 {
+                comm.send(next, TAG_AG + s as u64, carry);
+                let incoming = comm.recv(prev, TAG_AG + s as u64);
+                let owner = (me + r - s - 1) % r;
+                out[starts[owner]..starts[owner] + counts[owner]].copy_from_slice(&incoming);
+                carry = incoming;
+            }
+            wire::put_f32(carry);
+        }
+        WirePrecision::Bf16 => {
+            let isa = detect_isa();
+            let mut carry = wire::take_half();
+            carry.resize(mine.len(), 0);
+            bf16wire::narrow_slice(isa, mine, &mut carry);
+            // The local copy crosses the same (single) quantization.
+            bf16wire::widen_slice(isa, &carry, &mut out[starts[me]..starts[me] + counts[me]]);
+            for s in 0..r - 1 {
+                comm.send_payload(next, TAG_AG + s as u64, Payload::Bf16(carry));
+                let incoming = comm.recv_payload(prev, TAG_AG + s as u64).into_bf16();
+                let owner = (me + r - s - 1) % r;
+                bf16wire::widen_slice(
+                    isa,
+                    &incoming,
+                    &mut out[starts[owner]..starts[owner] + counts[owner]],
+                );
+                carry = incoming;
+            }
+            wire::put_half(carry);
+        }
     }
     out
 }
@@ -110,32 +218,85 @@ pub fn allgather(comm: &Communicator, mine: &[f32]) -> Vec<f32> {
 
 /// Allreduce (sum) materialized as reduce-scatter + allgather, in place.
 pub fn allreduce_sum(comm: &Communicator, data: &mut [f32]) {
+    allreduce_sum_wire(comm, data, WirePrecision::Fp32);
+}
+
+/// [`allreduce_sum`] with a selectable wire. On the BF16 wire the
+/// reduce-scatter accumulates in FP32 (narrowing only its hop payloads) and
+/// quantizes each fully-reduced chunk once; the allgather then forwards
+/// those bits losslessly, so **all ranks end bitwise identical** — the
+/// property the data-parallel update relies on.
+pub fn allreduce_sum_wire(comm: &Communicator, data: &mut [f32], wirep: WirePrecision) {
     let r = comm.nranks();
     if r == 1 {
         return;
     }
-    let reduced_chunk = reduce_scatter_sum(comm, data);
+    let reduced_chunk = reduce_scatter_sum_wire(comm, data, wirep);
     let counts: Vec<usize> = (0..r)
         .map(|i| partition_range(data.len(), r, i).len())
         .collect();
-    let gathered = allgather_varied(comm, &reduced_chunk, &counts);
+    // The reduced chunk is already wire-quantized on the BF16 wire, so the
+    // allgather's source narrowing is the identity on its bits.
+    let gathered = allgather_varied_wire(comm, &reduced_chunk, &counts, wirep);
     data.copy_from_slice(&gathered);
 }
 
 /// Pairwise-exchange alltoall: `send[dst]` is this rank's payload for rank
 /// `dst`; returns `recv[src]` = payload from rank `src`. Payload sizes may
 /// differ arbitrarily (this doubles as alltoallv).
-pub fn alltoall(comm: &Communicator, mut send: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+pub fn alltoall(comm: &Communicator, send: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+    alltoall_wire(comm, send, WirePrecision::Fp32)
+}
+
+/// [`alltoall`] with a selectable wire. On the BF16 wire every payload —
+/// including the self-destined chunk, which is quantized locally — crosses
+/// the quantization exactly once, so the result equals the FP32-wire
+/// alltoall with every element quantized (`f32 → bf16 → f32`), bitwise.
+pub fn alltoall_wire(
+    comm: &Communicator,
+    mut send: Vec<Vec<f32>>,
+    wirep: WirePrecision,
+) -> Vec<Vec<f32>> {
     let r = comm.nranks();
     let me = comm.rank();
     assert_eq!(send.len(), r, "alltoall needs one payload per rank");
     let mut recv: Vec<Vec<f32>> = (0..r).map(|_| Vec::new()).collect();
     recv[me] = std::mem::take(&mut send[me]);
-    for s in 1..r {
-        let dst = (me + s) % r;
-        let src = (me + r - s) % r;
-        comm.send(dst, TAG_A2A + s as u64, std::mem::take(&mut send[dst]));
-        recv[src] = comm.recv(src, TAG_A2A + s as u64);
+    if r == 1 {
+        return recv;
+    }
+    match wirep {
+        WirePrecision::Fp32 => {
+            for s in 1..r {
+                let dst = (me + s) % r;
+                let src = (me + r - s) % r;
+                comm.send(dst, TAG_A2A + s as u64, std::mem::take(&mut send[dst]));
+                recv[src] = comm.recv(src, TAG_A2A + s as u64);
+            }
+        }
+        WirePrecision::Bf16 => {
+            let isa = detect_isa();
+            bf16wire::quantize_slice(isa, &mut recv[me]);
+            let mut stage = wire::take_half();
+            for s in 1..r {
+                let dst = (me + s) % r;
+                let src = (me + r - s) % r;
+                let outgoing = std::mem::take(&mut send[dst]);
+                stage.resize(outgoing.len(), 0);
+                bf16wire::narrow_slice(isa, &outgoing, &mut stage);
+                comm.send_payload(dst, TAG_A2A + s as u64, Payload::Bf16(stage));
+                let incoming = comm.recv_payload(src, TAG_A2A + s as u64).into_bf16();
+                // Recycle the f32 buffer we just narrowed from as the
+                // widen target for what arrived.
+                let mut widened = outgoing;
+                widened.clear();
+                widened.resize(incoming.len(), 0.0);
+                bf16wire::widen_slice(isa, &incoming, &mut widened);
+                recv[src] = widened;
+                stage = incoming;
+            }
+            wire::put_half(stage);
+        }
     }
     recv
 }
@@ -370,6 +531,151 @@ mod tests {
             out[2].as_ref().unwrap(),
             &vec![vec![0.0], vec![1.0], vec![2.0]]
         );
+    }
+
+    fn quantize_ref(v: &[f32]) -> Vec<f32> {
+        let mut q = v.to_vec();
+        bf16wire::quantize_slice(dlrm_kernels::gemm::Isa::Scalar, &mut q);
+        q
+    }
+
+    #[test]
+    fn bf16_alltoall_equals_quantized_fp32_alltoall() {
+        let r = 4;
+        let mk_send = |rank: usize| -> Vec<Vec<f32>> {
+            (0..r)
+                .map(|d| {
+                    (0..d + 2)
+                        .map(|i| ((rank * 31 + d * 7 + i) as f32).sin() * 3.7)
+                        .collect()
+                })
+                .collect()
+        };
+        let bf = CommWorld::run(r, |c| {
+            alltoall_wire(&c, mk_send(c.rank()), WirePrecision::Bf16)
+        });
+        let fp = CommWorld::run(r, |c| alltoall(&c, mk_send(c.rank())));
+        for (dst, (b_rank, f_rank)) in bf.iter().zip(&fp).enumerate() {
+            for (src, (b, f)) in b_rank.iter().zip(f_rank).enumerate() {
+                let want = quantize_ref(f);
+                assert_eq!(
+                    b.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    want.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "{src}->{dst}: bf16 alltoall must equal quantized fp32 alltoall"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bf16_allreduce_ranks_bitwise_identical_within_rne_bound() {
+        for r in [2usize, 3, 4, 8] {
+            let len = 33;
+            let input = |rk: usize| -> Vec<f32> {
+                (0..len)
+                    .map(|i| ((rk * 53 + i * 17) as f32).cos() * (i as f32 + 0.3))
+                    .collect()
+            };
+            let bf = CommWorld::run(r, |c| {
+                let mut data = input(c.rank());
+                allreduce_sum_wire(&c, &mut data, WirePrecision::Bf16);
+                data
+            });
+            let mut fp = input(0);
+            for rk in 1..r {
+                for (a, b) in fp.iter_mut().zip(input(rk)) {
+                    *a += b;
+                }
+            }
+            for rk in 1..r {
+                assert_eq!(
+                    bf[rk].iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    bf[0].iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "rank {rk} of {r} diverged on the bf16 wire"
+                );
+            }
+            // Each of the r-1 hops plus the final quantization contributes
+            // at most a half-ULP (2^-8 relative) of the running magnitude,
+            // bounded by M_j = sum of |contributions|.
+            for j in 0..len {
+                let m: f32 = (0..r).map(|rk| input(rk)[j].abs()).sum();
+                let bound = (r as f32 + 1.0) * m * 2.0f32.powi(-8);
+                let err = (bf[0][j] - fp[j]).abs();
+                assert!(
+                    err <= bound,
+                    "R={r} elem {j}: err {err} exceeds RNE bound {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bf16_allreduce_exact_on_representable_payloads() {
+        // Small integers: every partial sum is an integer well inside the
+        // BF16 mantissa, so every hop's narrowing is exact and the result
+        // must be bitwise the fp32-wire result.
+        for r in [2usize, 4, 8] {
+            let input = |rk: usize| -> Vec<f32> {
+                (0..19)
+                    .map(|i| ((rk * 7 + i * 3) % 17) as f32 - 8.0)
+                    .collect()
+            };
+            let bf = CommWorld::run(r, |c| {
+                let mut data = input(c.rank());
+                allreduce_sum_wire(&c, &mut data, WirePrecision::Bf16);
+                data
+            });
+            let fp = CommWorld::run(r, |c| {
+                let mut data = input(c.rank());
+                allreduce_sum(&c, &mut data);
+                data
+            });
+            for (rk, (b, f)) in bf.iter().zip(&fp).enumerate() {
+                assert_eq!(
+                    b.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    f.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "rank {rk} of {r}: representable payloads must be lossless"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bf16_wire_halves_allreduce_and_alltoall_bytes() {
+        let r = 4;
+        let run_counted = |wirep: WirePrecision| {
+            let snaps = CommWorld::run(r, move |c| {
+                let mut data = vec![c.rank() as f32; 64];
+                allreduce_sum_wire(&c, &mut data, wirep);
+                let send: Vec<Vec<f32>> = (0..r).map(|d| vec![d as f32; 16]).collect();
+                let _ = alltoall_wire(&c, send, wirep);
+                c.barrier();
+                c.wire_stats().snapshot()
+            });
+            snaps[0]
+        };
+        let fp = run_counted(WirePrecision::Fp32);
+        let bf = run_counted(WirePrecision::Bf16);
+        assert!(fp.allreduce_bytes() > 0 && fp.alltoall_bytes > 0);
+        assert_eq!(bf.allreduce_bytes() * 2, fp.allreduce_bytes());
+        assert_eq!(bf.alltoall_bytes * 2, fp.alltoall_bytes);
+        assert_eq!(
+            bf.messages, fp.messages,
+            "same message count, half the bytes"
+        );
+    }
+
+    #[test]
+    fn wire_variants_single_rank_are_identity() {
+        let out = CommWorld::run(1, |c| {
+            let mut data = vec![0.1234567f32, -9.87654];
+            allreduce_sum_wire(&c, &mut data, WirePrecision::Bf16);
+            let recv = alltoall_wire(&c, vec![vec![0.7654321f32]], WirePrecision::Bf16);
+            (data, recv)
+        });
+        // R = 1: nothing crosses a wire, payloads must be untouched.
+        assert_eq!(out[0].0, vec![0.1234567f32, -9.87654]);
+        assert_eq!(out[0].1[0], vec![0.7654321f32]);
     }
 
     #[test]

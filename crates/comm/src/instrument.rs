@@ -8,6 +8,7 @@
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// The time buckets of Figures 10–14.
@@ -119,9 +120,143 @@ impl TimingRecorder {
     }
 }
 
+/// Logical bytes put on the wire, bucketed by collective class.
+///
+/// Every [`Communicator::send_payload`](crate::world::Communicator::send_payload)
+/// records its payload size here once, keyed by the collective tag base
+/// (`tag >> 24` — see the constants in [`crate::collectives`]). "Logical"
+/// means the accounting ignores chaos-injected duplicates and retries: it
+/// measures the traffic the *algorithm* generates, which is what the wire-
+/// precision comparison (BF16 halves alltoall + allreduce bytes) is about.
+///
+/// Worlds built via [`CommWorld::create_with_opts`](crate::world::CommWorld::create_with_opts)
+/// can share one `WireStats` across several worlds (e.g. the per-channel
+/// worlds of a progress engine), so a harness reads one aggregate total.
+#[derive(Default)]
+pub struct WireStats {
+    messages: AtomicU64,
+    reduce_scatter: AtomicU64,
+    allgather: AtomicU64,
+    alltoall: AtomicU64,
+    broadcast: AtomicU64,
+    scatter: AtomicU64,
+    gather: AtomicU64,
+    other: AtomicU64,
+}
+
+/// Point-in-time copy of a [`WireStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireSnapshot {
+    /// Messages sent.
+    pub messages: u64,
+    /// Bytes sent by reduce-scatter steps.
+    pub reduce_scatter_bytes: u64,
+    /// Bytes sent by allgather steps.
+    pub allgather_bytes: u64,
+    /// Bytes sent by alltoall rounds.
+    pub alltoall_bytes: u64,
+    /// Bytes sent by broadcasts.
+    pub broadcast_bytes: u64,
+    /// Bytes sent by rooted scatters.
+    pub scatter_bytes: u64,
+    /// Bytes sent by rooted gathers.
+    pub gather_bytes: u64,
+    /// Bytes sent under any other tag (raw point-to-point traffic).
+    pub other_bytes: u64,
+}
+
+impl WireSnapshot {
+    /// Allreduce wire traffic: its reduce-scatter plus allgather phases.
+    pub fn allreduce_bytes(&self) -> u64 {
+        self.reduce_scatter_bytes + self.allgather_bytes
+    }
+
+    /// All bytes across every class.
+    pub fn total_bytes(&self) -> u64 {
+        self.reduce_scatter_bytes
+            + self.allgather_bytes
+            + self.alltoall_bytes
+            + self.broadcast_bytes
+            + self.scatter_bytes
+            + self.gather_bytes
+            + self.other_bytes
+    }
+}
+
+impl WireStats {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sent message of `bytes` payload bytes under `tag`.
+    pub fn record(&self, tag: u64, bytes: u64) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        let bucket = match tag >> 24 {
+            0x01 => &self.reduce_scatter,
+            0x02 => &self.allgather,
+            0x03 => &self.alltoall,
+            0x04 => &self.broadcast,
+            0x05 => &self.scatter,
+            0x06 => &self.gather,
+            _ => &self.other,
+        };
+        bucket.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of all counters.
+    pub fn snapshot(&self) -> WireSnapshot {
+        WireSnapshot {
+            messages: self.messages.load(Ordering::Relaxed),
+            reduce_scatter_bytes: self.reduce_scatter.load(Ordering::Relaxed),
+            allgather_bytes: self.allgather.load(Ordering::Relaxed),
+            alltoall_bytes: self.alltoall.load(Ordering::Relaxed),
+            broadcast_bytes: self.broadcast.load(Ordering::Relaxed),
+            scatter_bytes: self.scatter.load(Ordering::Relaxed),
+            gather_bytes: self.gather.load(Ordering::Relaxed),
+            other_bytes: self.other.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes every counter.
+    pub fn reset(&self) {
+        for c in [
+            &self.messages,
+            &self.reduce_scatter,
+            &self.allgather,
+            &self.alltoall,
+            &self.broadcast,
+            &self.scatter,
+            &self.gather,
+            &self.other,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wire_stats_bucket_by_tag_class() {
+        let w = WireStats::new();
+        w.record(0x0100_0000 + 3, 40); // reduce-scatter step
+        w.record(0x0200_0001, 40); // allgather step
+        w.record(0x0300_0002, 64); // alltoall round
+        w.record(0x0400_0000, 8); // broadcast
+        w.record(7, 100); // untagged p2p
+        let s = w.snapshot();
+        assert_eq!(s.messages, 5);
+        assert_eq!(s.allreduce_bytes(), 80);
+        assert_eq!(s.alltoall_bytes, 64);
+        assert_eq!(s.broadcast_bytes, 8);
+        assert_eq!(s.other_bytes, 100);
+        assert_eq!(s.total_bytes(), 252);
+        w.reset();
+        assert_eq!(w.snapshot(), WireSnapshot::default());
+    }
 
     #[test]
     fn records_accumulate() {

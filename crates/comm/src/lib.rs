@@ -18,7 +18,12 @@
 //!   of Figures 10–11), while [`nonblocking::Backend::CclLike`] offers
 //!   multiple independent channels like oneCCL's worker threads.
 //! * [`instrument`] — per-primitive wall-clock accounting used by the
-//!   experiment harnesses to split "framework" from "wait" time.
+//!   experiment harnesses to split "framework" from "wait" time, plus
+//!   [`instrument::WireStats`] byte counters every send records into.
+//! * [`wire`] — the [`wire::WirePrecision`] knob: the hot collectives come
+//!   in `_wire` variants that ship BF16 halfwords (RNE narrowing, exact
+//!   widening, FP32 local accumulation), halving alltoall and allreduce
+//!   bytes exactly as the paper's 16-bit path does.
 //! * [`chaos`] — seeded fault injection (message delay/reorder/duplicate,
 //!   drop + bounded retry, rank stalls, progress-worker kill-restart)
 //!   threaded through [`world`] and [`nonblocking`], plus the
@@ -36,9 +41,11 @@ pub mod chaos;
 pub mod collectives;
 pub mod instrument;
 pub mod nonblocking;
+pub mod wire;
 pub mod world;
 
 pub use chaos::{ChaosConfig, ChaosSnapshot, ChaosStats, FaultPlan};
-pub use instrument::{time_opt, OpKind, TimingRecorder};
+pub use instrument::{time_opt, OpKind, TimingRecorder, WireSnapshot, WireStats};
 pub use nonblocking::{Backend, ProgressEngine, Request};
-pub use world::{CommWorld, Communicator};
+pub use wire::WirePrecision;
+pub use world::{CommWorld, Communicator, Payload};

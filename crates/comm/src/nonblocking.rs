@@ -16,6 +16,8 @@
 //! so cross-channel operations cannot interleave incorrectly.
 
 use crate::chaos::FaultPlan;
+use crate::instrument::WireStats;
+use crate::wire::WirePrecision;
 use crate::world::Communicator;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use std::sync::atomic::Ordering;
@@ -54,8 +56,8 @@ impl std::fmt::Display for Backend {
 }
 
 enum Task {
-    Allreduce(Vec<f32>, Sender<OpOutput>),
-    Alltoall(Vec<Vec<f32>>, Sender<OpOutput>),
+    Allreduce(Vec<f32>, WirePrecision, Sender<OpOutput>),
+    Alltoall(Vec<Vec<f32>>, WirePrecision, Sender<OpOutput>),
     Shutdown,
 }
 
@@ -203,18 +205,35 @@ impl ProgressEngine {
 
     /// Enqueues an allreduce-sum on `channel`; returns immediately.
     pub fn allreduce(&self, channel: usize, data: Vec<f32>) -> Request {
+        self.allreduce_wire(channel, data, WirePrecision::Fp32)
+    }
+
+    /// [`ProgressEngine::allreduce`] with a selectable wire. All ranks must
+    /// submit the matching operation with the same [`WirePrecision`].
+    pub fn allreduce_wire(&self, channel: usize, data: Vec<f32>, wirep: WirePrecision) -> Request {
         let (tx, rx) = bounded(1);
         self.submitters[channel % self.submitters.len()]
-            .send(Task::Allreduce(data, tx))
+            .send(Task::Allreduce(data, wirep, tx))
             .expect("progress channel died");
         Request { rx, cached: None }
     }
 
     /// Enqueues an alltoall on `channel`; returns immediately.
     pub fn alltoall(&self, channel: usize, send: Vec<Vec<f32>>) -> Request {
+        self.alltoall_wire(channel, send, WirePrecision::Fp32)
+    }
+
+    /// [`ProgressEngine::alltoall`] with a selectable wire. All ranks must
+    /// submit the matching operation with the same [`WirePrecision`].
+    pub fn alltoall_wire(
+        &self,
+        channel: usize,
+        send: Vec<Vec<f32>>,
+        wirep: WirePrecision,
+    ) -> Request {
         let (tx, rx) = bounded(1);
         self.submitters[channel % self.submitters.len()]
-            .send(Task::Alltoall(send, tx))
+            .send(Task::Alltoall(send, wirep, tx))
             .expect("progress channel died");
         Request { rx, cached: None }
     }
@@ -243,12 +262,12 @@ impl Drop for ProgressEngine {
 fn progress_loop(comm: Communicator, rx: Receiver<Task>, mut chaos: Option<WorkerChaos>) {
     while let Ok(task) = rx.recv() {
         match task {
-            Task::Allreduce(mut data, done) => {
-                crate::collectives::allreduce_sum(&comm, &mut data);
+            Task::Allreduce(mut data, wirep, done) => {
+                crate::collectives::allreduce_sum_wire(&comm, &mut data, wirep);
                 let _ = done.send(OpOutput::Flat(data));
             }
-            Task::Alltoall(send, done) => {
-                let recv = crate::collectives::alltoall(&comm, send);
+            Task::Alltoall(send, wirep, done) => {
+                let recv = crate::collectives::alltoall_wire(&comm, send, wirep);
                 let _ = done.send(OpOutput::PerRank(recv));
             }
             Task::Shutdown => return,
@@ -295,12 +314,27 @@ pub fn create_channel_worlds_with_chaos(
     backend: Backend,
     plan: Option<Arc<FaultPlan>>,
 ) -> Vec<Vec<Communicator>> {
+    create_channel_worlds_with_opts(nranks, backend, plan, None)
+}
+
+/// [`create_channel_worlds_with_chaos`] plus an externally-owned
+/// [`WireStats`] shared by every per-channel world, so a harness reads the
+/// engine's aggregate wire traffic from one place (pair it with the same
+/// `Arc` on the main world via
+/// [`CommWorld::create_with_opts`](crate::world::CommWorld::create_with_opts)).
+pub fn create_channel_worlds_with_opts(
+    nranks: usize,
+    backend: Backend,
+    plan: Option<Arc<FaultPlan>>,
+    wire: Option<Arc<WireStats>>,
+) -> Vec<Vec<Communicator>> {
     let nch = backend.channels();
     let mut per_rank: Vec<Vec<Communicator>> = (0..nranks).map(|_| Vec::new()).collect();
     for _ in 0..nch {
-        for (rank, comm) in crate::world::CommWorld::create_with_chaos(nranks, plan.clone())
-            .into_iter()
-            .enumerate()
+        for (rank, comm) in
+            crate::world::CommWorld::create_with_opts(nranks, plan.clone(), wire.clone())
+                .into_iter()
+                .enumerate()
         {
             per_rank[rank].push(comm);
         }

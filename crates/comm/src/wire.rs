@@ -1,0 +1,154 @@
+//! Wire-precision selection for the collectives.
+//!
+//! The paper's 16-bit section (and the BF16 projections of Figure 9) halve
+//! communication volume by shipping BFLOAT16 halfwords instead of FP32
+//! words. This module holds the knob ([`WirePrecision`]) and the pack
+//! plumbing the BF16-wire collectives share:
+//!
+//! * **Accumulation policy**: reductions always accumulate in FP32. Only
+//!   the *wire representation* narrows — each hop of the BF16 ring
+//!   reduce-scatter narrows the outgoing FP32 partial sum to BF16 (RNE),
+//!   and the receiver widens (exact) before adding in FP32.
+//! * **Single-quantization rule**: every element crosses the BF16 wire
+//!   exactly once between producer and consumer. Allgather forwards the
+//!   received halfwords *bitwise* around the ring (re-narrowing a
+//!   BF16-representable value is the identity, so forwarding is lossless),
+//!   and alltoall quantizes the self-destined chunk locally so all `R`
+//!   chunks of the result are uniformly wire-quantized. With `R == 1`
+//!   nothing crosses a wire and payloads are untouched.
+//! * **Buffer pools**: the transport moves *owned* buffers between rank
+//!   threads, so the ring collectives draw their step-0 send buffer from a
+//!   thread-local grow-only pool and return the final carry to it — after
+//!   warm-up a steady-state train loop performs no payload allocations in
+//!   the ring collectives (the alloc-growth suite pins this down).
+//!
+//! The narrow/widen kernels themselves live in [`dlrm_kernels::bf16wire`]
+//! (scalar/AVX2/AVX-512 tiers, bitwise identical across tiers), so every
+//! rank produces identical halfwords no matter which tier it ran.
+
+use std::cell::RefCell;
+
+/// Payload representation used on the wire by a collective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WirePrecision {
+    /// Full-width `f32` words (the default).
+    #[default]
+    Fp32,
+    /// BFLOAT16 halfwords: RNE narrowing at the sender, exact widening at
+    /// the receiver, FP32 local accumulation.
+    Bf16,
+}
+
+impl WirePrecision {
+    /// Both settings, FP32 first (report order).
+    pub const ALL: [WirePrecision; 2] = [WirePrecision::Fp32, WirePrecision::Bf16];
+
+    /// Bytes one payload element occupies on the wire.
+    #[inline]
+    pub fn bytes_per_elem(self) -> usize {
+        match self {
+            WirePrecision::Fp32 => 4,
+            WirePrecision::Bf16 => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for WirePrecision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WirePrecision::Fp32 => f.write_str("fp32"),
+            WirePrecision::Bf16 => f.write_str("bf16"),
+        }
+    }
+}
+
+thread_local! {
+    /// Grow-only per-thread buffer pools for the ring collectives' owned
+    /// payloads (see the module docs). One buffer of each width suffices:
+    /// a ring step recycles the incoming buffer as the next outgoing one,
+    /// so a whole collective call nets one take + one put.
+    static F32_POOL: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+    static HALF_POOL: RefCell<Vec<Vec<u16>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Takes a reusable `f32` buffer from this thread's pool (empty, capacity
+/// retained from earlier use).
+pub(crate) fn take_f32() -> Vec<f32> {
+    F32_POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default()
+}
+
+/// Returns an `f32` buffer to this thread's pool.
+pub(crate) fn put_f32(mut v: Vec<f32>) {
+    v.clear();
+    F32_POOL.with(|p| p.borrow_mut().push(v));
+}
+
+/// Takes a reusable halfword buffer from this thread's pool.
+pub(crate) fn take_half() -> Vec<u16> {
+    HALF_POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default()
+}
+
+/// Returns a halfword buffer to this thread's pool.
+pub(crate) fn put_half(mut v: Vec<u16>) {
+    v.clear();
+    HALF_POOL.with(|p| p.borrow_mut().push(v));
+}
+
+thread_local! {
+    /// Grow-only FP32 staging buffer for widening incoming halfwords before
+    /// the FP32 accumulate of the BF16 reduce-scatter.
+    static WIDEN_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` over a zero-filled FP32 scratch slice of length `len` from this
+/// thread's grow-only staging buffer.
+pub(crate) fn with_widen_scratch<T>(len: usize, f: impl FnOnce(&mut [f32]) -> T) -> T {
+    WIDEN_SCRATCH.with(|s| {
+        let mut buf = s.borrow_mut();
+        buf.clear();
+        buf.resize(len, 0.0);
+        f(&mut buf)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_per_elem() {
+        assert_eq!(WirePrecision::Fp32.bytes_per_elem(), 4);
+        assert_eq!(WirePrecision::Bf16.bytes_per_elem(), 2);
+        assert_eq!(WirePrecision::default(), WirePrecision::Fp32);
+        assert_eq!(
+            format!("{}/{}", WirePrecision::Fp32, WirePrecision::Bf16),
+            "fp32/bf16"
+        );
+    }
+
+    #[test]
+    fn pools_recycle_capacity() {
+        let mut v = take_f32();
+        v.extend_from_slice(&[1.0; 100]);
+        let cap = v.capacity();
+        put_f32(v);
+        let v2 = take_f32();
+        assert!(v2.is_empty() && v2.capacity() == cap, "buffer not recycled");
+        put_f32(v2);
+
+        let mut h = take_half();
+        h.resize(64, 0);
+        put_half(h);
+        assert!(take_half().capacity() >= 64);
+    }
+
+    #[test]
+    fn widen_scratch_is_zeroed_and_sized() {
+        with_widen_scratch(8, |s| {
+            assert_eq!(s, &[0.0; 8]);
+            s[0] = 5.0;
+        });
+        // Re-entry re-zeroes even after a smaller earlier use.
+        with_widen_scratch(4, |s| assert_eq!(s, &[0.0; 4]));
+    }
+}

@@ -24,18 +24,74 @@
 //! deadlock a world.
 
 use crate::chaos::{ChaosStats, FaultPlan};
+use crate::instrument::WireStats;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Barrier};
 
-/// A typed message: payload of `f32`s plus an integer tag.
+/// A collective payload in its wire representation.
+///
+/// The transport (sequencing, chaos, reorder repair) never inspects the
+/// contents, so both variants travel identically; only producers and
+/// consumers care which one a message carries. BF16 halfwords are shipped
+/// as raw `u16` bit patterns (see `dlrm_precision::Bf16` for the format) —
+/// half the bytes per element of [`Payload::F32`].
+#[derive(Debug, Clone)]
+pub enum Payload {
+    /// Full-width `f32` words.
+    F32(Vec<f32>),
+    /// BFLOAT16 halfwords as raw bit patterns.
+    Bf16(Vec<u16>),
+}
+
+impl Payload {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            Payload::F32(v) => v.len(),
+            Payload::Bf16(v) => v.len(),
+        }
+    }
+
+    /// True when the payload has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes this payload occupies on the wire.
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            Payload::F32(v) => 4 * v.len() as u64,
+            Payload::Bf16(v) => 2 * v.len() as u64,
+        }
+    }
+
+    /// Unwraps an FP32 payload; a BF16 arrival here is a protocol bug
+    /// (matching send/recv pairs must agree on the wire precision).
+    pub fn into_f32(self) -> Vec<f32> {
+        match self {
+            Payload::F32(v) => v,
+            Payload::Bf16(_) => panic!("expected an f32 payload, received bf16"),
+        }
+    }
+
+    /// Unwraps a BF16 payload; an FP32 arrival here is a protocol bug.
+    pub fn into_bf16(self) -> Vec<u16> {
+        match self {
+            Payload::Bf16(v) => v,
+            Payload::F32(_) => panic!("expected a bf16 payload, received f32"),
+        }
+    }
+}
+
+/// A typed message: a [`Payload`] plus an integer tag.
 #[derive(Debug, Clone)]
 pub struct Message {
     /// Caller-chosen tag; receives assert on it to catch protocol bugs.
     pub tag: u64,
     /// Payload.
-    pub data: Vec<f32>,
+    pub data: Payload,
 }
 
 /// Transport-level frame: a message plus its per-(src, dst) sequence
@@ -87,6 +143,9 @@ pub struct Communicator {
     plan: Option<Arc<FaultPlan>>,
     /// Fault counters shared by every endpoint of the world.
     stats: Arc<ChaosStats>,
+    /// Wire byte counters — shared by every endpoint of the world, and
+    /// optionally across worlds (see [`CommWorld::create_with_opts`]).
+    wire: Arc<WireStats>,
     state: parking_lot::Mutex<EndpointState>,
 }
 
@@ -104,6 +163,19 @@ impl CommWorld {
     /// `None` for a fault-free world). All endpoints share one
     /// [`ChaosStats`], reachable via [`Communicator::chaos_stats`].
     pub fn create_with_chaos(nranks: usize, plan: Option<Arc<FaultPlan>>) -> Vec<Communicator> {
+        Self::create_with_opts(nranks, plan, None)
+    }
+
+    /// [`CommWorld::create_with_chaos`] plus an externally-owned
+    /// [`WireStats`] for the wire byte counters. Pass the same `Arc` to
+    /// several worlds (e.g. a main world plus the per-channel worlds of a
+    /// progress engine) to aggregate their traffic in one place; `None`
+    /// gives the world a private fresh counter set.
+    pub fn create_with_opts(
+        nranks: usize,
+        plan: Option<Arc<FaultPlan>>,
+        wire: Option<Arc<WireStats>>,
+    ) -> Vec<Communicator> {
         assert!(nranks >= 1, "world needs at least one rank");
         // channel[src][dst]
         let mut txs: Vec<Vec<Option<Sender<Envelope>>>> = (0..nranks)
@@ -121,6 +193,7 @@ impl CommWorld {
         }
         let barrier = Arc::new(Barrier::new(nranks));
         let stats = Arc::new(ChaosStats::default());
+        let wire = wire.unwrap_or_default();
         txs.into_iter()
             .zip(rxs)
             .enumerate()
@@ -132,6 +205,7 @@ impl CommWorld {
                 barrier: Arc::clone(&barrier),
                 plan: plan.clone(),
                 stats: Arc::clone(&stats),
+                wire: Arc::clone(&wire),
                 state: parking_lot::Mutex::new(EndpointState {
                     send: (0..nranks).map(|_| SendState::default()).collect(),
                     recv: (0..nranks).map(|_| RecvState::default()).collect(),
@@ -201,6 +275,16 @@ impl Communicator {
         &self.stats
     }
 
+    /// The wire byte counters this endpoint records into.
+    pub fn wire_stats(&self) -> &WireStats {
+        &self.wire
+    }
+
+    /// Owning handle to the wire byte counters.
+    pub fn wire_stats_arc(&self) -> &Arc<WireStats> {
+        &self.wire
+    }
+
     /// Burns a counted number of yields if the plan stalls this operation
     /// boundary. Pure scheduling perturbation; never affects results.
     fn maybe_stall(&self, st: &mut EndpointState) {
@@ -262,6 +346,14 @@ impl Communicator {
     /// under chaos the message may be delayed, duplicated, or dropped and
     /// retried, but it is always eventually delivered exactly once.
     pub fn send(&self, dst: usize, tag: u64, data: Vec<f32>) {
+        self.send_payload(dst, tag, Payload::F32(data));
+    }
+
+    /// [`Communicator::send`] for an arbitrary wire representation. The
+    /// transport (sequencing, chaos, repair) is payload-agnostic; the
+    /// matching receive must expect the same representation.
+    pub fn send_payload(&self, dst: usize, tag: u64, data: Payload) {
+        self.wire.record(tag, data.wire_bytes());
         let mut st = self.state.lock();
         self.maybe_stall(&mut st);
         let seq = st.send[dst].next_seq;
@@ -317,6 +409,11 @@ impl Communicator {
     /// rank that leaves the comm layer after a receive (e.g. a progress
     /// worker going idle) never holds messages a peer is waiting for.
     pub fn recv(&self, src: usize, tag: u64) -> Vec<f32> {
+        self.recv_payload(src, tag).into_f32()
+    }
+
+    /// [`Communicator::recv`] for an arbitrary wire representation.
+    pub fn recv_payload(&self, src: usize, tag: u64) -> Payload {
         let mut st = self.state.lock();
         self.maybe_stall(&mut st);
         let msg = loop {
@@ -354,7 +451,7 @@ impl Communicator {
         self.flush_outboxes(&mut st);
     }
 
-    fn check_tag(&self, src: usize, tag: u64, msg: Message) -> Vec<f32> {
+    fn check_tag(&self, src: usize, tag: u64, msg: Message) -> Payload {
         assert_eq!(
             msg.tag, tag,
             "rank {} expected tag {tag} from {src}, got {}",

@@ -8,11 +8,15 @@
 
 use dlrm_comm::chaos::{ChaosConfig, ChaosSnapshot};
 use dlrm_comm::nonblocking::{create_channel_worlds_with_chaos, Backend, OpOutput, ProgressEngine};
+use dlrm_comm::wire::WirePrecision;
 use dlrm_comm::world::CommWorld;
 use dlrm_comm::FaultPlan;
 use std::sync::Arc;
 
 const SEEDS: u64 = 200;
+/// The BF16-wire replays prove the fault layer is payload-agnostic; a
+/// smaller seed sweep suffices since the transport code paths are shared.
+const BF16_SEEDS: u64 = 60;
 
 /// Exact bit equality — `==` on f32 would accept -0.0 vs 0.0.
 fn bits(v: &[f32]) -> Vec<u32> {
@@ -32,23 +36,29 @@ fn payload(rank: usize, len: usize, salt: u64) -> Vec<f32> {
 // ---------------------------------------------------------------------------
 
 /// One full round of every blocking collective; returns a flat transcript.
-fn blocking_round(plan: Option<Arc<FaultPlan>>, nranks: usize) -> Vec<Vec<f32>> {
-    CommWorld::run_with_chaos(nranks, plan, |c| {
+fn blocking_round(
+    plan: Option<Arc<FaultPlan>>,
+    nranks: usize,
+    wirep: WirePrecision,
+) -> Vec<Vec<f32>> {
+    CommWorld::run_with_chaos(nranks, plan, move |c| {
         let me = c.rank();
         let mut transcript = Vec::new();
 
         let mut ar = payload(me, 48, 1);
-        dlrm_comm::collectives::allreduce_sum(&c, &mut ar);
+        dlrm_comm::collectives::allreduce_sum_wire(&c, &mut ar, wirep);
         transcript.extend_from_slice(&ar);
 
-        let rs = dlrm_comm::collectives::reduce_scatter_sum(&c, &payload(me, 40, 2));
+        let rs = dlrm_comm::collectives::reduce_scatter_sum_wire(&c, &payload(me, 40, 2), wirep);
         transcript.extend_from_slice(&rs);
 
-        let ag = dlrm_comm::collectives::allgather(&c, &payload(me, 7, 3));
+        let counts = vec![7usize; c.nranks()];
+        let ag =
+            dlrm_comm::collectives::allgather_varied_wire(&c, &payload(me, 7, 3), &counts, wirep);
         transcript.extend_from_slice(&ag);
 
         let send: Vec<Vec<f32>> = (0..c.nranks()).map(|d| payload(me * 8 + d, 9, 4)).collect();
-        for part in dlrm_comm::collectives::alltoall(&c, send) {
+        for part in dlrm_comm::collectives::alltoall_wire(&c, send, wirep) {
             transcript.extend_from_slice(&part);
         }
 
@@ -64,14 +74,14 @@ fn blocking_round(plan: Option<Arc<FaultPlan>>, nranks: usize) -> Vec<Vec<f32>> 
 #[test]
 fn blocking_collectives_bitwise_stable_across_seeds() {
     for &nranks in &[2usize, 4] {
-        let baseline: Vec<Vec<u32>> = blocking_round(None, nranks)
+        let baseline: Vec<Vec<u32>> = blocking_round(None, nranks, WirePrecision::Fp32)
             .iter()
             .map(|v| bits(v))
             .collect();
         let mut injected_total = 0u64;
         for seed in 0..SEEDS {
             let plan = ChaosConfig::aggressive(seed).plan();
-            let out = blocking_round(Some(plan), nranks);
+            let out = blocking_round(Some(plan), nranks, WirePrecision::Fp32);
             for (rank, v) in out.iter().enumerate() {
                 assert_eq!(
                     bits(v),
@@ -110,6 +120,7 @@ fn engine_round(
     backend: Backend,
     plan: Option<Arc<FaultPlan>>,
     nranks: usize,
+    wirep: WirePrecision,
 ) -> Vec<(Vec<f32>, u64)> {
     let worlds = create_channel_worlds_with_chaos(nranks, backend, plan.clone());
     std::thread::scope(|s| {
@@ -123,10 +134,11 @@ fn engine_round(
                     let nch = eng.num_channels();
                     let mut transcript = Vec::new();
                     for round in 0..6u64 {
-                        let ar = eng.allreduce(round as usize % nch, payload(me, 32, round));
+                        let ar =
+                            eng.allreduce_wire(round as usize % nch, payload(me, 32, round), wirep);
                         let send: Vec<Vec<f32>> =
                             (0..nranks).map(|d| payload(me * 4 + d, 6, round)).collect();
-                        let a2a = eng.alltoall((round as usize + 1) % nch, send);
+                        let a2a = eng.alltoall_wire((round as usize + 1) % nch, send, wirep);
                         match a2a.wait() {
                             OpOutput::PerRank(parts) => {
                                 for p in parts {
@@ -150,13 +162,13 @@ fn engine_round(
 
 fn engine_suite(backend: Backend) {
     let nranks = 4;
-    let baseline: Vec<Vec<u32>> = engine_round(backend, None, nranks)
+    let baseline: Vec<Vec<u32>> = engine_round(backend, None, nranks, WirePrecision::Fp32)
         .iter()
         .map(|(v, _)| bits(v))
         .collect();
     for seed in 0..SEEDS {
         let plan = ChaosConfig::aggressive(seed).plan();
-        let out = engine_round(backend, Some(plan), nranks);
+        let out = engine_round(backend, Some(plan), nranks, WirePrecision::Fp32);
         for (rank, (v, _)) in out.iter().enumerate() {
             assert_eq!(
                 bits(v),
@@ -175,6 +187,54 @@ fn mpi_like_engine_bitwise_stable_across_seeds() {
 #[test]
 fn ccl_like_engine_bitwise_stable_across_seeds() {
     engine_suite(Backend::CclLike { workers: 2 });
+}
+
+// ---------------------------------------------------------------------------
+// BF16 wire under chaos: the fault layer never inspects payload contents, so
+// chaotic BF16 runs must replay the fault-free BF16 baseline bitwise.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn bf16_blocking_collectives_bitwise_stable_across_seeds() {
+    for &nranks in &[2usize, 4] {
+        let baseline: Vec<Vec<u32>> = blocking_round(None, nranks, WirePrecision::Bf16)
+            .iter()
+            .map(|v| bits(v))
+            .collect();
+        for seed in 0..BF16_SEEDS {
+            let plan = ChaosConfig::aggressive(seed).plan();
+            let out = blocking_round(Some(plan), nranks, WirePrecision::Bf16);
+            for (rank, v) in out.iter().enumerate() {
+                assert_eq!(
+                    bits(v),
+                    baseline[rank],
+                    "bf16 blocking collectives diverged: nranks={nranks} rank={rank} \
+                     failing seed={seed}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bf16_engine_bitwise_stable_across_seeds() {
+    let nranks = 4;
+    let backend = Backend::CclLike { workers: 2 };
+    let baseline: Vec<Vec<u32>> = engine_round(backend, None, nranks, WirePrecision::Bf16)
+        .iter()
+        .map(|(v, _)| bits(v))
+        .collect();
+    for seed in 0..BF16_SEEDS {
+        let plan = ChaosConfig::aggressive(seed).plan();
+        let out = engine_round(backend, Some(plan), nranks, WirePrecision::Bf16);
+        for (rank, (v, _)) in out.iter().enumerate() {
+            assert_eq!(
+                bits(v),
+                baseline[rank],
+                "bf16 {backend} engine diverged under chaos: rank={rank} failing seed={seed}"
+            );
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -2,8 +2,20 @@
 //! mathematically obvious reductions for arbitrary rank counts and payloads.
 
 use dlrm_comm::collectives;
+use dlrm_comm::wire::WirePrecision;
 use dlrm_comm::world::CommWorld;
 use proptest::prelude::*;
+
+/// Reference wire quantization (`f32 → bf16 → f32`), scalar tier.
+fn quantize(v: &[f32]) -> Vec<f32> {
+    let mut q = v.to_vec();
+    dlrm_kernels::bf16wire::quantize_slice(dlrm_kernels::gemm::Isa::Scalar, &mut q);
+    q
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -91,6 +103,100 @@ proptest! {
         });
         for (send, twice) in out {
             prop_assert_eq!(send, twice);
+        }
+    }
+
+    #[test]
+    fn bf16_allreduce_bounded_and_rank_identical(
+        nranks in 2usize..7,
+        len in 1usize..48,
+        seed in any::<u32>(),
+    ) {
+        let input = |r: usize| -> Vec<f32> {
+            (0..len)
+                .map(|i| (((i * 31 + r * 17 + seed as usize) % 201) as f32 - 100.0) / 10.0)
+                .collect()
+        };
+        let out = CommWorld::run(nranks, |c| {
+            let mut mine = input(c.rank());
+            collectives::allreduce_sum_wire(&c, &mut mine, WirePrecision::Bf16);
+            mine
+        });
+        // Every rank must hold bitwise identical results.
+        for (rk, got) in out.iter().enumerate() {
+            prop_assert_eq!(bits(got), bits(&out[0]), "rank {} diverged", rk);
+        }
+        // And the result must sit within the accumulated RNE bound of the
+        // exact sum: one half-ULP (2^-8 relative) per wire crossing.
+        for (j, got) in out[0].iter().enumerate() {
+            let exact: f32 = (0..nranks).map(|r| input(r)[j]).sum();
+            let m: f32 = (0..nranks).map(|r| input(r)[j].abs()).sum();
+            let bound = (nranks as f32 + 1.0) * m * 2.0f32.powi(-8);
+            prop_assert!(
+                (got - exact).abs() <= bound,
+                "elem {}: {} vs {} exceeds bound {}", j, got, exact, bound
+            );
+        }
+    }
+
+    #[test]
+    fn bf16_allreduce_bitwise_on_representable_payloads(
+        nranks in 2usize..7,
+        len in 1usize..40,
+        seed in any::<u32>(),
+    ) {
+        // Small integers: every partial sum stays exactly BF16-representable,
+        // so the BF16 wire must be lossless and agree bitwise with FP32.
+        let input = |r: usize| -> Vec<f32> {
+            (0..len)
+                .map(|i| ((i * 7 + r * 5 + seed as usize) % 17) as f32 - 8.0)
+                .collect()
+        };
+        let bf = CommWorld::run(nranks, |c| {
+            let mut mine = input(c.rank());
+            collectives::allreduce_sum_wire(&c, &mut mine, WirePrecision::Bf16);
+            mine
+        });
+        let fp = CommWorld::run(nranks, |c| {
+            let mut mine = input(c.rank());
+            collectives::allreduce_sum(&c, &mut mine);
+            mine
+        });
+        for (b, f) in bf.iter().zip(&fp) {
+            prop_assert_eq!(bits(b), bits(f));
+        }
+    }
+
+    #[test]
+    fn bf16_alltoall_is_quantized_fp32_alltoall(
+        nranks in 1usize..6,
+        payload in 0usize..9,
+        seed in any::<u32>(),
+    ) {
+        let mk_send = |rank: usize| -> Vec<Vec<f32>> {
+            (0..nranks)
+                .map(|d| {
+                    (0..payload)
+                        .map(|i| {
+                            (((rank * 1009 + d * 97 + i * 31 + seed as usize) % 999) as f32
+                                - 499.0)
+                                * 0.037
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        let bf = CommWorld::run(nranks, |c| {
+            collectives::alltoall_wire(&c, mk_send(c.rank()), WirePrecision::Bf16)
+        });
+        let fp = CommWorld::run(nranks, |c| collectives::alltoall(&c, mk_send(c.rank())));
+        for (b_rank, f_rank) in bf.iter().zip(&fp) {
+            for (b, f) in b_rank.iter().zip(f_rank) {
+                // R == 1 never touches the wire; otherwise every element is
+                // quantized exactly once.
+                let want = if nranks == 1 { f.clone() } else { quantize(f) };
+                prop_assert_eq!(bits(b), bits(&want));
+            }
         }
     }
 

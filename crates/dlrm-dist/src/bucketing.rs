@@ -25,6 +25,7 @@ use dlrm::layers::Mlp;
 use dlrm_comm::collectives;
 use dlrm_comm::instrument::{time_opt, OpKind, TimingRecorder};
 use dlrm_comm::nonblocking::{OpOutput, ProgressEngine, Request};
+use dlrm_comm::wire::WirePrecision;
 use dlrm_comm::world::Communicator;
 use std::ops::Range;
 
@@ -102,12 +103,14 @@ pub struct BucketReducer {
     /// Next plan index to issue.
     next_bucket: usize,
     issued: Vec<(Range<usize>, BucketOp)>,
+    /// On-wire element format for every bucket's ring allreduce.
+    wire: WirePrecision,
 }
 
 impl BucketReducer {
     /// Starts a reduction of `total` elements, reusing `flat` as the
     /// backing buffer (resized as needed; contents fully overwritten by
-    /// `write`).
+    /// `write`). The wire defaults to FP32; see [`BucketReducer::with_wire`].
     pub fn new(mut flat: Vec<f32>, total: usize, cap_bytes: usize) -> Self {
         flat.resize(total, 0.0);
         let plan = BucketPlan::for_bytes(total, cap_bytes);
@@ -118,7 +121,16 @@ impl BucketReducer {
             produced_down_to: total,
             next_bucket: 0,
             issued,
+            wire: WirePrecision::Fp32,
         }
+    }
+
+    /// Selects the on-wire element format of the bucket allreduces. Both
+    /// the engine and the blocking (deferred) paths honor it, so the
+    /// overlap-moves-time-not-bits contract holds per wire setting.
+    pub fn with_wire(mut self, wire: WirePrecision) -> Self {
+        self.wire = wire;
+        self
     }
 
     /// Number of buckets in the plan.
@@ -164,7 +176,7 @@ impl BucketReducer {
                     let payload = time_opt(rec, OpKind::AllreduceFramework, || {
                         self.flat[range.clone()].to_vec()
                     });
-                    BucketOp::InFlight(eng.allreduce(ch, payload))
+                    BucketOp::InFlight(eng.allreduce_wire(ch, payload, self.wire))
                 }
                 None => BucketOp::Deferred,
             };
@@ -197,7 +209,7 @@ impl BucketReducer {
                 }
                 BucketOp::Deferred => {
                     time_opt(rec, OpKind::AllreduceWait, || {
-                        collectives::allreduce_sum(comm, &mut flat[range])
+                        collectives::allreduce_sum_wire(comm, &mut flat[range], self.wire)
                     });
                 }
             }

@@ -35,6 +35,7 @@ use dlrm::model::DlrmModel;
 use dlrm_comm::chaos::FaultPlan;
 use dlrm_comm::instrument::{time_opt, OpKind, TimingRecorder};
 use dlrm_comm::nonblocking::{create_channel_worlds_with_chaos, Backend, ProgressEngine};
+use dlrm_comm::wire::WirePrecision;
 use dlrm_comm::world::{CommWorld, Communicator};
 use dlrm_data::{DlrmConfig, MiniBatch};
 use dlrm_kernels::embedding::UpdateStrategy;
@@ -72,6 +73,35 @@ fn default_threads_per_rank() -> usize {
         .clamp(1, 8)
 }
 
+/// Per-collective wire precision for the train step's data plane.
+///
+/// The three hot collectives are independently selectable so experiments
+/// can isolate where the volume (and the rounding) goes: the forward
+/// embedding alltoall ships activations, the backward alltoall ships
+/// embedding gradients, and the bucketed allreduce ships MLP gradients.
+/// [`WireConfig::all`] sets every knob at once; the default is FP32
+/// everywhere (bitwise-identical to the pre-wire trainer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireConfig {
+    /// Wire format of the embedding-output (forward) alltoall.
+    pub forward_alltoall: WirePrecision,
+    /// Wire format of the embedding-gradient (backward) alltoall.
+    pub backward_alltoall: WirePrecision,
+    /// Wire format of the bucketed MLP-gradient allreduce.
+    pub allreduce: WirePrecision,
+}
+
+impl WireConfig {
+    /// The same precision on every collective.
+    pub fn all(p: WirePrecision) -> Self {
+        WireConfig {
+            forward_alltoall: p,
+            backward_alltoall: p,
+            allreduce: p,
+        }
+    }
+}
+
 /// Options for constructing a distributed trainer.
 #[derive(Clone)]
 pub struct DistOptions {
@@ -87,6 +117,8 @@ pub struct DistOptions {
     pub schedule: Schedule,
     /// Gradient-allreduce bucket cap in bytes (DDP `bucket_cap_mb`).
     pub bucket_cap_bytes: usize,
+    /// Per-collective on-wire element format.
+    pub wire: WireConfig,
 }
 
 impl Default for DistOptions {
@@ -98,6 +130,7 @@ impl Default for DistOptions {
             seed: 0,
             schedule: Schedule::Overlapped,
             bucket_cap_bytes: DEFAULT_BUCKET_CAP_BYTES,
+            wire: WireConfig::default(),
         }
     }
 }
@@ -122,6 +155,7 @@ pub struct DistDlrm {
     strategy: ExchangeStrategy,
     schedule: Schedule,
     bucket_cap_bytes: usize,
+    wire: WireConfig,
     /// Flat offset of each layer's gradients: `[bottom, top]`.
     grad_offs: Vec<Vec<usize>>,
     grad_total: usize,
@@ -177,6 +211,7 @@ impl DistDlrm {
             strategy: opts.strategy,
             schedule: opts.schedule,
             bucket_cap_bytes: opts.bucket_cap_bytes,
+            wire: opts.wire,
             grad_offs,
             grad_total,
             recorder: None,
@@ -200,6 +235,11 @@ impl DistDlrm {
     /// The active schedule.
     pub fn schedule(&self) -> Schedule {
         self.schedule
+    }
+
+    /// The active per-collective wire configuration.
+    pub fn wire(&self) -> WireConfig {
+        self.wire
     }
 
     /// Barrier over the trainer's communicator (bench/test sync points).
@@ -266,6 +306,7 @@ impl DistDlrm {
             self.cfg.num_tables,
             n,
             e,
+            self.wire.forward_alltoall,
             rec,
         ));
         if !overlapped {
@@ -304,7 +345,8 @@ impl DistDlrm {
             std::mem::take(&mut self.flat_grads),
             self.grad_total,
             self.bucket_cap_bytes,
-        );
+        )
+        .with_wire(self.wire.allreduce);
 
         let d_inter = if overlapped {
             let offs = &self.grad_offs[1];
@@ -334,6 +376,7 @@ impl DistDlrm {
             self.cfg.num_tables,
             n,
             e,
+            self.wire.backward_alltoall,
             rec,
         ));
         if !overlapped {
@@ -580,6 +623,32 @@ mod tests {
             mean[0],
             mean.last().unwrap()
         );
+    }
+
+    #[test]
+    fn bf16_wire_tracks_fp32_losses() {
+        // A fully BF16 wire rounds every exchanged element once per hop,
+        // so the loss trajectory drifts from the FP32 wire but must stay
+        // within the RNE bound's ballpark — and still train.
+        let cfg = tiny_cfg();
+        let batches = global_batches(&cfg, 12, 4);
+        let opts_fp = DistOptions {
+            seed: 77,
+            threads_per_rank: 1,
+            ..Default::default()
+        };
+        let opts_bf = DistOptions {
+            wire: WireConfig::all(WirePrecision::Bf16),
+            ..opts_fp.clone()
+        };
+        let fp = mean_losses(&run_training(&cfg, 4, &opts_fp, &batches, 0.1));
+        let bf = mean_losses(&run_training(&cfg, 4, &opts_bf, &batches, 0.1));
+        for (step, (b, f)) in bf.iter().zip(&fp).enumerate() {
+            assert!(
+                (b - f).abs() < 2e-2,
+                "step {step}: bf16 {b} vs fp32 {f} diverged"
+            );
+        }
     }
 
     #[test]

@@ -33,6 +33,7 @@
 use dlrm_comm::collectives;
 use dlrm_comm::instrument::{time_opt, OpKind, TimingRecorder};
 use dlrm_comm::nonblocking::{OpOutput, ProgressEngine, Request};
+use dlrm_comm::wire::WirePrecision;
 use dlrm_comm::world::Communicator;
 use dlrm_tensor::Matrix;
 
@@ -104,12 +105,16 @@ pub const EXCHANGE_CHANNEL: usize = 0;
 enum PendingState {
     /// Submitted to a progress channel; `finish` only waits.
     InFlight(Request),
-    /// Packed payloads for a blocking pairwise alltoall, run at `finish`.
-    DeferredAlltoall(Vec<Vec<f32>>),
+    /// Packed payloads for a blocking pairwise alltoall, run at `finish`
+    /// with the captured wire precision.
+    DeferredAlltoall(Vec<Vec<f32>>, WirePrecision),
     /// Per-table rooted scatter/gather payloads (forward: `Some(parts)` on
-    /// the owner; backward: one payload per table).
+    /// the owner; backward: one payload per table). Always FP32 on the
+    /// wire: the rooted scatter/gather strategies model the legacy paths
+    /// the paper replaces, so they never take the BF16 fast path.
     DeferredPerTable(Vec<Option<Vec<Vec<f32>>>>),
-    /// Per-root coalesced payloads (fused scatter/gather).
+    /// Per-root coalesced payloads (fused scatter/gather). FP32-only, as
+    /// above.
     DeferredPerRoot(Vec<Vec<f32>>),
 }
 
@@ -133,8 +138,10 @@ pub struct PendingBackwardExchange {
 /// `local_outputs[j]` is the `GN×E` output of this rank's `j`-th table
 /// (ascending global index). Packing time is charged to
 /// `Alltoall-Framework`; an engine-driven alltoall is in flight when this
-/// returns, the blocking strategies run at `finish`.
-#[allow(clippy::too_many_arguments)] // split-phase twin of the 7-arg blocking form
+/// returns, the blocking strategies run at `finish`. `wire` selects the
+/// on-wire element format of the alltoall strategies (the rooted
+/// scatter/gather strategies always ship FP32).
+#[allow(clippy::too_many_arguments)] // split-phase twin of the blocking form
 pub fn begin_forward_exchange(
     strategy: ExchangeStrategy,
     comm: &Communicator,
@@ -143,6 +150,7 @@ pub fn begin_forward_exchange(
     num_tables: usize,
     local_n: usize,
     emb_dim: usize,
+    wire: WirePrecision,
     rec: Option<&TimingRecorder>,
 ) -> PendingForwardExchange {
     let r = comm.nranks();
@@ -176,9 +184,9 @@ pub fn begin_forward_exchange(
             let send: Vec<Vec<f32>> = (0..r).map(pack_for).collect();
             match (strategy, engine) {
                 (ExchangeStrategy::CclAlltoall, Some(eng)) => {
-                    PendingState::InFlight(eng.alltoall(EXCHANGE_CHANNEL, send))
+                    PendingState::InFlight(eng.alltoall_wire(EXCHANGE_CHANNEL, send, wire))
                 }
-                _ => PendingState::DeferredAlltoall(send),
+                _ => PendingState::DeferredAlltoall(send, wire),
             }
         }
         ExchangeStrategy::ScatterList => {
@@ -255,9 +263,9 @@ pub fn finish_forward_exchange(
             };
             time_opt(rec, OpKind::AlltoallFramework, || assemble(&recv, out));
         }
-        PendingState::DeferredAlltoall(send) => {
+        PendingState::DeferredAlltoall(send, wire) => {
             let recv = time_opt(rec, OpKind::AlltoallWait, || {
-                collectives::alltoall(comm, send)
+                collectives::alltoall_wire(comm, send, wire)
             });
             time_opt(rec, OpKind::AlltoallFramework, || assemble(&recv, out));
         }
@@ -289,8 +297,9 @@ pub fn finish_forward_exchange(
 }
 
 /// Packs this rank's per-table gradients and starts the backward exchange.
-/// `grads[t]` is this rank's `n×E` gradient for global table `t`.
-#[allow(clippy::too_many_arguments)] // split-phase twin of the 7-arg blocking form
+/// `grads[t]` is this rank's `n×E` gradient for global table `t`. `wire`
+/// selects the on-wire element format of the alltoall strategies.
+#[allow(clippy::too_many_arguments)] // split-phase twin of the blocking form
 pub fn begin_backward_exchange(
     strategy: ExchangeStrategy,
     comm: &Communicator,
@@ -299,6 +308,7 @@ pub fn begin_backward_exchange(
     num_tables: usize,
     local_n: usize,
     emb_dim: usize,
+    wire: WirePrecision,
     rec: Option<&TimingRecorder>,
 ) -> PendingBackwardExchange {
     let r = comm.nranks();
@@ -321,9 +331,9 @@ pub fn begin_backward_exchange(
             let send: Vec<Vec<f32>> = (0..r).map(pack_for).collect();
             match (strategy, engine) {
                 (ExchangeStrategy::CclAlltoall, Some(eng)) => {
-                    PendingState::InFlight(eng.alltoall(EXCHANGE_CHANNEL, send))
+                    PendingState::InFlight(eng.alltoall_wire(EXCHANGE_CHANNEL, send, wire))
                 }
-                _ => PendingState::DeferredAlltoall(send),
+                _ => PendingState::DeferredAlltoall(send, wire),
             }
         }
         ExchangeStrategy::ScatterList => {
@@ -382,9 +392,9 @@ pub fn finish_backward_exchange(
                 assemble_local(&recv, out)
             });
         }
-        PendingState::DeferredAlltoall(send) => {
+        PendingState::DeferredAlltoall(send, wire) => {
             let recv = time_opt(rec, OpKind::AlltoallWait, || {
-                collectives::alltoall(comm, send)
+                collectives::alltoall_wire(comm, send, wire)
             });
             time_opt(rec, OpKind::AlltoallFramework, || {
                 assemble_local(&recv, out)
@@ -434,6 +444,7 @@ pub fn finish_backward_exchange(
 /// Blocking forward exchange (begin + finish back to back). Returns the
 /// `n×E` slice of every global table for this rank, ordered by global
 /// table index.
+#[allow(clippy::too_many_arguments)] // mirror of the split-phase begin
 pub fn forward_exchange(
     strategy: ExchangeStrategy,
     comm: &Communicator,
@@ -442,6 +453,7 @@ pub fn forward_exchange(
     num_tables: usize,
     local_n: usize,
     emb_dim: usize,
+    wire: WirePrecision,
 ) -> Vec<Matrix> {
     let pending = begin_forward_exchange(
         strategy,
@@ -451,6 +463,7 @@ pub fn forward_exchange(
         num_tables,
         local_n,
         emb_dim,
+        wire,
         None,
     );
     let mut out = Vec::new();
@@ -461,6 +474,7 @@ pub fn forward_exchange(
 /// Blocking backward exchange (begin + finish back to back). Returns, for
 /// each *local* table (ascending global index), the assembled `GN×E`
 /// gradient (rank slices stacked in rank order).
+#[allow(clippy::too_many_arguments)] // mirror of the split-phase begin
 pub fn backward_exchange(
     strategy: ExchangeStrategy,
     comm: &Communicator,
@@ -469,9 +483,10 @@ pub fn backward_exchange(
     num_tables: usize,
     local_n: usize,
     emb_dim: usize,
+    wire: WirePrecision,
 ) -> Vec<Matrix> {
     let pending = begin_backward_exchange(
-        strategy, comm, engine, grads, num_tables, local_n, emb_dim, None,
+        strategy, comm, engine, grads, num_tables, local_n, emb_dim, wire, None,
     );
     let mut out = Vec::new();
     finish_backward_exchange(pending, comm, &mut out, None);
@@ -524,6 +539,7 @@ mod tests {
                 num_tables,
                 local_n,
                 e,
+                WirePrecision::Fp32,
             )
         });
         for (rank, slices) in out.iter().enumerate() {
@@ -566,7 +582,16 @@ mod tests {
                 let grads: Vec<Matrix> = (0..num_tables)
                     .map(|t| Matrix::from_fn(local_n, e, |_, _| (me * 10 + t) as f32))
                     .collect();
-                backward_exchange(strategy, &comm, None, &grads, num_tables, local_n, e)
+                backward_exchange(
+                    strategy,
+                    &comm,
+                    None,
+                    &grads,
+                    num_tables,
+                    local_n,
+                    e,
+                    WirePrecision::Fp32,
+                )
             });
             for (rank, full_grads) in out.iter().enumerate() {
                 let mine = tables_of(num_tables, nranks, rank);
@@ -608,6 +633,7 @@ mod tests {
                 num_tables,
                 local_n,
                 e,
+                WirePrecision::Fp32,
             );
             let back = backward_exchange(
                 ExchangeStrategy::Alltoall,
@@ -617,6 +643,7 @@ mod tests {
                 num_tables,
                 local_n,
                 e,
+                WirePrecision::Fp32,
             );
             (outputs, back)
         });
@@ -649,6 +676,7 @@ mod tests {
                     num_tables,
                     local_n,
                     e,
+                    WirePrecision::Fp32,
                     None,
                 );
                 let ptrs: Vec<*const f32> =

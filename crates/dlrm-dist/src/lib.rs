@@ -27,6 +27,12 @@
 //! built on split-phase exchanges ([`exchange`]) and an
 //! issue-as-produced bucketed allreduce ([`bucketing`]). The two are
 //! bitwise-identical in losses — overlap moves time, not bits.
+//!
+//! Orthogonally to the schedule, [`distributed::WireConfig`] picks the
+//! on-wire element format ([`WirePrecision`]) of each hot collective —
+//! the forward/backward embedding alltoalls and the bucketed allreduce —
+//! so the paper's 16-bit wire halves the exchanged bytes while all local
+//! arithmetic stays FP32.
 
 pub mod bucketing;
 pub mod characteristics;
@@ -36,5 +42,8 @@ pub mod exchange;
 
 pub use bucketing::{BucketPlan, BucketReducer, DEFAULT_BUCKET_CAP_BYTES};
 pub use characteristics::DistCharacteristics;
-pub use distributed::{run_training, run_training_with_chaos, DistDlrm, DistOptions, Schedule};
+pub use distributed::{
+    run_training, run_training_with_chaos, DistDlrm, DistOptions, Schedule, WireConfig,
+};
+pub use dlrm_comm::wire::WirePrecision;
 pub use exchange::ExchangeStrategy;

@@ -39,9 +39,10 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static ALLOC: CountingAlloc = CountingAlloc;
 
 use dlrm_comm::nonblocking::{create_channel_worlds, Backend, ProgressEngine};
+use dlrm_comm::wire::WirePrecision;
 use dlrm_comm::world::CommWorld;
 use dlrm_data::{DlrmConfig, IndexDistribution, MiniBatch};
-use dlrm_dist::distributed::{DistDlrm, DistOptions, Schedule};
+use dlrm_dist::distributed::{DistDlrm, DistOptions, Schedule, WireConfig};
 use dlrm_dist::exchange::ExchangeStrategy;
 use dlrm_tensor::init::seeded_rng;
 
@@ -61,6 +62,10 @@ fn tiny_cfg() -> DlrmConfig {
 /// per-step (live-heap, scratch) samples, each taken inside a barrier
 /// sandwich so every rank is parked at a known point.
 fn sample_training(schedule: Schedule, steps: usize) -> Vec<(isize, usize)> {
+    sample_training_wire(schedule, steps, WireConfig::default())
+}
+
+fn sample_training_wire(schedule: Schedule, steps: usize, wire: WireConfig) -> Vec<(isize, usize)> {
     let cfg = tiny_cfg();
     let nranks = 2;
     let opts = DistOptions {
@@ -69,6 +74,7 @@ fn sample_training(schedule: Schedule, steps: usize) -> Vec<(isize, usize)> {
         threads_per_rank: 1,
         schedule,
         bucket_cap_bytes: 128, // several buckets: exercise the full path
+        wire,
         ..Default::default()
     };
     let batches: Vec<MiniBatch> = (0..steps)
@@ -146,4 +152,28 @@ fn overlapped_step_does_not_grow_allocations() {
 fn synchronous_step_does_not_grow_allocations() {
     let samples = sample_training(Schedule::Synchronous, 50);
     assert_steady(&samples, "synchronous");
+}
+
+// The BF16 wire adds narrow/widen staging to every hot collective; all of
+// it must come from the grow-only thread-local pools, so steady state
+// stays allocation-flat exactly like FP32.
+
+#[test]
+fn bf16_overlapped_step_does_not_grow_allocations() {
+    let samples = sample_training_wire(
+        Schedule::Overlapped,
+        50,
+        WireConfig::all(WirePrecision::Bf16),
+    );
+    assert_steady(&samples, "bf16 overlapped");
+}
+
+#[test]
+fn bf16_synchronous_step_does_not_grow_allocations() {
+    let samples = sample_training_wire(
+        Schedule::Synchronous,
+        50,
+        WireConfig::all(WirePrecision::Bf16),
+    );
+    assert_steady(&samples, "bf16 synchronous");
 }

@@ -7,10 +7,11 @@
 
 use dlrm_comm::chaos::ChaosConfig;
 use dlrm_comm::nonblocking::{create_channel_worlds_with_chaos, Backend, ProgressEngine};
+use dlrm_comm::wire::WirePrecision;
 use dlrm_comm::world::CommWorld;
 use dlrm_comm::FaultPlan;
 use dlrm_data::{DlrmConfig, IndexDistribution, MiniBatch};
-use dlrm_dist::distributed::{run_training_with_chaos, DistOptions};
+use dlrm_dist::distributed::{run_training_with_chaos, DistOptions, WireConfig};
 use dlrm_dist::exchange::{backward_exchange, forward_exchange, tables_of, ExchangeStrategy};
 use dlrm_tensor::init::seeded_rng;
 use dlrm_tensor::Matrix;
@@ -80,6 +81,7 @@ fn exchange_round(
             num_tables,
             local_n,
             e,
+            WirePrecision::Fp32,
         );
         let grads: Vec<Matrix> = (0..num_tables)
             .map(|t| table_grad(me, t, local_n, e))
@@ -92,6 +94,7 @@ fn exchange_round(
             num_tables,
             local_n,
             e,
+            WirePrecision::Fp32,
         );
         let mut transcript = Vec::new();
         for m in slices.iter().chain(full.iter()) {
@@ -195,12 +198,17 @@ fn loss_bits(losses: &[Vec<f64>]) -> Vec<Vec<u64>> {
 }
 
 fn training_suite(strategy: ExchangeStrategy, seeds: u64) {
+    training_suite_wire(strategy, seeds, WireConfig::default());
+}
+
+fn training_suite_wire(strategy: ExchangeStrategy, seeds: u64, wire: WireConfig) {
     let cfg = tiny_cfg();
     let nranks = 4;
     let batches = global_batches(&cfg, 8, 3);
     let opts = DistOptions {
         strategy,
         seed: 77,
+        wire,
         ..Default::default()
     };
     let baseline = loss_bits(&run_training_with_chaos(
@@ -236,4 +244,20 @@ fn training_bitwise_stable_under_chaos_fused_scatter() {
 #[test]
 fn training_bitwise_stable_under_chaos_engine_alltoall() {
     training_suite(ExchangeStrategy::CclAlltoall, 40);
+}
+
+#[test]
+fn bf16_training_bitwise_stable_under_chaos() {
+    // The fault layer never inspects payloads, so a fully BF16 wire must
+    // replay its own fault-free baseline bitwise, exactly like FP32.
+    training_suite_wire(
+        ExchangeStrategy::CclAlltoall,
+        20,
+        WireConfig::all(WirePrecision::Bf16),
+    );
+    training_suite_wire(
+        ExchangeStrategy::Alltoall,
+        20,
+        WireConfig::all(WirePrecision::Bf16),
+    );
 }

@@ -4,6 +4,7 @@
 //! gradient mass table by table, and (c) forward→backward round-trips the
 //! owners' tensors bit-exactly.
 
+use dlrm_comm::wire::WirePrecision;
 use dlrm_comm::world::CommWorld;
 use dlrm_dist::exchange::{
     backward_exchange, forward_exchange, owner_of, tables_of, ExchangeStrategy,
@@ -49,7 +50,16 @@ proptest! {
                 .into_iter()
                 .map(|t| table_output(t, gn, e))
                 .collect();
-            forward_exchange(strategy, &comm, None, &outputs, num_tables, local_n, e)
+            forward_exchange(
+                strategy,
+                &comm,
+                None,
+                &outputs,
+                num_tables,
+                local_n,
+                e,
+                WirePrecision::Fp32,
+            )
         });
         for (rank, slices) in out.iter().enumerate() {
             prop_assert_eq!(slices.len(), num_tables);
@@ -84,7 +94,16 @@ proptest! {
             let grads: Vec<Matrix> = (0..num_tables)
                 .map(|t| table_grad(me, t, local_n, e))
                 .collect();
-            backward_exchange(strategy, &comm, None, &grads, num_tables, local_n, e)
+            backward_exchange(
+                strategy,
+                &comm,
+                None,
+                &grads,
+                num_tables,
+                local_n,
+                e,
+                WirePrecision::Fp32,
+            )
         });
         // Each owner got its tables' full gradients; mass per table must be
         // exactly the sum of every rank's submitted block (assembly copies,
@@ -137,10 +156,26 @@ proptest! {
                 .into_iter()
                 .map(|t| table_output(t, gn, e))
                 .collect();
-            let slices =
-                forward_exchange(strategy, &comm, None, &outputs, num_tables, local_n, e);
-            let back =
-                backward_exchange(strategy, &comm, None, &slices, num_tables, local_n, e);
+            let slices = forward_exchange(
+                strategy,
+                &comm,
+                None,
+                &outputs,
+                num_tables,
+                local_n,
+                e,
+                WirePrecision::Fp32,
+            );
+            let back = backward_exchange(
+                strategy,
+                &comm,
+                None,
+                &slices,
+                num_tables,
+                local_n,
+                e,
+                WirePrecision::Fp32,
+            );
             (outputs, back)
         });
         for (rank, (outputs, back)) in out.iter().enumerate() {
@@ -150,6 +185,56 @@ proptest! {
                     o.as_slice(), b.as_slice(),
                     "{} rank {}: scatter→gather must round-trip", strategy, rank
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn bf16_forward_exchange_is_quantized_fp32_exchange(
+        nranks in prop::sample::select(vec![1usize, 2, 4, 8]),
+        extra_tables in 0usize..6,
+        local_n in 1usize..4,
+        e in 1usize..5,
+    ) {
+        // Every delivered element of a BF16-wire alltoall exchange must be
+        // exactly the once-quantized FP32-wire element — no double
+        // rounding, no element skipping the wire (except the whole
+        // exchange when R == 1, which never leaves the rank).
+        let num_tables = nranks + extra_tables;
+        let gn = local_n * nranks;
+        let run = |wire: WirePrecision| {
+            CommWorld::run(nranks, move |comm| {
+                let me = comm.rank();
+                let outputs: Vec<Matrix> = tables_of(num_tables, nranks, me)
+                    .into_iter()
+                    .map(|t| table_output(t, gn, e))
+                    .collect();
+                forward_exchange(
+                    ExchangeStrategy::Alltoall,
+                    &comm,
+                    None,
+                    &outputs,
+                    num_tables,
+                    local_n,
+                    e,
+                    wire,
+                )
+            })
+        };
+        let bf = run(WirePrecision::Bf16);
+        let fp = run(WirePrecision::Fp32);
+        for (rank, (bf_slices, fp_slices)) in bf.iter().zip(&fp).enumerate() {
+            for (t, (b, f)) in bf_slices.iter().zip(fp_slices).enumerate() {
+                let mut want = f.as_slice().to_vec();
+                if nranks > 1 {
+                    dlrm_kernels::bf16wire::quantize_slice(
+                        dlrm_kernels::gemm::Isa::Scalar,
+                        &mut want,
+                    );
+                }
+                let got: Vec<u32> = b.as_slice().iter().map(|v| v.to_bits()).collect();
+                let want: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(got, want, "rank {} table {}", rank, t);
             }
         }
     }

@@ -2,6 +2,7 @@
 //! for arbitrary world shapes, and every strategy produces identical
 //! tensors.
 
+use dlrm_comm::wire::WirePrecision;
 use dlrm_comm::world::CommWorld;
 use dlrm_dist::exchange::{backward_exchange, forward_exchange, tables_of, ExchangeStrategy};
 use dlrm_tensor::Matrix;
@@ -31,7 +32,16 @@ proptest! {
                 .into_iter()
                 .map(|t| Matrix::from_fn(gn, e, |r, c| (t * 10_000 + r * 10 + c) as f32))
                 .collect();
-            forward_exchange(strategy, &comm, None, &outputs, num_tables, local_n, e)
+            forward_exchange(
+                strategy,
+                &comm,
+                None,
+                &outputs,
+                num_tables,
+                local_n,
+                e,
+                WirePrecision::Fp32,
+            )
         });
         for (rank, slices) in out.iter().enumerate() {
             prop_assert_eq!(slices.len(), num_tables);
@@ -62,10 +72,24 @@ proptest! {
                 .map(|t| Matrix::from_fn(gn, e, |r, c| ((t + 1) * 1000 + r * e + c) as f32))
                 .collect();
             let slices = forward_exchange(
-                ExchangeStrategy::Alltoall, &comm, None, &outputs, num_tables, local_n, e,
+                ExchangeStrategy::Alltoall,
+                &comm,
+                None,
+                &outputs,
+                num_tables,
+                local_n,
+                e,
+                WirePrecision::Fp32,
             );
             let back = backward_exchange(
-                ExchangeStrategy::Alltoall, &comm, None, &slices, num_tables, local_n, e,
+                ExchangeStrategy::Alltoall,
+                &comm,
+                None,
+                &slices,
+                num_tables,
+                local_n,
+                e,
+                WirePrecision::Fp32,
             );
             outputs
                 .iter()

@@ -7,8 +7,9 @@
 //! Any failure prints the (strategy, ranks, seed) triple for replay.
 
 use dlrm_comm::chaos::ChaosConfig;
+use dlrm_comm::wire::WirePrecision;
 use dlrm_data::{DlrmConfig, IndexDistribution, MiniBatch};
-use dlrm_dist::distributed::{run_training_with_chaos, DistOptions, Schedule};
+use dlrm_dist::distributed::{run_training_with_chaos, DistOptions, Schedule, WireConfig};
 use dlrm_dist::exchange::ExchangeStrategy;
 use dlrm_tensor::init::seeded_rng;
 
@@ -45,7 +46,12 @@ fn loss_bits(losses: &[Vec<f64>]) -> Vec<Vec<u64>> {
         .collect()
 }
 
-fn opts(strategy: ExchangeStrategy, schedule: Schedule, seed: u64) -> DistOptions {
+fn opts_wire(
+    strategy: ExchangeStrategy,
+    schedule: Schedule,
+    seed: u64,
+    wire: WireConfig,
+) -> DistOptions {
     DistOptions {
         strategy,
         seed,
@@ -54,20 +60,25 @@ fn opts(strategy: ExchangeStrategy, schedule: Schedule, seed: u64) -> DistOption
         // Small cap → several buckets even on the tiny model, so the
         // issue-as-produced path is genuinely multi-bucket.
         bucket_cap_bytes: 128,
+        wire,
         ..Default::default()
     }
 }
 
 /// 50 seeds × ranks {1, 2, 4, 8}: overlapped ≡ synchronous, bitwise.
 fn equivalence_suite(strategy: ExchangeStrategy) {
+    equivalence_suite_wire(strategy, 50, WireConfig::default());
+}
+
+fn equivalence_suite_wire(strategy: ExchangeStrategy, seeds: u64, wire: WireConfig) {
     let cfg = cfg8();
     for nranks in [1usize, 2, 4, 8] {
-        for seed in 0..50u64 {
+        for seed in 0..seeds {
             let batches = global_batches(&cfg, 16, 2, seed);
             let sync = run_training_with_chaos(
                 &cfg,
                 nranks,
-                &opts(strategy, Schedule::Synchronous, seed),
+                &opts_wire(strategy, Schedule::Synchronous, seed, wire),
                 &batches,
                 0.1,
                 None,
@@ -75,7 +86,7 @@ fn equivalence_suite(strategy: ExchangeStrategy) {
             let over = run_training_with_chaos(
                 &cfg,
                 nranks,
-                &opts(strategy, Schedule::Overlapped, seed),
+                &opts_wire(strategy, Schedule::Overlapped, seed, wire),
                 &batches,
                 0.1,
                 None,
@@ -83,7 +94,7 @@ fn equivalence_suite(strategy: ExchangeStrategy) {
             assert_eq!(
                 loss_bits(&sync),
                 loss_bits(&over),
-                "{strategy} R={nranks} seed={seed}: schedules diverged"
+                "{strategy} R={nranks} seed={seed} wire={wire:?}: schedules diverged"
             );
         }
     }
@@ -107,6 +118,16 @@ fn overlapped_equals_synchronous_alltoall() {
 #[test]
 fn overlapped_equals_synchronous_ccl_alltoall() {
     equivalence_suite(ExchangeStrategy::CclAlltoall);
+}
+
+/// BF16 on every wire: the schedules still agree bitwise — the overlap
+/// contract is independent of the wire format because both schedules run
+/// the identical quantize/narrow/widen sequence per collective.
+#[test]
+fn overlapped_equals_synchronous_bf16_wire() {
+    let bf16 = WireConfig::all(WirePrecision::Bf16);
+    equivalence_suite_wire(ExchangeStrategy::Alltoall, 15, bf16);
+    equivalence_suite_wire(ExchangeStrategy::CclAlltoall, 15, bf16);
 }
 
 /// The default bucket cap (25 MiB, one bucket on this model) must also be
@@ -136,30 +157,34 @@ fn overlapped_equals_synchronous_default_bucket_cap() {
 /// chaotic overlapped run must still match the fault-free *synchronous*
 /// baseline.
 fn chaos_suite(strategy: ExchangeStrategy) {
+    chaos_suite_wire(strategy, 20, WireConfig::default());
+}
+
+fn chaos_suite_wire(strategy: ExchangeStrategy, seeds: u64, wire: WireConfig) {
     let cfg = cfg8();
     let nranks = 4;
     let batches = global_batches(&cfg, 16, 3, 3);
     let baseline = loss_bits(&run_training_with_chaos(
         &cfg,
         nranks,
-        &opts(strategy, Schedule::Synchronous, 77),
+        &opts_wire(strategy, Schedule::Synchronous, 77, wire),
         &batches,
         0.1,
         None,
     ));
-    for seed in 0..20u64 {
+    for seed in 0..seeds {
         let plan = ChaosConfig::aggressive(seed).plan();
         let got = loss_bits(&run_training_with_chaos(
             &cfg,
             nranks,
-            &opts(strategy, Schedule::Overlapped, 77),
+            &opts_wire(strategy, Schedule::Overlapped, 77, wire),
             &batches,
             0.1,
             Some(plan),
         ));
         assert_eq!(
             got, baseline,
-            "{strategy}: overlapped-under-chaos diverged, failing seed={seed}"
+            "{strategy} wire={wire:?}: overlapped-under-chaos diverged, failing seed={seed}"
         );
     }
 }
@@ -182,4 +207,13 @@ fn overlapped_chaos_replay_alltoall() {
 #[test]
 fn overlapped_chaos_replay_ccl_alltoall() {
     chaos_suite(ExchangeStrategy::CclAlltoall);
+}
+
+#[test]
+fn overlapped_chaos_replay_bf16_wire() {
+    chaos_suite_wire(
+        ExchangeStrategy::CclAlltoall,
+        10,
+        WireConfig::all(WirePrecision::Bf16),
+    );
 }

@@ -1,0 +1,357 @@
+//! SIMD BF16 pack/unpack for the wire-precision comm path.
+//!
+//! The BF16-wire collectives (see `dlrm-comm`) narrow every outgoing
+//! payload to BF16 halfwords and widen incoming ones back to FP32. Those
+//! conversions sit on the critical path of every alltoall/allreduce step,
+//! so they get the same scalar/AVX2/AVX-512 tiering as the embedding row
+//! primitives in [`rowops`](crate::embedding::rowops), dispatched through
+//! the same [`Isa`] machinery.
+//!
+//! **Bit-exactness across tiers is a deliberate invariant.** Narrowing is
+//! round-to-nearest-even exactly as [`dlrm_precision::Bf16::from_f32_rne`]
+//! defines it (including the NaN-quieting rule), and widening is the exact
+//! 16-bit left shift. Both are pure integer transforms, so every tier
+//! produces bitwise identical halfwords/floats — which is what lets the
+//! distributed equivalence suites assert bitwise-identical losses no matter
+//! which tier a rank's conversion ran on.
+//!
+//! Payloads travel as raw `u16` bit patterns (not the [`Bf16`] newtype) so
+//! the comm crate can ship plain `Vec<u16>` buffers without a precision
+//! dependency in its message type.
+//!
+//! [`Bf16`]: dlrm_precision::Bf16
+
+use crate::gemm::micro::Isa;
+use dlrm_precision::Bf16;
+
+/// Narrows `src` to BF16 halfwords (round-to-nearest-even) into `dst`.
+///
+/// Bitwise identical to [`Bf16::from_f32_rne`] per element on every tier.
+#[inline]
+pub fn narrow_slice(isa: Isa, src: &[f32], dst: &mut [u16]) {
+    assert_eq!(src.len(), dst.len(), "narrow_slice length mismatch");
+    // SAFETY: lengths checked equal; slices are valid for their lengths.
+    unsafe { narrow_raw(isa, src.as_ptr(), dst.as_mut_ptr(), src.len()) }
+}
+
+/// Widens BF16 halfwords in `src` to FP32 into `dst` (exact).
+#[inline]
+pub fn widen_slice(isa: Isa, src: &[u16], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "widen_slice length mismatch");
+    // SAFETY: lengths checked equal; slices are valid for their lengths.
+    unsafe { widen_raw(isa, src.as_ptr(), dst.as_mut_ptr(), src.len()) }
+}
+
+/// Applies the BF16 wire quantization `f32 -> bf16 -> f32` in place.
+///
+/// This is what a value experiences when it crosses the wire once; the
+/// BF16-wire reduce-scatter applies it to the final reduced chunk so every
+/// rank (including the chunk's owner, which never receives it) holds the
+/// same quantized values.
+#[inline]
+pub fn quantize_slice(isa: Isa, buf: &mut [f32]) {
+    // Narrow+widen per register without a staging buffer: both directions
+    // are exact integer transforms, so composing them in registers is
+    // bitwise identical to a narrow_slice/widen_slice round trip.
+    // SAFETY: one slice, valid for its length, used as both src and dst of
+    // element-wise ops.
+    unsafe { quantize_raw(isa, buf.as_mut_ptr(), buf.len()) }
+}
+
+unsafe fn narrow_raw(isa: Isa, src: *const f32, dst: *mut u16, len: usize) {
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => narrow_avx512(src, dst, len),
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => narrow_avx2(src, dst, len),
+        _ => narrow_scalar(src, dst, len),
+    }
+}
+
+unsafe fn widen_raw(isa: Isa, src: *const u16, dst: *mut f32, len: usize) {
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => widen_avx512(src, dst, len),
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => widen_avx2(src, dst, len),
+        _ => widen_scalar(src, dst, len),
+    }
+}
+
+unsafe fn quantize_raw(isa: Isa, buf: *mut f32, len: usize) {
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => quantize_avx512(buf, len),
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => quantize_avx2(buf, len),
+        _ => quantize_scalar(buf, len),
+    }
+}
+
+unsafe fn narrow_scalar(src: *const f32, dst: *mut u16, len: usize) {
+    for i in 0..len {
+        *dst.add(i) = Bf16::from_f32_rne(*src.add(i)).to_bits();
+    }
+}
+
+unsafe fn widen_scalar(src: *const u16, dst: *mut f32, len: usize) {
+    for i in 0..len {
+        *dst.add(i) = Bf16::from_bits(*src.add(i)).to_f32();
+    }
+}
+
+unsafe fn quantize_scalar(buf: *mut f32, len: usize) {
+    for i in 0..len {
+        *buf.add(i) = Bf16::from_f32_rne(*buf.add(i)).to_f32();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 tiers
+// ---------------------------------------------------------------------------
+//
+// Narrowing per 32-bit lane, all integer ops (bitwise identical to the
+// scalar RNE sequence in dlrm_precision::Bf16::from_f32):
+//   lsb     = (bits >> 16) & 1
+//   rounded = bits + 0x7FFF + lsb          (wrapping, like wrapping_add)
+//   norm    = rounded >> 16
+//   nan     = (bits & 0x7FFF_FFFF) > 0x7F80_0000   (signed cmp is exact:
+//             both operands are non-negative as i32)
+//   res     = nan ? (bits >> 16) | 0x0040 : norm
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn narrow8_avx2(bits: std::arch::x86_64::__m256i) -> std::arch::x86_64::__m256i {
+    use std::arch::x86_64::*;
+    let hi = _mm256_srli_epi32::<16>(bits);
+    let lsb = _mm256_and_si256(hi, _mm256_set1_epi32(1));
+    let rounded = _mm256_add_epi32(bits, _mm256_add_epi32(_mm256_set1_epi32(0x7FFF), lsb));
+    let norm = _mm256_srli_epi32::<16>(rounded);
+    let abs = _mm256_and_si256(bits, _mm256_set1_epi32(0x7FFF_FFFF));
+    let nan = _mm256_cmpgt_epi32(abs, _mm256_set1_epi32(0x7F80_0000));
+    let quieted = _mm256_or_si256(hi, _mm256_set1_epi32(0x0040));
+    _mm256_blendv_epi8(norm, quieted, nan)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn narrow_avx2(src: *const f32, dst: *mut u16, len: usize) {
+    use std::arch::x86_64::*;
+    let mut i = 0;
+    while i + 16 <= len {
+        let a = narrow8_avx2(_mm256_loadu_si256(src.add(i).cast()));
+        let b = narrow8_avx2(_mm256_loadu_si256(src.add(i + 8).cast()));
+        // Lanes hold values <= 0xFFFF, so the unsigned-saturating pack is
+        // exact; packus interleaves 128-bit halves, the permute undoes it.
+        let packed = _mm256_permute4x64_epi64::<0b11011000>(_mm256_packus_epi32(a, b));
+        _mm256_storeu_si256(dst.add(i).cast(), packed);
+        i += 16;
+    }
+    narrow_scalar(src.add(i), dst.add(i), len - i);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn widen_avx2(src: *const u16, dst: *mut f32, len: usize) {
+    use std::arch::x86_64::*;
+    let mut i = 0;
+    while i + 8 <= len {
+        let h = _mm_loadu_si128(src.add(i).cast());
+        let w = _mm256_slli_epi32::<16>(_mm256_cvtepu16_epi32(h));
+        _mm256_storeu_si256(dst.add(i).cast(), w);
+        i += 8;
+    }
+    widen_scalar(src.add(i), dst.add(i), len - i);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn quantize_avx2(buf: *mut f32, len: usize) {
+    use std::arch::x86_64::*;
+    let mut i = 0;
+    while i + 8 <= len {
+        let res = narrow8_avx2(_mm256_loadu_si256(buf.add(i).cast()));
+        // Widen in-register: the halfword sits in the lane's low 16 bits.
+        _mm256_storeu_si256(buf.add(i).cast(), _mm256_slli_epi32::<16>(res));
+        i += 8;
+    }
+    quantize_scalar(buf.add(i), len - i);
+}
+
+// ---------------------------------------------------------------------------
+// AVX-512 tiers (AVX512F only — the pack uses vpmovdw, the tails stay
+// scalar to avoid requiring AVX512BW 16-bit masked stores)
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[inline]
+unsafe fn narrow16_avx512(bits: std::arch::x86_64::__m512i) -> std::arch::x86_64::__m512i {
+    use std::arch::x86_64::*;
+    let hi = _mm512_srli_epi32::<16>(bits);
+    let lsb = _mm512_and_si512(hi, _mm512_set1_epi32(1));
+    let rounded = _mm512_add_epi32(bits, _mm512_add_epi32(_mm512_set1_epi32(0x7FFF), lsb));
+    let norm = _mm512_srli_epi32::<16>(rounded);
+    let abs = _mm512_and_si512(bits, _mm512_set1_epi32(0x7FFF_FFFF));
+    let nan = _mm512_cmpgt_epi32_mask(abs, _mm512_set1_epi32(0x7F80_0000));
+    let quieted = _mm512_or_si512(hi, _mm512_set1_epi32(0x0040));
+    _mm512_mask_mov_epi32(norm, nan, quieted)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn narrow_avx512(src: *const f32, dst: *mut u16, len: usize) {
+    use std::arch::x86_64::*;
+    let mut i = 0;
+    while i + 16 <= len {
+        let res = narrow16_avx512(_mm512_loadu_si512(src.add(i).cast()));
+        _mm256_storeu_si256(dst.add(i).cast(), _mm512_cvtepi32_epi16(res));
+        i += 16;
+    }
+    narrow_scalar(src.add(i), dst.add(i), len - i);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn widen_avx512(src: *const u16, dst: *mut f32, len: usize) {
+    use std::arch::x86_64::*;
+    let mut i = 0;
+    while i + 16 <= len {
+        let h = _mm256_loadu_si256(src.add(i).cast());
+        let w = _mm512_slli_epi32::<16>(_mm512_cvtepu16_epi32(h));
+        _mm512_storeu_si512(dst.add(i).cast(), w);
+        i += 16;
+    }
+    widen_scalar(src.add(i), dst.add(i), len - i);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn quantize_avx512(buf: *mut f32, len: usize) {
+    use std::arch::x86_64::*;
+    let mut i = 0;
+    while i + 16 <= len {
+        let res = narrow16_avx512(_mm512_loadu_si512(buf.add(i).cast()));
+        _mm512_storeu_si512(buf.add(i).cast(), _mm512_slli_epi32::<16>(res));
+        i += 16;
+    }
+    quantize_scalar(buf.add(i), len - i);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedding::rowops::available_isas;
+    use dlrm_precision::bf16::quantize_f32;
+
+    /// Adversarial bit patterns: specials, halfway cases, denormals,
+    /// near-overflow, NaN payload variants (incl. a signalling pattern).
+    fn adversarial() -> Vec<f32> {
+        let mut v = vec![
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            1.0 + 2.0f32.powi(-8), // halfway, round-to-even down
+            1.0 + 2.0f32.powi(-7) + 2.0f32.powi(-8), // halfway, round-to-even up
+            -(1.0 + 2.0f32.powi(-8)),
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+            f32::from_bits(0x7F80_0001), // signalling NaN pattern
+            f32::from_bits(0xFFC1_2345), // negative NaN with payload
+            f32::from_bits(0x7F7F_FFFF), // max finite: rounds to +inf
+            f32::from_bits(0x0000_0001), // smallest denormal
+            f32::from_bits(0x807F_FFFF), // largest negative denormal
+            f32::MIN_POSITIVE,
+            2.0f32.powi(100),
+            -2.0f32.powi(-100),
+            core::f32::consts::PI,
+        ];
+        // Pseudo-random fill so vector bodies (not just tails) see variety.
+        for i in 0..64u32 {
+            v.push(f32::from_bits(
+                i.wrapping_mul(2654435761).rotate_left(7) ^ 0x3F00_0000,
+            ));
+        }
+        v
+    }
+
+    #[test]
+    fn narrow_all_tiers_match_precision_reference() {
+        let vals = adversarial();
+        for len in [0usize, 1, 3, 7, 8, 15, 16, 17, 31, 33, 64, vals.len()] {
+            let src = &vals[..len];
+            let want: Vec<u16> = src
+                .iter()
+                .map(|&x| Bf16::from_f32_rne(x).to_bits())
+                .collect();
+            for isa in available_isas() {
+                let mut got = vec![0u16; len];
+                narrow_slice(isa, src, &mut got);
+                assert_eq!(got, want, "narrow {isa:?} len={len} not bit-exact");
+            }
+        }
+    }
+
+    #[test]
+    fn widen_all_tiers_exact() {
+        let bits: Vec<u16> = (0..=u16::MAX)
+            .step_by(7)
+            .chain([0x7FC0, 0xFF80, 0x7F80])
+            .collect();
+        for len in [0usize, 1, 5, 8, 15, 16, 17, 31, bits.len()] {
+            let src = &bits[..len];
+            let want: Vec<u32> = src.iter().map(|&b| (b as u32) << 16).collect();
+            for isa in available_isas() {
+                let mut got = vec![0.0f32; len];
+                widen_slice(isa, src, &mut got);
+                let got_bits: Vec<u32> = got.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(got_bits, want, "widen {isa:?} len={len} not bit-exact");
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_matches_narrow_widen_round_trip() {
+        let vals = adversarial();
+        for isa in available_isas() {
+            let mut q = vals.clone();
+            quantize_slice(isa, &mut q);
+            for (i, (&orig, &quant)) in vals.iter().zip(&q).enumerate() {
+                assert_eq!(
+                    quant.to_bits(),
+                    quantize_f32(orig).to_bits(),
+                    "{isa:?} idx {i}: quantize({orig}) mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity_on_representable_values() {
+        // Values whose low 16 f32 bits are zero survive the wire bitwise.
+        let vals: Vec<f32> = [1.0f32, -2.5, 0.125, 384.0, -0.001953125]
+            .iter()
+            .map(|&x| f32::from_bits(x.to_bits() & 0xFFFF_0000))
+            .collect();
+        for isa in available_isas() {
+            let mut h = vec![0u16; vals.len()];
+            narrow_slice(isa, &vals, &mut h);
+            let mut back = vec![0.0f32; vals.len()];
+            widen_slice(isa, &h, &mut back);
+            assert_eq!(
+                back.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                vals.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn narrow_rejects_mismatched_lengths() {
+        let mut dst = [0u16; 3];
+        narrow_slice(Isa::Scalar, &[1.0; 4], &mut dst);
+    }
+}

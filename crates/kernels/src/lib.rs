@@ -25,8 +25,11 @@
 //! * [`activations`] / [`loss`] — ReLU, sigmoid and binary cross-entropy
 //!   with their backward passes.
 //! * [`sgd`] — dense SGD including the Split-SGD-BF16 step.
+//! * [`bf16wire`] — SIMD BF16 narrow/widen tiers used by the comm layer's
+//!   wire-precision path (bitwise identical across tiers, like `rowops`).
 
 pub mod activations;
+pub mod bf16wire;
 pub mod embedding;
 pub mod gemm;
 pub mod loss;

@@ -1,14 +1,21 @@
 //! Dense SGD update kernels, including the Split-SGD-BF16 step.
+//!
+//! The dense steps are thin wrappers over the SIMD
+//! [`rowops::axpy`](crate::embedding::rowops::axpy) tiers with
+//! `alpha = -lr`. That is bit-exact with the classic `w -= lr * g` loop:
+//! IEEE-754 negation is a sign flip, so `(-lr) * g` has exactly the bits of
+//! `-(lr * g)`, and `w + (-x)` is the same operation as `w - x` — and the
+//! rowops tiers are themselves bitwise identical across Scalar/AVX2/AVX-512.
 
+use crate::embedding::rowops;
+use crate::gemm::micro::detect_isa;
 use crate::threadpool::ThreadPool;
 use dlrm_precision::split::SplitTensor;
 
-/// Plain FP32 SGD: `w -= lr * g`, single-threaded.
+/// Plain FP32 SGD: `w -= lr * g`, single-threaded (SIMD over the row).
 pub fn sgd_step(w: &mut [f32], g: &[f32], lr: f32) {
     assert_eq!(w.len(), g.len(), "sgd_step length mismatch");
-    for (wv, &gv) in w.iter_mut().zip(g) {
-        *wv -= lr * gv;
-    }
+    rowops::axpy(detect_isa(), w, g, -lr);
 }
 
 /// Plain FP32 SGD across a thread team — the shape of work the paper's
@@ -16,12 +23,12 @@ pub fn sgd_step(w: &mut [f32], g: &[f32], lr: f32) {
 /// GEMMs.
 pub fn par_sgd_step(pool: &ThreadPool, w: &mut [f32], g: &[f32], lr: f32) {
     assert_eq!(w.len(), g.len(), "par_sgd_step length mismatch");
+    let isa = detect_isa();
     let base = crate::gemm::SendMutPtr(w.as_mut_ptr());
     pool.parallel_for(w.len(), move |_tid, range| {
-        // SAFETY: parallel_for ranges are disjoint.
-        let wc =
-            unsafe { std::slice::from_raw_parts_mut(base.get().add(range.start), range.len()) };
-        sgd_step(wc, &g[range], lr);
+        // SAFETY: parallel_for ranges are disjoint, and each range stays in
+        // bounds of `w`.
+        unsafe { rowops::scatter_add(isa, base.get().add(range.start), &g[range], -lr) };
     });
 }
 
@@ -35,10 +42,7 @@ pub fn split_sgd_step(w: &mut SplitTensor, g: &[f32], lr: f32) {
 /// data-parallel path where gradients arrive as sums over ranks.
 pub fn sgd_step_scaled(w: &mut [f32], g: &[f32], lr: f32, scale: f32) {
     assert_eq!(w.len(), g.len());
-    let eff = lr / scale;
-    for (wv, &gv) in w.iter_mut().zip(g) {
-        *wv -= eff * gv;
-    }
+    rowops::axpy(detect_isa(), w, g, -(lr / scale));
 }
 
 #[cfg(test)]
@@ -62,6 +66,30 @@ mod tests {
         sgd_step(&mut a, &g, 0.05);
         par_sgd_step(&pool, &mut b, &g, 0.05);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn simd_step_bit_exact_vs_classic_loop() {
+        use crate::embedding::rowops::available_isas;
+        use crate::gemm::micro::set_isa_override;
+        for len in [0usize, 1, 7, 8, 17, 64, 1003] {
+            let g: Vec<f32> = (0..len).map(|i| ((i * 37) as f32).sin() * 3.0).collect();
+            let base: Vec<f32> = (0..len).map(|i| (i as f32).cos()).collect();
+            let mut want = base.clone();
+            for (wv, &gv) in want.iter_mut().zip(&g) {
+                *wv -= 0.07 * gv;
+            }
+            for isa in available_isas() {
+                set_isa_override(Some(isa));
+                let mut got = base.clone();
+                sgd_step(&mut got, &g, 0.07);
+                assert_eq!(got, want, "sgd_step {isa:?} len={len} not bit-exact");
+                let mut scaled = base.clone();
+                sgd_step_scaled(&mut scaled, &g, 0.28, 4.0);
+                assert_eq!(scaled, want, "sgd_step_scaled {isa:?} len={len}");
+            }
+            set_isa_override(None);
+        }
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! that the cluster simulator and Table II use.
 
 use dlrm::layers::{Activation, Mlp};
+use dlrm_comm::wire::WirePrecision;
 use dlrm_comm::world::CommWorld;
 use dlrm_data::DlrmConfig;
 use dlrm_dist::ddp::flatten_grads;
@@ -69,6 +70,7 @@ fn alltoall_payload_volume_matches_eq2() {
             s,
             local_n,
             e,
+            WirePrecision::Fp32,
         );
         slices.iter().map(|m| m.len()).sum::<usize>()
     });
