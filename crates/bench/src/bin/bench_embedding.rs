@@ -378,10 +378,8 @@ fn main() {
         update_json.join(",\n    "),
     );
     validate_bench_embedding_json(&json).expect("self-validation of the artifact schema");
-    std::fs::create_dir_all("results").expect("create results/");
-    std::fs::write("results/BENCH_embedding.json", &json)
-        .expect("write results/BENCH_embedding.json");
-    println!("\nwrote results/BENCH_embedding.json (schema self-validated)");
+    let path = dlrm_bench::write_artifact("BENCH_embedding.json", &json);
+    println!("\nwrote {} (schema self-validated)", path.display());
     if opts.json {
         println!("{json}");
     }

@@ -245,9 +245,9 @@ fn main() {
         savings.overlapped_exposed,
         savings.hidden_fraction(),
     );
-    std::fs::create_dir_all("results").expect("create results/");
-    std::fs::write("results/BENCH_overlap.json", &json).expect("write results/BENCH_overlap.json");
-    println!("\nwrote results/BENCH_overlap.json");
+    dlrm_bench::validate_bench_overlap_json(&json).expect("self-validation of artifact schema");
+    let path = dlrm_bench::write_artifact("BENCH_overlap.json", &json);
+    println!("\nwrote {}", path.display());
     if opts.json {
         println!("{json}");
     }

@@ -363,10 +363,8 @@ fn main() {
         sim_bf.total(),
     );
     validate_bench_wire_precision_json(&json).expect("self-validation of artifact schema");
-    std::fs::create_dir_all("results").expect("create results/");
-    std::fs::write("results/BENCH_wire_precision.json", &json)
-        .expect("write results/BENCH_wire_precision.json");
-    println!("\nwrote results/BENCH_wire_precision.json");
+    let path = dlrm_bench::write_artifact("BENCH_wire_precision.json", &json);
+    println!("\nwrote {}", path.display());
     if opts.json {
         println!("{json}");
     }

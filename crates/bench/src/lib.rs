@@ -46,6 +46,76 @@ impl HarnessOpts {
     }
 }
 
+/// Resolves the artifact output directory: `$DLRM_RESULTS_DIR` if set,
+/// else `results/` relative to the current directory. Bench bins must
+/// write through [`write_artifact`] so they work from any cwd.
+pub fn results_dir() -> std::path::PathBuf {
+    std::env::var_os("DLRM_RESULTS_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("results"))
+}
+
+/// Writes a bench artifact into [`results_dir`], creating the directory if
+/// missing, and returns the path written. Panics with the offending path
+/// on I/O errors (a bench bin has no useful recovery).
+pub fn write_artifact(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)
+        .unwrap_or_else(|e| panic!("create results dir {}: {e}", dir.display()));
+    let path = dir.join(name);
+    std::fs::write(&path, contents)
+        .unwrap_or_else(|e| panic!("write artifact {}: {e}", path.display()));
+    path
+}
+
+/// Checks that every required field appears as a `"key":` literal.
+fn require_keys(json: &str, required: &[&str]) -> Result<(), String> {
+    for key in required {
+        if !json.contains(&format!("{key}:")) {
+            return Err(format!("missing required field {key}"));
+        }
+    }
+    Ok(())
+}
+
+/// Checks that braces/brackets balance and never go negative.
+fn check_balanced(json: &str) -> Result<(), String> {
+    let mut depth_brace = 0i64;
+    let mut depth_bracket = 0i64;
+    for c in json.chars() {
+        match c {
+            '{' => depth_brace += 1,
+            '}' => depth_brace -= 1,
+            '[' => depth_bracket += 1,
+            ']' => depth_bracket -= 1,
+            _ => {}
+        }
+        if depth_brace < 0 || depth_bracket < 0 {
+            return Err("unbalanced braces/brackets".into());
+        }
+    }
+    if depth_brace != 0 || depth_bracket != 0 {
+        return Err("unbalanced braces/brackets".into());
+    }
+    Ok(())
+}
+
+/// Dispatches a committed `results/BENCH_*.json` artifact to its schema
+/// validator by file name. Unknown artifact names are an error so a new
+/// bench cannot commit an unvalidated artifact (CI runs this over every
+/// committed `BENCH_*.json` via `crates/bench/tests/committed_artifacts.rs`).
+pub fn validate_artifact(file_name: &str, json: &str) -> Result<(), String> {
+    match file_name {
+        "BENCH_embedding.json" => validate_bench_embedding_json(json),
+        "BENCH_wire_precision.json" => validate_bench_wire_precision_json(json),
+        "BENCH_overlap.json" => validate_bench_overlap_json(json),
+        "BENCH_serving.json" => validate_bench_serving_json(json),
+        other => Err(format!(
+            "no schema validator registered for {other}; add one to dlrm_bench::validate_artifact"
+        )),
+    }
+}
+
 /// Structural schema check for `results/BENCH_embedding.json` (the
 /// `bench_embedding` artifact). No JSON parser in the workspace, so this is
 /// a key-presence + balance check: every required field of the schema must
@@ -66,35 +136,14 @@ pub fn validate_bench_embedding_json(json: &str) -> Result<(), String> {
         "\"simd_vs_scalar_forward_ratio\"",
         "\"equivalence_ok\"",
     ];
-    for key in REQUIRED {
-        if !json.contains(&format!("{key}:")) {
-            return Err(format!("missing required field {key}"));
-        }
-    }
+    require_keys(json, &REQUIRED)?;
     if !json.contains("\"bench\": \"embedding\"") {
         return Err("\"bench\" must be \"embedding\"".into());
     }
     if !json.contains("\"equivalence_ok\": true") {
         return Err("\"equivalence_ok\" must be true".into());
     }
-    let mut depth_brace = 0i64;
-    let mut depth_bracket = 0i64;
-    for c in json.chars() {
-        match c {
-            '{' => depth_brace += 1,
-            '}' => depth_brace -= 1,
-            '[' => depth_bracket += 1,
-            ']' => depth_bracket -= 1,
-            _ => {}
-        }
-        if depth_brace < 0 || depth_bracket < 0 {
-            return Err("unbalanced braces/brackets".into());
-        }
-    }
-    if depth_brace != 0 || depth_bracket != 0 {
-        return Err("unbalanced braces/brackets".into());
-    }
-    Ok(())
+    check_balanced(json)
 }
 
 /// Structural schema check for `results/BENCH_wire_precision.json` (the
@@ -118,35 +167,70 @@ pub fn validate_bench_wire_precision_json(json: &str) -> Result<(), String> {
         "\"representable_bitwise_equal\"",
         "\"analytic\"",
     ];
-    for key in REQUIRED {
-        if !json.contains(&format!("{key}:")) {
-            return Err(format!("missing required field {key}"));
-        }
-    }
+    require_keys(json, &REQUIRED)?;
     if !json.contains("\"bench\": \"wire_precision\"") {
         return Err("\"bench\" must be \"wire_precision\"".into());
     }
     if !json.contains("\"representable_bitwise_equal\": true") {
         return Err("\"representable_bitwise_equal\" must be true".into());
     }
-    let mut depth_brace = 0i64;
-    let mut depth_bracket = 0i64;
-    for c in json.chars() {
-        match c {
-            '{' => depth_brace += 1,
-            '}' => depth_brace -= 1,
-            '[' => depth_bracket += 1,
-            ']' => depth_bracket -= 1,
-            _ => {}
-        }
-        if depth_brace < 0 || depth_bracket < 0 {
-            return Err("unbalanced braces/brackets".into());
-        }
+    check_balanced(json)
+}
+
+/// Structural schema check for `results/BENCH_overlap.json` (the
+/// `bench_overlap` artifact). Same key-presence + balance approach as the
+/// other validators; the bitwise-loss-identity gate must hold.
+pub fn validate_bench_overlap_json(json: &str) -> Result<(), String> {
+    const REQUIRED: [&str; 9] = [
+        "\"bench\"",
+        "\"config\"",
+        "\"loss_bitwise_identical\"",
+        "\"synchronous\"",
+        "\"overlapped\"",
+        "\"exposed_comm_mean_s\"",
+        "\"per_rank\"",
+        "\"hidden_fraction_measured\"",
+        "\"analytic\"",
+    ];
+    require_keys(json, &REQUIRED)?;
+    if !json.contains("\"bench\": \"overlap\"") {
+        return Err("\"bench\" must be \"overlap\"".into());
     }
-    if depth_brace != 0 || depth_bracket != 0 {
-        return Err("unbalanced braces/brackets".into());
+    if !json.contains("\"loss_bitwise_identical\": true") {
+        return Err("\"loss_bitwise_identical\" must be true".into());
     }
-    Ok(())
+    check_balanced(json)
+}
+
+/// Structural schema check for `results/BENCH_serving.json` (the
+/// `bench_serving` artifact): the QPS-vs-latency-percentile curve, the
+/// cache hit-rate sweep over Zipf α × cache capacity, and the
+/// cached-vs-uncached bitwise-identity gate.
+pub fn validate_bench_serving_json(json: &str) -> Result<(), String> {
+    const REQUIRED: [&str; 14] = [
+        "\"bench\"",
+        "\"smoke\"",
+        "\"config\"",
+        "\"latency_curve\"",
+        "\"clients\"",
+        "\"qps\"",
+        "\"p50_us\"",
+        "\"p99_us\"",
+        "\"mean_batch\"",
+        "\"cache_sweep\"",
+        "\"zipf_s\"",
+        "\"capacity_frac\"",
+        "\"hit_rate\"",
+        "\"hot_head_hit_rate\"",
+    ];
+    require_keys(json, &REQUIRED)?;
+    if !json.contains("\"bench\": \"serving\"") {
+        return Err("\"bench\" must be \"serving\"".into());
+    }
+    if !json.contains("\"bitwise_identical\": true") {
+        return Err("\"bitwise_identical\" must be true".into());
+    }
+    check_balanced(json)
 }
 
 /// Prints a section header for a figure/table harness.
@@ -323,6 +407,80 @@ mod tests {
             .replace("false,", "true,")
             .replace("{}\n}", "{}\n");
         assert!(validate_bench_wire_precision_json(&unbalanced).is_err());
+    }
+
+    #[test]
+    fn overlap_validator_accepts_committed_shape_and_rejects_bad() {
+        let ok = r#"{
+  "bench": "overlap",
+  "config": {"ranks": 4, "local_n": 8, "steps": 4, "warmup": 1},
+  "loss_bitwise_identical": true,
+  "synchronous": {"exposed_comm_mean_s": 0.01, "per_rank": [0.01]},
+  "overlapped": {"exposed_comm_mean_s": 0.005, "per_rank": [0.005]},
+  "hidden_fraction_measured": 0.5,
+  "analytic": {"blocking_exposed_s": 0.01, "overlapped_exposed_s": 0.005, "hidden_fraction": 0.5}
+}"#;
+        assert!(validate_bench_overlap_json(ok).is_ok());
+        assert!(validate_bench_overlap_json("{}").is_err());
+        let gate_broken = ok.replace(
+            "\"loss_bitwise_identical\": true",
+            "\"loss_bitwise_identical\": false",
+        );
+        assert!(validate_bench_overlap_json(&gate_broken).is_err());
+    }
+
+    #[test]
+    fn serving_validator_accepts_minimal_schema_and_rejects_bad() {
+        let ok = r#"{
+  "bench": "serving",
+  "smoke": true,
+  "config": {"rows": 1000, "dim": 16, "tables": 1, "lookups": 2, "max_batch": 8, "window_us": 200},
+  "latency_curve": [
+    {"clients": 1, "qps": 1000.0, "p50_us": 150.0, "p99_us": 400.0, "mean_batch": 1.2}
+  ],
+  "cache_sweep": [
+    {"zipf_s": 1.1, "capacity_frac": 0.01, "hit_rate": 0.76, "bitwise_identical": true}
+  ],
+  "hot_head_hit_rate": 0.76,
+  "bitwise_identical": true
+}"#;
+        assert!(validate_bench_serving_json(ok).is_ok());
+        assert!(validate_bench_serving_json("{}").is_err());
+        let gate_broken = ok.replace(
+            "\"bitwise_identical\": true",
+            "\"bitwise_identical\": false",
+        );
+        assert!(validate_bench_serving_json(&gate_broken).is_err());
+        let unbalanced = ok.replace("true\n}", "true\n");
+        assert!(validate_bench_serving_json(&unbalanced).is_err());
+    }
+
+    #[test]
+    fn artifact_dispatch_covers_every_committed_artifact() {
+        // Wrong-schema content must be rejected under every known name, and
+        // unknown names must be an error (no unvalidated artifacts).
+        for name in [
+            "BENCH_embedding.json",
+            "BENCH_wire_precision.json",
+            "BENCH_overlap.json",
+            "BENCH_serving.json",
+        ] {
+            assert!(validate_artifact(name, "{}").is_err(), "{name}");
+        }
+        assert!(validate_artifact("BENCH_mystery.json", "{}").is_err());
+    }
+
+    #[test]
+    fn write_artifact_honors_results_dir_override() {
+        let dir = std::env::temp_dir().join(format!("dlrm_results_{}", std::process::id()));
+        std::env::set_var("DLRM_RESULTS_DIR", &dir);
+        let path = write_artifact("BENCH_test_artifact.json", "{}\n");
+        std::env::remove_var("DLRM_RESULTS_DIR");
+        assert_eq!(path, dir.join("BENCH_test_artifact.json"));
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{}\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+        // Without the override the default is the relative results/ dir.
+        assert_eq!(results_dir(), std::path::PathBuf::from("results"));
     }
 
     #[test]

@@ -32,10 +32,12 @@ pub enum IndexDistribution {
 }
 
 impl IndexDistribution {
-    /// Draws one index in `0..m`.
-    pub fn sample(&self, m: u64, rng: &mut StdRng) -> u32 {
+    /// Draws one index in `0..m` at full `u64` width — the primitive the
+    /// narrowing [`sample`](Self::sample) wraps. Use this directly for
+    /// tables with ≥ 2³² rows (full Criteo-Terabyte vocabularies).
+    pub fn sample_wide(&self, m: u64, rng: &mut StdRng) -> u64 {
         debug_assert!(m >= 1);
-        let idx = match *self {
+        match *self {
             IndexDistribution::Uniform => rng.gen_range(0..m),
             IndexDistribution::Zipf { s } => zipf_sample(m, s, rng),
             IndexDistribution::Clustered {
@@ -49,8 +51,21 @@ impl IndexDistribution {
                     rng.gen_range(0..m)
                 }
             }
-        };
-        idx as u32
+        }
+    }
+
+    /// Draws one index in `0..m`, narrowed to the `u32` index type the
+    /// kernel bag format uses. Panics (rather than silently wrapping and
+    /// aliasing rows) if the draw exceeds `u32::MAX`; callers with ≥ 2³²-row
+    /// tables must use [`sample_wide`](Self::sample_wide).
+    pub fn sample(&self, m: u64, rng: &mut StdRng) -> u32 {
+        let idx = self.sample_wide(m, rng);
+        u32::try_from(idx).unwrap_or_else(|_| {
+            panic!(
+                "index {idx} drawn from a table of {m} rows does not fit in u32; \
+                 use sample_wide for tables with >= 2^32 rows"
+            )
+        })
     }
 
     /// Fills a vector with `count` indices in `0..m`.
@@ -140,6 +155,61 @@ mod tests {
                 assert_eq!(dist.sample(1, &mut rng), 0);
             }
         }
+    }
+
+    #[test]
+    fn sample_at_u32_boundary_is_exact_not_wrapped() {
+        // A table of exactly 2^32 rows: every valid index fits in u32, so
+        // `sample` must succeed — and must cover indices above 2^31 (which a
+        // signed or narrower conversion would mangle).
+        let m = 1u64 << 32;
+        let mut rng = seeded_rng(11, 0);
+        let mut saw_high = false;
+        for _ in 0..256 {
+            let idx = IndexDistribution::Uniform.sample(m, &mut rng);
+            assert!((idx as u64) < m);
+            saw_high |= idx > u32::MAX / 2;
+        }
+        assert!(
+            saw_high,
+            "uniform draws over 2^32 rows must reach the top half"
+        );
+    }
+
+    #[test]
+    fn sample_beyond_u32_panics_instead_of_aliasing() {
+        // Before the fix, `idx as u32` silently wrapped: row 2^32 aliased
+        // row 0. Now the narrowing draw must panic.
+        let m = 1u64 << 33;
+        let r = std::panic::catch_unwind(|| {
+            let mut rng = seeded_rng(12, 0);
+            // 64 uniform draws over 2^33 rows: P(all fit in u32) = 2^-64.
+            for _ in 0..64 {
+                let _ = IndexDistribution::Uniform.sample(m, &mut rng);
+            }
+        });
+        assert!(r.is_err(), "narrowing sample over 2^33 rows must panic");
+    }
+
+    #[test]
+    fn sample_wide_reaches_beyond_u32() {
+        let m = 1u64 << 40;
+        let mut rng = seeded_rng(13, 0);
+        let mut saw_wide = false;
+        for dist in [
+            IndexDistribution::Uniform,
+            IndexDistribution::Clustered {
+                hot_fraction: 1.0,
+                hot_prob: 0.5,
+            },
+        ] {
+            for _ in 0..256 {
+                let idx = dist.sample_wide(m, &mut rng);
+                assert!(idx < m);
+                saw_wide |= idx > u32::MAX as u64;
+            }
+        }
+        assert!(saw_wide, "wide draws over 2^40 rows must exceed u32::MAX");
     }
 
     #[test]

@@ -180,6 +180,33 @@ pub fn forward(
     });
 }
 
+/// Serial SIMD forward: the same vectorized row accumulation as
+/// [`forward`], without a thread pool. This is the inference-serving entry
+/// point — micro-batches are small enough that pool fan-out costs more than
+/// it buys, and a serving engine interleaving cache probes with row sums
+/// needs a single-threaded gather it can mirror row for row. Bitwise
+/// identical to [`forward`] and [`forward_reference`] (same per-bag
+/// accumulation order, same two-rounding rowops tiers).
+pub fn forward_serial(weight: &Matrix, indices: &[u32], offsets: &[usize], out: &mut Matrix) {
+    let n = offsets.len() - 1;
+    let e = weight.cols();
+    check_bags(indices, offsets, weight.rows());
+    assert_eq!(out.shape(), (n, e), "forward output shape");
+    let isa = detect_isa();
+    let slot_end = indices.len();
+    for bag in 0..n {
+        let out_row = out.row_mut(bag);
+        out_row.fill(0.0);
+        for s in offsets[bag]..offsets[bag + 1] {
+            let ahead = s + PREFETCH_DISTANCE;
+            if ahead < slot_end {
+                rowops::prefetch_row(weight.row(indices[ahead] as usize).as_ptr(), e);
+            }
+            rowops::accumulate(isa, out_row, weight.row(indices[s] as usize));
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Backward (Algorithm 2)
 // ---------------------------------------------------------------------------
@@ -620,6 +647,25 @@ mod tests {
         assert_eq!(out.row(0), &[1.0, 1.0, 1.0]);
         assert_eq!(out.row(1), &[0.0, 0.0, 0.0]);
         assert_eq!(out.row(2), &[3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn forward_serial_bitwise_matches_parallel_across_tiers() {
+        use crate::gemm::micro::set_isa_override;
+        let pool = ThreadPool::new(4);
+        let mut rng = seeded_rng(2, 0);
+        let w = uniform(64, 24, -1.0, 1.0, &mut rng);
+        let (indices, offsets) = random_bags(64, 21, 6, 3);
+        let n = offsets.len() - 1;
+        for isa in rowops::available_isas() {
+            set_isa_override(Some(isa));
+            let mut want = Matrix::zeros(n, 24);
+            forward(&pool, &w, &indices, &offsets, &mut want);
+            let mut got = Matrix::zeros(n, 24);
+            forward_serial(&w, &indices, &offsets, &mut got);
+            assert_eq!(got.as_slice(), want.as_slice(), "{isa:?}");
+        }
+        set_isa_override(None);
     }
 
     #[test]

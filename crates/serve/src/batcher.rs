@@ -1,0 +1,191 @@
+//! Micro-batcher: turns a concurrent stream of single items into bounded
+//! batches under a batching window.
+//!
+//! Producers [`push`](MicroBatcher::push) items from any thread; one
+//! consumer calls [`next_batch`](MicroBatcher::next_batch), which blocks
+//! until something is queued, then keeps collecting until either
+//! `max_batch` items are available or `window` has elapsed since the first
+//! item was seen — the classic throughput/latency dial of batched serving
+//! (a wide window amortizes kernel launch over more samples; a narrow one
+//! bounds the queueing delay added to every request).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct BatchState<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<BatchState<T>>,
+    cv: Condvar,
+}
+
+/// A cloneable multi-producer / single-consumer micro-batching queue.
+pub struct MicroBatcher<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for MicroBatcher<T> {
+    fn clone(&self) -> Self {
+        MicroBatcher {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Default for MicroBatcher<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> MicroBatcher<T> {
+    /// An empty, open batcher.
+    pub fn new() -> Self {
+        MicroBatcher {
+            shared: Arc::new(Shared {
+                state: Mutex::new(BatchState {
+                    queue: VecDeque::new(),
+                    closed: false,
+                }),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Enqueues one item. Returns `false` (dropping the item) if the
+    /// batcher has been closed.
+    pub fn push(&self, item: T) -> bool {
+        let mut st = self.shared.state.lock().unwrap();
+        if st.closed {
+            return false;
+        }
+        st.queue.push_back(item);
+        drop(st);
+        self.shared.cv.notify_all();
+        true
+    }
+
+    /// Closes the batcher: subsequent pushes are rejected; the consumer
+    /// drains what is queued and then sees `None`.
+    pub fn close(&self) {
+        self.shared.state.lock().unwrap().closed = true;
+        self.shared.cv.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().unwrap().queue.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocks for the next micro-batch (1..=`max_batch` items): waits for a
+    /// first item, then collects until `max_batch` or until `window` has
+    /// elapsed. Returns `None` once the batcher is closed and drained.
+    pub fn next_batch(&self, max_batch: usize, window: Duration) -> Option<Vec<T>> {
+        assert!(max_batch >= 1, "max_batch must be >= 1");
+        let mut st = self.shared.state.lock().unwrap();
+        while st.queue.is_empty() {
+            if st.closed {
+                return None;
+            }
+            st = self.shared.cv.wait(st).unwrap();
+        }
+        let deadline = Instant::now() + window;
+        while st.queue.len() < max_batch && !st.closed {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, wait) = self.shared.cv.wait_timeout(st, deadline - now).unwrap();
+            st = guard;
+            if wait.timed_out() {
+                break;
+            }
+        }
+        let take = st.queue.len().min(max_batch);
+        Some(st.queue.drain(..take).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn batches_respect_max_batch() {
+        let b = MicroBatcher::new();
+        for i in 0..10 {
+            assert!(b.push(i));
+        }
+        let first = b.next_batch(4, Duration::from_millis(1)).unwrap();
+        assert_eq!(first, vec![0, 1, 2, 3]);
+        let second = b.next_batch(4, Duration::from_millis(1)).unwrap();
+        assert_eq!(second, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn window_flushes_partial_batch() {
+        let b = MicroBatcher::new();
+        b.push(7u32);
+        let batch = b.next_batch(64, Duration::from_millis(5)).unwrap();
+        assert_eq!(batch, vec![7]);
+    }
+
+    #[test]
+    fn zero_window_is_immediate_batch_of_whatever_is_queued() {
+        let b = MicroBatcher::new();
+        b.push(1u32);
+        b.push(2);
+        let batch = b.next_batch(64, Duration::ZERO).unwrap();
+        assert_eq!(batch, vec![1, 2]);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let b = MicroBatcher::new();
+        b.push(1u32);
+        b.close();
+        assert!(!b.push(2), "push after close must be rejected");
+        assert_eq!(b.next_batch(8, Duration::ZERO), Some(vec![1]));
+        assert_eq!(b.next_batch(8, Duration::ZERO), None);
+    }
+
+    #[test]
+    fn cross_thread_producers_are_all_collected() {
+        let b = MicroBatcher::new();
+        let producers: Vec<_> = (0..4)
+            .map(|t| {
+                let b = b.clone();
+                thread::spawn(move || {
+                    for i in 0..25u32 {
+                        assert!(b.push(t * 100 + i));
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        b.close();
+        let mut got = Vec::new();
+        while let Some(batch) = b.next_batch(16, Duration::ZERO) {
+            assert!(batch.len() <= 16);
+            got.extend(batch);
+        }
+        got.sort_unstable();
+        let mut want: Vec<u32> = (0..4)
+            .flat_map(|t| (0..25).map(move |i| t * 100 + i))
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,294 @@
+//! Fixed-capacity, frequency-aware hot-row embedding cache.
+//!
+//! "Dissecting Embedding Bag Performance in DLRM Inference" (PAPERS.md)
+//! shows the embedding-bag gather dominates DLRM inference and is bound by
+//! cache residency, and BagPipe observes that under Zipf-shaped traffic a
+//! cache holding the tiny popularity head captures the bulk of all lookups.
+//! This cache exploits exactly that: a compact `capacity × E` row store
+//! (contiguous, so the hot working set stays hardware-cache-resident
+//! regardless of how the full table scatters) fronted by a row-id → slot
+//! map.
+//!
+//! Replacement is CLOCK with frequency aging — a fixed-capacity
+//! approximation of LFU: every hit bumps the slot's frequency counter;
+//! a miss evicts the first slot whose counter has decayed to zero, halving
+//! counters as the clock hand passes. Admission is gated by a TinyLFU-style
+//! doorkeeper: an aged count of recent lookups per row, and a missed row
+//! only enters the (full) cache once it has been seen twice in the current
+//! aging window. The Zipf tail is dominated by
+//! one-shot rows; filtering them keeps the resident set pinned to the
+//! popularity head instead of churning it. Everything is O(1) amortized
+//! per lookup.
+//!
+//! Rows are stored verbatim (bit-for-bit copies of the table rows), so a
+//! gather served from the cache is bitwise identical to one served from
+//! the backing table — the engine's identity gate relies on this.
+
+use dlrm_tensor::Matrix;
+use std::collections::HashMap;
+
+/// Hit/miss instrumentation. Counters are cumulative; [`CacheStats::reset`]
+/// zeroes them (used to exclude cold-start warm-up from measured hit rates).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to touch the backing table.
+    pub misses: u64,
+    /// Missed rows admitted into the cache.
+    pub insertions: u64,
+    /// Admissions that displaced a resident row.
+    pub evictions: u64,
+    /// Missed rows the doorkeeper declined to admit (served from the
+    /// table without entering the cache).
+    pub rejections: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when no traffic yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Zeroes all counters.
+    pub fn reset(&mut self) {
+        *self = CacheStats::default();
+    }
+}
+
+/// Sentinel for an unoccupied slot.
+const EMPTY: u32 = u32::MAX;
+
+/// A fixed-capacity cache of hot embedding rows (see module docs).
+pub struct HotRowCache {
+    /// Compact row store, `capacity × e`.
+    slots: Matrix,
+    /// Slot → resident table row (`EMPTY` if unoccupied).
+    slot_row: Vec<u32>,
+    /// Slot → frequency counter (CLOCK aging state).
+    freq: Vec<u32>,
+    /// Table row → slot.
+    map: HashMap<u32, u32>,
+    /// CLOCK hand.
+    hand: usize,
+    /// Doorkeeper: exact per-row lookup counts for the recent window,
+    /// halved (dropping zeroes) every [`Self::age_window`] lookups so the
+    /// counts track *recent* popularity. Bounded by the window length.
+    recent: HashMap<u32, u8>,
+    /// Lookups between doorkeeper agings.
+    age_window: usize,
+    /// Lookups since the last aging.
+    ops_since_age: usize,
+    /// Instrumentation.
+    pub stats: CacheStats,
+}
+
+impl HotRowCache {
+    /// A cache of `capacity` rows of width `e`. `capacity` must be ≥ 1.
+    pub fn new(capacity: usize, e: usize) -> Self {
+        assert!(capacity >= 1, "cache capacity must be >= 1");
+        assert!(capacity < EMPTY as usize, "cache capacity must fit in u32");
+        // A window of 16 lookups per slot is TinyLFU's usual
+        // sample-to-capacity ratio.
+        HotRowCache {
+            slots: Matrix::zeros(capacity, e),
+            slot_row: vec![EMPTY; capacity],
+            freq: vec![0; capacity],
+            map: HashMap::with_capacity(capacity * 2),
+            hand: 0,
+            recent: HashMap::new(),
+            age_window: capacity * 16,
+            ops_since_age: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Capacity in rows.
+    pub fn capacity(&self) -> usize {
+        self.slot_row.len()
+    }
+
+    /// Rows currently resident.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no rows are resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up table row `row`, admitting it from `table` on a miss if the
+    /// doorkeeper approves. Returns the row (from the cache when resident,
+    /// straight from `table` otherwise) — always bit-identical to
+    /// `table.row(row)`.
+    pub fn get_or_admit<'a>(&'a mut self, row: u32, table: &'a Matrix) -> &'a [f32] {
+        let est = self.doorkeeper_bump(row);
+        if let Some(&slot) = self.map.get(&row) {
+            let slot = slot as usize;
+            self.stats.hits += 1;
+            self.freq[slot] = self.freq[slot].saturating_add(1);
+            return self.slots.row(slot);
+        }
+        self.stats.misses += 1;
+        // Doorkeeper: while slots are free, admit everything (cold start);
+        // once full, only rows the sketch has seen at least twice this
+        // window may displace a resident row. One-shot Zipf-tail rows fail
+        // the gate and are served straight from the table.
+        if self.map.len() == self.capacity() && est < 2 {
+            self.stats.rejections += 1;
+            return table.row(row as usize);
+        }
+        self.stats.insertions += 1;
+        let slot = self.find_victim();
+        let old = self.slot_row[slot];
+        if old != EMPTY {
+            self.stats.evictions += 1;
+            self.map.remove(&old);
+        }
+        self.slot_row[slot] = row;
+        self.freq[slot] = 1;
+        self.map.insert(row, slot as u32);
+        self.slots
+            .row_mut(slot)
+            .copy_from_slice(table.row(row as usize));
+        self.slots.row(slot)
+    }
+
+    /// Records a lookup of `row` in the doorkeeper and returns the updated
+    /// frequency count. Counts are halved once per aging window (entries
+    /// reaching zero are dropped), so they track *recent* popularity and
+    /// the map stays bounded by the window length.
+    fn doorkeeper_bump(&mut self, row: u32) -> u8 {
+        self.ops_since_age += 1;
+        if self.ops_since_age >= self.age_window {
+            self.ops_since_age = 0;
+            self.recent.retain(|_, c| {
+                *c /= 2;
+                *c > 0
+            });
+        }
+        let c = self.recent.entry(row).or_insert(0);
+        *c = c.saturating_add(1);
+        *c
+    }
+
+    /// CLOCK sweep: returns the first empty or frequency-0 slot, halving
+    /// counters as the hand passes (so sustained popularity is required to
+    /// stay resident). Bounded at two full sweeps — after halving every
+    /// counter once, a second pass must find a zero unless every counter
+    /// was ≥ 2, in which case the hand position is evicted outright.
+    fn find_victim(&mut self) -> usize {
+        let cap = self.slot_row.len();
+        for _ in 0..cap * 2 {
+            let slot = self.hand;
+            self.hand = (self.hand + 1) % cap;
+            if self.slot_row[slot] == EMPTY || self.freq[slot] == 0 {
+                return slot;
+            }
+            self.freq[slot] /= 2;
+        }
+        let slot = self.hand;
+        self.hand = (self.hand + 1) % cap;
+        slot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(m: usize, e: usize) -> Matrix {
+        Matrix::from_fn(m, e, |r, c| (r * 100 + c) as f32)
+    }
+
+    #[test]
+    fn cached_rows_are_bitwise_copies() {
+        let t = table(16, 4);
+        let mut c = HotRowCache::new(4, 4);
+        for row in [3u32, 7, 3, 11, 3] {
+            assert_eq!(c.get_or_admit(row, &t), t.row(row as usize));
+        }
+        assert_eq!(c.stats.hits, 2);
+        assert_eq!(c.stats.misses, 3);
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let t = table(64, 2);
+        let mut c = HotRowCache::new(8, 2);
+        for row in 0..64u32 {
+            let _ = c.get_or_admit(row, &t);
+        }
+        assert!(c.len() <= 8);
+        // Cold start fills the 8 slots; each later row is a one-shot the
+        // doorkeeper declines, so no resident row is ever displaced.
+        assert_eq!(c.stats.insertions, 8);
+        assert_eq!(c.stats.evictions, 0);
+        assert_eq!(c.stats.rejections, 64 - 8);
+    }
+
+    #[test]
+    fn doorkeeper_admits_on_second_sighting() {
+        let t = table(64, 2);
+        let mut c = HotRowCache::new(2, 2);
+        let _ = c.get_or_admit(1, &t); // cold fill
+        let _ = c.get_or_admit(2, &t); // cold fill — cache now full
+        assert_eq!(c.get_or_admit(9, &t), t.row(9)); // first sighting: rejected
+        assert_eq!(c.stats.rejections, 1);
+        assert_eq!(c.len(), 2);
+        let _ = c.get_or_admit(9, &t); // second sighting: admitted
+        assert_eq!(c.stats.insertions, 3);
+        assert_eq!(c.stats.evictions, 1);
+        c.stats.reset();
+        let _ = c.get_or_admit(9, &t);
+        assert_eq!(c.stats.hits, 1, "row 9 must now be resident");
+    }
+
+    #[test]
+    fn hot_row_survives_cold_churn() {
+        let t = table(256, 2);
+        let mut c = HotRowCache::new(4, 2);
+        // Interleave a hot row with a stream of one-shot cold rows: the hot
+        // row's counter stays high, so the churn evicts only cold slots.
+        for i in 0..200u32 {
+            let _ = c.get_or_admit(0, &t);
+            let _ = c.get_or_admit(1 + (i % 255), &t);
+        }
+        c.stats.reset();
+        let _ = c.get_or_admit(0, &t);
+        assert_eq!(c.stats.hits, 1, "hot row must stay resident");
+    }
+
+    #[test]
+    fn single_slot_cache_works() {
+        let t = table(8, 3);
+        let mut c = HotRowCache::new(1, 3);
+        assert_eq!(c.get_or_admit(5, &t), t.row(5));
+        assert_eq!(c.get_or_admit(5, &t), t.row(5));
+        // Row 2 is rejected on first sighting, admitted on the second —
+        // the returned data is the correct table row either way.
+        assert_eq!(c.get_or_admit(2, &t), t.row(2));
+        assert_eq!(c.get_or_admit(2, &t), t.row(2));
+        assert_eq!(c.stats.hits, 1);
+        assert_eq!(c.stats.misses, 3);
+        assert_eq!(c.stats.rejections, 1);
+        assert_eq!(c.stats.insertions, 2);
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let mut s = CacheStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        s.hits = 3;
+        s.misses = 1;
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        s.reset();
+        assert_eq!(s, CacheStats::default());
+    }
+}

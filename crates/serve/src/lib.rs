@@ -1,0 +1,33 @@
+//! # dlrm-serve — batched, hot-row-cached DLRM inference
+//!
+//! Training is only half of a production recommender: this crate serves
+//! the trained model. Three pieces (see DESIGN.md §11):
+//!
+//! * [`MicroBatcher`] — turns concurrent single-user requests into bounded
+//!   micro-batches under a batching window (the throughput/latency dial).
+//! * [`HotRowCache`] — a fixed-capacity, frequency-aware (CLOCK-with-aging)
+//!   cache of hot embedding rows in a compact store. Embedding-bag gather
+//!   dominates DLRM inference and is cache-residency-bound; under
+//!   Zipf-shaped traffic the popularity head is tiny relative to the
+//!   table, so a ~1% cache captures most lookups.
+//! * [`ServeEngine`] — a worker thread running a forward-only
+//!   [`ServeModel`] over the training stack's SIMD embedding + GEMM
+//!   kernels, recording per-request latency for p50/p99/QPS SLO reporting
+//!   ([`metrics`]).
+//!
+//! Correctness contract: cached and uncached forward output are **bitwise
+//! identical** (cached rows are verbatim copies, summed in the same order
+//! by the same rowops tiers), so turning the cache on can never change a
+//! served score.
+
+pub mod batcher;
+pub mod cache;
+pub mod engine;
+pub mod metrics;
+
+pub use batcher::MicroBatcher;
+pub use cache::{CacheStats, HotRowCache};
+pub use engine::{
+    CacheSizing, EngineReport, Request, Response, ServeClient, ServeConfig, ServeEngine, ServeModel,
+};
+pub use metrics::{summarize_latencies_us, LatencySummary};

@@ -1,0 +1,100 @@
+//! Latency-SLO metrics: percentile summaries over per-request latencies.
+//!
+//! Serving SLOs are stated as tail percentiles (p50/p99), not means — a
+//! recommendation that misses its latency budget is dropped by the caller,
+//! so the tail *is* the product metric. The summary here uses the standard
+//! nearest-rank-with-interpolation definition over the full sample set (no
+//! reservoir sampling: even millions of `u64` samples are only megabytes).
+
+/// Percentile summary of a latency sample set, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Mean.
+    pub mean_us: f64,
+    /// Median.
+    pub p50_us: f64,
+    /// 90th percentile.
+    pub p90_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// Worst observed.
+    pub max_us: f64,
+}
+
+impl LatencySummary {
+    /// The all-zero summary for an empty sample set.
+    pub fn empty() -> Self {
+        LatencySummary {
+            count: 0,
+            mean_us: 0.0,
+            p50_us: 0.0,
+            p90_us: 0.0,
+            p99_us: 0.0,
+            max_us: 0.0,
+        }
+    }
+}
+
+/// Linear-interpolated percentile (`q` in `[0, 1]`) of an ascending-sorted
+/// sample set. Panics on an empty slice.
+pub fn percentile_sorted_us(sorted: &[u64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample set");
+    assert!((0.0..=1.0).contains(&q), "percentile q out of range: {q}");
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] as f64 * (1.0 - frac) + sorted[hi] as f64 * frac
+}
+
+/// Sorts `samples` in place and summarizes it.
+pub fn summarize_latencies_us(samples: &mut [u64]) -> LatencySummary {
+    if samples.is_empty() {
+        return LatencySummary::empty();
+    }
+    samples.sort_unstable();
+    let sum: u128 = samples.iter().map(|&x| x as u128).sum();
+    LatencySummary {
+        count: samples.len(),
+        mean_us: sum as f64 / samples.len() as f64,
+        p50_us: percentile_sorted_us(samples, 0.50),
+        p90_us: percentile_sorted_us(samples, 0.90),
+        p99_us: percentile_sorted_us(samples, 0.99),
+        max_us: *samples.last().unwrap() as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_set() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert!((percentile_sorted_us(&sorted, 0.0) - 1.0).abs() < 1e-12);
+        assert!((percentile_sorted_us(&sorted, 1.0) - 100.0).abs() < 1e-12);
+        assert!((percentile_sorted_us(&sorted, 0.5) - 50.5).abs() < 1e-12);
+        assert!((percentile_sorted_us(&sorted, 0.99) - 99.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_handles_singletons_and_empties() {
+        assert_eq!(summarize_latencies_us(&mut []), LatencySummary::empty());
+        let s = summarize_latencies_us(&mut [42]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.p50_us, 42.0);
+        assert_eq!(s.p99_us, 42.0);
+        assert_eq!(s.max_us, 42.0);
+    }
+
+    #[test]
+    fn summary_sorts_unsorted_input() {
+        let mut v = vec![30, 10, 20];
+        let s = summarize_latencies_us(&mut v);
+        assert_eq!(s.p50_us, 20.0);
+        assert_eq!(s.max_us, 30.0);
+        assert!((s.mean_us - 20.0).abs() < 1e-12);
+    }
+}
