@@ -110,6 +110,7 @@ pub fn validate_artifact(file_name: &str, json: &str) -> Result<(), String> {
         "BENCH_wire_precision.json" => validate_bench_wire_precision_json(json),
         "BENCH_overlap.json" => validate_bench_overlap_json(json),
         "BENCH_serving.json" => validate_bench_serving_json(json),
+        "BENCH_prefetch.json" => validate_bench_prefetch_json(json),
         other => Err(format!(
             "no schema validator registered for {other}; add one to dlrm_bench::validate_artifact"
         )),
@@ -229,6 +230,36 @@ pub fn validate_bench_serving_json(json: &str) -> Result<(), String> {
     }
     if !json.contains("\"bitwise_identical\": true") {
         return Err("\"bitwise_identical\" must be true".into());
+    }
+    check_balanced(json)
+}
+
+/// Structural schema check for `results/BENCH_prefetch.json` (the
+/// `bench_prefetch` artifact): the forward-exchange volume sweep over
+/// Zipf skew × lookahead window, plus the bitwise-loss-identity gate.
+/// Same key-presence + balance approach as the other validators.
+pub fn validate_bench_prefetch_json(json: &str) -> Result<(), String> {
+    const REQUIRED: [&str; 11] = [
+        "\"bench\"",
+        "\"smoke\"",
+        "\"config\"",
+        "\"sweep\"",
+        "\"zipf_s\"",
+        "\"window\"",
+        "\"naive_forward_alltoall_bytes\"",
+        "\"prefetch_fetch_bytes\"",
+        "\"forward_bytes_ratio\"",
+        "\"min_ratio_window_ge_4\"",
+        "\"losses_bitwise_identical\"",
+    ];
+    require_keys(json, &REQUIRED)?;
+    if !json.contains("\"bench\": \"prefetch\"") {
+        return Err("\"bench\" must be \"prefetch\"".into());
+    }
+    if !json.contains("\"losses_bitwise_identical\": true")
+        || json.contains("\"losses_bitwise_identical\": false")
+    {
+        return Err("\"losses_bitwise_identical\" must be true".into());
     }
     check_balanced(json)
 }
@@ -456,6 +487,31 @@ mod tests {
     }
 
     #[test]
+    fn prefetch_validator_accepts_minimal_schema_and_rejects_bad() {
+        let ok = r#"{
+  "bench": "prefetch",
+  "smoke": true,
+  "config": {"ranks": 4, "tables": 8, "rows_per_table": 512, "global_batch": 128, "steps": 6},
+  "sweep": [
+    {"zipf_s": 1.05, "window": 4, "naive_forward_alltoall_bytes": 1000, "prefetch_fetch_bytes": 400, "forward_bytes_ratio": 2.5, "naive_step_s": 0.01, "prefetch_step_s": 0.009}
+  ],
+  "min_ratio_window_ge_4": 2.5,
+  "losses_bitwise_identical": true
+}"#;
+        assert!(validate_bench_prefetch_json(ok).is_ok());
+        assert!(validate_bench_prefetch_json("{}").is_err());
+        let gate_broken = ok.replace(
+            "\"losses_bitwise_identical\": true",
+            "\"losses_bitwise_identical\": false",
+        );
+        assert!(validate_bench_prefetch_json(&gate_broken).is_err());
+        let missing = ok.replace("\"min_ratio_window_ge_4\"", "\"min_ratio\"");
+        assert!(validate_bench_prefetch_json(&missing).is_err());
+        let unbalanced = ok.replace("true\n}", "true\n");
+        assert!(validate_bench_prefetch_json(&unbalanced).is_err());
+    }
+
+    #[test]
     fn artifact_dispatch_covers_every_committed_artifact() {
         // Wrong-schema content must be rejected under every known name, and
         // unknown names must be an error (no unvalidated artifacts).
@@ -464,6 +520,7 @@ mod tests {
             "BENCH_wire_precision.json",
             "BENCH_overlap.json",
             "BENCH_serving.json",
+            "BENCH_prefetch.json",
         ] {
             assert!(validate_artifact(name, "{}").is_err(), "{name}");
         }

@@ -32,6 +32,7 @@ fn every_committed_bench_artifact_validates() {
         "BENCH_wire_precision.json",
         "BENCH_overlap.json",
         "BENCH_serving.json",
+        "BENCH_prefetch.json",
     ] {
         assert!(
             seen.iter().any(|n| n == required),
@@ -50,6 +51,7 @@ fn committed_perf_artifacts_are_full_scale() {
         "BENCH_embedding.json",
         "BENCH_wire_precision.json",
         "BENCH_serving.json",
+        "BENCH_prefetch.json",
     ] {
         let path = committed_results_dir().join(name);
         let json = std::fs::read_to_string(&path)

@@ -40,12 +40,19 @@ mod dlrm_tensor_free {
 
 /// Tag bases keep the p2p streams of different collectives recognizable in
 /// assertion failures; correctness relies on per-pair FIFO order, not tags.
+/// [`crate::instrument::WireStats`] buckets logical bytes by the tag-base
+/// class (`tag >> 24`), which is why the prefetch fetch traffic gets its
+/// own base — it shares the alltoall primitive but must be accountable
+/// separately from the framework exchanges.
 const TAG_RS: u64 = 0x0100_0000;
 const TAG_AG: u64 = 0x0200_0000;
-const TAG_A2A: u64 = 0x0300_0000;
+/// Public: the engine routes explicitly-tagged alltoalls by base.
+pub const TAG_A2A: u64 = 0x0300_0000;
 const TAG_BCAST: u64 = 0x0400_0000;
 const TAG_SCATTER: u64 = 0x0500_0000;
 const TAG_GATHER: u64 = 0x0600_0000;
+/// Tag base for prefetch row-fetch alltoalls (see `dlrm-dist::prefetch`).
+pub const TAG_PREFETCH: u64 = 0x0700_0000;
 
 /// Ring reduce-scatter (sum): every rank contributes `data` (same length on
 /// all ranks) and receives the fully-reduced chunk `partition_range(len, R,
@@ -254,8 +261,21 @@ pub fn alltoall(comm: &Communicator, send: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
 /// alltoall with every element quantized (`f32 → bf16 → f32`), bitwise.
 pub fn alltoall_wire(
     comm: &Communicator,
+    send: Vec<Vec<f32>>,
+    wirep: WirePrecision,
+) -> Vec<Vec<f32>> {
+    alltoall_wire_tagged(comm, send, wirep, TAG_A2A)
+}
+
+/// [`alltoall_wire`] under an explicit tag base, so callers that reuse the
+/// pairwise exchange for a different logical stream (the prefetch row
+/// fetch) land in their own [`WireStats`](crate::instrument::WireStats)
+/// byte bucket.
+pub fn alltoall_wire_tagged(
+    comm: &Communicator,
     mut send: Vec<Vec<f32>>,
     wirep: WirePrecision,
+    tag_base: u64,
 ) -> Vec<Vec<f32>> {
     let r = comm.nranks();
     let me = comm.rank();
@@ -270,8 +290,8 @@ pub fn alltoall_wire(
             for s in 1..r {
                 let dst = (me + s) % r;
                 let src = (me + r - s) % r;
-                comm.send(dst, TAG_A2A + s as u64, std::mem::take(&mut send[dst]));
-                recv[src] = comm.recv(src, TAG_A2A + s as u64);
+                comm.send(dst, tag_base + s as u64, std::mem::take(&mut send[dst]));
+                recv[src] = comm.recv(src, tag_base + s as u64);
             }
         }
         WirePrecision::Bf16 => {
@@ -284,8 +304,8 @@ pub fn alltoall_wire(
                 let outgoing = std::mem::take(&mut send[dst]);
                 stage.resize(outgoing.len(), 0);
                 bf16wire::narrow_slice(isa, &outgoing, &mut stage);
-                comm.send_payload(dst, TAG_A2A + s as u64, Payload::Bf16(stage));
-                let incoming = comm.recv_payload(src, TAG_A2A + s as u64).into_bf16();
+                comm.send_payload(dst, tag_base + s as u64, Payload::Bf16(stage));
+                let incoming = comm.recv_payload(src, tag_base + s as u64).into_bf16();
                 // Recycle the f32 buffer we just narrowed from as the
                 // widen target for what arrived.
                 let mut widened = outgoing;

@@ -141,6 +141,7 @@ pub struct WireStats {
     broadcast: AtomicU64,
     scatter: AtomicU64,
     gather: AtomicU64,
+    prefetch: AtomicU64,
     other: AtomicU64,
 }
 
@@ -161,6 +162,9 @@ pub struct WireSnapshot {
     pub scatter_bytes: u64,
     /// Bytes sent by rooted gathers.
     pub gather_bytes: u64,
+    /// Bytes sent by prefetch row-fetch exchanges (the dist trainer's
+    /// lookahead pipeline; tag base `TAG_PREFETCH`).
+    pub prefetch_bytes: u64,
     /// Bytes sent under any other tag (raw point-to-point traffic).
     pub other_bytes: u64,
 }
@@ -179,6 +183,7 @@ impl WireSnapshot {
             + self.broadcast_bytes
             + self.scatter_bytes
             + self.gather_bytes
+            + self.prefetch_bytes
             + self.other_bytes
     }
 }
@@ -199,6 +204,7 @@ impl WireStats {
             0x04 => &self.broadcast,
             0x05 => &self.scatter,
             0x06 => &self.gather,
+            0x07 => &self.prefetch,
             _ => &self.other,
         };
         bucket.fetch_add(bytes, Ordering::Relaxed);
@@ -214,6 +220,7 @@ impl WireStats {
             broadcast_bytes: self.broadcast.load(Ordering::Relaxed),
             scatter_bytes: self.scatter.load(Ordering::Relaxed),
             gather_bytes: self.gather.load(Ordering::Relaxed),
+            prefetch_bytes: self.prefetch.load(Ordering::Relaxed),
             other_bytes: self.other.load(Ordering::Relaxed),
         }
     }
@@ -228,6 +235,7 @@ impl WireStats {
             &self.broadcast,
             &self.scatter,
             &self.gather,
+            &self.prefetch,
             &self.other,
         ] {
             c.store(0, Ordering::Relaxed);
@@ -246,14 +254,16 @@ mod tests {
         w.record(0x0200_0001, 40); // allgather step
         w.record(0x0300_0002, 64); // alltoall round
         w.record(0x0400_0000, 8); // broadcast
+        w.record(0x0700_0001, 24); // prefetch row fetch
         w.record(7, 100); // untagged p2p
         let s = w.snapshot();
-        assert_eq!(s.messages, 5);
+        assert_eq!(s.messages, 6);
         assert_eq!(s.allreduce_bytes(), 80);
         assert_eq!(s.alltoall_bytes, 64);
         assert_eq!(s.broadcast_bytes, 8);
+        assert_eq!(s.prefetch_bytes, 24);
         assert_eq!(s.other_bytes, 100);
-        assert_eq!(s.total_bytes(), 252);
+        assert_eq!(s.total_bytes(), 276);
         w.reset();
         assert_eq!(w.snapshot(), WireSnapshot::default());
     }

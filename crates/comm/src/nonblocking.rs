@@ -57,7 +57,7 @@ impl std::fmt::Display for Backend {
 
 enum Task {
     Allreduce(Vec<f32>, WirePrecision, Sender<OpOutput>),
-    Alltoall(Vec<Vec<f32>>, WirePrecision, Sender<OpOutput>),
+    Alltoall(Vec<Vec<f32>>, WirePrecision, u64, Sender<OpOutput>),
     Shutdown,
 }
 
@@ -231,9 +231,23 @@ impl ProgressEngine {
         send: Vec<Vec<f32>>,
         wirep: WirePrecision,
     ) -> Request {
+        self.alltoall_wire_tagged(channel, send, wirep, crate::collectives::TAG_A2A)
+    }
+
+    /// [`ProgressEngine::alltoall_wire`] under an explicit tag base, so a
+    /// logically distinct stream (the prefetch row fetch) gets its own
+    /// [`WireStats`] byte bucket. Per-pair FIFO order is what makes two
+    /// streams on one channel safe, exactly as for the framework exchanges.
+    pub fn alltoall_wire_tagged(
+        &self,
+        channel: usize,
+        send: Vec<Vec<f32>>,
+        wirep: WirePrecision,
+        tag_base: u64,
+    ) -> Request {
         let (tx, rx) = bounded(1);
         self.submitters[channel % self.submitters.len()]
-            .send(Task::Alltoall(send, wirep, tx))
+            .send(Task::Alltoall(send, wirep, tag_base, tx))
             .expect("progress channel died");
         Request { rx, cached: None }
     }
@@ -266,8 +280,8 @@ fn progress_loop(comm: Communicator, rx: Receiver<Task>, mut chaos: Option<Worke
                 crate::collectives::allreduce_sum_wire(&comm, &mut data, wirep);
                 let _ = done.send(OpOutput::Flat(data));
             }
-            Task::Alltoall(send, wirep, done) => {
-                let recv = crate::collectives::alltoall_wire(&comm, send, wirep);
+            Task::Alltoall(send, wirep, tag_base, done) => {
+                let recv = crate::collectives::alltoall_wire_tagged(&comm, send, wirep, tag_base);
                 let _ = done.send(OpOutput::PerRank(recv));
             }
             Task::Shutdown => return,

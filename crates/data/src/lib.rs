@@ -17,14 +17,19 @@
 //! * [`loader`] — data loaders, including the paper's "reads the full
 //!   global minibatch on every rank" behaviour whose cost grows with weak
 //!   scaling (Figure 13 discussion).
+//! * [`lookahead`] — a peekable window over the deterministic batch
+//!   stream, the shared view the BagPipe-style prefetch pipeline in the
+//!   distributed trainer derives its transfer plans from.
 
 pub mod batch;
 pub mod clicklog;
 pub mod configs;
 pub mod distributions;
 pub mod loader;
+pub mod lookahead;
 
 pub use batch::MiniBatch;
 pub use clicklog::ClickLog;
 pub use configs::DlrmConfig;
 pub use distributions::IndexDistribution;
+pub use lookahead::LookaheadWindow;

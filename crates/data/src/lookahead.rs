@@ -1,0 +1,119 @@
+//! `LookaheadWindow` — a cursor over a deterministic batch stream that can
+//! peek W future batches.
+//!
+//! BagPipe's lookahead trick only works because the training loader is
+//! deterministic: every rank can see not just the current batch but the
+//! next W batches, and — since all ranks walk the *same* stream — derive
+//! identical prefetch decisions from that shared view without exchanging
+//! any metadata. This type is that shared view: a window `[pos, pos + W]`
+//! over an in-memory batch slice. `peek(0)` is the current batch and
+//! `peek(k)` for `k ≤ W` is a future one (`None` past the end of the
+//! stream, which is how the pipeline drains).
+
+use crate::batch::MiniBatch;
+
+/// A cursor with `window` batches of lookahead over a batch slice.
+pub struct LookaheadWindow<'a> {
+    batches: &'a [MiniBatch],
+    pos: usize,
+    window: usize,
+}
+
+impl<'a> LookaheadWindow<'a> {
+    /// A window of `window ≥ 1` future batches over `batches`, starting at
+    /// position 0.
+    pub fn new(batches: &'a [MiniBatch], window: usize) -> Self {
+        assert!(window >= 1, "lookahead window must be >= 1");
+        LookaheadWindow {
+            batches,
+            pos: 0,
+            window,
+        }
+    }
+
+    /// The current batch. Panics when the stream is exhausted
+    /// (check [`LookaheadWindow::is_finished`] first).
+    pub fn current(&self) -> &'a MiniBatch {
+        &self.batches[self.pos]
+    }
+
+    /// Batch `k` steps ahead of the cursor (`k = 0` is the current batch).
+    /// `None` when `k` exceeds the window or runs past the end of the
+    /// stream.
+    pub fn peek(&self, k: usize) -> Option<&'a MiniBatch> {
+        if k > self.window {
+            return None;
+        }
+        self.batches.get(self.pos + k)
+    }
+
+    /// Advances the cursor one batch.
+    pub fn advance(&mut self) {
+        self.pos += 1;
+    }
+
+    /// Cursor position (batches consumed so far).
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Lookahead depth W.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Total batches in the underlying stream.
+    pub fn len(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// True when there are no batches in the stream.
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+
+    /// True once the cursor has walked off the end of the stream.
+    pub fn is_finished(&self) -> bool {
+        self.pos >= self.batches.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::DlrmConfig;
+    use crate::distributions::IndexDistribution;
+    use dlrm_tensor::init::seeded_rng;
+
+    fn stream(count: usize) -> Vec<MiniBatch> {
+        let cfg = DlrmConfig::small().scaled_down(32, 64);
+        (0..count)
+            .map(|i| {
+                let mut rng = seeded_rng(900 + i as u64, 5);
+                MiniBatch::random(&cfg, 4, IndexDistribution::Uniform, &mut rng)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn window_walks_the_stream_and_drains() {
+        let batches = stream(3);
+        let mut win = LookaheadWindow::new(&batches, 2);
+        assert_eq!(win.len(), 3);
+        assert!(!win.is_empty());
+        // At pos 0 the whole window is visible.
+        assert!(std::ptr::eq(win.current(), &batches[0]));
+        assert!(std::ptr::eq(win.peek(0).unwrap(), &batches[0]));
+        assert!(std::ptr::eq(win.peek(2).unwrap(), &batches[2]));
+        assert!(win.peek(3).is_none(), "peek past the window");
+        win.advance();
+        // Near the end the window truncates instead of wrapping.
+        assert!(std::ptr::eq(win.peek(1).unwrap(), &batches[2]));
+        assert!(win.peek(2).is_none(), "peek past the end of the stream");
+        win.advance();
+        assert_eq!(win.pos(), 2);
+        assert!(!win.is_finished());
+        win.advance();
+        assert!(win.is_finished());
+    }
+}

@@ -25,9 +25,10 @@
 use crate::bucketing::{BucketReducer, DEFAULT_BUCKET_CAP_BYTES};
 use crate::ddp::{averaged_sgd_step, grad_offsets, unflatten_grads};
 use crate::exchange::{
-    begin_backward_exchange, begin_forward_exchange, finish_backward_exchange,
+    begin_backward_exchange, begin_forward_exchange, ensure_mats, finish_backward_exchange,
     finish_forward_exchange, tables_of, ExchangeStrategy,
 };
+use crate::prefetch::{Prefetch, PrefetchState};
 use dlrm::embedding_layer::EmbeddingLayer;
 use dlrm::interaction::Interaction;
 use dlrm::layers::{Activation, Execution, Mlp};
@@ -37,7 +38,7 @@ use dlrm_comm::instrument::{time_opt, OpKind, TimingRecorder};
 use dlrm_comm::nonblocking::{create_channel_worlds_with_chaos, Backend, ProgressEngine};
 use dlrm_comm::wire::WirePrecision;
 use dlrm_comm::world::{CommWorld, Communicator};
-use dlrm_data::{DlrmConfig, MiniBatch};
+use dlrm_data::{DlrmConfig, LookaheadWindow, MiniBatch};
 use dlrm_kernels::embedding::UpdateStrategy;
 use dlrm_kernels::loss::{bce_with_logits_backward, bce_with_logits_loss};
 use dlrm_tensor::init::seeded_rng;
@@ -119,6 +120,10 @@ pub struct DistOptions {
     pub bucket_cap_bytes: usize,
     /// Per-collective on-wire element format.
     pub wire: WireConfig,
+    /// Lookahead prefetch + dedup for the embedding data plane. `Off`
+    /// (the default) keeps the trainer byte-for-byte on the pooled
+    /// forward-exchange path.
+    pub prefetch: Prefetch,
 }
 
 impl Default for DistOptions {
@@ -131,6 +136,7 @@ impl Default for DistOptions {
             schedule: Schedule::Overlapped,
             bucket_cap_bytes: DEFAULT_BUCKET_CAP_BYTES,
             wire: WireConfig::default(),
+            prefetch: Prefetch::Off,
         }
     }
 }
@@ -165,6 +171,8 @@ pub struct DistDlrm {
     bwd_grads: Vec<Matrix>,
     flat_grads: Vec<f32>,
     dlogits: Vec<f32>,
+    /// Lookahead pipeline state (`Some` iff prefetch is enabled).
+    prefetch: Option<PrefetchState>,
 }
 
 impl DistDlrm {
@@ -199,6 +207,35 @@ impl DistDlrm {
                 .map(|t| (t, DlrmModel::build_table(cfg, t, opts.update, opts.seed)))
                 .collect();
         let (grad_offs, grad_total) = grad_offsets(&[&bottom, &top]);
+        let prefetch = match opts.prefetch {
+            Prefetch::Off => None,
+            Prefetch::Lookahead { window } => {
+                // Bitwise equivalence with the naive step needs canonical
+                // bytes on the fetch wire and dest/owner agreement on every
+                // applied gradient — see `crate::prefetch`.
+                assert_eq!(
+                    opts.wire.forward_alltoall,
+                    WirePrecision::Fp32,
+                    "prefetch requires an FP32 forward wire: cached rows must be canonical bytes"
+                );
+                assert_eq!(
+                    opts.wire.backward_alltoall,
+                    WirePrecision::Fp32,
+                    "prefetch requires an FP32 backward wire: dest and owner must apply identical gradients"
+                );
+                assert!(
+                    matches!(
+                        opts.update,
+                        UpdateStrategy::Reference
+                            | UpdateStrategy::RaceFree
+                            | UpdateStrategy::Bucketed
+                    ),
+                    "prefetch requires a per-row-deterministic update strategy, got {}",
+                    opts.update
+                );
+                Some(PrefetchState::new(cfg, comm.nranks(), comm.rank(), window))
+            }
+        };
         DistDlrm {
             cfg: cfg.clone(),
             comm,
@@ -219,6 +256,7 @@ impl DistDlrm {
             bwd_grads: Vec::new(),
             flat_grads: Vec::new(),
             dlogits: Vec::new(),
+            prefetch,
         }
     }
 
@@ -263,6 +301,7 @@ impl DistDlrm {
             .map(|m| std::mem::size_of_val(m.as_slice()))
             .sum();
         mats + (self.flat_grads.capacity() + self.dlogits.capacity()) * std::mem::size_of::<f32>()
+            + self.prefetch.as_ref().map_or(0, |p| p.scratch_bytes())
     }
 
     /// One hybrid-parallel training iteration over a *global* minibatch
@@ -444,6 +483,214 @@ impl DistDlrm {
 
         loss
     }
+
+    /// One lookahead-pipelined training iteration (requires
+    /// [`Prefetch::Lookahead`] in the construction options). `win.current()`
+    /// is this step's global batch; the window is the shared deterministic
+    /// view every rank derives bit-identical fetch plans from. The caller
+    /// advances the window between steps.
+    ///
+    /// Bitwise-identical to [`DistDlrm::train_step`] over the same stream:
+    /// the pooled table slices are reproduced locally from cached unique
+    /// rows in the naive accumulate order, and everything from the bottom
+    /// MLP down — backward, gradient exchanges, owner updates, bucketed
+    /// allreduce — is the unchanged code path (`tests/prefetch_equivalence`
+    /// asserts losses *and all parameter planes*). What changes is the
+    /// wire: each unique row crosses once per residency instead of `n·E`
+    /// pooled floats per step, and next-step rows fly behind backward
+    /// compute.
+    pub fn train_step_lookahead(&mut self, win: &LookaheadWindow<'_>, lr: f32) -> f64 {
+        let mut ps = self
+            .prefetch
+            .take()
+            .expect("prefetch not enabled; construct with Prefetch::Lookahead");
+        let loss = self.lookahead_step(&mut ps, win, lr);
+        self.prefetch = Some(ps);
+        loss
+    }
+
+    fn lookahead_step(
+        &mut self,
+        ps: &mut PrefetchState,
+        win: &LookaheadWindow<'_>,
+        lr: f32,
+    ) -> f64 {
+        let r = self.nranks();
+        let global = win.current();
+        let gn = global.batch_size();
+        assert_eq!(gn % r, 0, "global minibatch must divide by ranks");
+        let n = gn / r;
+        let me = self.rank();
+        let exec = self.exec.clone();
+        let e = self.cfg.emb_dim;
+        let overlapped = self.schedule == Schedule::Overlapped;
+        let rec_arc = self.recorder.clone();
+        let rec = rec_arc.as_deref();
+        assert_eq!(win.pos(), ps.step() as usize, "window cursor out of sync");
+        let j = ps.step();
+
+        // --- forward ------------------------------------------------------
+        let local = global.slice(me * n, (me + 1) * n);
+        let engine = self.engine.as_ref();
+
+        // Lookahead front end: fold newly visible batches into the need
+        // horizon, land the early fetch issued last step, fill the gaps
+        // with a late fetch, then record this batch's touches.
+        ps.observe_visible(win, n);
+        ps.land_early_fetch(r, e, rec);
+        ps.late_fetch(
+            j,
+            global,
+            me,
+            r,
+            n,
+            &self.local_tables,
+            &self.comm,
+            self.wire.forward_alltoall,
+            rec,
+        );
+        ps.record_touches(j, global, n);
+
+        // Local fan-out replaces the pooled forward alltoall: every table's
+        // slice is pooled from cached rows in the naive accumulate order.
+        ensure_mats(&mut self.fwd_slices, self.cfg.num_tables, n, e);
+        time_opt(rec, OpKind::Compute, || {
+            ps.pool_forward(global, me, n, &mut self.fwd_slices)
+        });
+
+        let z0 = time_opt(rec, OpKind::Compute, || {
+            self.bottom.forward(&exec, &local.dense)
+        });
+        let logits_m = time_opt(rec, OpKind::Compute, || {
+            let inter = self.interaction.forward(&exec, &z0, &self.fwd_slices);
+            self.top.forward(&exec, &inter)
+        });
+        let logits = logits_m.as_slice();
+        let loss = bce_with_logits_loss(logits, &local.labels);
+
+        // --- backward -----------------------------------------------------
+        self.dlogits.resize(n, 0.0);
+        bce_with_logits_backward(logits, &local.labels, &mut self.dlogits);
+        let dy_top = Matrix::from_slice(1, n, &self.dlogits);
+
+        let mut reducer = BucketReducer::new(
+            std::mem::take(&mut self.flat_grads),
+            self.grad_total,
+            self.bucket_cap_bytes,
+        )
+        .with_wire(self.wire.allreduce);
+
+        // Early fetch of batch j+1's rows, issued on the exchange channel
+        // before the backward alltoall so it flies behind the backward
+        // compute below (channel FIFO order is identical on all ranks:
+        // late(j), early(j+1), backward(j)).
+        ps.issue_early_fetch(
+            j,
+            win,
+            me,
+            r,
+            n,
+            &self.local_tables,
+            &self.comm,
+            engine,
+            self.wire.forward_alltoall,
+            rec,
+        );
+
+        let d_inter = if overlapped {
+            let offs = &self.grad_offs[1];
+            let red = &mut reducer;
+            time_opt(rec, OpKind::Compute, || {
+                self.top.backward_with(&exec, dy_top, |i, layer| {
+                    let off = offs[i];
+                    red.write(off, layer.dw.as_slice());
+                    red.write(off + layer.dw.as_slice().len(), &layer.db);
+                    red.on_produced(off, engine, None);
+                })
+            })
+        } else {
+            time_opt(rec, OpKind::Compute, || self.top.backward(&exec, dy_top))
+        };
+
+        let (d_bottom, d_tables) =
+            time_opt(rec, OpKind::Compute, || self.interaction.backward(&d_inter));
+
+        let mut pending_bwd = Some(begin_backward_exchange(
+            self.strategy,
+            &self.comm,
+            engine,
+            &d_tables,
+            self.cfg.num_tables,
+            n,
+            e,
+            self.wire.backward_alltoall,
+            rec,
+        ));
+        if !overlapped {
+            finish_backward_exchange(
+                pending_bwd.take().unwrap(),
+                &self.comm,
+                &mut self.bwd_grads,
+                rec,
+            );
+        }
+
+        if overlapped {
+            let offs = &self.grad_offs[0];
+            let red = &mut reducer;
+            time_opt(rec, OpKind::Compute, || {
+                self.bottom.backward_with(&exec, d_bottom, |i, layer| {
+                    let off = offs[i];
+                    red.write(off, layer.dw.as_slice());
+                    red.write(off + layer.dw.as_slice().len(), &layer.db);
+                    red.on_produced(off, engine, None);
+                });
+            });
+        } else {
+            time_opt(rec, OpKind::Compute, || {
+                let _ = self.bottom.backward(&exec, d_bottom);
+            });
+        }
+
+        if let Some(p) = pending_bwd.take() {
+            finish_backward_exchange(p, &self.comm, &mut self.bwd_grads, rec);
+        }
+
+        // Owner canonical update (the forward never ran here, so record the
+        // batch first) plus the delayed local update of cached rows.
+        let emb_lr = lr / r as f32;
+        time_opt(rec, OpKind::Compute, || {
+            for ((t, layer), grad) in self.local_tables.iter_mut().zip(&self.bwd_grads) {
+                layer.set_saved_batch(&global.indices[*t], &global.offsets[*t]);
+                layer.backward_update(&exec, grad, emb_lr);
+            }
+            ps.apply_local_updates(global, me, n, &d_tables, emb_lr);
+        });
+
+        if !overlapped {
+            time_opt(rec, OpKind::AllreduceFramework, || {
+                for (m, mlp) in [&self.bottom, &self.top].into_iter().enumerate() {
+                    for (i, layer) in mlp.layers.iter().enumerate() {
+                        let off = self.grad_offs[m][i];
+                        reducer.write(off, layer.dw.as_slice());
+                        reducer.write(off + layer.dw.as_slice().len(), &layer.db);
+                    }
+                }
+            });
+            reducer.on_produced(0, engine, rec);
+        }
+
+        let flat = reducer.finalize(&self.comm, engine, rec);
+        unflatten_grads(&flat, &mut [&mut self.bottom, &mut self.top]);
+        self.flat_grads = flat;
+        time_opt(rec, OpKind::Compute, || {
+            averaged_sgd_step(&mut self.bottom, lr, r);
+            averaged_sgd_step(&mut self.top, lr, r);
+        });
+
+        ps.finish_step(j);
+        loss
+    }
 }
 
 /// Convenience driver: trains `nranks` thread-ranks for the given global
@@ -495,10 +742,21 @@ pub fn run_training_with_chaos(
             ProgressEngine::new_with_chaos(backend, comms, plan.clone())
         });
         let mut rank_model = DistDlrm::new(cfg, comm, engine, opts);
-        batches
-            .iter()
-            .map(|b| rank_model.train_step(b, lr))
-            .collect()
+        match opts.prefetch {
+            Prefetch::Off => batches
+                .iter()
+                .map(|b| rank_model.train_step(b, lr))
+                .collect(),
+            Prefetch::Lookahead { window } => {
+                let mut win = LookaheadWindow::new(batches, window);
+                let mut losses = Vec::with_capacity(batches.len());
+                while !win.is_finished() {
+                    losses.push(rank_model.train_step_lookahead(&win, lr));
+                    win.advance();
+                }
+                losses
+            }
+        }
     })
 }
 
@@ -648,6 +906,61 @@ mod tests {
                 (b - f).abs() < 2e-2,
                 "step {step}: bf16 {b} vs fp32 {f} diverged"
             );
+        }
+    }
+
+    #[test]
+    fn prefetch_losses_match_naive_bitwise() {
+        let cfg = tiny_cfg();
+        let batches = global_batches(&cfg, 8, 4);
+        let base = DistOptions {
+            seed: 21,
+            threads_per_rank: 1,
+            ..Default::default()
+        };
+        let naive = run_training(&cfg, 2, &base, &batches, 0.1);
+        for window in [1usize, 3] {
+            let opts = DistOptions {
+                prefetch: Prefetch::Lookahead { window },
+                ..base.clone()
+            };
+            let got = run_training(&cfg, 2, &opts, &batches, 0.1);
+            for (rank, (g, w)) in got.iter().zip(&naive).enumerate() {
+                for (step, (a, b)) in g.iter().zip(w).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "W={window} rank {rank} step {step}: {a} vs {w:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefetch_rejects_unsound_configurations() {
+        let cfg = tiny_cfg();
+        let batches = global_batches(&cfg, 8, 1);
+        for opts in [
+            // Non-deterministic per-row update order.
+            DistOptions {
+                prefetch: Prefetch::Lookahead { window: 2 },
+                update: UpdateStrategy::AtomicXchg,
+                threads_per_rank: 1,
+                ..Default::default()
+            },
+            // Quantized backward wire: dest and owner would disagree.
+            DistOptions {
+                prefetch: Prefetch::Lookahead { window: 2 },
+                wire: WireConfig::all(WirePrecision::Bf16),
+                threads_per_rank: 1,
+                ..Default::default()
+            },
+        ] {
+            let result = std::panic::catch_unwind(|| {
+                let _ = run_training(&cfg, 2, &opts, &batches, 0.1);
+            });
+            assert!(result.is_err(), "unsound prefetch config must be rejected");
         }
     }
 

@@ -85,7 +85,7 @@ pub fn owner_of(t: usize, nranks: usize) -> usize {
 
 /// Grows/reshapes `out` to exactly `count` matrices of `rows×cols`,
 /// reusing existing allocations when the shapes already match.
-fn ensure_mats(out: &mut Vec<Matrix>, count: usize, rows: usize, cols: usize) {
+pub(crate) fn ensure_mats(out: &mut Vec<Matrix>, count: usize, rows: usize, cols: usize) {
     out.truncate(count);
     for m in out.iter_mut() {
         if m.shape() != (rows, cols) {

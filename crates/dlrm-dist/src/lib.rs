@@ -33,12 +33,20 @@
 //! the forward/backward embedding alltoalls and the bucketed allreduce —
 //! so the paper's 16-bit wire halves the exchanged bytes while all local
 //! arithmetic stays FP32.
+//!
+//! A third orthogonal knob, [`prefetch::Prefetch`], replaces the pooled
+//! forward alltoall with a BagPipe-style lookahead pipeline: per-window
+//! index dedup, raw-row fetches that cross the wire once per residency,
+//! local pooling, delayed-update row caches, and an early fetch of the
+//! next batch's rows in flight behind backward compute — bitwise-identical
+//! losses and parameter planes, fewer logical bytes.
 
 pub mod bucketing;
 pub mod characteristics;
 pub mod ddp;
 pub mod distributed;
 pub mod exchange;
+pub mod prefetch;
 
 pub use bucketing::{BucketPlan, BucketReducer, DEFAULT_BUCKET_CAP_BYTES};
 pub use characteristics::DistCharacteristics;
@@ -47,3 +55,4 @@ pub use distributed::{
 };
 pub use dlrm_comm::wire::WirePrecision;
 pub use exchange::ExchangeStrategy;
+pub use prefetch::Prefetch;

@@ -41,9 +41,10 @@ static ALLOC: CountingAlloc = CountingAlloc;
 use dlrm_comm::nonblocking::{create_channel_worlds, Backend, ProgressEngine};
 use dlrm_comm::wire::WirePrecision;
 use dlrm_comm::world::CommWorld;
-use dlrm_data::{DlrmConfig, IndexDistribution, MiniBatch};
+use dlrm_data::{DlrmConfig, IndexDistribution, LookaheadWindow, MiniBatch};
 use dlrm_dist::distributed::{DistDlrm, DistOptions, Schedule, WireConfig};
 use dlrm_dist::exchange::ExchangeStrategy;
+use dlrm_dist::prefetch::Prefetch;
 use dlrm_tensor::init::seeded_rng;
 
 fn tiny_cfg() -> DlrmConfig {
@@ -140,6 +141,122 @@ fn assert_steady(samples: &[(isize, usize)], label: &str) {
 
 fn steps_mid(samples: &[(isize, usize)]) -> usize {
     samples.len() / 2
+}
+
+/// Prefetch-enabled variant of [`sample_training`]: drives the trainer
+/// through the lookahead window loop instead of per-batch steps.
+fn sample_training_prefetch(
+    schedule: Schedule,
+    steps: usize,
+    window: usize,
+) -> Vec<(isize, usize)> {
+    let cfg = tiny_cfg();
+    let nranks = 2;
+    let opts = DistOptions {
+        strategy: ExchangeStrategy::CclAlltoall,
+        seed: 5,
+        threads_per_rank: 1,
+        schedule,
+        bucket_cap_bytes: 128,
+        prefetch: Prefetch::Lookahead { window },
+        ..Default::default()
+    };
+    // A rotating covering index pattern instead of uniform draws: batch i
+    // reads lookup k of table t as row (k + i) mod rows(t). Every slice
+    // touches a full-width run of consecutive rows that shifts one row per
+    // step, so the resident set, tracker rings, fetch lists and free lists
+    // all hit their high-water marks within the first few windows — and
+    // *deterministically* stay there, unlike random draws whose capacity
+    // high-waters keep creeping on coupon-collector tails. Rows still
+    // rotate out of the window (evictions + refetches) and neighbouring
+    // slices overlap on the 8-row table (foreign invalidations), so the
+    // whole fetch/update/invalidate/evict cycle runs every step.
+    let batches: Vec<MiniBatch> = (0..steps)
+        .map(|i| {
+            let mut b = MiniBatch::random(
+                &cfg,
+                8,
+                IndexDistribution::Uniform,
+                &mut seeded_rng(42 + i as u64, 5),
+            );
+            for (t, idx) in b.indices.iter_mut().enumerate() {
+                let rows = cfg.table_rows[t];
+                for (k, v) in idx.iter_mut().enumerate() {
+                    *v = ((k as u64 + i as u64) % rows) as u32;
+                }
+            }
+            b
+        })
+        .collect();
+    let backend = Backend::CclLike { workers: 2 };
+    let worlds = std::sync::Mutex::new(create_channel_worlds(nranks, backend));
+    let out = CommWorld::run(nranks, |comm| {
+        let me = comm.rank();
+        let engine = {
+            let comms = std::mem::take(&mut worlds.lock().unwrap()[me]);
+            ProgressEngine::new(backend, comms)
+        };
+        let mut model = DistDlrm::new(&cfg, comm, Some(engine), &opts);
+        let mut samples = Vec::with_capacity(steps);
+        let mut win = LookaheadWindow::new(&batches, window);
+        while !win.is_finished() {
+            model.train_step_lookahead(&win, 0.1);
+            win.advance();
+            model.comm_barrier();
+            if me == 0 {
+                samples.push((LIVE_BYTES.load(Ordering::Relaxed), model.scratch_bytes()));
+            }
+            model.comm_barrier();
+        }
+        samples
+    });
+    out.into_iter().next().unwrap()
+}
+
+/// Steady-state assertion for the lookahead path. The window scratch —
+/// row caches, tracker expiry rings, fetch lists, dedup scratch — is
+/// grow-only and saturates once the resident row set and per-slice unique
+/// counts have hit their maxima, which takes longer than the one-step
+/// warm-up of the naive path; scratch is pinned from `warmup` on, and the
+/// live-heap peak must not drift between the warm and late halves.
+fn assert_steady_from(samples: &[(isize, usize)], warmup: usize, label: &str) {
+    if std::env::var_os("ALLOC_DEBUG").is_some() {
+        eprintln!(
+            "{label}: scratch trajectory {:?}",
+            samples.iter().map(|s| s.1).collect::<Vec<_>>()
+        );
+    }
+    // The very last step is the pipeline drain: no next batch, so every
+    // still-resident row is evicted at once and the cache free lists grow
+    // past their steady-state size one final time. Steady state is every
+    // step from `warmup` up to (excluding) the drain.
+    let scratch_warm = samples[warmup].1;
+    for (step, (_, scratch)) in samples[..samples.len() - 1].iter().enumerate().skip(warmup) {
+        assert_eq!(
+            *scratch, scratch_warm,
+            "{label}: prefetch scratch grew at step {step}"
+        );
+    }
+    let mid = (warmup + samples.len()) / 2;
+    let warm = samples[warmup..mid].iter().map(|s| s.0).max().unwrap();
+    let late = samples[mid..].iter().map(|s| s.0).max().unwrap();
+    const SLACK: isize = 64 * 1024;
+    assert!(
+        late <= warm + SLACK,
+        "{label}: live heap grew from {warm} to {late} bytes"
+    );
+}
+
+#[test]
+fn prefetch_overlapped_step_does_not_grow_allocations() {
+    let samples = sample_training_prefetch(Schedule::Overlapped, 60, 4);
+    assert_steady_from(&samples, 10, "prefetch overlapped W=4");
+}
+
+#[test]
+fn prefetch_synchronous_step_does_not_grow_allocations() {
+    let samples = sample_training_prefetch(Schedule::Synchronous, 60, 4);
+    assert_steady_from(&samples, 10, "prefetch synchronous W=4");
 }
 
 #[test]

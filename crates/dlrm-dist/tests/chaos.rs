@@ -5,14 +5,15 @@
 //! Every assertion message prints the failing seed; replay it with
 //! `ChaosConfig::aggressive(seed)`.
 
-use dlrm_comm::chaos::ChaosConfig;
+use dlrm_comm::chaos::{ChaosConfig, ChaosSnapshot};
 use dlrm_comm::nonblocking::{create_channel_worlds_with_chaos, Backend, ProgressEngine};
 use dlrm_comm::wire::WirePrecision;
 use dlrm_comm::world::CommWorld;
 use dlrm_comm::FaultPlan;
-use dlrm_data::{DlrmConfig, IndexDistribution, MiniBatch};
-use dlrm_dist::distributed::{run_training_with_chaos, DistOptions, WireConfig};
+use dlrm_data::{DlrmConfig, IndexDistribution, LookaheadWindow, MiniBatch};
+use dlrm_dist::distributed::{run_training_with_chaos, DistDlrm, DistOptions, WireConfig};
 use dlrm_dist::exchange::{backward_exchange, forward_exchange, tables_of, ExchangeStrategy};
+use dlrm_dist::prefetch::Prefetch;
 use dlrm_tensor::init::seeded_rng;
 use dlrm_tensor::Matrix;
 use std::sync::Arc;
@@ -244,6 +245,112 @@ fn training_bitwise_stable_under_chaos_fused_scatter() {
 #[test]
 fn training_bitwise_stable_under_chaos_engine_alltoall() {
     training_suite(ExchangeStrategy::CclAlltoall, 40);
+}
+
+// ---------------------------------------------------------------------------
+// Prefetch-enabled training: the lookahead pipeline's tagged fetches ride
+// the same faulted transports — the early fetch flies on the engine's
+// exchange channel, the late fetch on the blocking world — and must replay
+// the fault-free trajectory bitwise.
+// ---------------------------------------------------------------------------
+
+/// One prefetch-enabled training run (CclAlltoall, 4 ranks) over a chaotic
+/// transport; returns each rank's loss bits plus the fault snapshot of the
+/// engine's exchange channel — the channel the prefetch alltoalls ride.
+fn prefetch_training_round(
+    window: usize,
+    plan: Option<Arc<FaultPlan>>,
+) -> Vec<(Vec<u64>, ChaosSnapshot)> {
+    let cfg = tiny_cfg();
+    let nranks = 4;
+    let batches = global_batches(&cfg, 8, 4);
+    let backend = Backend::CclLike { workers: 2 };
+    let opts = DistOptions {
+        strategy: ExchangeStrategy::CclAlltoall,
+        seed: 77,
+        threads_per_rank: 1,
+        prefetch: Prefetch::Lookahead { window },
+        ..Default::default()
+    };
+    let engines = std::sync::Mutex::new(create_channel_worlds_with_chaos(
+        nranks,
+        backend,
+        plan.clone(),
+    ));
+    CommWorld::run_with_chaos(nranks, plan.clone(), |comm| {
+        let me = comm.rank();
+        let comms = std::mem::take(&mut engines.lock().unwrap()[me]);
+        let stats = Arc::clone(comms[0].chaos_stats_arc());
+        let engine = ProgressEngine::new_with_chaos(backend, comms, plan.clone());
+        let mut model = DistDlrm::new(&cfg, comm, Some(engine), &opts);
+        let mut win = LookaheadWindow::new(&batches, window);
+        let mut losses = Vec::with_capacity(batches.len());
+        while !win.is_finished() {
+            losses.push(model.train_step_lookahead(&win, 0.1).to_bits());
+            win.advance();
+        }
+        (losses, stats.snapshot())
+    })
+}
+
+/// 200-seed chaos replay of the prefetch-enabled trainer: delays,
+/// reorders, drops and stalls on the prefetch channel (and the blocking
+/// world under it) must not move a single bit of any rank's trajectory.
+#[test]
+fn prefetch_training_bitwise_stable_under_chaos() {
+    let baseline: Vec<Vec<u64>> = prefetch_training_round(2, None)
+        .into_iter()
+        .map(|(l, _)| l)
+        .collect();
+    let mut injected = 0u64;
+    for seed in 0..SEEDS {
+        let plan = ChaosConfig::aggressive(seed).plan();
+        for (rank, (losses, snap)) in prefetch_training_round(2, Some(plan)).iter().enumerate() {
+            assert_eq!(
+                losses, &baseline[rank],
+                "prefetch training diverged under chaos: failing seed={seed} rank={rank}"
+            );
+            injected += snap.total_injected();
+        }
+    }
+    assert!(
+        injected > SEEDS,
+        "prefetch chaos too quiet over {SEEDS} seeds: {injected} faults"
+    );
+}
+
+/// Regression: a delay/stall-heavy plan holds the early fetch of batch
+/// `i+1` in the sender's outbox past the start of step `i+1`, so the
+/// pipeline's landing wait genuinely blocks on a fetch that arrives late —
+/// the trajectory must still replay bitwise, and the plan must actually
+/// have injected the late deliveries it promises.
+#[test]
+fn prefetch_lands_after_next_step_starts_regression() {
+    let baseline: Vec<Vec<u64>> = prefetch_training_round(2, None)
+        .into_iter()
+        .map(|(l, _)| l)
+        .collect();
+    let plan = ChaosConfig {
+        delay_prob: 0.9,
+        max_delay: 3,
+        stall_prob: 0.5,
+        max_stall_yields: 64,
+        ..ChaosConfig::aggressive(4242)
+    }
+    .plan();
+    let got = prefetch_training_round(2, Some(plan));
+    let mut held_back = 0u64;
+    for (rank, (losses, snap)) in got.iter().enumerate() {
+        assert_eq!(
+            losses, &baseline[rank],
+            "late-landing prefetch shifted bits on rank {rank}"
+        );
+        held_back += snap.delayed + snap.stalls;
+    }
+    assert!(
+        held_back > 0,
+        "regression plan injected no delays/stalls on the prefetch channel"
+    );
 }
 
 #[test]

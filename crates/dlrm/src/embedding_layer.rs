@@ -88,11 +88,20 @@ impl EmbeddingLayer {
                 embedding::forward(pool, &self.weight, indices, offsets, &mut out)
             }
         }
+        self.set_saved_batch(indices, offsets);
+        out
+    }
+
+    /// Records a batch for a later [`EmbeddingLayer::backward_update`]
+    /// *without* running the forward gather. The distributed prefetch path
+    /// uses this on owning ranks: the pooled outputs are computed on the
+    /// data-parallel side from cached rows, but the owner still applies
+    /// the canonical update and needs the batch that produced `dy`.
+    pub fn set_saved_batch(&mut self, indices: &[u32], offsets: &[usize]) {
         self.saved_indices.clear();
         self.saved_indices.extend_from_slice(indices);
         self.saved_offsets.clear();
         self.saved_offsets.extend_from_slice(offsets);
-        out
     }
 
     /// Serial `dW[NS][E]` expansion for the framework-naive pipeline,

@@ -48,8 +48,10 @@
 
 pub mod plan;
 pub mod rowops;
+pub mod rowstore;
 
-pub use plan::BagPlan;
+pub use plan::{BagPlan, DedupPlan};
+pub use rowstore::RowStore;
 
 use crate::gemm::micro::detect_isa;
 use crate::threadpool::ThreadPool;

@@ -1,0 +1,203 @@
+//! `RowStore` — a compact slot store for embedding-table rows.
+//!
+//! Both the inference hot-row cache (`dlrm-serve`) and the distributed
+//! prefetch cache keep bit-for-bit copies of a *sparse* subset of a table's
+//! rows packed into a *dense* `slots × E` buffer, so the resident working
+//! set stays hardware-cache-friendly regardless of how the rows scatter
+//! across the full table. This type is that shared storage layer: slot
+//! allocation (fixed-capacity or grow-on-demand with a free list), the
+//! slot → row-id back-map, and verbatim row copies. Replacement *policy*
+//! (CLOCK/doorkeeper in serve, validity epochs in the trainer) stays with
+//! the caller — the store neither evicts nor decides admission.
+//!
+//! Grow-on-demand growth is amortized and slots are recycled through the
+//! free list, so a steady-state workload whose resident set has stopped
+//! growing performs no allocations.
+
+/// A dense store of `E`-wide f32 rows addressed by slot.
+pub struct RowStore {
+    /// Packed row data, `slots × e`.
+    data: Vec<f32>,
+    /// Row width.
+    e: usize,
+    /// Slot → resident table row ([`RowStore::EMPTY_ROW`] if unoccupied).
+    slot_row: Vec<u32>,
+    /// Recycled slots available for [`RowStore::acquire`].
+    free: Vec<u32>,
+    /// Slots currently bound to a row.
+    occupied: usize,
+}
+
+impl RowStore {
+    /// Sentinel row id for an unoccupied slot.
+    pub const EMPTY_ROW: u32 = u32::MAX;
+
+    /// An empty store of `e`-wide rows that grows on demand.
+    pub fn new(e: usize) -> Self {
+        assert!(e >= 1, "row width must be >= 1");
+        RowStore {
+            data: Vec::new(),
+            e,
+            slot_row: Vec::new(),
+            free: Vec::new(),
+            occupied: 0,
+        }
+    }
+
+    /// A store with `cap` pre-allocated (unoccupied) slots. Fixed-capacity
+    /// callers address slots `0..cap` directly via [`RowStore::set`] and
+    /// never call [`RowStore::acquire`].
+    pub fn with_slots(cap: usize, e: usize) -> Self {
+        assert!(e >= 1, "row width must be >= 1");
+        assert!(cap < Self::EMPTY_ROW as usize, "capacity must fit in u32");
+        RowStore {
+            data: vec![0.0; cap * e],
+            e,
+            slot_row: vec![Self::EMPTY_ROW; cap],
+            free: Vec::new(),
+            occupied: 0,
+        }
+    }
+
+    /// Row width.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.e
+    }
+
+    /// Slots allocated (occupied or free).
+    #[inline]
+    pub fn slots(&self) -> usize {
+        self.slot_row.len()
+    }
+
+    /// Slots currently occupied.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.occupied
+    }
+
+    /// True when no slot is occupied.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Table row resident in `slot` ([`RowStore::EMPTY_ROW`] if none).
+    #[inline]
+    pub fn row_id(&self, slot: usize) -> u32 {
+        self.slot_row[slot]
+    }
+
+    /// Claims a slot for `row_id` (free-list pop, else grow) and returns
+    /// it. The slot's data is stale until written via
+    /// [`RowStore::row_mut`] or [`RowStore::set`].
+    pub fn acquire(&mut self, row_id: u32) -> u32 {
+        debug_assert_ne!(row_id, Self::EMPTY_ROW);
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                let s = self.slot_row.len();
+                assert!(s < Self::EMPTY_ROW as usize, "row store overflow");
+                self.slot_row.push(Self::EMPTY_ROW);
+                self.data.resize((s + 1) * self.e, 0.0);
+                s as u32
+            }
+        };
+        self.slot_row[slot as usize] = row_id;
+        self.occupied += 1;
+        slot
+    }
+
+    /// Returns `slot` to the free list.
+    pub fn release(&mut self, slot: u32) {
+        debug_assert_ne!(self.slot_row[slot as usize], Self::EMPTY_ROW);
+        self.slot_row[slot as usize] = Self::EMPTY_ROW;
+        self.free.push(slot);
+        self.occupied -= 1;
+    }
+
+    /// Binds `slot` to `row_id` and copies `src` into it verbatim.
+    #[inline]
+    pub fn set(&mut self, slot: usize, row_id: u32, src: &[f32]) {
+        debug_assert_ne!(row_id, Self::EMPTY_ROW);
+        if self.slot_row[slot] == Self::EMPTY_ROW {
+            self.occupied += 1;
+        }
+        self.slot_row[slot] = row_id;
+        self.row_mut(slot).copy_from_slice(src);
+    }
+
+    /// The row stored in `slot`.
+    #[inline]
+    pub fn row(&self, slot: usize) -> &[f32] {
+        &self.data[slot * self.e..(slot + 1) * self.e]
+    }
+
+    /// Mutable view of the row stored in `slot`.
+    #[inline]
+    pub fn row_mut(&mut self, slot: usize) -> &mut [f32] {
+        &mut self.data[slot * self.e..(slot + 1) * self.e]
+    }
+
+    /// Bytes of iteration-persistent storage held by the store.
+    pub fn scratch_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<f32>()
+            + (self.slot_row.capacity() + self.free.capacity()) * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_slots_store_and_overwrite_rows_verbatim() {
+        let mut s = RowStore::with_slots(3, 4);
+        assert_eq!(s.slots(), 3);
+        assert_eq!(s.len(), 0);
+        s.set(1, 42, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.row_id(1), 42);
+        assert_eq!(s.row(1), &[1.0, 2.0, 3.0, 4.0]);
+        s.set(1, 7, &[9.0, 8.0, 7.0, 6.0]);
+        assert_eq!(s.row_id(1), 7);
+        assert_eq!(s.row(1), &[9.0, 8.0, 7.0, 6.0]);
+        assert_eq!(s.row_id(0), RowStore::EMPTY_ROW);
+    }
+
+    #[test]
+    fn acquire_release_recycles_without_growth() {
+        let mut s = RowStore::new(2);
+        let a = s.acquire(10);
+        let b = s.acquire(20);
+        assert_ne!(a, b);
+        s.row_mut(a as usize).copy_from_slice(&[1.0, 2.0]);
+        assert_eq!(s.len(), 2);
+        // First release grows the free list once; steady-state cycles after
+        // that must not allocate.
+        s.release(a);
+        let c = s.acquire(30);
+        assert_eq!(c, a, "free list must recycle the released slot");
+        assert_eq!(s.row_id(c as usize), 30);
+        let bytes = s.scratch_bytes();
+        for i in 0..32u32 {
+            s.release(c);
+            assert_eq!(s.len(), 1);
+            assert_eq!(s.acquire(40 + i), c);
+        }
+        assert_eq!(s.scratch_bytes(), bytes, "recycling must not allocate");
+    }
+
+    #[test]
+    fn grow_on_demand_extends_data() {
+        let mut s = RowStore::new(3);
+        for i in 0..16u32 {
+            let slot = s.acquire(i);
+            s.row_mut(slot as usize).fill(i as f32);
+        }
+        assert_eq!(s.slots(), 16);
+        for i in 0..16usize {
+            assert_eq!(s.row(i), &[i as f32; 3]);
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! Property-based tests: optimized kernels vs. naive references under
 //! arbitrary shapes, bag structures and index distributions.
 
-use dlrm_kernels::embedding::{self, UpdateStrategy};
+use dlrm_kernels::embedding::{self, DedupPlan, UpdateStrategy};
 use dlrm_kernels::gemm;
 use dlrm_kernels::ThreadPool;
 use dlrm_tensor::init::{seeded_rng, uniform};
@@ -20,6 +20,53 @@ fn bags(m: usize) -> impl Strategy<Value = (Vec<u32>, Vec<usize>)> {
         }
         (indices, offsets)
     })
+}
+
+/// Pools every bag twice — directly from the table via `forward_serial`,
+/// and from a "shipped once" unique-row set fanned back out — and demands
+/// the results be bitwise identical. This is the exact contract the
+/// distributed prefetch path relies on: deduping the transfer must not
+/// perturb a single bit of the gather.
+fn dedup_roundtrip_case(indices: &[u32], offsets: &[usize], m: usize, e: usize, seed: u64) {
+    let isa = dlrm_kernels::gemm::micro::detect_isa();
+    let mut rng = seeded_rng(seed, 6);
+    let w = uniform(m, e, -1.0, 1.0, &mut rng);
+    let n = offsets.len() - 1;
+    let mut want = Matrix::zeros(n, e);
+    embedding::forward_serial(&w, indices, offsets, &mut want);
+
+    let mut plan = DedupPlan::new();
+    plan.build(indices, m);
+    // Ship each unique row once (verbatim copy)…
+    let mut shipped = Matrix::zeros(plan.uniques().len().max(1), e);
+    for (u, &row) in plan.uniques().iter().enumerate() {
+        shipped.row_mut(u).copy_from_slice(w.row(row as usize));
+    }
+    // …then fan out locally, pooling each bag from the deduped set in the
+    // original accumulate order.
+    let mut got = Matrix::zeros(n, e);
+    for bag in 0..n {
+        let out = got.row_mut(bag);
+        out.fill(0.0);
+        for s in offsets[bag]..offsets[bag + 1] {
+            embedding::rowops::accumulate(isa, out, shipped.row(plan.fanout()[s] as usize));
+        }
+    }
+    assert_eq!(got.as_slice(), want.as_slice(), "dedup round-trip drifted");
+}
+
+#[test]
+fn dedup_roundtrip_adversarial_bags() {
+    // Duplicate-heavy: every bag hammers the same two hot rows.
+    let indices: Vec<u32> = (0..64u32).map(|i| i % 2).collect();
+    let offsets: Vec<usize> = (0..=16).map(|b| b * 4).collect();
+    dedup_roundtrip_case(&indices, &offsets, 8, 5, 11);
+    // Empty bags interleaved with occupied ones.
+    dedup_roundtrip_case(&[3, 3, 7], &[0, 0, 2, 2, 3, 3], 9, 3, 12);
+    // Single unique row across the whole batch.
+    dedup_roundtrip_case(&[4; 17], &[0, 6, 6, 11, 17], 6, 7, 13);
+    // Empty batch.
+    dedup_roundtrip_case(&[], &[0, 0], 4, 2, 14);
 }
 
 proptest! {
@@ -94,6 +141,15 @@ proptest! {
         let mut got = w0.clone();
         embedding::fused_backward_update(&pool, &mut got, &dy, &indices, &offsets, -0.03);
         assert_allclose(got.as_slice(), want.as_slice(), 1e-5, "fused");
+    }
+
+    #[test]
+    fn dedup_fanout_reproduces_gather_bitwise(
+        (indices, offsets) in bags(31),
+        e in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        dedup_roundtrip_case(&indices, &offsets, 31, e, seed);
     }
 
     #[test]

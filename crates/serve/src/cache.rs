@@ -24,6 +24,7 @@
 //! gather served from the cache is bitwise identical to one served from
 //! the backing table — the engine's identity gate relies on this.
 
+use dlrm_kernels::embedding::RowStore;
 use dlrm_tensor::Matrix;
 use std::collections::HashMap;
 
@@ -61,15 +62,19 @@ impl CacheStats {
     }
 }
 
-/// Sentinel for an unoccupied slot.
-const EMPTY: u32 = u32::MAX;
+/// Sentinel for an unoccupied slot (re-exported from the shared store so
+/// existing policy code reads unchanged).
+const EMPTY: u32 = RowStore::EMPTY_ROW;
 
 /// A fixed-capacity cache of hot embedding rows (see module docs).
+///
+/// Storage (the compact `capacity × e` slot buffer and the slot → row
+/// back-map) lives in the shared [`RowStore`]; this type owns only the
+/// replacement and admission *policy* — CLOCK frequency aging, the
+/// doorkeeper sketch, and the row → slot map.
 pub struct HotRowCache {
-    /// Compact row store, `capacity × e`.
-    slots: Matrix,
-    /// Slot → resident table row (`EMPTY` if unoccupied).
-    slot_row: Vec<u32>,
+    /// Compact row store, `capacity × e`, plus the slot → row back-map.
+    store: RowStore,
     /// Slot → frequency counter (CLOCK aging state).
     freq: Vec<u32>,
     /// Table row → slot.
@@ -96,8 +101,7 @@ impl HotRowCache {
         // A window of 16 lookups per slot is TinyLFU's usual
         // sample-to-capacity ratio.
         HotRowCache {
-            slots: Matrix::zeros(capacity, e),
-            slot_row: vec![EMPTY; capacity],
+            store: RowStore::with_slots(capacity, e),
             freq: vec![0; capacity],
             map: HashMap::with_capacity(capacity * 2),
             hand: 0,
@@ -110,7 +114,7 @@ impl HotRowCache {
 
     /// Capacity in rows.
     pub fn capacity(&self) -> usize {
-        self.slot_row.len()
+        self.store.slots()
     }
 
     /// Rows currently resident.
@@ -133,7 +137,7 @@ impl HotRowCache {
             let slot = slot as usize;
             self.stats.hits += 1;
             self.freq[slot] = self.freq[slot].saturating_add(1);
-            return self.slots.row(slot);
+            return self.store.row(slot);
         }
         self.stats.misses += 1;
         // Doorkeeper: while slots are free, admit everything (cold start);
@@ -146,18 +150,15 @@ impl HotRowCache {
         }
         self.stats.insertions += 1;
         let slot = self.find_victim();
-        let old = self.slot_row[slot];
+        let old = self.store.row_id(slot);
         if old != EMPTY {
             self.stats.evictions += 1;
             self.map.remove(&old);
         }
-        self.slot_row[slot] = row;
         self.freq[slot] = 1;
         self.map.insert(row, slot as u32);
-        self.slots
-            .row_mut(slot)
-            .copy_from_slice(table.row(row as usize));
-        self.slots.row(slot)
+        self.store.set(slot, row, table.row(row as usize));
+        self.store.row(slot)
     }
 
     /// Records a lookup of `row` in the doorkeeper and returns the updated
@@ -184,11 +185,11 @@ impl HotRowCache {
     /// counter once, a second pass must find a zero unless every counter
     /// was ≥ 2, in which case the hand position is evicted outright.
     fn find_victim(&mut self) -> usize {
-        let cap = self.slot_row.len();
+        let cap = self.store.slots();
         for _ in 0..cap * 2 {
             let slot = self.hand;
             self.hand = (self.hand + 1) % cap;
-            if self.slot_row[slot] == EMPTY || self.freq[slot] == 0 {
+            if self.store.row_id(slot) == EMPTY || self.freq[slot] == 0 {
                 return slot;
             }
             self.freq[slot] /= 2;
