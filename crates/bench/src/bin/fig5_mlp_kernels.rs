@@ -151,8 +151,11 @@ fn main() {
         "Paper: this-work ≈72% of peak, FB blocked ≈75%, PyTorch flat ≈61%.",
     );
     let pool = ThreadPool::with_default_parallelism();
-    let (n, sizes, iters) = if opts.paper_scale {
-        (1024usize, vec![1024usize, 2048, 4096], 2usize)
+    let (n, sizes, iters) = if opts.smoke {
+        // CI smoke: exercises every kernel path, measures nothing useful.
+        (64usize, vec![64usize], 1usize)
+    } else if opts.paper_scale {
+        (1024, vec![1024, 2048, 4096], 2)
     } else {
         (256, vec![512, 1024], 3)
     };

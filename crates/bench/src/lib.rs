@@ -111,6 +111,7 @@ pub fn validate_artifact(file_name: &str, json: &str) -> Result<(), String> {
         "BENCH_overlap.json" => validate_bench_overlap_json(json),
         "BENCH_serving.json" => validate_bench_serving_json(json),
         "BENCH_prefetch.json" => validate_bench_prefetch_json(json),
+        "BENCH_gemm.json" => validate_bench_gemm_json(json),
         other => Err(format!(
             "no schema validator registered for {other}; add one to dlrm_bench::validate_artifact"
         )),
@@ -260,6 +261,44 @@ pub fn validate_bench_prefetch_json(json: &str) -> Result<(), String> {
         || json.contains("\"losses_bitwise_identical\": false")
     {
         return Err("\"losses_bitwise_identical\" must be true".into());
+    }
+    check_balanced(json)
+}
+
+/// Structural schema check for `results/BENCH_gemm.json` (the `bench_gemm`
+/// artifact): per-pass GFLOP/s (fwd / bwd_data / bwd_weights) for the
+/// pack-per-call arm vs the persistent packed plan, per ISA tier and layer
+/// shape, plus the bitwise persistent-vs-per-call equivalence gate.
+/// `min_fwd_bwd_speedup` is the minimum across shapes at the native
+/// (highest available) ISA tier. Same key-presence + balance approach as
+/// the other validators.
+pub fn validate_bench_gemm_json(json: &str) -> Result<(), String> {
+    const REQUIRED: [&str; 18] = [
+        "\"bench\"",
+        "\"smoke\"",
+        "\"threads\"",
+        "\"isa_tiers\"",
+        "\"configs\"",
+        "\"n\"",
+        "\"c\"",
+        "\"k\"",
+        "\"tiers\"",
+        "\"isa\"",
+        "\"passes\"",
+        "\"pass\"",
+        "\"per_call_gflops\"",
+        "\"persistent_gflops\"",
+        "\"fwd_bwd_speedup\"",
+        "\"native_isa\"",
+        "\"min_fwd_bwd_speedup\"",
+        "\"equivalence_ok\"",
+    ];
+    require_keys(json, &REQUIRED)?;
+    if !json.contains("\"bench\": \"gemm\"") {
+        return Err("\"bench\" must be \"gemm\"".into());
+    }
+    if !json.contains("\"equivalence_ok\": true") {
+        return Err("\"equivalence_ok\" must be true".into());
     }
     check_balanced(json)
 }
@@ -512,6 +551,36 @@ mod tests {
     }
 
     #[test]
+    fn gemm_validator_accepts_minimal_schema_and_rejects_bad() {
+        let ok = r#"{
+  "bench": "gemm",
+  "smoke": true,
+  "threads": 8,
+  "isa_tiers": ["scalar"],
+  "configs": [
+    {"n": 64, "c": 64, "k": 64, "tiers": [
+      {"isa": "scalar", "passes": [
+        {"pass": "fwd", "per_call_gflops": 1.0, "persistent_gflops": 2.0, "speedup": 2.0}
+      ], "fwd_bwd_speedup": 2.0}
+    ]}
+  ],
+  "native_isa": "scalar",
+  "min_fwd_bwd_speedup": 2.0,
+  "equivalence_ok": true
+}"#;
+        assert!(validate_bench_gemm_json(ok).is_ok());
+        assert!(validate_bench_gemm_json("{}").is_err());
+        let gate_broken = ok.replace("\"equivalence_ok\": true", "\"equivalence_ok\": false");
+        assert!(validate_bench_gemm_json(&gate_broken).is_err());
+        let wrong_tag = ok.replace("\"bench\": \"gemm\"", "\"bench\": \"mlp\"");
+        assert!(validate_bench_gemm_json(&wrong_tag).is_err());
+        let missing = ok.replace("\"min_fwd_bwd_speedup\"", "\"min_speedup\"");
+        assert!(validate_bench_gemm_json(&missing).is_err());
+        let unbalanced = ok.replace("true\n}", "true\n");
+        assert!(validate_bench_gemm_json(&unbalanced).is_err());
+    }
+
+    #[test]
     fn artifact_dispatch_covers_every_committed_artifact() {
         // Wrong-schema content must be rejected under every known name, and
         // unknown names must be an error (no unvalidated artifacts).
@@ -521,6 +590,7 @@ mod tests {
             "BENCH_overlap.json",
             "BENCH_serving.json",
             "BENCH_prefetch.json",
+            "BENCH_gemm.json",
         ] {
             assert!(validate_artifact(name, "{}").is_err(), "{name}");
         }

@@ -33,6 +33,7 @@ fn every_committed_bench_artifact_validates() {
         "BENCH_overlap.json",
         "BENCH_serving.json",
         "BENCH_prefetch.json",
+        "BENCH_gemm.json",
     ] {
         assert!(
             seen.iter().any(|n| n == required),
@@ -52,6 +53,7 @@ fn committed_perf_artifacts_are_full_scale() {
         "BENCH_wire_precision.json",
         "BENCH_serving.json",
         "BENCH_prefetch.json",
+        "BENCH_gemm.json",
     ] {
         let path = committed_results_dir().join(name);
         let json = std::fs::read_to_string(&path)

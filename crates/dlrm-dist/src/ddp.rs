@@ -96,16 +96,14 @@ pub fn allreduce_mlp_grads(
 }
 
 /// Applies the averaged SGD step after an allreduce of summed gradients:
-/// `w -= (lr / nranks) · g_sum`.
+/// `w -= (lr / nranks) · g_sum`. Plan-aware via
+/// [`dlrm::layers::Linear::sgd_step_scaled`]: when a layer's persistent
+/// packed weights are live they are updated in place (the flat mirror is
+/// refreshed lazily via `sync_flat_weights`); gradients stay flat, so the
+/// allreduce wire format is untouched.
 pub fn averaged_sgd_step(mlp: &mut Mlp, lr: f32, nranks: usize) {
     for layer in &mut mlp.layers {
-        dlrm_kernels::sgd::sgd_step_scaled(
-            layer.w.as_mut_slice(),
-            layer.dw.as_slice(),
-            lr,
-            nranks as f32,
-        );
-        dlrm_kernels::sgd::sgd_step_scaled(&mut layer.b, &layer.db, lr, nranks as f32);
+        layer.sgd_step_scaled(lr, nranks as f32);
     }
 }
 

@@ -302,6 +302,18 @@ impl DistDlrm {
             .sum();
         mats + (self.flat_grads.capacity() + self.dlogits.capacity()) * std::mem::size_of::<f32>()
             + self.prefetch.as_ref().map_or(0, |p| p.scratch_bytes())
+            + self.bottom.scratch_bytes()
+            + self.top.scratch_bytes()
+    }
+
+    /// Copies any blocked-SGD updates back into the flat `w` mirrors of
+    /// the replicated MLPs. Required before fingerprinting or
+    /// checkpointing `layer.w` after training (the optimized step updates
+    /// the persistent packed weights in place and leaves the mirror
+    /// stale).
+    pub fn sync_flat_weights(&mut self) {
+        self.bottom.sync_flat_weights();
+        self.top.sync_flat_weights();
     }
 
     /// One hybrid-parallel training iteration over a *global* minibatch

@@ -101,6 +101,9 @@ fn train_fingerprint(
                 losses
             }
         };
+        // The optimized step updates the persistent packed weights in
+        // place; bring the flat mirrors up to date before fingerprinting.
+        model.sync_flat_weights();
         (losses, plane_bits(&model))
     })
 }

@@ -14,7 +14,7 @@ use dlrm_kernels::activations::{bias_add_rows, bias_grad_rows, relu_backward, re
 use dlrm_kernels::gemm;
 use dlrm_kernels::ThreadPool;
 use dlrm_tensor::init::xavier_uniform;
-use dlrm_tensor::Matrix;
+use dlrm_tensor::{BlockedActivations, BlockedWeights, Blocking, Matrix};
 use rand::rngs::StdRng;
 use std::sync::Arc;
 
@@ -72,9 +72,43 @@ pub enum Activation {
     None,
 }
 
+/// Persistent packed-GEMM plan state for one layer.
+///
+/// Once `wb` is packed it becomes the canonical optimized-path weight
+/// storage: the blocked SGD step updates it in place, and the flat `w`
+/// mirror is only refreshed on demand ([`Linear::sync_flat_weights`]).
+/// The invariant is one-directional staleness — either the flat mirror is
+/// authoritative (`!packed_valid`) or the packed copy is (`packed_valid`,
+/// with `flat_stale` marking whether the mirror has fallen behind). Both
+/// being stale is impossible: `flat_stale` is only ever set while
+/// `packed_valid`, and [`Linear::invalidate_packed`] refuses to drop a
+/// packed copy the mirror hasn't caught up with.
+struct PackedPlan {
+    /// Packed weights, `[Kb][Cb][bc][bk]` (canonical once `packed_valid`).
+    wb: BlockedWeights,
+    /// Blocked weight-gradient scratch (grow-only, reused every backward).
+    dwb: BlockedWeights,
+    /// `wb` matches the layer's current weights.
+    packed_valid: bool,
+    /// Flat `w` is behind `wb` (blocked SGD ran since the last sync).
+    flat_stale: bool,
+}
+
+impl PackedPlan {
+    fn new() -> Self {
+        PackedPlan {
+            wb: BlockedWeights::zeros(0, 0, Blocking::DEFAULT),
+            dwb: BlockedWeights::zeros(0, 0, Blocking::DEFAULT),
+            packed_valid: false,
+            flat_stale: false,
+        }
+    }
+}
+
 /// One fully-connected layer with its gradients and saved activations.
 pub struct Linear {
-    /// Weights, `K×C`.
+    /// Weights, `K×C` — the flat mirror; the Reference path and
+    /// checkpointing read this, the optimized path reads the packed plan.
     pub w: Matrix,
     /// Bias, length `K`.
     pub b: Vec<f32>,
@@ -86,6 +120,7 @@ pub struct Linear {
     pub act: Activation,
     x_saved: Option<Matrix>,
     y_saved: Option<Matrix>,
+    plan: PackedPlan,
 }
 
 impl Linear {
@@ -99,6 +134,7 @@ impl Linear {
             act,
             x_saved: None,
             y_saved: None,
+            plan: PackedPlan::new(),
         }
     }
 
@@ -113,20 +149,76 @@ impl Linear {
     }
 
     /// Blocking factors for this layer at minibatch `n`.
-    fn blocking(&self, n: usize) -> dlrm_tensor::Blocking {
-        dlrm_tensor::Blocking::for_shape(n, self.w.cols(), self.w.rows())
+    fn blocking(&self, n: usize) -> Blocking {
+        Blocking::for_shape(n, self.w.cols(), self.w.rows())
+    }
+
+    /// Packs the flat weights into the persistent plan if the packed copy
+    /// is not already valid. `bc`/`bk` depend only on the layer shape, so a
+    /// once-packed tensor serves every batch size.
+    fn ensure_packed(&mut self, n: usize) {
+        if !self.plan.packed_valid {
+            debug_assert!(
+                !self.plan.flat_stale,
+                "flat mirror stale without a packed copy"
+            );
+            let blk = self.blocking(n);
+            self.plan.wb.pack_into(&self.w, blk);
+            self.plan.packed_valid = true;
+        }
+    }
+
+    /// Copies any blocked-SGD updates back into the flat `w` mirror. The
+    /// Reference path, checkpointing and anything that reads `w` directly
+    /// after optimized training must pass through here.
+    pub fn sync_flat_weights(&mut self) {
+        if self.plan.flat_stale {
+            self.plan.wb.unpack_into(&mut self.w);
+            self.plan.flat_stale = false;
+        }
+    }
+
+    /// Drops the packed weight copy. Call after mutating the flat `w`
+    /// externally (e.g. a precision optimizer step) so the next optimized
+    /// call re-packs.
+    ///
+    /// # Panics
+    /// Panics if the flat mirror is stale — invalidating then would silently
+    /// drop blocked-SGD updates; call [`Linear::sync_flat_weights`] first.
+    pub fn invalidate_packed(&mut self) {
+        assert!(
+            !self.plan.flat_stale,
+            "invalidate_packed would drop blocked-SGD updates; call sync_flat_weights first"
+        );
+        self.plan.packed_valid = false;
+    }
+
+    /// Bytes held by this layer's persistent plan (packed weights + blocked
+    /// gradient scratch) — grow-only, constant after the first step.
+    pub fn plan_bytes(&self) -> usize {
+        self.plan.wb.capacity_bytes() + self.plan.dwb.capacity_bytes()
+    }
+
+    /// Eagerly packs the weights into the persistent plan. `bc`/`bk` depend
+    /// only on the layer shape, so the packed tensor serves every batch
+    /// size — serving wants the pack cost at load time, not on the first
+    /// request.
+    pub fn prepack(&mut self) {
+        self.ensure_packed(1);
     }
 
     /// Forward: `y = act(W·x + b)`; saves what backward needs.
     ///
     /// The optimized tier runs the blocked batch-reduce GEMM of
-    /// Algorithm 5 (weights packed per call — O(K·C), amortized by the
-    /// O(K·C·N) GEMM); the reference tier runs the naive kernels.
+    /// Algorithm 5 over the persistent packed weights (packed once, reused
+    /// every call); the reference tier runs the naive kernels on the flat
+    /// mirror.
     pub fn forward(&mut self, exec: &Execution, x: &Matrix) -> Matrix {
         let (k, n) = (self.w.rows(), x.cols());
         assert_eq!(x.rows(), self.w.cols(), "Linear input feature mismatch");
         let y = match exec {
             Execution::Reference => {
+                self.sync_flat_weights();
                 let mut y = Matrix::zeros(k, n);
                 exec.gemm_nn(&self.w, x, &mut y);
                 bias_add_rows(y.as_mut_slice(), k, n, &self.b);
@@ -138,13 +230,13 @@ impl Linear {
             Execution::Optimized(pool) => {
                 // Bias and ReLU are fused into the GEMM epilogue while each
                 // output panel is cache-hot (Section II).
+                self.ensure_packed(n);
                 let blk = self.blocking(n);
-                let wb = dlrm_tensor::BlockedWeights::pack(&self.w, blk);
-                let xb = dlrm_tensor::BlockedActivations::pack(x, blk.bc, blk.bn);
-                let mut yb = dlrm_tensor::BlockedActivations::zeros(k, n, blk.bk, blk.bn);
+                let xb = BlockedActivations::pack(x, blk.bc, blk.bn);
+                let mut yb = BlockedActivations::zeros(k, n, blk.bk, blk.bn);
                 gemm::fc_forward_fused(
                     pool,
-                    &wb,
+                    &self.plan.wb,
                     &xb,
                     &mut yb,
                     Some(&self.b),
@@ -158,9 +250,42 @@ impl Linear {
         y
     }
 
+    /// Forward one layer entirely in blocked layout: the chained-residency
+    /// path of [`Mlp::forward`]. `yb` is reshaped (scratch semantics) to
+    /// this layer's output blocking; bias/ReLU are fused into the epilogue.
+    /// Clears the per-layer saved activations — the blocked chain in
+    /// [`Mlp`] scratch is what backward reads.
+    fn forward_blocked(
+        &mut self,
+        pool: &ThreadPool,
+        xb: &BlockedActivations,
+        yb: &mut BlockedActivations,
+    ) {
+        let n = xb.n;
+        assert_eq!(xb.c, self.w.cols(), "Linear input feature mismatch");
+        self.ensure_packed(n);
+        let blk = self.blocking(n);
+        yb.reshape_scratch(self.w.rows(), n, blk.bk, blk.bn);
+        yb.fill_zero();
+        gemm::fc_forward_fused(
+            pool,
+            &self.plan.wb,
+            xb,
+            yb,
+            Some(&self.b),
+            self.act == Activation::Relu,
+        );
+        self.x_saved = None;
+        self.y_saved = None;
+    }
+
     /// Backward: consumes the gradient w.r.t. this layer's output and
     /// returns the gradient w.r.t. its input; fills `dw`/`db`.
     pub fn backward(&mut self, exec: &Execution, mut dy: Matrix) -> Matrix {
+        match exec {
+            Execution::Reference => self.sync_flat_weights(),
+            Execution::Optimized(_) => self.ensure_packed(dy.cols()),
+        }
         let x = self.x_saved.as_ref().expect("backward before forward");
         let y = self.y_saved.as_ref().unwrap();
         assert_eq!(dy.shape(), y.shape(), "Linear dY shape");
@@ -181,16 +306,15 @@ impl Linear {
                 dx
             }
             Execution::Optimized(pool) => {
-                let blk = self.blocking(n);
-                let wb = dlrm_tensor::BlockedWeights::pack(&self.w, blk);
-                let xb = dlrm_tensor::BlockedActivations::pack(x, blk.bc, blk.bn);
-                let dyb = dlrm_tensor::BlockedActivations::pack(&dy, blk.bk, blk.bn);
-                let mut dwb = dlrm_tensor::BlockedWeights::zeros(k, self.w.cols(), blk);
-                gemm::fc_backward_weights(pool, &xb, &dyb, &mut dwb);
-                self.dw = dwb.unpack();
-                let mut dxb =
-                    dlrm_tensor::BlockedActivations::zeros(self.w.cols(), n, blk.bc, blk.bn);
-                gemm::fc_backward_data(pool, &wb, &dyb, &mut dxb);
+                let (blk, c) = (self.blocking(n), self.w.cols());
+                let xb = BlockedActivations::pack(x, blk.bc, blk.bn);
+                let dyb = BlockedActivations::pack(&dy, blk.bk, blk.bn);
+                self.plan.dwb.reshape_scratch(k, c, blk);
+                self.plan.dwb.fill_zero();
+                gemm::fc_backward_weights(pool, &xb, &dyb, &mut self.plan.dwb);
+                self.plan.dwb.unpack_into(&mut self.dw);
+                let mut dxb = BlockedActivations::zeros(c, n, blk.bc, blk.bn);
+                gemm::fc_backward_data(pool, &self.plan.wb, &dyb, &mut dxb);
                 dxb.unpack()
             }
         }
@@ -203,17 +327,100 @@ impl Linear {
     }
 
     /// Plain FP32 SGD on weights and bias.
+    ///
+    /// When the persistent packed plan is live, the optimized tier updates
+    /// the packed weights *in place* (blocked SGD) and marks the flat
+    /// mirror stale instead of touching it — bitwise identical to the flat
+    /// step, since the blocked update is an elementwise permutation of the
+    /// same mul-then-add arithmetic.
     pub fn sgd_step(&mut self, exec: &Execution, lr: f32) {
         match exec {
             Execution::Reference => {
-                dlrm_kernels::sgd::sgd_step(self.w.as_mut_slice(), self.dw.as_slice(), lr)
+                self.sync_flat_weights();
+                dlrm_kernels::sgd::sgd_step(self.w.as_mut_slice(), self.dw.as_slice(), lr);
+                self.plan.packed_valid = false;
             }
             Execution::Optimized(p) => {
-                dlrm_kernels::sgd::par_sgd_step(p, self.w.as_mut_slice(), self.dw.as_slice(), lr)
+                if self.plan.packed_valid {
+                    self.plan.wb.add_scaled_flat(&self.dw, -lr);
+                    self.plan.flat_stale = true;
+                } else {
+                    dlrm_kernels::sgd::par_sgd_step(
+                        p,
+                        self.w.as_mut_slice(),
+                        self.dw.as_slice(),
+                        lr,
+                    );
+                }
             }
         }
         dlrm_kernels::sgd::sgd_step(&mut self.b, &self.db, lr);
     }
+
+    /// SGD with gradient averaging by `1/scale` (the DDP step after an
+    /// allreduce that *sums* over ranks), plan-aware like
+    /// [`Linear::sgd_step`]: updates the packed weights in place when they
+    /// are the canonical copy, bitwise identical to
+    /// [`dlrm_kernels::sgd::sgd_step_scaled`] on the flat mirror.
+    pub fn sgd_step_scaled(&mut self, lr: f32, scale: f32) {
+        if self.plan.packed_valid {
+            self.plan.wb.add_scaled_flat(&self.dw, -(lr / scale));
+            self.plan.flat_stale = true;
+        } else {
+            dlrm_kernels::sgd::sgd_step_scaled(
+                self.w.as_mut_slice(),
+                self.dw.as_slice(),
+                lr,
+                scale,
+            );
+        }
+        dlrm_kernels::sgd::sgd_step_scaled(&mut self.b, &self.db, lr, scale);
+    }
+}
+
+/// Grow-only blocked scratch backing the persistent-plan MLP path: the
+/// chained forward keeps every layer's activations *blocked* across layers
+/// (pack at the input boundary, unpack at the output boundary only), and
+/// backward ping-pongs the gradient between two blocked buffers. All
+/// buffers use scratch semantics, so after the first step at the largest
+/// batch size the whole fwd+bwd+sgd loop is allocation-free.
+struct MlpScratch {
+    /// `acts[i]` = blocked input of layer `i`; `acts[L]` = blocked output.
+    acts: Vec<BlockedActivations>,
+    /// Ping-pong blocked gradient buffers for the backward chain.
+    grad_a: BlockedActivations,
+    grad_b: BlockedActivations,
+    /// Batch size of the last chained forward; `None` = no valid residency
+    /// (backward then falls back to the per-layer path).
+    valid_n: Option<usize>,
+}
+
+impl MlpScratch {
+    fn new() -> Self {
+        MlpScratch {
+            acts: Vec::new(),
+            grad_a: Self::empty(),
+            grad_b: Self::empty(),
+            valid_n: None,
+        }
+    }
+
+    /// A zero-capacity blocked tensor (no allocation until first reshape).
+    fn empty() -> BlockedActivations {
+        BlockedActivations::zeros(0, 0, 1, 1)
+    }
+}
+
+/// Applies the ReLU gradient mask in blocked layout: `g = 0` where
+/// `y <= 0`. `g` and `y` share one blocking, so this is `relu_backward`
+/// under a permutation — bitwise identical to masking the flat tensors.
+fn mask_blocked(g: &mut BlockedActivations, y: &BlockedActivations) {
+    assert_eq!(
+        (g.c, g.n, g.bc, g.bn),
+        (y.c, y.n, y.bc, y.bn),
+        "relu mask layout mismatch"
+    );
+    relu_backward(y.as_slice(), g.as_mut_slice());
 }
 
 /// A stack of fully-connected layers (ReLU between layers; the final
@@ -221,6 +428,7 @@ impl Linear {
 pub struct Mlp {
     /// The layers in forward order.
     pub layers: Vec<Linear>,
+    scratch: MlpScratch,
 }
 
 impl Mlp {
@@ -239,7 +447,10 @@ impl Mlp {
             layers.push(Linear::new(prev, s, act, rng));
             prev = s;
         }
-        Mlp { layers }
+        Mlp {
+            layers,
+            scratch: MlpScratch::new(),
+        }
     }
 
     /// Output feature count.
@@ -248,12 +459,45 @@ impl Mlp {
     }
 
     /// Forward through all layers.
+    ///
+    /// On the optimized tier activations stay blocked across layers: the
+    /// input is packed once, each layer's blocked output feeds the next
+    /// layer's batch-reduce GEMM directly, and only the final output is
+    /// unpacked. The blocked chain is what [`Mlp::backward`] on the same
+    /// tier consumes (mixing an optimized forward with a Reference
+    /// backward is not supported).
     pub fn forward(&mut self, exec: &Execution, x: &Matrix) -> Matrix {
-        let mut cur = x.clone();
-        for layer in &mut self.layers {
-            cur = layer.forward(exec, &cur);
+        match exec {
+            Execution::Reference => {
+                self.scratch.valid_n = None;
+                let mut cur: Option<Matrix> = None;
+                for layer in &mut self.layers {
+                    let y = layer.forward(exec, cur.as_ref().unwrap_or(x));
+                    cur = Some(y);
+                }
+                cur.expect("MLP has at least one layer")
+            }
+            Execution::Optimized(pool) => {
+                let (n, nl) = (x.cols(), self.layers.len());
+                assert_eq!(
+                    x.rows(),
+                    self.layers[0].in_features(),
+                    "Linear input feature mismatch"
+                );
+                let scratch = &mut self.scratch;
+                if scratch.acts.len() != nl + 1 {
+                    scratch.acts = (0..=nl).map(|_| MlpScratch::empty()).collect();
+                }
+                let blk0 = self.layers[0].blocking(n);
+                scratch.acts[0].pack_into(x, blk0.bc, blk0.bn);
+                for (i, layer) in self.layers.iter_mut().enumerate() {
+                    let (head, tail) = scratch.acts.split_at_mut(i + 1);
+                    layer.forward_blocked(pool, &head[i], &mut tail[0]);
+                }
+                scratch.valid_n = Some(n);
+                scratch.acts[nl].unpack()
+            }
         }
-        cur
     }
 
     /// Backward through all layers; returns gradient w.r.t. the input.
@@ -274,12 +518,88 @@ impl Mlp {
         dy: Matrix,
         mut on_layer: impl FnMut(usize, &Linear),
     ) -> Matrix {
+        if let Execution::Optimized(pool) = exec {
+            if self.scratch.valid_n == Some(dy.cols()) {
+                return self.backward_chained(pool, dy, &mut on_layer);
+            }
+        }
         let mut cur = dy;
         for (i, layer) in self.layers.iter_mut().enumerate().rev() {
             cur = layer.backward(exec, cur);
             on_layer(i, layer);
         }
         cur
+    }
+
+    /// Backward over the blocked activation chain left by an optimized
+    /// [`Mlp::forward`]: the boundary gradient is packed once, each layer
+    /// runs the fused batch-reduce GEMMs (bias-gradient reduction inside
+    /// the weight pass, upstream ReLU mask inside the data pass
+    /// writeback), and only the input-boundary gradient is unpacked.
+    /// Bitwise identical to the per-layer path — same kernels over the
+    /// same bits, with the mask/reduction fusions proven bitwise-neutral
+    /// in `dlrm_kernels::gemm`.
+    fn backward_chained(
+        &mut self,
+        pool: &ThreadPool,
+        dy: Matrix,
+        on_layer: &mut dyn FnMut(usize, &Linear),
+    ) -> Matrix {
+        let (nl, n) = (self.layers.len(), dy.cols());
+        assert_eq!(
+            dy.rows(),
+            self.layers[nl - 1].out_features(),
+            "Mlp dY shape"
+        );
+        let scratch = &mut self.scratch;
+        let blk_last = self.layers[nl - 1].blocking(n);
+        scratch.grad_a.pack_into(&dy, blk_last.bk, blk_last.bn);
+        // The last layer's own ReLU (applied at layer entry on the
+        // per-layer path); inner layers' masks are fused into the
+        // downstream layer's data-pass writeback instead.
+        if self.layers[nl - 1].act == Activation::Relu {
+            mask_blocked(&mut scratch.grad_a, &scratch.acts[nl]);
+        }
+        for i in (0..nl).rev() {
+            let prev_relu = i > 0 && self.layers[i - 1].act == Activation::Relu;
+            let layer = &mut self.layers[i];
+            assert!(
+                layer.plan.packed_valid,
+                "chained backward without packed plan"
+            );
+            let (k, c) = layer.w.shape();
+            let blk = layer.blocking(n);
+            // Fused dW + db in one pass over the blocked operands; dW is
+            // unpacked into the flat gradient so DDP hooks and the wire
+            // format are unchanged.
+            layer.plan.dwb.reshape_scratch(k, c, blk);
+            layer.plan.dwb.fill_zero();
+            gemm::fc_backward_weights_fused(
+                pool,
+                &scratch.acts[i],
+                &scratch.grad_a,
+                &mut layer.plan.dwb,
+                &mut layer.db,
+            );
+            layer.plan.dwb.unpack_into(&mut layer.dw);
+            scratch.grad_b.reshape_scratch(c, n, blk.bc, blk.bn);
+            scratch.grad_b.fill_zero();
+            let mask = if prev_relu {
+                Some(&scratch.acts[i])
+            } else {
+                None
+            };
+            gemm::fc_backward_data_fused(
+                pool,
+                &layer.plan.wb,
+                &scratch.grad_a,
+                &mut scratch.grad_b,
+                mask,
+            );
+            on_layer(i, layer);
+            std::mem::swap(&mut scratch.grad_a, &mut scratch.grad_b);
+        }
+        scratch.grad_a.unpack()
     }
 
     /// FP32 SGD on every layer.
@@ -292,6 +612,39 @@ impl Mlp {
     /// Total parameter count (weights + biases).
     pub fn param_count(&self) -> usize {
         self.layers.iter().map(|l| l.w.len() + l.b.len()).sum()
+    }
+
+    /// Copies any blocked-SGD updates back into every layer's flat `w`
+    /// mirror (see [`Linear::sync_flat_weights`]).
+    pub fn sync_flat_weights(&mut self) {
+        for layer in &mut self.layers {
+            layer.sync_flat_weights();
+        }
+    }
+
+    /// Drops every layer's packed weight copy (see
+    /// [`Linear::invalidate_packed`] for the staleness contract).
+    pub fn invalidate_packed(&mut self) {
+        for layer in &mut self.layers {
+            layer.invalidate_packed();
+        }
+    }
+
+    /// Eagerly packs every layer's weights into its persistent plan (see
+    /// [`Linear::prepack`]).
+    pub fn prepack_weights(&mut self) {
+        for layer in &mut self.layers {
+            layer.prepack();
+        }
+    }
+
+    /// Bytes held by the persistent execution plan: per-layer packed
+    /// weights and gradient scratch plus the blocked activation-residency
+    /// buffers. Grow-only — constant once the largest batch has been seen.
+    pub fn scratch_bytes(&self) -> usize {
+        let plans: usize = self.layers.iter().map(|l| l.plan_bytes()).sum();
+        let acts: usize = self.scratch.acts.iter().map(|a| a.capacity_bytes()).sum();
+        plans + acts + self.scratch.grad_a.capacity_bytes() + self.scratch.grad_b.capacity_bytes()
     }
 }
 

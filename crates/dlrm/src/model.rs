@@ -220,7 +220,13 @@ impl DlrmModel {
                     .chain(self.top.layers.iter_mut())
                     .zip(self.mlp_opts.iter_mut())
                 {
+                    // The precision optimizers mutate the flat weights, so
+                    // bracket them with the packed-plan seam: flat must be
+                    // current going in, and the packed copy must be dropped
+                    // (re-packed on next use) going out.
+                    layer.sync_flat_weights();
                     opt.step(&mut layer.w, &layer.dw, lr);
+                    layer.invalidate_packed();
                     // Biases stay FP32 (negligible storage; matches the
                     // paper's weight-focused scheme).
                     dlrm_kernels::sgd::sgd_step(&mut layer.b, &layer.db, lr);
@@ -245,6 +251,21 @@ impl DlrmModel {
     /// `crates/dlrm/tests/alloc_growth.rs`.
     pub fn embedding_scratch_bytes(&self) -> usize {
         self.tables.iter().map(|t| t.scratch_bytes()).sum()
+    }
+
+    /// Bytes of persistent MLP execution-plan scratch (packed weights,
+    /// blocked gradient scratch, activation residency) across both MLPs.
+    /// Grow-only, constant after the first step of a fixed batch shape.
+    pub fn mlp_scratch_bytes(&self) -> usize {
+        self.bottom.scratch_bytes() + self.top.scratch_bytes()
+    }
+
+    /// Copies any blocked-SGD updates back into the flat weight mirrors of
+    /// both MLPs — required before reading `layer.w` directly (parameter
+    /// fingerprints, checkpoints) after optimized training.
+    pub fn sync_flat_weights(&mut self) {
+        self.bottom.sync_flat_weights();
+        self.top.sync_flat_weights();
     }
 }
 

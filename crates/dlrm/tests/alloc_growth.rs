@@ -56,7 +56,8 @@ fn tiny_cfg() -> DlrmConfig {
 }
 
 /// Runs `steps` optimized train iterations and returns per-step
-/// (live-heap, embedding-scratch) samples taken between steps.
+/// (live-heap, embedding-scratch + MLP-plan-scratch) samples taken
+/// between steps.
 fn sample_training(strategy: UpdateStrategy, fused: bool, steps: usize) -> Vec<(isize, usize)> {
     let cfg = tiny_cfg();
     let batches: Vec<MiniBatch> = (0..steps)
@@ -84,14 +85,14 @@ fn sample_training(strategy: UpdateStrategy, fused: bool, steps: usize) -> Vec<(
         model.train_step(b, 0.1);
         samples.push((
             LIVE_BYTES.load(Ordering::Relaxed),
-            model.embedding_scratch_bytes(),
+            model.embedding_scratch_bytes() + model.mlp_scratch_bytes(),
         ));
     }
     samples
 }
 
 fn assert_steady(samples: &[(isize, usize)], label: &str) {
-    // Embedding scratch must stabilize after the very first step.
+    // Iteration-persistent scratch must stabilize after the very first step.
     let scratch_after_warmup = samples[1].1;
     for (step, (_, scratch)) in samples.iter().enumerate().skip(1) {
         assert_eq!(
@@ -127,4 +128,29 @@ fn bucketed_step_does_not_grow_allocations() {
 fn planned_fused_step_does_not_grow_allocations() {
     let samples = sample_training(UpdateStrategy::RaceFree, true, 50);
     assert_steady(&samples, "planned-fused");
+}
+
+/// The persistent packed-GEMM plan on its own: a full MLP
+/// fwd+bwd+sgd loop must stop allocating once the plan (packed weights,
+/// blocked gradient scratch, activation residency) has grown to the batch
+/// shape.
+#[test]
+fn mlp_packed_plan_step_does_not_grow_allocations() {
+    use dlrm::layers::{Activation, Mlp};
+    use dlrm_tensor::init::uniform;
+    use dlrm_tensor::Matrix;
+
+    let exec = Execution::optimized(3);
+    let mut rng = seeded_rng(31, 0);
+    let mut mlp = Mlp::new(12, &[16, 8, 1], Activation::None, &mut rng);
+    let x = uniform(12, 24, -1.0, 1.0, &mut rng);
+    let mut samples = Vec::new();
+    for _ in 0..50 {
+        let y = mlp.forward(&exec, &x);
+        let dy = Matrix::from_fn(y.rows(), y.cols(), |i, j| y[(i, j)] * 0.01);
+        let _ = mlp.backward(&exec, dy);
+        mlp.sgd_step(&exec, 0.05);
+        samples.push((LIVE_BYTES.load(Ordering::Relaxed), mlp.scratch_bytes()));
+    }
+    assert_steady(&samples, "mlp-packed-plan");
 }

@@ -6,7 +6,10 @@
 //! the microkernel once per output block (line 9). Threads write disjoint
 //! output panels, so no synchronization is needed beyond the team barrier.
 
-use super::micro::{brgemm_bwd_data, brgemm_bwd_wt, brgemm_fwd, detect_isa, PanelDims};
+use super::micro::{
+    brgemm_bwd_data, brgemm_bwd_data_relu, brgemm_bwd_wt, brgemm_bwd_wt_bias, brgemm_fwd,
+    detect_isa, PanelDims,
+};
 use super::SendMutPtr;
 use crate::threadpool::ThreadPool;
 use dlrm_tensor::{BlockedActivations, BlockedWeights};
@@ -175,6 +178,82 @@ pub fn fc_backward_data(
     });
 }
 
+/// Backward-by-data with the upstream ReLU mask fused into the panel
+/// writeback: `dX = relu'(Wᵀ · dY)` where `relu_mask` is the *blocked
+/// forward output of the upstream layer* (same `[Cb][Nb][bn][bc]` shape and
+/// blocking as `dx`). Elements of `dx` whose mask entry is `<= 0` come out
+/// exactly `0.0`; everything else is the full batch-reduce accumulation —
+/// bitwise identical to [`fc_backward_data`] followed by a separate
+/// `relu_backward` sweep, without the extra pass over `dX`.
+///
+/// `dx` must be pre-zeroed. With `relu_mask: None` this is exactly
+/// [`fc_backward_data`].
+pub fn fc_backward_data_fused(
+    pool: &ThreadPool,
+    w: &BlockedWeights,
+    dy: &BlockedActivations,
+    dx: &mut BlockedActivations,
+    relu_mask: Option<&BlockedActivations>,
+) {
+    assert_eq!(dy.c, w.k, "fc_backward_data_fused: dY rows != W rows");
+    assert_eq!(dx.c, w.c, "fc_backward_data_fused: dX rows != W cols");
+    assert_eq!(dx.n, dy.n, "fc_backward_data_fused: batch mismatch");
+    assert_eq!(dy.bc, w.blk.bk, "fc_backward_data_fused: bk mismatch");
+    assert_eq!(dx.bc, w.blk.bc, "fc_backward_data_fused: bc mismatch");
+    if let Some(m) = relu_mask {
+        assert_eq!(
+            (m.c, m.n),
+            (dx.c, dx.n),
+            "fc_backward_data_fused: mask shape"
+        );
+        assert_eq!(
+            (m.bc, m.bn),
+            (dx.bc, dx.bn),
+            "fc_backward_data_fused: mask blocking"
+        );
+    }
+
+    let d = PanelDims {
+        bn: dy.bn,
+        bc: w.blk.bc,
+        bk: w.blk.bk,
+    };
+    let (kb, cb, nb) = (w.kb(), w.cb(), dy.nb());
+    let isa = detect_isa();
+    let dx_base = SendMutPtr(dx.as_mut_slice().as_mut_ptr());
+    let panel = d.bn * d.bc;
+
+    pool.parallel_for(cb * nb, |_tid, range| {
+        let mut w_ptrs: Vec<*const f32> = Vec::with_capacity(kb);
+        let mut dy_ptrs: Vec<*const f32> = Vec::with_capacity(kb);
+        for blk_idx in range {
+            let (ibn, ibc) = (blk_idx / cb, blk_idx % cb);
+            w_ptrs.clear();
+            dy_ptrs.clear();
+            for ibk in 0..kb {
+                w_ptrs.push(w.block(ibk, ibc).as_ptr());
+                dy_ptrs.push(dy.block_ptr(ibk, ibn));
+            }
+            let dx_off = (ibc * nb + ibn) * panel;
+            // SAFETY: disjoint (ibc, ibn) output panels per thread; the mask
+            // panel is read-only and congruent with the dx panel.
+            unsafe {
+                match relu_mask {
+                    Some(m) => brgemm_bwd_data_relu(
+                        isa,
+                        &w_ptrs,
+                        &dy_ptrs,
+                        dx_base.get().add(dx_off),
+                        m.block_ptr(ibc, ibn),
+                        d,
+                    ),
+                    None => brgemm_bwd_data(isa, &w_ptrs, &dy_ptrs, dx_base.get().add(dx_off), d),
+                }
+            }
+        }
+    });
+}
+
 /// Backward-by-weights pass: `dW = dY · Xᵀ`.
 ///
 /// `dw` must be pre-zeroed.
@@ -217,6 +296,72 @@ pub fn fc_backward_weights(
             let dw_off = (ibk * cb + ibc) * panel;
             // SAFETY: disjoint (ibk, ibc) output panels per thread.
             unsafe { brgemm_bwd_wt(isa, &x_ptrs, &dy_ptrs, dw_base.get().add(dw_off), d) };
+        }
+    });
+}
+
+/// Backward-by-weights with the bias-gradient reduction fused in:
+/// `dW = dY · Xᵀ` and `db = row-sums of dY`, computed while each `dY` panel
+/// is hot. The `db` fragment for output block `ibk` is produced by the
+/// thread that owns work item `(ibk, ibc=0)` — fragments are disjoint, so
+/// no synchronization is needed. The fused `db` is bitwise identical to
+/// `bias_grad_rows` on the unpacked gradient (ascending-`n` plain adds per
+/// lane; see `brgemm_bwd_wt_bias`).
+///
+/// `dw` must be pre-zeroed; `db` (length `K`) is overwritten.
+pub fn fc_backward_weights_fused(
+    pool: &ThreadPool,
+    x: &BlockedActivations,
+    dy: &BlockedActivations,
+    dw: &mut BlockedWeights,
+    db: &mut [f32],
+) {
+    assert_eq!(dw.k, dy.c, "fc_backward_weights_fused: dW rows != dY rows");
+    assert_eq!(dw.c, x.c, "fc_backward_weights_fused: dW cols != X rows");
+    assert_eq!(x.n, dy.n, "fc_backward_weights_fused: batch mismatch");
+    assert_eq!(dw.blk.bc, x.bc, "fc_backward_weights_fused: bc mismatch");
+    assert_eq!(dw.blk.bk, dy.bc, "fc_backward_weights_fused: bk mismatch");
+    assert_eq!(db.len(), dw.k, "fc_backward_weights_fused: db length");
+
+    let d = PanelDims {
+        bn: x.bn,
+        bc: x.bc,
+        bk: dw.blk.bk,
+    };
+    let (kb, cb, nb) = (dw.kb(), dw.cb(), x.nb());
+    let isa = detect_isa();
+    let dw_base = SendMutPtr(dw.as_mut_slice().as_mut_ptr());
+    let db_base = SendMutPtr(db.as_mut_ptr());
+    let panel = d.bc * d.bk;
+
+    pool.parallel_for(kb * cb, |_tid, range| {
+        let mut x_ptrs: Vec<*const f32> = Vec::with_capacity(nb);
+        let mut dy_ptrs: Vec<*const f32> = Vec::with_capacity(nb);
+        for blk_idx in range {
+            let (ibk, ibc) = (blk_idx / cb, blk_idx % cb);
+            x_ptrs.clear();
+            dy_ptrs.clear();
+            for ibn in 0..nb {
+                x_ptrs.push(x.block_ptr(ibc, ibn));
+                dy_ptrs.push(dy.block_ptr(ibk, ibn));
+            }
+            let dw_off = (ibk * cb + ibc) * panel;
+            // SAFETY: disjoint (ibk, ibc) dW panels per thread; the db
+            // fragment for ibk is written only by the (ibk, 0) work item.
+            unsafe {
+                if ibc == 0 {
+                    brgemm_bwd_wt_bias(
+                        isa,
+                        &x_ptrs,
+                        &dy_ptrs,
+                        dw_base.get().add(dw_off),
+                        db_base.get().add(ibk * d.bk),
+                        d,
+                    );
+                } else {
+                    brgemm_bwd_wt(isa, &x_ptrs, &dy_ptrs, dw_base.get().add(dw_off), d);
+                }
+            }
         }
     });
 }
@@ -393,6 +538,93 @@ mod tests {
         let mut b = dlrm_tensor::BlockedActivations::zeros(16, 6, blk.bk, blk.bn);
         fc_forward_fused(&pool, &wb, &xb, &mut b, None, false);
         assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn fused_backward_data_is_bitwise_unfused_then_mask() {
+        let pool = ThreadPool::new(3);
+        for blk in [
+            Blocking {
+                bn: 4,
+                bc: 8,
+                bk: 16,
+            },
+            Blocking {
+                bn: 3,
+                bc: 5,
+                bk: 6,
+            }, // scalar microkernel path
+        ] {
+            let (k, c, n) = (2 * blk.bk, 3 * blk.bc, 2 * blk.bn);
+            let p = problem(k, c, n, blk, 21);
+            // The "mask" is a forward output with mixed signs and zeros.
+            let mut mask = uniform(c, n, -1.0, 1.0, &mut seeded_rng(22, 0));
+            for (i, v) in mask.as_mut_slice().iter_mut().enumerate() {
+                if i % 5 == 0 {
+                    *v = 0.0;
+                }
+            }
+            let wb = dlrm_tensor::BlockedWeights::pack(&p.w, blk);
+            let dyb = dlrm_tensor::BlockedActivations::pack(&p.dy, blk.bk, blk.bn);
+            let maskb = dlrm_tensor::BlockedActivations::pack(&mask, blk.bc, blk.bn);
+
+            let mut want = dlrm_tensor::BlockedActivations::zeros(c, n, blk.bc, blk.bn);
+            fc_backward_data(&pool, &wb, &dyb, &mut want);
+            for (v, &m) in want.as_mut_slice().iter_mut().zip(maskb.as_slice()) {
+                if m <= 0.0 {
+                    *v = 0.0;
+                }
+            }
+            let mut got = dlrm_tensor::BlockedActivations::zeros(c, n, blk.bc, blk.bn);
+            fc_backward_data_fused(&pool, &wb, &dyb, &mut got, Some(&maskb));
+            let a: Vec<u32> = got.as_slice().iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = want.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "fused bwd_data mask {blk:?}");
+
+            // None mask degenerates to the plain pass.
+            let mut plain = dlrm_tensor::BlockedActivations::zeros(c, n, blk.bc, blk.bn);
+            fc_backward_data_fused(&pool, &wb, &dyb, &mut plain, None);
+            let mut unfused = dlrm_tensor::BlockedActivations::zeros(c, n, blk.bc, blk.bn);
+            fc_backward_data(&pool, &wb, &dyb, &mut unfused);
+            assert_eq!(plain.as_slice(), unfused.as_slice());
+        }
+    }
+
+    #[test]
+    fn fused_backward_weights_bias_matches_separate_passes_bitwise() {
+        use crate::activations::bias_grad_rows;
+        let pool = ThreadPool::new(3);
+        for blk in [
+            Blocking {
+                bn: 4,
+                bc: 8,
+                bk: 16,
+            },
+            Blocking {
+                bn: 3,
+                bc: 5,
+                bk: 6,
+            },
+        ] {
+            let (k, c, n) = (3 * blk.bk, 2 * blk.bc, 4 * blk.bn);
+            let p = problem(k, c, n, blk, 23);
+            let xb = dlrm_tensor::BlockedActivations::pack(&p.x, blk.bc, blk.bn);
+            let dyb = dlrm_tensor::BlockedActivations::pack(&p.dy, blk.bk, blk.bn);
+
+            let mut dw_want = dlrm_tensor::BlockedWeights::zeros(k, c, blk);
+            fc_backward_weights(&pool, &xb, &dyb, &mut dw_want);
+            let mut db_want = vec![0.0f32; k];
+            bias_grad_rows(p.dy.as_slice(), k, n, &mut db_want);
+
+            let mut dw_got = dlrm_tensor::BlockedWeights::zeros(k, c, blk);
+            let mut db_got = vec![-3.0f32; k]; // overwrite semantics
+            fc_backward_weights_fused(&pool, &xb, &dyb, &mut dw_got, &mut db_got);
+
+            assert_eq!(dw_got.as_slice(), dw_want.as_slice(), "dW {blk:?}");
+            let a: Vec<u32> = db_got.iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = db_want.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "fused db must bitwise match bias_grad_rows {blk:?}");
+        }
     }
 
     #[test]

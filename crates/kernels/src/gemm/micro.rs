@@ -96,6 +96,8 @@ pub unsafe fn brgemm_fwd(
     debug_assert_eq!(w_panels.len(), x_panels.len());
     match isa {
         #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 if d.bk.is_multiple_of(32) => brgemm_fwd_avx512_x2(w_panels, x_panels, y, d),
+        #[cfg(target_arch = "x86_64")]
         Isa::Avx512 if d.bk.is_multiple_of(16) => brgemm_fwd_avx512(w_panels, x_panels, y, d),
         #[cfg(target_arch = "x86_64")]
         Isa::Avx2 | Isa::Avx512 if d.bk.is_multiple_of(8) => {
@@ -221,6 +223,94 @@ unsafe fn brgemm_fwd_avx512(
     }
 }
 
+/// Widened AVX-512 forward: 4 minibatch rows × **2** 16-wide K vectors per
+/// register block (8 zmm accumulators vs 4), halving the number of
+/// X-broadcasts per FMA. Each output element sees exactly the same FMA
+/// chain (`p` outer, `r_c` inner) as [`brgemm_fwd_avx512`], so the result
+/// is **bitwise identical** — this is a register-pressure optimization, not
+/// a reassociation.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn brgemm_fwd_avx512_x2(
+    w_panels: &[*const f32],
+    x_panels: &[*const f32],
+    y: *mut f32,
+    d: PanelDims,
+) {
+    use std::arch::x86_64::*;
+    let PanelDims { bn, bc, bk } = d;
+    debug_assert_eq!(bk % 32, 0);
+    let n4 = bn / 4 * 4;
+    for kb in (0..bk).step_by(32) {
+        let mut r_n = 0;
+        while r_n < n4 {
+            let y0 = y.add(r_n * bk + kb);
+            let y1 = y.add((r_n + 1) * bk + kb);
+            let y2 = y.add((r_n + 2) * bk + kb);
+            let y3 = y.add((r_n + 3) * bk + kb);
+            let mut a0l = _mm512_loadu_ps(y0);
+            let mut a0h = _mm512_loadu_ps(y0.add(16));
+            let mut a1l = _mm512_loadu_ps(y1);
+            let mut a1h = _mm512_loadu_ps(y1.add(16));
+            let mut a2l = _mm512_loadu_ps(y2);
+            let mut a2h = _mm512_loadu_ps(y2.add(16));
+            let mut a3l = _mm512_loadu_ps(y3);
+            let mut a3h = _mm512_loadu_ps(y3.add(16));
+            for p in 0..w_panels.len() {
+                let w = w_panels[p];
+                let x = x_panels[p];
+                let x0 = x.add(r_n * bc);
+                let x1 = x.add((r_n + 1) * bc);
+                let x2 = x.add((r_n + 2) * bc);
+                let x3 = x.add((r_n + 3) * bc);
+                for r_c in 0..bc {
+                    let wl = _mm512_loadu_ps(w.add(r_c * bk + kb));
+                    let wh = _mm512_loadu_ps(w.add(r_c * bk + kb + 16));
+                    let b0 = _mm512_set1_ps(*x0.add(r_c));
+                    let b1 = _mm512_set1_ps(*x1.add(r_c));
+                    let b2 = _mm512_set1_ps(*x2.add(r_c));
+                    let b3 = _mm512_set1_ps(*x3.add(r_c));
+                    a0l = _mm512_fmadd_ps(b0, wl, a0l);
+                    a0h = _mm512_fmadd_ps(b0, wh, a0h);
+                    a1l = _mm512_fmadd_ps(b1, wl, a1l);
+                    a1h = _mm512_fmadd_ps(b1, wh, a1h);
+                    a2l = _mm512_fmadd_ps(b2, wl, a2l);
+                    a2h = _mm512_fmadd_ps(b2, wh, a2h);
+                    a3l = _mm512_fmadd_ps(b3, wl, a3l);
+                    a3h = _mm512_fmadd_ps(b3, wh, a3h);
+                }
+            }
+            _mm512_storeu_ps(y0, a0l);
+            _mm512_storeu_ps(y0.add(16), a0h);
+            _mm512_storeu_ps(y1, a1l);
+            _mm512_storeu_ps(y1.add(16), a1h);
+            _mm512_storeu_ps(y2, a2l);
+            _mm512_storeu_ps(y2.add(16), a2h);
+            _mm512_storeu_ps(y3, a3l);
+            _mm512_storeu_ps(y3.add(16), a3h);
+            r_n += 4;
+        }
+        // Remainder rows: 1 row × 2 K vectors.
+        while r_n < bn {
+            let yp = y.add(r_n * bk + kb);
+            let mut al = _mm512_loadu_ps(yp);
+            let mut ah = _mm512_loadu_ps(yp.add(16));
+            for p in 0..w_panels.len() {
+                let w = w_panels[p];
+                let x = x_panels[p].add(r_n * bc);
+                for r_c in 0..bc {
+                    let b = _mm512_set1_ps(*x.add(r_c));
+                    al = _mm512_fmadd_ps(b, _mm512_loadu_ps(w.add(r_c * bk + kb)), al);
+                    ah = _mm512_fmadd_ps(b, _mm512_loadu_ps(w.add(r_c * bk + kb + 16)), ah);
+                }
+            }
+            _mm512_storeu_ps(yp, al);
+            _mm512_storeu_ps(yp.add(16), ah);
+            r_n += 1;
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Backward by data: dX[bn][bc] += sum_p dY_p[bn][bk] * W_p[bc][bk]^T
 // ---------------------------------------------------------------------------
@@ -337,6 +427,125 @@ unsafe fn brgemm_bwd_data_avx512(
                 }
             }
             *dx.add(r_n * bc + r_c) += _mm512_reduce_add_ps(acc);
+        }
+    }
+}
+
+/// Batch-reduce backward-by-data with the upstream layer's ReLU mask fused
+/// into the accumulator writeback: after `dX[bn][bc] += Σ_p dY_p·W_pᵀ`
+/// completes for an element, it is zeroed wherever the forward output
+/// `mask[bn][bc]` (same panel layout as `dx`) was non-positive. Bitwise
+/// identical to [`brgemm_bwd_data`] followed by a separate
+/// `relu_backward(mask, dx)` sweep, because each element receives its full
+/// accumulation before the predicate fires — but it saves one read+write
+/// sweep of `dX` while the panel is still hot in cache.
+///
+/// # Safety
+/// Same as [`brgemm_bwd_data`], plus `mask` must be valid for `bn*bc` reads
+/// and must not alias `dx`.
+pub unsafe fn brgemm_bwd_data_relu(
+    isa: Isa,
+    w_panels: &[*const f32],
+    dy_panels: &[*const f32],
+    dx: *mut f32,
+    mask: *const f32,
+    d: PanelDims,
+) {
+    debug_assert_eq!(w_panels.len(), dy_panels.len());
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 if d.bk.is_multiple_of(16) => {
+            brgemm_bwd_data_relu_avx512(w_panels, dy_panels, dx, mask, d)
+        }
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 | Isa::Avx512 if d.bk.is_multiple_of(8) => {
+            brgemm_bwd_data_relu_avx2(w_panels, dy_panels, dx, mask, d)
+        }
+        _ => {
+            // The scalar kernel accumulates dX across panels *in memory*,
+            // so the mask is a tail sweep after the full reduction — same
+            // bits, the fusion here is only skipping a function boundary.
+            brgemm_bwd_data_scalar(w_panels, dy_panels, dx, d);
+            for i in 0..d.bn * d.bc {
+                if *mask.add(i) <= 0.0 {
+                    *dx.add(i) = 0.0;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn brgemm_bwd_data_relu_avx2(
+    w_panels: &[*const f32],
+    dy_panels: &[*const f32],
+    dx: *mut f32,
+    mask: *const f32,
+    d: PanelDims,
+) {
+    use std::arch::x86_64::*;
+    let PanelDims { bn, bc, bk } = d;
+    for r_n in 0..bn {
+        for r_c in 0..bc {
+            let idx = r_n * bc + r_c;
+            if *mask.add(idx) <= 0.0 {
+                *dx.add(idx) = 0.0;
+                continue;
+            }
+            let mut acc = _mm256_setzero_ps();
+            for p in 0..w_panels.len() {
+                let w = w_panels[p].add(r_c * bk);
+                let dy = dy_panels[p].add(r_n * bk);
+                for kb in (0..bk).step_by(8) {
+                    acc = _mm256_fmadd_ps(
+                        _mm256_loadu_ps(dy.add(kb)),
+                        _mm256_loadu_ps(w.add(kb)),
+                        acc,
+                    );
+                }
+            }
+            let hi = _mm256_extractf128_ps::<1>(acc);
+            let lo = _mm256_castps256_ps128(acc);
+            let s = _mm_add_ps(hi, lo);
+            let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+            let s = _mm_add_ss(s, _mm_shuffle_ps::<1>(s, s));
+            *dx.add(idx) += _mm_cvtss_f32(s);
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn brgemm_bwd_data_relu_avx512(
+    w_panels: &[*const f32],
+    dy_panels: &[*const f32],
+    dx: *mut f32,
+    mask: *const f32,
+    d: PanelDims,
+) {
+    use std::arch::x86_64::*;
+    let PanelDims { bn, bc, bk } = d;
+    for r_n in 0..bn {
+        for r_c in 0..bc {
+            let idx = r_n * bc + r_c;
+            if *mask.add(idx) <= 0.0 {
+                *dx.add(idx) = 0.0;
+                continue;
+            }
+            let mut acc = _mm512_setzero_ps();
+            for p in 0..w_panels.len() {
+                let w = w_panels[p].add(r_c * bk);
+                let dy = dy_panels[p].add(r_n * bk);
+                for kb in (0..bk).step_by(16) {
+                    acc = _mm512_fmadd_ps(
+                        _mm512_loadu_ps(dy.add(kb)),
+                        _mm512_loadu_ps(w.add(kb)),
+                        acc,
+                    );
+                }
+            }
+            *dx.add(idx) += _mm512_reduce_add_ps(acc);
         }
     }
 }
@@ -480,6 +689,82 @@ unsafe fn brgemm_bwd_wt_avx512(
             _mm512_storeu_ps(dwp, acc);
             r_c += 1;
         }
+    }
+}
+
+/// Batch-reduce backward-by-weights with the bias-gradient reduction fused
+/// in: besides `dW[bc][bk] += Σ_p X_pᵀ·dY_p`, overwrites
+/// `db[rk] = Σ_p Σ_rn dY_p[rn][rk]` while the `dY` panels are hot in cache.
+/// With panels supplied in ascending minibatch-block order (as the blocked
+/// drivers do), each `db` lane is a plain-add chain in ascending flat-`n`
+/// order — exactly `bias_grad_rows`' per-row `iter().sum()` — so the fused
+/// bias gradient is bitwise identical to the separate pass on **every** ISA
+/// tier (vectorizing across `bk` lanes reassociates nothing).
+///
+/// # Safety
+/// Same as [`brgemm_bwd_wt`], plus `db` must be valid for `bk` writes and
+/// must not alias any panel or `dw`.
+pub unsafe fn brgemm_bwd_wt_bias(
+    isa: Isa,
+    x_panels: &[*const f32],
+    dy_panels: &[*const f32],
+    dw: *mut f32,
+    db: *mut f32,
+    d: PanelDims,
+) {
+    brgemm_bwd_wt(isa, x_panels, dy_panels, dw, d);
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 if d.bk.is_multiple_of(16) => bias_reduce_avx512(dy_panels, db, d),
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 | Isa::Avx512 if d.bk.is_multiple_of(8) => bias_reduce_avx2(dy_panels, db, d),
+        _ => bias_reduce_scalar(dy_panels, db, d),
+    }
+}
+
+unsafe fn bias_reduce_scalar(dy_panels: &[*const f32], db: *mut f32, d: PanelDims) {
+    let PanelDims { bn, bk, .. } = d;
+    let out = std::slice::from_raw_parts_mut(db, bk);
+    out.fill(0.0);
+    for &dy in dy_panels {
+        for r_n in 0..bn {
+            let row = std::slice::from_raw_parts(dy.add(r_n * bk), bk);
+            for (o, &v) in out.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn bias_reduce_avx2(dy_panels: &[*const f32], db: *mut f32, d: PanelDims) {
+    use std::arch::x86_64::*;
+    let PanelDims { bn, bk, .. } = d;
+    for kb in (0..bk).step_by(8) {
+        let mut acc = _mm256_setzero_ps();
+        for &dy in dy_panels {
+            for r_n in 0..bn {
+                acc = _mm256_add_ps(acc, _mm256_loadu_ps(dy.add(r_n * bk + kb)));
+            }
+        }
+        _mm256_storeu_ps(db.add(kb), acc);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn bias_reduce_avx512(dy_panels: &[*const f32], db: *mut f32, d: PanelDims) {
+    use std::arch::x86_64::*;
+    let PanelDims { bn, bk, .. } = d;
+    for kb in (0..bk).step_by(16) {
+        let mut acc = _mm512_setzero_ps();
+        for &dy in dy_panels {
+            for r_n in 0..bn {
+                acc = _mm512_add_ps(acc, _mm512_loadu_ps(dy.add(r_n * bk + kb)));
+            }
+        }
+        _mm512_storeu_ps(db.add(kb), acc);
     }
 }
 
@@ -669,6 +954,116 @@ mod tests {
             },
             2,
         ); // avx2/scalar
+    }
+
+    #[test]
+    fn widened_avx512_fwd_is_bitwise_identical_to_narrow() {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if !is_x86_feature_detected!("avx512f") {
+                return;
+            }
+            for (bn, bc, bk, batch) in [(8, 16, 32, 4), (5, 7, 64, 3), (1, 3, 32, 1)] {
+                let d = PanelDims { bn, bc, bk };
+                let mk = |seed: usize, len: usize| -> Vec<f32> {
+                    (0..len)
+                        .map(|i| (((i * 2654435761 + seed * 40503) % 1000) as f32 - 500.0) / 250.0)
+                        .collect()
+                };
+                let ws: Vec<Vec<f32>> = (0..batch).map(|p| mk(p, bc * bk)).collect();
+                let xs: Vec<Vec<f32>> = (0..batch).map(|p| mk(p + 99, bn * bc)).collect();
+                let wp: Vec<*const f32> = ws.iter().map(|v| v.as_ptr()).collect();
+                let xp: Vec<*const f32> = xs.iter().map(|v| v.as_ptr()).collect();
+                let mut wide = vec![0.25f32; bn * bk];
+                let mut narrow = vec![0.25f32; bn * bk];
+                unsafe {
+                    brgemm_fwd_avx512_x2(&wp, &xp, wide.as_mut_ptr(), d);
+                    brgemm_fwd_avx512(&wp, &xp, narrow.as_mut_ptr(), d);
+                }
+                let wb: Vec<u32> = wide.iter().map(|v| v.to_bits()).collect();
+                let nb: Vec<u32> = narrow.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(wb, nb, "widened fwd must be bitwise identical {d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bwd_data_relu_is_bitwise_unfused_then_mask() {
+        for (bn, bc, bk, batch) in [(8, 24, 32, 4), (3, 5, 16, 2), (4, 8, 9, 2)] {
+            let d = PanelDims { bn, bc, bk };
+            let mk = |seed: usize, len: usize| -> Vec<f32> {
+                (0..len)
+                    .map(|i| (((i * 1103515245 + seed * 12345) % 997) as f32 - 498.0) / 300.0)
+                    .collect()
+            };
+            let ws: Vec<Vec<f32>> = (0..batch).map(|p| mk(p, bc * bk)).collect();
+            let dys: Vec<Vec<f32>> = (0..batch).map(|p| mk(p + 7, bn * bk)).collect();
+            let wp: Vec<*const f32> = ws.iter().map(|v| v.as_ptr()).collect();
+            let dyp: Vec<*const f32> = dys.iter().map(|v| v.as_ptr()).collect();
+            // Mask mixes strictly-negative, exact-zero and positive entries.
+            let mask: Vec<f32> = (0..bn * bc)
+                .map(|i| match i % 3 {
+                    0 => -1.0,
+                    1 => 0.0,
+                    _ => 0.5,
+                })
+                .collect();
+            for isa in all_isas() {
+                let mut want = vec![0.0f32; bn * bc];
+                unsafe { brgemm_bwd_data(isa, &wp, &dyp, want.as_mut_ptr(), d) };
+                for (w, &m) in want.iter_mut().zip(&mask) {
+                    if m <= 0.0 {
+                        *w = 0.0;
+                    }
+                }
+                let mut got = vec![0.0f32; bn * bc];
+                unsafe { brgemm_bwd_data_relu(isa, &wp, &dyp, got.as_mut_ptr(), mask.as_ptr(), d) };
+                let gb: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+                let wb: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(gb, wb, "fused relu bwd_data {isa:?} {d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bwd_wt_bias_matches_unfused_and_flat_row_sums() {
+        for (bn, bc, bk, batch) in [(8, 32, 32, 4), (7, 5, 16, 3), (4, 8, 12, 2), (3, 5, 6, 2)] {
+            let d = PanelDims { bn, bc, bk };
+            let mk = |seed: usize, len: usize| -> Vec<f32> {
+                (0..len)
+                    .map(|i| (((i * 69069 + seed * 999331) % 991) as f32 - 495.0) / 400.0)
+                    .collect()
+            };
+            let xs: Vec<Vec<f32>> = (0..batch).map(|p| mk(p, bn * bc)).collect();
+            let dys: Vec<Vec<f32>> = (0..batch).map(|p| mk(p + 3, bn * bk)).collect();
+            let xp: Vec<*const f32> = xs.iter().map(|v| v.as_ptr()).collect();
+            let dyp: Vec<*const f32> = dys.iter().map(|v| v.as_ptr()).collect();
+            // Flat reference: db[rk] = ascending-n plain sum, like
+            // bias_grad_rows on the unpacked [bk x (batch*bn)] gradient.
+            let mut db_ref = vec![0.0f32; bk];
+            for (rk, o) in db_ref.iter_mut().enumerate() {
+                for dy in &dys {
+                    for r_n in 0..bn {
+                        *o += dy[r_n * bk + rk];
+                    }
+                }
+            }
+            for isa in all_isas() {
+                let mut dw_want = vec![0.0f32; bc * bk];
+                unsafe { brgemm_bwd_wt(isa, &xp, &dyp, dw_want.as_mut_ptr(), d) };
+                let mut dw_got = vec![0.0f32; bc * bk];
+                let mut db_got = vec![7.0f32; bk]; // overwrite semantics
+                unsafe {
+                    brgemm_bwd_wt_bias(isa, &xp, &dyp, dw_got.as_mut_ptr(), db_got.as_mut_ptr(), d)
+                };
+                let a: Vec<u32> = dw_got.iter().map(|v| v.to_bits()).collect();
+                let b: Vec<u32> = dw_want.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(a, b, "fused dW {isa:?} {d:?}");
+                let a: Vec<u32> = db_got.iter().map(|v| v.to_bits()).collect();
+                let b: Vec<u32> = db_ref.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(a, b, "fused db must be bitwise flat sum {isa:?} {d:?}");
+            }
+        }
     }
 
     #[test]

@@ -15,7 +15,10 @@ pub mod flat;
 pub mod micro;
 pub mod naive;
 
-pub use blocked::{fc_backward_data, fc_backward_weights, fc_forward, fc_forward_fused};
+pub use blocked::{
+    fc_backward_data, fc_backward_data_fused, fc_backward_weights, fc_backward_weights_fused,
+    fc_forward, fc_forward_fused,
+};
 pub use flat::{par_gemm_nn, par_gemm_nt, par_gemm_tn};
 pub use micro::{detect_isa, set_isa_override, Isa};
 pub use naive::{gemm_nn, gemm_nt, gemm_tn};

@@ -99,13 +99,19 @@ impl ServeModel {
     /// weights, which is what the cached-vs-uncached identity gates compare
     /// against.
     pub fn new(cfg: &DlrmConfig, exec: Execution, cache: CacheSizing, seed: u64) -> Self {
-        let model = DlrmModel::new(
+        let mut model = DlrmModel::new(
             cfg,
             exec,
             UpdateStrategy::RaceFree,
             PrecisionMode::Fp32,
             seed,
         );
+        if matches!(model.exec, Execution::Optimized(_)) {
+            // Forward-only plan: pay the weight-packing cost once at load
+            // time, not on the first served request.
+            model.bottom.prepack_weights();
+            model.top.prepack_weights();
+        }
         let caches = model
             .tables
             .iter()

@@ -107,24 +107,97 @@ impl BlockedWeights {
     pub fn pack(w: &Matrix, blk: Blocking) -> Self {
         let (k, c) = w.shape();
         let mut out = Self::zeros(k, c, blk);
-        for kk in 0..k {
-            for cc in 0..c {
-                let idx = out.index_of(kk, cc);
-                out.data[idx] = w[(kk, cc)];
+        out.pack_from(w);
+        out
+    }
+
+    /// Re-sizes this tensor to `k×c` under `blk` with *scratch* semantics
+    /// (the backing allocation is reused whenever its capacity suffices; see
+    /// [`AlignedVec::resize_scratch`]) and packs `w` into it. The persistent
+    /// packed-plan path uses this so steady state is allocation-free.
+    pub fn pack_into(&mut self, w: &Matrix, blk: Blocking) {
+        let (k, c) = w.shape();
+        self.reshape_scratch(k, c, blk);
+        self.pack_from(w);
+    }
+
+    /// Writes every element of `w` into the (already correctly shaped)
+    /// blocked storage. Fully overwrites the buffer, so unspecified contents
+    /// after a growing `resize_scratch` are fine.
+    fn pack_from(&mut self, w: &Matrix) {
+        assert_eq!((self.k, self.c), w.shape(), "pack_from shape mismatch");
+        for kk in 0..self.k {
+            for cc in 0..self.c {
+                let idx = self.index_of(kk, cc);
+                self.data[idx] = w[(kk, cc)];
             }
         }
-        out
+    }
+
+    /// Re-sizes to `k×c` under `blk` with scratch semantics, leaving the
+    /// contents unspecified (callers must fully overwrite before reading —
+    /// the accumulate-style GEMM kernels want [`Self::fill_zero`] first).
+    pub fn reshape_scratch(&mut self, k: usize, c: usize, blk: Blocking) {
+        assert_eq!(k % blk.bk, 0, "bk must divide K");
+        assert_eq!(c % blk.bc, 0, "bc must divide C");
+        self.data.resize_scratch(k * c);
+        self.k = k;
+        self.c = c;
+        self.blk = blk;
+    }
+
+    /// Resets every element to `0.0`.
+    pub fn fill_zero(&mut self) {
+        self.data.fill_zero();
+    }
+
+    /// Allocated capacity in bytes (for scratch accounting).
+    #[inline]
+    pub fn capacity_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<f32>()
     }
 
     /// Unpacks back to a row-major `K×C` matrix.
     pub fn unpack(&self) -> Matrix {
         let mut m = Matrix::zeros(self.k, self.c);
+        self.unpack_into(&mut m);
+        m
+    }
+
+    /// Unpacks into an existing `K×C` matrix (no allocation).
+    pub fn unpack_into(&self, out: &mut Matrix) {
+        assert_eq!((self.k, self.c), out.shape(), "unpack_into shape mismatch");
         for kk in 0..self.k {
             for cc in 0..self.c {
-                m[(kk, cc)] = self.data[self.index_of(kk, cc)];
+                out[(kk, cc)] = self.data[self.index_of(kk, cc)];
             }
         }
-        m
+    }
+
+    /// In-place SGD step against a *flat* row-major `K×C` gradient:
+    /// `W[k][c] += alpha * dW[k][c]` for every element, traversed in blocked
+    /// storage order. Written as separate multiply-then-add (no FMA
+    /// contraction), so each element sees exactly the arithmetic of
+    /// `w += alpha * g` on the flat mirror — the update is an elementwise
+    /// permutation and therefore bitwise identical to the flat step.
+    pub fn add_scaled_flat(&mut self, g: &Matrix, alpha: f32) {
+        assert_eq!((self.k, self.c), g.shape(), "add_scaled_flat shape");
+        let Blocking { bc, bk, .. } = self.blk;
+        let (kb, cb, c) = (self.kb(), self.cb(), self.c);
+        let gs = g.as_slice();
+        let mut idx = 0;
+        for ibk in 0..kb {
+            for ibc in 0..cb {
+                for rc in 0..bc {
+                    let col = ibc * bc + rc;
+                    for rk in 0..bk {
+                        let p = alpha * gs[(ibk * bk + rk) * c + col];
+                        self.data[idx] += p;
+                        idx += 1;
+                    }
+                }
+            }
+        }
     }
 
     /// Flat offset of logical element `W[k][c]`.
@@ -218,24 +291,70 @@ impl BlockedActivations {
     pub fn pack(x: &Matrix, bc: usize, bn: usize) -> Self {
         let (c, n) = x.shape();
         let mut out = Self::zeros(c, n, bc, bn);
-        for cc in 0..c {
-            for nn in 0..n {
-                let idx = out.index_of(cc, nn);
-                out.data[idx] = x[(cc, nn)];
+        out.pack_from(x);
+        out
+    }
+
+    /// Re-sizes this tensor to `c×n` under `(bc, bn)` with *scratch*
+    /// semantics (allocation reused when capacity suffices) and packs `x`
+    /// into it — the allocation-free counterpart of [`Self::pack`].
+    pub fn pack_into(&mut self, x: &Matrix, bc: usize, bn: usize) {
+        let (c, n) = x.shape();
+        self.reshape_scratch(c, n, bc, bn);
+        self.pack_from(x);
+    }
+
+    /// Writes every element of `x` into the (already correctly shaped)
+    /// blocked storage.
+    fn pack_from(&mut self, x: &Matrix) {
+        assert_eq!((self.c, self.n), x.shape(), "pack_from shape mismatch");
+        for cc in 0..self.c {
+            for nn in 0..self.n {
+                let idx = self.index_of(cc, nn);
+                self.data[idx] = x[(cc, nn)];
             }
         }
-        out
+    }
+
+    /// Re-sizes to `c×n` under `(bc, bn)` with scratch semantics, contents
+    /// unspecified (pair with [`Self::fill_zero`] before accumulate-style
+    /// kernels write into it).
+    pub fn reshape_scratch(&mut self, c: usize, n: usize, bc: usize, bn: usize) {
+        assert_eq!(c % bc, 0, "bc must divide C");
+        assert_eq!(n % bn, 0, "bn must divide N");
+        self.data.resize_scratch(c * n);
+        self.c = c;
+        self.n = n;
+        self.bc = bc;
+        self.bn = bn;
+    }
+
+    /// Resets every element to `0.0`.
+    pub fn fill_zero(&mut self) {
+        self.data.fill_zero();
+    }
+
+    /// Allocated capacity in bytes (for scratch accounting).
+    #[inline]
+    pub fn capacity_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<f32>()
     }
 
     /// Unpacks back to a row-major `C×N` matrix.
     pub fn unpack(&self) -> Matrix {
         let mut m = Matrix::zeros(self.c, self.n);
+        self.unpack_into(&mut m);
+        m
+    }
+
+    /// Unpacks into an existing `C×N` matrix (no allocation).
+    pub fn unpack_into(&self, out: &mut Matrix) {
+        assert_eq!((self.c, self.n), out.shape(), "unpack_into shape mismatch");
         for cc in 0..self.c {
             for nn in 0..self.n {
-                m[(cc, nn)] = self.data[self.index_of(cc, nn)];
+                out[(cc, nn)] = self.data[self.index_of(cc, nn)];
             }
         }
-        m
     }
 
     /// Flat offset of logical element `X[c][n]`.
@@ -359,6 +478,69 @@ mod tests {
                 bk: 2,
             },
         );
+    }
+
+    #[test]
+    fn pack_into_reuses_capacity_and_matches_pack() {
+        let blk = Blocking {
+            bn: 2,
+            bc: 4,
+            bk: 4,
+        };
+        let big = Matrix::from_fn(8, 12, |r, c| (r * 100 + c) as f32);
+        let small = Matrix::from_fn(4, 8, |r, c| (r * 7 + c) as f32);
+        let mut bw = BlockedWeights::pack(&big, blk);
+        let p = bw.as_slice().as_ptr();
+        bw.pack_into(&small, blk);
+        assert_eq!(bw.as_slice().as_ptr(), p, "shrinking repack must reuse");
+        assert_eq!(
+            bw.as_slice(),
+            BlockedWeights::pack(&small, blk).as_slice(),
+            "in-place pack must match from-scratch pack bitwise"
+        );
+        let mut out = Matrix::zeros(4, 8);
+        bw.unpack_into(&mut out);
+        assert_eq!(out.as_slice(), small.as_slice());
+    }
+
+    #[test]
+    fn activations_pack_into_matches_pack() {
+        let big = Matrix::from_fn(6, 8, |r, c| (r * 31 + c) as f32);
+        let small = Matrix::from_fn(3, 4, |r, c| (r + c * 5) as f32);
+        let mut ba = BlockedActivations::pack(&big, 3, 4);
+        let p = ba.as_slice().as_ptr();
+        ba.pack_into(&small, 3, 2);
+        assert_eq!(ba.as_slice().as_ptr(), p, "shrinking repack must reuse");
+        assert_eq!(
+            ba.as_slice(),
+            BlockedActivations::pack(&small, 3, 2).as_slice()
+        );
+        let mut out = Matrix::zeros(3, 4);
+        ba.unpack_into(&mut out);
+        assert_eq!(out.as_slice(), small.as_slice());
+    }
+
+    #[test]
+    fn add_scaled_flat_matches_flat_sgd_bitwise() {
+        let blk = Blocking {
+            bn: 2,
+            bc: 4,
+            bk: 4,
+        };
+        let w = Matrix::from_fn(8, 12, |r, c| (r as f32 + 0.37) * 1.1 - c as f32 * 0.013);
+        let g = Matrix::from_fn(8, 12, |r, c| (c as f32 - 3.7) * 0.31 + r as f32 * 0.07);
+        let alpha = -0.05_f32;
+        let mut bw = BlockedWeights::pack(&w, blk);
+        bw.add_scaled_flat(&g, alpha);
+        // Flat reference: w += alpha * g, separate mul-then-add per element.
+        let mut flat = w.clone();
+        for (wv, gv) in flat.as_mut_slice().iter_mut().zip(g.as_slice()) {
+            let p = alpha * gv;
+            *wv += p;
+        }
+        let got: Vec<u32> = bw.unpack().as_slice().iter().map(|x| x.to_bits()).collect();
+        let want: Vec<u32> = flat.as_slice().iter().map(|x| x.to_bits()).collect();
+        assert_eq!(got, want, "blocked SGD must be bitwise equal to flat SGD");
     }
 
     #[test]
