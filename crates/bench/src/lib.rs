@@ -154,18 +154,26 @@ pub fn validate_bench_embedding_json(json: &str) -> Result<(), String> {
 /// as a `"key":` literal, the bench tag and the representable-payload
 /// bitwise gate must hold, and braces/brackets must balance.
 pub fn validate_bench_wire_precision_json(json: &str) -> Result<(), String> {
-    const REQUIRED: [&str; 13] = [
+    const REQUIRED: [&str; 21] = [
         "\"bench\"",
         "\"smoke\"",
         "\"config\"",
         "\"fp32\"",
         "\"bf16\"",
+        "\"int8\"",
+        "\"adaptive\"",
         "\"alltoall_bytes\"",
         "\"allreduce_bytes\"",
         "\"exchange_s_per_step\"",
         "\"alltoall_bytes_ratio\"",
         "\"allreduce_bytes_ratio\"",
+        "\"int8_allreduce_bytes_ratio\"",
+        "\"adaptive_allreduce_reduction_x\"",
+        "\"adaptive_error_bound\"",
+        "\"adaptive_decisions\"",
         "\"max_loss_delta\"",
+        "\"int8_max_loss_delta\"",
+        "\"adaptive_max_loss_delta\"",
         "\"representable_bitwise_equal\"",
         "\"analytic\"",
     ];
@@ -175,6 +183,12 @@ pub fn validate_bench_wire_precision_json(json: &str) -> Result<(), String> {
     }
     if !json.contains("\"representable_bitwise_equal\": true") {
         return Err("\"representable_bitwise_equal\" must be true".into());
+    }
+    // The headline INT8 gate: the adaptive policy's steady-state allreduce
+    // traffic must be exactly 4x smaller than FP32 (headerless shared-scale
+    // INT8 on every bucket once warm).
+    if !json.contains("\"adaptive_allreduce_reduction_x\": 4.0000") {
+        return Err("\"adaptive_allreduce_reduction_x\" must be exactly 4.0000".into());
     }
     check_balanced(json)
 }
@@ -450,11 +464,19 @@ mod tests {
   "config": {"ranks": 4, "local_n": 8, "steps": 4},
   "fp32": {"alltoall_bytes": 1000, "allreduce_bytes": 2000, "exchange_s_per_step": 0.001},
   "bf16": {"alltoall_bytes": 500, "allreduce_bytes": 1000, "exchange_s_per_step": 0.001},
+  "int8": {"alltoall_bytes": 1000, "allreduce_bytes": 502, "exchange_s_per_step": 0.001},
+  "adaptive": {"alltoall_bytes": 1000, "allreduce_bytes": 500, "exchange_s_per_step": 0.001},
   "alltoall_bytes_ratio": 0.5,
   "allreduce_bytes_ratio": 0.5,
+  "int8_allreduce_bytes_ratio": 0.251,
+  "adaptive_allreduce_reduction_x": 4.0000,
+  "adaptive_error_bound": 0.05,
+  "adaptive_decisions": {"fp32": 2, "bf16": 0, "int8": 10},
   "max_loss_delta": 0.003,
+  "int8_max_loss_delta": 0.004,
+  "adaptive_max_loss_delta": 0.004,
   "representable_bitwise_equal": true,
-  "analytic": {"fp32_comm_s": 0.1, "bf16_comm_s": 0.06}
+  "analytic": {"fp32_comm_s": 0.1, "bf16_comm_s": 0.06, "int8_comm_s": 0.03}
 }"#;
         assert!(validate_bench_wire_precision_json(ok).is_ok());
     }
@@ -468,11 +490,28 @@ mod tests {
   "bench": "wire_precision", "smoke": false, "config": {},
   "fp32": {"alltoall_bytes": 1, "allreduce_bytes": 1, "exchange_s_per_step": 0.1},
   "bf16": {"alltoall_bytes": 1, "allreduce_bytes": 1, "exchange_s_per_step": 0.1},
+  "int8": {"alltoall_bytes": 1, "allreduce_bytes": 1, "exchange_s_per_step": 0.1},
+  "adaptive": {"alltoall_bytes": 1, "allreduce_bytes": 1, "exchange_s_per_step": 0.1},
   "alltoall_bytes_ratio": 1.0, "allreduce_bytes_ratio": 1.0,
-  "max_loss_delta": 0.0, "representable_bitwise_equal": false,
+  "int8_allreduce_bytes_ratio": 1.0,
+  "adaptive_allreduce_reduction_x": 4.0000,
+  "adaptive_error_bound": 0.05,
+  "adaptive_decisions": {"fp32": 1, "bf16": 0, "int8": 0},
+  "max_loss_delta": 0.0,
+  "int8_max_loss_delta": 0.0, "adaptive_max_loss_delta": 0.0,
+  "representable_bitwise_equal": false,
   "analytic": {}
 }"#;
         assert!(validate_bench_wire_precision_json(failed_gate).is_err());
+        let weak_reduction = failed_gate.replace(
+            "\"representable_bitwise_equal\": false",
+            "\"representable_bitwise_equal\": true",
+        );
+        let weak_reduction = weak_reduction.replace(
+            "\"adaptive_allreduce_reduction_x\": 4.0000",
+            "\"adaptive_allreduce_reduction_x\": 2.0000",
+        );
+        assert!(validate_bench_wire_precision_json(&weak_reduction).is_err());
         let unbalanced = failed_gate
             .replace("false,", "true,")
             .replace("{}\n}", "{}\n");

@@ -393,6 +393,47 @@ mod tests {
     }
 
     #[test]
+    fn int8_wire_quarters_comm_volume_in_the_64socket_model() {
+        let cfg = DlrmConfig::large();
+        let cluster = Cluster::cluster_64socket();
+        let calib = Calibration::default();
+        for ranks in [4usize, 16, 64] {
+            let mk = |wire| {
+                simulate_iteration(
+                    &cfg,
+                    &cluster,
+                    &calib,
+                    SimParams {
+                        ranks,
+                        local_n: cfg.gn_strong / ranks,
+                        strategy: Strategy::CclAlltoall,
+                        mode: RunMode::Blocking,
+                        charge_loader: false,
+                        wire,
+                    },
+                )
+            };
+            let fp = mk(WirePrecision::Fp32);
+            let bf = mk(WirePrecision::Bf16);
+            let i8 = mk(WirePrecision::Int8);
+            let i8s = mk(WirePrecision::int8_shared(1.0));
+            assert_eq!(i8.compute, fp.compute, "wire must not touch compute");
+            // One byte per element, identical for both INT8 flavors (the
+            // analytic model charges payload volume; the self-describing
+            // flavor's scale headers are one f32 per table block —
+            // negligible against n·E payloads and not modeled here).
+            assert_eq!(i8.alltoall_wait, i8s.alltoall_wait);
+            assert!(
+                i8.alltoall_wait < bf.alltoall_wait && i8.allreduce_wait < bf.allreduce_wait,
+                "R={ranks}: int8 must undercut bf16"
+            );
+            // The volume term quarters exactly; latency floors keep the
+            // total wait above a quarter.
+            assert!(i8.alltoall_wait >= fp.alltoall_wait / 4.0 - 1e-12);
+        }
+    }
+
+    #[test]
     fn mpi_charges_exposed_allreduce_to_alltoall_wait() {
         // The Figure 10/11 artifact.
         let cfg = DlrmConfig::large();

@@ -20,13 +20,18 @@
 //! the FP32 wire. The BF16 wire halves every payload: reductions still
 //! accumulate in FP32 locally, but each ring hop narrows the outgoing
 //! partial sum to BF16 (RNE) and the receiver widens it exactly before
-//! adding. See [`crate::wire`] for the accumulation policy and the
-//! single-quantization rule the variants implement.
+//! adding. The INT8 wires quarter every payload the same way — each hop
+//! ships one scaled byte per element (plus a 4-byte scale header for
+//! [`WirePrecision::Int8`]; none for the pre-agreed
+//! [`WirePrecision::Int8Shared`] scale) and the receiver reconstructs FP32
+//! values before accumulating. See [`crate::wire`] for the accumulation
+//! policy and the single-quantization rule the variants implement.
 
 use crate::wire::{self, WirePrecision};
-use crate::world::{Communicator, Payload};
+use crate::world::{Communicator, Int8Payload, Payload};
 use dlrm_kernels::bf16wire;
-use dlrm_kernels::gemm::detect_isa;
+use dlrm_kernels::gemm::{detect_isa, Isa};
+use dlrm_kernels::int8wire;
 use dlrm_tensor_free::partition_range;
 
 /// Minimal local re-implementation to avoid a tensor dependency here.
@@ -54,6 +59,87 @@ const TAG_GATHER: u64 = 0x0600_0000;
 /// Tag base for prefetch row-fetch alltoalls (see `dlrm-dist::prefetch`).
 pub const TAG_PREFETCH: u64 = 0x0700_0000;
 
+/// Effective scale-group length for an INT8 payload of `len` elements:
+/// `0` means one scale for the whole payload (the ring collectives' case);
+/// a nonzero group gives one scale per `group` elements (the alltoall's
+/// per-table scales).
+#[inline]
+fn int8_group_len(scale_group: usize, len: usize) -> usize {
+    if scale_group == 0 {
+        len.max(1)
+    } else {
+        scale_group
+    }
+}
+
+/// Quantizes `src` into an INT8 wire payload under `wirep` (which must be
+/// an INT8 variant), reusing the `bytes`/`scales` buffers. Data-derived
+/// scales ([`WirePrecision::Int8`]) are `absmax/127` per scale group and
+/// marked headered — they cost 4 on-wire bytes each; a pre-agreed
+/// [`WirePrecision::Int8Shared`] scale is carried for the decoder's
+/// convenience but ships no header.
+fn int8_encode(
+    isa: Isa,
+    wirep: WirePrecision,
+    src: &[f32],
+    mut bytes: Vec<u8>,
+    mut scales: Vec<f32>,
+    scale_group: usize,
+) -> Int8Payload {
+    let group_len = int8_group_len(scale_group, src.len());
+    bytes.clear();
+    bytes.resize(src.len(), 0);
+    scales.clear();
+    let shared = wirep.shared_scale();
+    let mut start = 0;
+    while start < src.len() {
+        let end = (start + group_len).min(src.len());
+        let scale = match shared {
+            Some(s) => s,
+            None => int8wire::scale_for_absmax(int8wire::absmax(&src[start..end])),
+        };
+        int8wire::quantize_slice(isa, &src[start..end], scale, &mut bytes[start..end]);
+        scales.push(scale);
+        start = end;
+    }
+    Int8Payload {
+        bytes,
+        scales,
+        group_len,
+        headered: shared.is_none(),
+    }
+}
+
+/// Reconstructs FP32 values from an INT8 wire payload into `dst`.
+fn int8_decode(isa: Isa, p: &Int8Payload, dst: &mut [f32]) {
+    assert_eq!(p.bytes.len(), dst.len(), "int8 decode length mismatch");
+    for (g, &scale) in p.scales.iter().enumerate() {
+        let start = g * p.group_len;
+        let end = (start + p.group_len).min(p.bytes.len());
+        int8wire::dequantize_slice(isa, &p.bytes[start..end], scale, &mut dst[start..end]);
+    }
+}
+
+/// Applies the INT8 wire round trip (`f32 → int8 → f32`) to a locally-kept
+/// buffer, with the same per-group scale choice [`int8_encode`] would make
+/// — used for the chunks that never cross a wire (an alltoall's
+/// self-destined payload, a standalone reduce-scatter's own chunk) so they
+/// are bitwise what a peer would have reconstructed.
+fn int8_requantize(isa: Isa, wirep: WirePrecision, buf: &mut [f32], scale_group: usize) {
+    let group_len = int8_group_len(scale_group, buf.len());
+    let shared = wirep.shared_scale();
+    let mut start = 0;
+    while start < buf.len() {
+        let end = (start + group_len).min(buf.len());
+        let scale = match shared {
+            Some(s) => s,
+            None => int8wire::scale_for_absmax(int8wire::absmax(&buf[start..end])),
+        };
+        int8wire::quantize_dequantize_slice(isa, &mut buf[start..end], scale);
+        start = end;
+    }
+}
+
 /// Ring reduce-scatter (sum): every rank contributes `data` (same length on
 /// all ranks) and receives the fully-reduced chunk `partition_range(len, R,
 /// rank)`.
@@ -61,15 +147,31 @@ pub fn reduce_scatter_sum(comm: &Communicator, data: &[f32]) -> Vec<f32> {
     reduce_scatter_sum_wire(comm, data, WirePrecision::Fp32)
 }
 
-/// [`reduce_scatter_sum`] with a selectable wire. The BF16 wire accumulates
-/// in FP32 and narrows only the hop payloads; the returned chunk is
-/// additionally quantized once (`f32 → bf16 → f32`), so the values every
-/// rank later receives from an allgather of these chunks are bitwise the
-/// ones the owner holds.
+/// [`reduce_scatter_sum`] with a selectable wire. The narrowed wires
+/// accumulate in FP32 and quantize only the hop payloads; the returned
+/// chunk is additionally quantized once (`f32 → wire → f32`), so the
+/// values every rank later receives from an allgather of these chunks are
+/// bitwise the ones the owner holds.
 pub fn reduce_scatter_sum_wire(
     comm: &Communicator,
     data: &[f32],
     wirep: WirePrecision,
+) -> Vec<f32> {
+    reduce_scatter_sum_wire_impl(comm, data, wirep, true)
+}
+
+/// [`reduce_scatter_sum_wire`] with the final-chunk quantization made
+/// optional. [`allreduce_sum_wire`] on an INT8 wire passes `false`: its
+/// allgather quantizes each reduced chunk exactly once at the source (and
+/// the source adopts the dequantized values too), so quantizing here as
+/// well would double-quantize. BF16 ignores the flag — its allgather
+/// forwards representable values losslessly, so the final narrowing here
+/// *is* the single quantization.
+fn reduce_scatter_sum_wire_impl(
+    comm: &Communicator,
+    data: &[f32],
+    wirep: WirePrecision,
+    quantize_final: bool,
 ) -> Vec<f32> {
     let r = comm.nranks();
     let me = comm.rank();
@@ -134,6 +236,35 @@ pub fn reduce_scatter_sum_wire(
             bf16wire::quantize_slice(isa, &mut out);
             out
         }
+        WirePrecision::Int8 | WirePrecision::Int8Shared { .. } => {
+            let isa = detect_isa();
+            let mut stage = wire::take_bytes();
+            let mut scale_stage = wire::take_f32();
+            for s in 0..r - 1 {
+                let send_chunk = (me + 2 * r - s - 1) % r;
+                let recv_chunk = (me + 2 * r - s - 2) % r;
+                let chunk = &work[partition_range(len, r, send_chunk)];
+                let payload = int8_encode(isa, wirep, chunk, stage, scale_stage, 0);
+                comm.send_payload(next, TAG_RS + s as u64, Payload::Int8(payload));
+                let incoming = comm.recv_payload(prev, TAG_RS + s as u64).into_int8();
+                let recv_range = partition_range(len, r, recv_chunk);
+                wire::with_widen_scratch(incoming.bytes.len(), |widened| {
+                    int8_decode(isa, &incoming, widened);
+                    for (acc, &x) in work[recv_range].iter_mut().zip(widened.iter()) {
+                        *acc += x;
+                    }
+                });
+                stage = incoming.bytes;
+                scale_stage = incoming.scales;
+            }
+            wire::put_bytes(stage);
+            wire::put_f32(scale_stage);
+            let mut out = work[partition_range(len, r, me)].to_vec();
+            if quantize_final {
+                int8_requantize(isa, wirep, &mut out, 0);
+            }
+            out
+        }
     }
 }
 
@@ -150,6 +281,12 @@ pub fn allgather_varied(comm: &Communicator, mine: &[f32], counts: &[usize]) -> 
 /// the elementwise-quantized inputs, bitwise identical on every rank —
 /// including the local copy of this rank's own chunk, which is quantized
 /// too so all `R` chunks of the output are uniformly wire-quantized.
+///
+/// The INT8 wires get the same single-quantization guarantee by a
+/// different route: the source quantizes its chunk once (bytes + scale),
+/// every hop forwards those bits losslessly, and *every* rank — the source
+/// included — adopts the dequantized reconstruction, so all ranks hold
+/// bitwise identical FP32 values.
 pub fn allgather_varied_wire(
     comm: &Communicator,
     mine: &[f32],
@@ -213,6 +350,26 @@ pub fn allgather_varied_wire(
             }
             wire::put_half(carry);
         }
+        WirePrecision::Int8 | WirePrecision::Int8Shared { .. } => {
+            let isa = detect_isa();
+            let mut carry = int8_encode(isa, wirep, mine, wire::take_bytes(), wire::take_f32(), 0);
+            // The source adopts its own dequantized chunk, so its local
+            // copy is bitwise what every peer reconstructs.
+            int8_decode(isa, &carry, &mut out[starts[me]..starts[me] + counts[me]]);
+            for s in 0..r - 1 {
+                comm.send_payload(next, TAG_AG + s as u64, Payload::Int8(carry));
+                let incoming = comm.recv_payload(prev, TAG_AG + s as u64).into_int8();
+                let owner = (me + r - s - 1) % r;
+                int8_decode(
+                    isa,
+                    &incoming,
+                    &mut out[starts[owner]..starts[owner] + counts[owner]],
+                );
+                carry = incoming;
+            }
+            wire::put_bytes(carry.bytes);
+            wire::put_f32(carry.scales);
+        }
     }
     out
 }
@@ -231,19 +388,28 @@ pub fn allreduce_sum(comm: &Communicator, data: &mut [f32]) {
 /// [`allreduce_sum`] with a selectable wire. On the BF16 wire the
 /// reduce-scatter accumulates in FP32 (narrowing only its hop payloads) and
 /// quantizes each fully-reduced chunk once; the allgather then forwards
-/// those bits losslessly, so **all ranks end bitwise identical** — the
-/// property the data-parallel update relies on.
+/// those bits losslessly. On the INT8 wires the reduce-scatter leaves each
+/// reduced chunk in raw FP32 and the allgather quantizes it exactly once at
+/// its source, forwarding bytes + scale losslessly, with every rank — the
+/// source included — adopting the dequantized values. Either way **all
+/// ranks end bitwise identical** — the property the data-parallel update
+/// relies on.
 pub fn allreduce_sum_wire(comm: &Communicator, data: &mut [f32], wirep: WirePrecision) {
     let r = comm.nranks();
     if r == 1 {
         return;
     }
-    let reduced_chunk = reduce_scatter_sum_wire(comm, data, wirep);
+    let quantize_final = !matches!(
+        wirep,
+        WirePrecision::Int8 | WirePrecision::Int8Shared { .. }
+    );
+    let reduced_chunk = reduce_scatter_sum_wire_impl(comm, data, wirep, quantize_final);
     let counts: Vec<usize> = (0..r)
         .map(|i| partition_range(data.len(), r, i).len())
         .collect();
-    // The reduced chunk is already wire-quantized on the BF16 wire, so the
-    // allgather's source narrowing is the identity on its bits.
+    // BF16: the reduced chunk is already wire-quantized, so the allgather's
+    // source narrowing is the identity on its bits. INT8: the chunk is raw
+    // FP32 and the allgather's source quantization is the single one.
     let gathered = allgather_varied_wire(comm, &reduced_chunk, &counts, wirep);
     data.copy_from_slice(&gathered);
 }
@@ -255,10 +421,10 @@ pub fn alltoall(comm: &Communicator, send: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
     alltoall_wire(comm, send, WirePrecision::Fp32)
 }
 
-/// [`alltoall`] with a selectable wire. On the BF16 wire every payload —
+/// [`alltoall`] with a selectable wire. On a narrowed wire every payload —
 /// including the self-destined chunk, which is quantized locally — crosses
 /// the quantization exactly once, so the result equals the FP32-wire
-/// alltoall with every element quantized (`f32 → bf16 → f32`), bitwise.
+/// alltoall with every element quantized (`f32 → wire → f32`), bitwise.
 pub fn alltoall_wire(
     comm: &Communicator,
     send: Vec<Vec<f32>>,
@@ -273,9 +439,25 @@ pub fn alltoall_wire(
 /// byte bucket.
 pub fn alltoall_wire_tagged(
     comm: &Communicator,
+    send: Vec<Vec<f32>>,
+    wirep: WirePrecision,
+    tag_base: u64,
+) -> Vec<Vec<f32>> {
+    alltoall_wire_grouped_tagged(comm, send, wirep, tag_base, 0)
+}
+
+/// [`alltoall_wire_tagged`] with an INT8 scale-group length. When each
+/// payload is a concatenation of equal-length logical blocks — the
+/// embedding exchanges pack one `n × E` block per table — passing that
+/// block length as `scale_group` gives every block its own scale, so one
+/// outlier table can't flatten the quantization grid of the others. `0`
+/// means one scale per payload; FP32/BF16 wires ignore the parameter.
+pub fn alltoall_wire_grouped_tagged(
+    comm: &Communicator,
     mut send: Vec<Vec<f32>>,
     wirep: WirePrecision,
     tag_base: u64,
+    scale_group: usize,
 ) -> Vec<Vec<f32>> {
     let r = comm.nranks();
     let me = comm.rank();
@@ -316,6 +498,31 @@ pub fn alltoall_wire_tagged(
                 stage = incoming;
             }
             wire::put_half(stage);
+        }
+        WirePrecision::Int8 | WirePrecision::Int8Shared { .. } => {
+            let isa = detect_isa();
+            int8_requantize(isa, wirep, &mut recv[me], scale_group);
+            let mut bytes = wire::take_bytes();
+            let mut scales = wire::take_f32();
+            for s in 1..r {
+                let dst = (me + s) % r;
+                let src = (me + r - s) % r;
+                let outgoing = std::mem::take(&mut send[dst]);
+                let payload = int8_encode(isa, wirep, &outgoing, bytes, scales, scale_group);
+                comm.send_payload(dst, tag_base + s as u64, Payload::Int8(payload));
+                let incoming = comm.recv_payload(src, tag_base + s as u64).into_int8();
+                // Recycle the f32 buffer we just quantized from as the
+                // dequantize target for what arrived.
+                let mut widened = outgoing;
+                widened.clear();
+                widened.resize(incoming.bytes.len(), 0.0);
+                int8_decode(isa, &incoming, &mut widened);
+                recv[src] = widened;
+                bytes = incoming.bytes;
+                scales = incoming.scales;
+            }
+            wire::put_bytes(bytes);
+            wire::put_f32(scales);
         }
     }
     recv
@@ -687,15 +894,234 @@ mod tests {
 
     #[test]
     fn wire_variants_single_rank_are_identity() {
-        let out = CommWorld::run(1, |c| {
-            let mut data = vec![0.1234567f32, -9.87654];
-            allreduce_sum_wire(&c, &mut data, WirePrecision::Bf16);
-            let recv = alltoall_wire(&c, vec![vec![0.7654321f32]], WirePrecision::Bf16);
-            (data, recv)
+        for wirep in [
+            WirePrecision::Bf16,
+            WirePrecision::Int8,
+            WirePrecision::int8_shared(0.125),
+        ] {
+            let out = CommWorld::run(1, move |c| {
+                let mut data = vec![0.1234567f32, -9.87654];
+                allreduce_sum_wire(&c, &mut data, wirep);
+                let recv = alltoall_wire(&c, vec![vec![0.7654321f32]], wirep);
+                (data, recv)
+            });
+            // R = 1: nothing crosses a wire, payloads must be untouched.
+            assert_eq!(out[0].0, vec![0.1234567f32, -9.87654], "{wirep}");
+            assert_eq!(out[0].1[0], vec![0.7654321f32], "{wirep}");
+        }
+    }
+
+    fn int8_quantize_ref(v: &[f32], group: usize) -> Vec<f32> {
+        let mut q = v.to_vec();
+        let group = if group == 0 { v.len().max(1) } else { group };
+        let mut start = 0;
+        while start < q.len() {
+            let end = (start + group).min(q.len());
+            let scale = int8wire::scale_for_absmax(int8wire::absmax(&q[start..end]));
+            int8wire::quantize_dequantize_slice(
+                dlrm_kernels::gemm::Isa::Scalar,
+                &mut q[start..end],
+                scale,
+            );
+            start = end;
+        }
+        q
+    }
+
+    #[test]
+    fn int8_alltoall_equals_quantized_fp32_alltoall() {
+        let r = 4;
+        let mk_send = |rank: usize| -> Vec<Vec<f32>> {
+            (0..r)
+                .map(|d| {
+                    (0..d + 2)
+                        .map(|i| ((rank * 31 + d * 7 + i) as f32).sin() * 3.7)
+                        .collect()
+                })
+                .collect()
+        };
+        let i8r = CommWorld::run(r, |c| {
+            alltoall_wire(&c, mk_send(c.rank()), WirePrecision::Int8)
         });
-        // R = 1: nothing crosses a wire, payloads must be untouched.
-        assert_eq!(out[0].0, vec![0.1234567f32, -9.87654]);
-        assert_eq!(out[0].1[0], vec![0.7654321f32]);
+        let fp = CommWorld::run(r, |c| alltoall(&c, mk_send(c.rank())));
+        for (dst, (q_rank, f_rank)) in i8r.iter().zip(&fp).enumerate() {
+            for (src, (q, f)) in q_rank.iter().zip(f_rank).enumerate() {
+                let want = int8_quantize_ref(f, 0);
+                assert_eq!(
+                    q.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    want.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "{src}->{dst}: int8 alltoall must equal quantized fp32 alltoall"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn int8_grouped_alltoall_scales_each_block_independently() {
+        // Payloads are two 4-element blocks with wildly different ranges;
+        // per-block scales (scale_group = 4) must match quantizing each
+        // block independently — the big block can't flatten the small one.
+        let r = 3;
+        let mk_send = |rank: usize| -> Vec<Vec<f32>> {
+            (0..r)
+                .map(|d| {
+                    let mut v: Vec<f32> = (0..4)
+                        .map(|i| ((rank * 13 + d * 5 + i) as f32).sin() * 900.0)
+                        .collect();
+                    v.extend((0..4).map(|i| ((rank + d + i) as f32).cos() * 0.01));
+                    v
+                })
+                .collect()
+        };
+        let got = CommWorld::run(r, |c| {
+            alltoall_wire_grouped_tagged(&c, mk_send(c.rank()), WirePrecision::Int8, TAG_A2A, 4)
+        });
+        let fp = CommWorld::run(r, |c| alltoall(&c, mk_send(c.rank())));
+        for (dst, (q_rank, f_rank)) in got.iter().zip(&fp).enumerate() {
+            for (src, (q, f)) in q_rank.iter().zip(f_rank).enumerate() {
+                let want = int8_quantize_ref(f, 4);
+                assert_eq!(
+                    q.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    want.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "{src}->{dst}"
+                );
+                // The small block must actually survive: with one shared
+                // scale its values would all collapse to zero.
+                assert!(
+                    q[4..].iter().any(|&x| x != 0.0),
+                    "{src}->{dst}: per-block scale lost the small block"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn int8_allreduce_ranks_bitwise_identical_within_scale_bound() {
+        for r in [2usize, 3, 4, 8] {
+            let len = 33;
+            let input = |rk: usize| -> Vec<f32> {
+                (0..len)
+                    .map(|i| ((rk * 53 + i * 17) as f32).cos() * (i as f32 + 0.3))
+                    .collect()
+            };
+            let q = CommWorld::run(r, |c| {
+                let mut data = input(c.rank());
+                allreduce_sum_wire(&c, &mut data, WirePrecision::Int8);
+                data
+            });
+            let mut fp = input(0);
+            for rk in 1..r {
+                for (a, b) in fp.iter_mut().zip(input(rk)) {
+                    *a += b;
+                }
+            }
+            for rk in 1..r {
+                assert_eq!(
+                    q[rk].iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    q[0].iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "rank {rk} of {r} diverged on the int8 wire"
+                );
+            }
+            // Element j sits in ring chunk c and crosses at most r
+            // quantizations (r−1 reduce-scatter hops + 1 allgather source),
+            // each on a grid of spacing ≤ A_c/127 where A_c bounds every
+            // partial sum in the chunk — so each event errs ≤ A_c/254.
+            for c in 0..r {
+                let range = partition_range(len, r, c);
+                let a_c: f32 = range
+                    .clone()
+                    .map(|j| (0..r).map(|rk| input(rk)[j].abs()).sum::<f32>())
+                    .fold(0.0, f32::max);
+                let bound = (r as f32 + 1.0) * a_c / 254.0 * 1.00001 + 1e-30;
+                for j in range {
+                    let err = (q[0][j] - fp[j]).abs();
+                    assert!(
+                        err <= bound,
+                        "R={r} elem {j}: err {err} exceeds int8 bound {bound}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn int8_shared_allreduce_bitwise_identical_within_scale_bound() {
+        // A pre-agreed scale wide enough for every partial sum: inputs are
+        // in [-1, 1], so partial sums stay within ±8 for r ≤ 8.
+        let shared = 16.0f32 / 127.0;
+        for r in [2usize, 4, 8] {
+            let len = 21;
+            let input = |rk: usize| -> Vec<f32> {
+                (0..len)
+                    .map(|i| ((rk * 29 + i * 11) as f32).sin())
+                    .collect()
+            };
+            let q = CommWorld::run(r, |c| {
+                let mut data = input(c.rank());
+                allreduce_sum_wire(&c, &mut data, WirePrecision::int8_shared(shared));
+                data
+            });
+            let mut fp = input(0);
+            for rk in 1..r {
+                for (a, b) in fp.iter_mut().zip(input(rk)) {
+                    *a += b;
+                }
+            }
+            for rk in 1..r {
+                assert_eq!(
+                    q[rk].iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    q[0].iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "rank {rk} of {r} diverged on the shared-scale int8 wire"
+                );
+            }
+            // r quantization events, each ≤ scale/2 (no clamping: the
+            // shared scale covers every partial sum).
+            let bound = (r as f32 + 1.0) * shared / 2.0 * 1.00001;
+            for j in 0..len {
+                let err = (q[0][j] - fp[j]).abs();
+                assert!(
+                    err <= bound,
+                    "R={r} elem {j}: err {err} exceeds shared-scale bound {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn int8_wire_quarters_bytes_with_honest_headers() {
+        let r = 4;
+        let run_counted = |wirep: WirePrecision| {
+            let snaps = CommWorld::run(r, move |c| {
+                let mut data = vec![c.rank() as f32; 64];
+                allreduce_sum_wire(&c, &mut data, wirep);
+                let send: Vec<Vec<f32>> = (0..r).map(|d| vec![d as f32; 16]).collect();
+                let _ = alltoall_wire(&c, send, wirep);
+                c.barrier();
+                c.wire_stats().snapshot()
+            });
+            snaps[0]
+        };
+        let fp = run_counted(WirePrecision::Fp32);
+        let i8h = run_counted(WirePrecision::Int8);
+        let i8s = run_counted(WirePrecision::int8_shared(16.0 / 127.0));
+        assert!(fp.allreduce_bytes() > 0 && fp.alltoall_bytes > 0);
+        // Headered INT8: element bytes are exactly a quarter of FP32; the
+        // self-describing scales add 4 on-wire bytes per message.
+        assert_eq!(i8h.logical_bytes() * 4, fp.total_bytes());
+        assert_eq!(i8h.header_bytes, 4 * i8h.messages, "one scale per message");
+        assert_eq!(
+            i8h.total_bytes(),
+            fp.total_bytes() / 4 + i8h.header_bytes,
+            "class counters must include the headers"
+        );
+        // Pre-agreed scale: no headers, exactly 4× fewer bytes than FP32.
+        assert_eq!(i8s.header_bytes, 0);
+        assert_eq!(i8s.allreduce_bytes() * 4, fp.allreduce_bytes());
+        assert_eq!(i8s.alltoall_bytes * 4, fp.alltoall_bytes);
+        assert_eq!(
+            i8h.messages, fp.messages,
+            "same message count, a quarter the bytes"
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@
 //! * [`wire`] — the [`wire::WirePrecision`] knob: the hot collectives come
 //!   in `_wire` variants that ship BF16 halfwords (RNE narrowing, exact
 //!   widening, FP32 local accumulation), halving alltoall and allreduce
-//!   bytes exactly as the paper's 16-bit path does.
+//!   bytes exactly as the paper's 16-bit path does — or scaled INT8 bytes
+//!   (self-describing per-chunk scale headers, or a pre-agreed
+//!   [`wire::WirePrecision::Int8Shared`] scale with no header at all),
+//!   quartering them.
 //! * [`chaos`] — seeded fault injection (message delay/reorder/duplicate,
 //!   drop + bounded retry, rank stalls, progress-worker kill-restart)
 //!   threaded through [`world`] and [`nonblocking`], plus the
@@ -48,4 +51,4 @@ pub use chaos::{ChaosConfig, ChaosSnapshot, ChaosStats, FaultPlan};
 pub use instrument::{time_opt, OpKind, TimingRecorder, WireSnapshot, WireStats};
 pub use nonblocking::{Backend, ProgressEngine, Request};
 pub use wire::WirePrecision;
-pub use world::{CommWorld, Communicator, Payload};
+pub use world::{CommWorld, Communicator, Int8Payload, Payload};

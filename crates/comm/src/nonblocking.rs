@@ -57,7 +57,9 @@ impl std::fmt::Display for Backend {
 
 enum Task {
     Allreduce(Vec<f32>, WirePrecision, Sender<OpOutput>),
-    Alltoall(Vec<Vec<f32>>, WirePrecision, u64, Sender<OpOutput>),
+    /// `(send, wire, tag_base, scale_group, done)` — `scale_group` is the
+    /// INT8 per-block scale length (0 = one scale per payload).
+    Alltoall(Vec<Vec<f32>>, WirePrecision, u64, usize, Sender<OpOutput>),
     Shutdown,
 }
 
@@ -245,9 +247,25 @@ impl ProgressEngine {
         wirep: WirePrecision,
         tag_base: u64,
     ) -> Request {
+        self.alltoall_wire_grouped(channel, send, wirep, tag_base, 0)
+    }
+
+    /// [`ProgressEngine::alltoall_wire_tagged`] with an INT8 scale-group
+    /// length (see
+    /// [`alltoall_wire_grouped_tagged`](crate::collectives::alltoall_wire_grouped_tagged)):
+    /// the embedding exchanges pass their per-table block length so each
+    /// table gets its own scale header. Ignored by FP32/BF16 wires.
+    pub fn alltoall_wire_grouped(
+        &self,
+        channel: usize,
+        send: Vec<Vec<f32>>,
+        wirep: WirePrecision,
+        tag_base: u64,
+        scale_group: usize,
+    ) -> Request {
         let (tx, rx) = bounded(1);
         self.submitters[channel % self.submitters.len()]
-            .send(Task::Alltoall(send, wirep, tag_base, tx))
+            .send(Task::Alltoall(send, wirep, tag_base, scale_group, tx))
             .expect("progress channel died");
         Request { rx, cached: None }
     }
@@ -280,8 +298,14 @@ fn progress_loop(comm: Communicator, rx: Receiver<Task>, mut chaos: Option<Worke
                 crate::collectives::allreduce_sum_wire(&comm, &mut data, wirep);
                 let _ = done.send(OpOutput::Flat(data));
             }
-            Task::Alltoall(send, wirep, tag_base, done) => {
-                let recv = crate::collectives::alltoall_wire_tagged(&comm, send, wirep, tag_base);
+            Task::Alltoall(send, wirep, tag_base, scale_group, done) => {
+                let recv = crate::collectives::alltoall_wire_grouped_tagged(
+                    &comm,
+                    send,
+                    wirep,
+                    tag_base,
+                    scale_group,
+                );
                 let _ = done.send(OpOutput::PerRank(recv));
             }
             Task::Shutdown => return,

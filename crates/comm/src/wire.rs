@@ -2,29 +2,41 @@
 //!
 //! The paper's 16-bit section (and the BF16 projections of Figure 9) halve
 //! communication volume by shipping BFLOAT16 halfwords instead of FP32
-//! words. This module holds the knob ([`WirePrecision`]) and the pack
-//! plumbing the BF16-wire collectives share:
+//! words; the scaled-INT8 tier (ROADMAP item 3, following the adaptive
+//! lossy-compression line of work) quarters it. This module holds the knob
+//! ([`WirePrecision`]) and the pack plumbing the narrowed-wire collectives
+//! share:
 //!
 //! * **Accumulation policy**: reductions always accumulate in FP32. Only
-//!   the *wire representation* narrows — each hop of the BF16 ring
-//!   reduce-scatter narrows the outgoing FP32 partial sum to BF16 (RNE),
-//!   and the receiver widens (exact) before adding in FP32.
-//! * **Single-quantization rule**: every element crosses the BF16 wire
-//!   exactly once between producer and consumer. Allgather forwards the
-//!   received halfwords *bitwise* around the ring (re-narrowing a
-//!   BF16-representable value is the identity, so forwarding is lossless),
-//!   and alltoall quantizes the self-destined chunk locally so all `R`
-//!   chunks of the result are uniformly wire-quantized. With `R == 1`
-//!   nothing crosses a wire and payloads are untouched.
+//!   the *wire representation* narrows — each hop of a narrowed ring
+//!   reduce-scatter quantizes the outgoing FP32 partial sum (RNE), and the
+//!   receiver reconstructs FP32 values before adding in FP32.
+//! * **Single-quantization rule**: every element crosses the narrowed wire
+//!   exactly once between producer and consumer. BF16 allgather forwards
+//!   received halfwords *bitwise* (re-narrowing a representable value is
+//!   the identity); INT8 allgather quantizes each chunk once at its source
+//!   rank, forwards the bytes + scale losslessly, and every rank — the
+//!   source included — adopts the dequantized values, so all ranks hold
+//!   bitwise identical results. Alltoall quantizes the self-destined chunk
+//!   locally so all `R` chunks of the result are uniformly wire-quantized.
+//!   With `R == 1` nothing crosses a wire and payloads are untouched.
+//! * **Scale headers**: INT8 payloads are self-describing — each carries
+//!   one FP32 scale per `scale_group` elements (`absmax/127`, computed by
+//!   the sender), shipped as 4 on-wire bytes per scale and accounted as
+//!   wire bytes by [`WireStats`](crate::instrument::WireStats). The
+//!   [`WirePrecision::Int8Shared`] variant instead uses a pre-agreed scale
+//!   (e.g. from the adaptive policy's replicated statistics) and ships no
+//!   header at all — exactly 4× fewer bytes than FP32.
 //! * **Buffer pools**: the transport moves *owned* buffers between rank
 //!   threads, so the ring collectives draw their step-0 send buffer from a
 //!   thread-local grow-only pool and return the final carry to it — after
 //!   warm-up a steady-state train loop performs no payload allocations in
 //!   the ring collectives (the alloc-growth suite pins this down).
 //!
-//! The narrow/widen kernels themselves live in [`dlrm_kernels::bf16wire`]
-//! (scalar/AVX2/AVX-512 tiers, bitwise identical across tiers), so every
-//! rank produces identical halfwords no matter which tier it ran.
+//! The conversion kernels themselves live in [`dlrm_kernels::bf16wire`] and
+//! [`dlrm_kernels::int8wire`] (scalar/AVX2/AVX-512 tiers, bitwise identical
+//! across tiers), so every rank produces identical wire bytes no matter
+//! which tier it ran.
 
 use std::cell::RefCell;
 
@@ -37,18 +49,79 @@ pub enum WirePrecision {
     /// BFLOAT16 halfwords: RNE narrowing at the sender, exact widening at
     /// the receiver, FP32 local accumulation.
     Bf16,
+    /// Scaled INT8 bytes with self-describing per-chunk FP32 scale headers
+    /// (`absmax/127`, computed by the sender and shipped on the wire).
+    Int8,
+    /// Scaled INT8 bytes under a pre-agreed scale — no header crosses the
+    /// wire. Used by the adaptive policy, whose per-bucket scales are pure
+    /// functions of rank-replicated statistics, so every rank already
+    /// knows them. The scale travels as raw bits to keep this type `Copy +
+    /// Eq + Hash`; construct via [`WirePrecision::int8_shared`].
+    Int8Shared {
+        /// `f32::to_bits` of the agreed positive, finite scale.
+        scale_bits: u32,
+    },
 }
 
 impl WirePrecision {
-    /// Both settings, FP32 first (report order).
-    pub const ALL: [WirePrecision; 2] = [WirePrecision::Fp32, WirePrecision::Bf16];
+    /// Number of *distinct* `WirePrecision` variants. The `match` below is
+    /// the exhaustiveness check: adding a variant without updating this
+    /// count (and [`Self::ALL`], whose length is this constant) is a
+    /// compile error, so new precisions can't be silently omitted from
+    /// sweeps.
+    pub const COUNT: usize = {
+        match WirePrecision::Fp32 {
+            // One arm per variant — extend COUNT and ALL when adding one.
+            WirePrecision::Fp32
+            | WirePrecision::Bf16
+            | WirePrecision::Int8
+            | WirePrecision::Int8Shared { .. } => {}
+        }
+        4
+    };
 
-    /// Bytes one payload element occupies on the wire.
+    /// One canonical value per variant, FP32 first (report order). The
+    /// `Int8Shared` entry is a unit-scale placeholder: real shared scales
+    /// are policy-chosen per bucket, but sweeps still need the variant
+    /// represented.
+    pub const ALL: [WirePrecision; Self::COUNT] = [
+        WirePrecision::Fp32,
+        WirePrecision::Bf16,
+        WirePrecision::Int8,
+        WirePrecision::Int8Shared {
+            scale_bits: 0x3F80_0000, // 1.0f32
+        },
+    ];
+
+    /// Scaled-INT8 wire under the given pre-agreed scale (must be positive
+    /// and finite — the quantize kernels assert it).
+    #[inline]
+    pub fn int8_shared(scale: f32) -> Self {
+        WirePrecision::Int8Shared {
+            scale_bits: scale.to_bits(),
+        }
+    }
+
+    /// The pre-agreed scale, if this is an [`Int8Shared`] wire.
+    ///
+    /// [`Int8Shared`]: WirePrecision::Int8Shared
+    #[inline]
+    pub fn shared_scale(self) -> Option<f32> {
+        match self {
+            WirePrecision::Int8Shared { scale_bits } => Some(f32::from_bits(scale_bits)),
+            _ => None,
+        }
+    }
+
+    /// Bytes one payload element occupies on the wire, *excluding* INT8
+    /// scale headers (those are per-chunk, not per-element; the payload
+    /// envelope accounts them).
     #[inline]
     pub fn bytes_per_elem(self) -> usize {
         match self {
             WirePrecision::Fp32 => 4,
             WirePrecision::Bf16 => 2,
+            WirePrecision::Int8 | WirePrecision::Int8Shared { .. } => 1,
         }
     }
 }
@@ -58,6 +131,10 @@ impl std::fmt::Display for WirePrecision {
         match self {
             WirePrecision::Fp32 => f.write_str("fp32"),
             WirePrecision::Bf16 => f.write_str("bf16"),
+            WirePrecision::Int8 => f.write_str("int8"),
+            WirePrecision::Int8Shared { scale_bits } => {
+                write!(f, "int8s({})", f32::from_bits(*scale_bits))
+            }
         }
     }
 }
@@ -69,6 +146,7 @@ thread_local! {
     /// so a whole collective call nets one take + one put.
     static F32_POOL: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
     static HALF_POOL: RefCell<Vec<Vec<u16>>> = const { RefCell::new(Vec::new()) };
+    static BYTES_POOL: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Takes a reusable `f32` buffer from this thread's pool (empty, capacity
@@ -92,6 +170,20 @@ pub(crate) fn take_half() -> Vec<u16> {
 pub(crate) fn put_half(mut v: Vec<u16>) {
     v.clear();
     HALF_POOL.with(|p| p.borrow_mut().push(v));
+}
+
+/// Takes a reusable byte buffer from this thread's pool (INT8 wire
+/// payloads).
+pub(crate) fn take_bytes() -> Vec<u8> {
+    BYTES_POOL
+        .with(|p| p.borrow_mut().pop())
+        .unwrap_or_default()
+}
+
+/// Returns a byte buffer to this thread's pool.
+pub(crate) fn put_bytes(mut v: Vec<u8>) {
+    v.clear();
+    BYTES_POOL.with(|p| p.borrow_mut().push(v));
 }
 
 thread_local! {
@@ -119,11 +211,53 @@ mod tests {
     fn bytes_per_elem() {
         assert_eq!(WirePrecision::Fp32.bytes_per_elem(), 4);
         assert_eq!(WirePrecision::Bf16.bytes_per_elem(), 2);
+        assert_eq!(WirePrecision::Int8.bytes_per_elem(), 1);
+        assert_eq!(WirePrecision::int8_shared(0.5).bytes_per_elem(), 1);
         assert_eq!(WirePrecision::default(), WirePrecision::Fp32);
         assert_eq!(
-            format!("{}/{}", WirePrecision::Fp32, WirePrecision::Bf16),
-            "fp32/bf16"
+            format!(
+                "{}/{}/{}/{}",
+                WirePrecision::Fp32,
+                WirePrecision::Bf16,
+                WirePrecision::Int8,
+                WirePrecision::int8_shared(0.5)
+            ),
+            "fp32/bf16/int8/int8s(0.5)"
         );
+    }
+
+    #[test]
+    fn all_lists_every_variant_exactly_once() {
+        // COUNT is enforced exhaustive at compile time (the const match);
+        // this pins the runtime side: ALL has COUNT distinct variants, one
+        // per enum discriminant, so sweeps over ALL can't skip a tier.
+        assert_eq!(WirePrecision::ALL.len(), WirePrecision::COUNT);
+        let discriminant = |w: &WirePrecision| match w {
+            WirePrecision::Fp32 => 0,
+            WirePrecision::Bf16 => 1,
+            WirePrecision::Int8 => 2,
+            WirePrecision::Int8Shared { .. } => 3,
+        };
+        let mut seen: Vec<usize> = WirePrecision::ALL.iter().map(discriminant).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(
+            seen.len(),
+            WirePrecision::COUNT,
+            "ALL must cover every variant: {:?}",
+            WirePrecision::ALL
+        );
+        assert_eq!(WirePrecision::ALL[0], WirePrecision::Fp32);
+    }
+
+    #[test]
+    fn shared_scale_round_trips() {
+        assert_eq!(
+            WirePrecision::int8_shared(0.125).shared_scale(),
+            Some(0.125)
+        );
+        assert_eq!(WirePrecision::Int8.shared_scale(), None);
+        assert_eq!(WirePrecision::Fp32.shared_scale(), None);
     }
 
     #[test]
@@ -140,6 +274,11 @@ mod tests {
         h.resize(64, 0);
         put_half(h);
         assert!(take_half().capacity() >= 64);
+
+        let mut b = take_bytes();
+        b.resize(128, 0);
+        put_bytes(b);
+        assert!(take_bytes().capacity() >= 128);
     }
 
     #[test]

@@ -30,19 +30,64 @@ use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Barrier};
 
+/// A scaled-INT8 wire payload: one signed byte per element (two's
+/// complement, shipped as raw `u8`) plus the FP32 scale(s) needed to
+/// reconstruct values as `byte as i8 as f32 * scale`.
+///
+/// Scales come in groups: `scales[g]` covers elements
+/// `[g * group_len, (g + 1) * group_len)` — the grouped form is what gives
+/// the backward alltoall genuine *per-table* scales (each owner-bound
+/// payload is a concatenation of equal-length per-table blocks). A single
+/// whole-payload scale is simply `group_len == len`.
+///
+/// `headered` records whether the scales are self-describing (computed by
+/// the sender from the data, so they must cross the wire — 4 bytes each)
+/// or pre-agreed (`WirePrecision::Int8Shared`: every rank derived the same
+/// scale from replicated statistics, so nothing extra crosses the wire).
+/// The in-process transport carries the `scales` vec either way; the
+/// distinction is honest *byte accounting* in [`Payload::wire_bytes`],
+/// which is what the bench artifacts and `WireStats` report.
+#[derive(Debug, Clone)]
+pub struct Int8Payload {
+    /// Quantized elements, one byte each.
+    pub bytes: Vec<u8>,
+    /// Per-group FP32 scales; `bytes.len().div_ceil(group_len)` entries
+    /// (empty payloads carry no scales).
+    pub scales: Vec<f32>,
+    /// Elements covered by each scale (≥ 1).
+    pub group_len: usize,
+    /// True when the scales are data-derived and ship on the wire.
+    pub headered: bool,
+}
+
+impl Int8Payload {
+    /// On-wire bytes the scale headers contribute (0 for pre-agreed
+    /// scales).
+    pub fn header_bytes(&self) -> u64 {
+        if self.headered {
+            4 * self.scales.len() as u64
+        } else {
+            0
+        }
+    }
+}
+
 /// A collective payload in its wire representation.
 ///
 /// The transport (sequencing, chaos, reorder repair) never inspects the
-/// contents, so both variants travel identically; only producers and
+/// contents, so all variants travel identically; only producers and
 /// consumers care which one a message carries. BF16 halfwords are shipped
 /// as raw `u16` bit patterns (see `dlrm_precision::Bf16` for the format) —
-/// half the bytes per element of [`Payload::F32`].
+/// half the bytes per element of [`Payload::F32`]; INT8 payloads carry one
+/// byte per element plus their scale headers ([`Int8Payload`]).
 #[derive(Debug, Clone)]
 pub enum Payload {
     /// Full-width `f32` words.
     F32(Vec<f32>),
     /// BFLOAT16 halfwords as raw bit patterns.
     Bf16(Vec<u16>),
+    /// Scaled INT8 bytes plus reconstruction scales.
+    Int8(Int8Payload),
 }
 
 impl Payload {
@@ -51,6 +96,7 @@ impl Payload {
         match self {
             Payload::F32(v) => v.len(),
             Payload::Bf16(v) => v.len(),
+            Payload::Int8(p) => p.bytes.len(),
         }
     }
 
@@ -59,28 +105,54 @@ impl Payload {
         self.len() == 0
     }
 
-    /// Bytes this payload occupies on the wire.
+    /// Bytes this payload occupies on the wire, scale headers included.
     pub fn wire_bytes(&self) -> u64 {
         match self {
             Payload::F32(v) => 4 * v.len() as u64,
             Payload::Bf16(v) => 2 * v.len() as u64,
+            Payload::Int8(p) => p.bytes.len() as u64 + p.header_bytes(),
         }
     }
 
-    /// Unwraps an FP32 payload; a BF16 arrival here is a protocol bug
+    /// Bytes of on-wire metadata (INT8 scale headers) this payload carries
+    /// on top of its element data.
+    pub fn header_bytes(&self) -> u64 {
+        match self {
+            Payload::F32(_) | Payload::Bf16(_) => 0,
+            Payload::Int8(p) => p.header_bytes(),
+        }
+    }
+
+    /// Unwraps an FP32 payload; any other arrival here is a protocol bug
     /// (matching send/recv pairs must agree on the wire precision).
     pub fn into_f32(self) -> Vec<f32> {
         match self {
             Payload::F32(v) => v,
-            Payload::Bf16(_) => panic!("expected an f32 payload, received bf16"),
+            other => panic!("expected an f32 payload, received {}", other.kind()),
         }
     }
 
-    /// Unwraps a BF16 payload; an FP32 arrival here is a protocol bug.
+    /// Unwraps a BF16 payload; any other arrival here is a protocol bug.
     pub fn into_bf16(self) -> Vec<u16> {
         match self {
             Payload::Bf16(v) => v,
-            Payload::F32(_) => panic!("expected a bf16 payload, received f32"),
+            other => panic!("expected a bf16 payload, received {}", other.kind()),
+        }
+    }
+
+    /// Unwraps an INT8 payload; any other arrival here is a protocol bug.
+    pub fn into_int8(self) -> Int8Payload {
+        match self {
+            Payload::Int8(p) => p,
+            other => panic!("expected an int8 payload, received {}", other.kind()),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Payload::F32(_) => "f32",
+            Payload::Bf16(_) => "bf16",
+            Payload::Int8(_) => "int8",
         }
     }
 }
@@ -353,7 +425,8 @@ impl Communicator {
     /// transport (sequencing, chaos, repair) is payload-agnostic; the
     /// matching receive must expect the same representation.
     pub fn send_payload(&self, dst: usize, tag: u64, data: Payload) {
-        self.wire.record(tag, data.wire_bytes());
+        self.wire
+            .record(tag, data.wire_bytes(), data.header_bytes());
         let mut st = self.state.lock();
         self.maybe_stall(&mut st);
         let seq = st.send[dst].next_seq;

@@ -140,6 +140,79 @@ proptest! {
     }
 
     #[test]
+    fn int8_allreduce_bounded_and_rank_identical(
+        nranks in 2usize..7,
+        len in 1usize..48,
+        seed in any::<u32>(),
+    ) {
+        let input = |r: usize| -> Vec<f32> {
+            (0..len)
+                .map(|i| (((i * 31 + r * 17 + seed as usize) % 201) as f32 - 100.0) / 10.0)
+                .collect()
+        };
+        let out = CommWorld::run(nranks, |c| {
+            let mut mine = input(c.rank());
+            collectives::allreduce_sum_wire(&c, &mut mine, WirePrecision::Int8);
+            mine
+        });
+        // Every rank must hold bitwise identical results (single
+        // quantization at the allgather source, adopted everywhere).
+        for (rk, got) in out.iter().enumerate() {
+            prop_assert_eq!(bits(got), bits(&out[0]), "rank {} diverged", rk);
+        }
+        // Error bound: each element crosses ≤ R+1 quantizations, each with
+        // error ≤ scale/2 ≤ A_c/254 where A_c bounds the magnitude of any
+        // partial sum in the element's ring chunk.
+        let abs_sum: Vec<f32> = (0..len)
+            .map(|j| (0..nranks).map(|r| input(r)[j].abs()).sum())
+            .collect();
+        for i in 0..nranks {
+            let (s, e) = (len * i / nranks, len * (i + 1) / nranks);
+            let a_c = abs_sum[s..e].iter().fold(0.0f32, |m, x| m.max(*x));
+            let bound = (nranks as f32 + 1.0) * a_c / 254.0 * 1.00001 + 1e-30;
+            for (j, got) in out[0].iter().enumerate().take(e).skip(s) {
+                let exact: f32 = (0..nranks).map(|r| input(r)[j]).sum();
+                prop_assert!(
+                    (got - exact).abs() <= bound,
+                    "elem {}: {} vs {} exceeds bound {}", j, got, exact, bound
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn int8_shared_allreduce_bounded_and_rank_identical(
+        nranks in 2usize..7,
+        len in 1usize..48,
+        seed in any::<u32>(),
+    ) {
+        // Inputs in [-1, 1], so partial sums stay within the shared grid's
+        // ±16 range and no clamping occurs.
+        let input = |r: usize| -> Vec<f32> {
+            (0..len)
+                .map(|i| (((i * 31 + r * 17 + seed as usize) % 201) as f32 - 100.0) / 100.0)
+                .collect()
+        };
+        let shared = 16.0f32 / 127.0;
+        let out = CommWorld::run(nranks, |c| {
+            let mut mine = input(c.rank());
+            collectives::allreduce_sum_wire(&c, &mut mine, WirePrecision::int8_shared(shared));
+            mine
+        });
+        for (rk, got) in out.iter().enumerate() {
+            prop_assert_eq!(bits(got), bits(&out[0]), "rank {} diverged", rk);
+        }
+        let bound = (nranks as f32 + 1.0) * shared * 0.5 * 1.00001;
+        for (j, got) in out[0].iter().enumerate() {
+            let exact: f32 = (0..nranks).map(|r| input(r)[j]).sum();
+            prop_assert!(
+                (got - exact).abs() <= bound,
+                "elem {}: {} vs {} exceeds bound {}", j, got, exact, bound
+            );
+        }
+    }
+
+    #[test]
     fn bf16_allreduce_bitwise_on_representable_payloads(
         nranks in 2usize..7,
         len in 1usize..40,

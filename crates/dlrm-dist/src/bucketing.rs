@@ -105,6 +105,10 @@ pub struct BucketReducer {
     issued: Vec<(Range<usize>, BucketOp)>,
     /// On-wire element format for every bucket's ring allreduce.
     wire: WirePrecision,
+    /// Per-bucket wire overrides in plan (issue) order; when set, bucket
+    /// `i` ships as `bucket_wires[i]` instead of the uniform `wire`. This
+    /// is how the adaptive policy mixes FP32/BF16/INT8 in one step.
+    bucket_wires: Option<Vec<WirePrecision>>,
 }
 
 impl BucketReducer {
@@ -122,6 +126,7 @@ impl BucketReducer {
             next_bucket: 0,
             issued,
             wire: WirePrecision::Fp32,
+            bucket_wires: None,
         }
     }
 
@@ -131,6 +136,27 @@ impl BucketReducer {
     pub fn with_wire(mut self, wire: WirePrecision) -> Self {
         self.wire = wire;
         self
+    }
+
+    /// Sets one wire per bucket, in plan (issue) order — the adaptive
+    /// policy's per-bucket FP32/BF16/INT8 decisions. Must cover every
+    /// bucket; overrides [`BucketReducer::with_wire`].
+    pub fn with_bucket_wires(mut self, wires: Vec<WirePrecision>) -> Self {
+        assert_eq!(
+            wires.len(),
+            self.plan.len(),
+            "per-bucket wires must cover the whole plan"
+        );
+        self.bucket_wires = Some(wires);
+        self
+    }
+
+    /// The wire bucket `idx` (plan order) ships with.
+    fn wire_for(&self, idx: usize) -> WirePrecision {
+        match &self.bucket_wires {
+            Some(wires) => wires[idx],
+            None => self.wire,
+        }
     }
 
     /// Number of buckets in the plan.
@@ -176,7 +202,8 @@ impl BucketReducer {
                     let payload = time_opt(rec, OpKind::AllreduceFramework, || {
                         self.flat[range.clone()].to_vec()
                     });
-                    BucketOp::InFlight(eng.allreduce_wire(ch, payload, self.wire))
+                    let wire = self.wire_for(self.next_bucket);
+                    BucketOp::InFlight(eng.allreduce_wire(ch, payload, wire))
                 }
                 None => BucketOp::Deferred,
             };
@@ -195,8 +222,12 @@ impl BucketReducer {
         rec: Option<&TimingRecorder>,
     ) -> Vec<f32> {
         self.on_produced(0, engine, rec);
+        let uniform = self.wire;
+        let bucket_wires = self.bucket_wires;
         let mut flat = self.flat;
-        for (range, op) in self.issued {
+        // `issued` is filled in plan order, so the enumeration index is the
+        // plan index — the same one `with_bucket_wires` keys on.
+        for (idx, (range, op)) in self.issued.into_iter().enumerate() {
             match op {
                 BucketOp::InFlight(req) => {
                     let reduced = match req.wait_recording(rec, OpKind::AllreduceWait) {
@@ -208,8 +239,12 @@ impl BucketReducer {
                     });
                 }
                 BucketOp::Deferred => {
+                    let wire = match &bucket_wires {
+                        Some(wires) => wires[idx],
+                        None => uniform,
+                    };
                     time_opt(rec, OpKind::AllreduceWait, || {
-                        collectives::allreduce_sum_wire(comm, &mut flat[range], self.wire)
+                        collectives::allreduce_sum_wire(comm, &mut flat[range], wire)
                     });
                 }
             }
@@ -364,6 +399,57 @@ mod tests {
             let flat = r.finalize(&comm, None, None);
             assert_eq!(flat, data);
         });
+    }
+
+    #[test]
+    fn mixed_bucket_wires_engine_and_blocking_agree_bitwise() {
+        // Per-bucket wires (the adaptive policy's output shape): the same
+        // plan with the same wire assignment must be bitwise identical
+        // whether buckets run through progress channels or blocking.
+        let nranks = 3;
+        let total = 10usize;
+        let backend = Backend::CclLike { workers: 2 };
+        let worlds = std::sync::Mutex::new(create_channel_worlds(nranks, backend));
+        let wires = vec![
+            WirePrecision::int8_shared(0.125),
+            WirePrecision::Bf16,
+            WirePrecision::Fp32,
+        ];
+        let run =
+            |comm: &Communicator, engine: Option<&ProgressEngine>, wires: Vec<WirePrecision>| {
+                let me = comm.rank();
+                let data: Vec<f32> = (0..total)
+                    .map(|i| ((me * total + i) as f32).sin())
+                    .collect();
+                let mut r = BucketReducer::new(Vec::new(), total, 4 * 4).with_bucket_wires(wires);
+                assert_eq!(r.num_buckets(), 3);
+                r.write(0, &data);
+                r.on_produced(0, engine, None);
+                r.finalize(comm, engine, None)
+            };
+        let out = CommWorld::run(nranks, |comm| {
+            let engine = {
+                let comms = std::mem::take(&mut worlds.lock().unwrap()[comm.rank()]);
+                ProgressEngine::new(backend, comms)
+            };
+            let eng = run(&comm, Some(&engine), wires.clone());
+            let blk = run(&comm, None, wires.clone());
+            (eng, blk)
+        });
+        let first = out[0].0.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        for (eng, blk) in &out {
+            let eng: Vec<u32> = eng.iter().map(|f| f.to_bits()).collect();
+            let blk: Vec<u32> = blk.iter().map(|f| f.to_bits()).collect();
+            assert_eq!(eng, blk, "engine vs blocking");
+            assert_eq!(eng, first, "ranks bitwise identical");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the whole plan")]
+    fn short_bucket_wire_list_rejected() {
+        let _ =
+            BucketReducer::new(Vec::new(), 10, 4 * 4).with_bucket_wires(vec![WirePrecision::Fp32]);
     }
 
     #[test]

@@ -29,6 +29,7 @@ use crate::exchange::{
     finish_forward_exchange, tables_of, ExchangeStrategy,
 };
 use crate::prefetch::{Prefetch, PrefetchState};
+use crate::wirepolicy::{AdaptivePolicy, PolicyStats};
 use dlrm::embedding_layer::EmbeddingLayer;
 use dlrm::interaction::Interaction;
 use dlrm::layers::{Activation, Execution, Mlp};
@@ -74,12 +75,54 @@ fn default_threads_per_rank() -> usize {
         .clamp(1, 8)
 }
 
+/// Wire mode of the bucketed gradient allreduce: one fixed precision for
+/// every bucket, or the error-bounded adaptive policy.
+#[derive(Debug, Clone, Copy)]
+pub enum AllreduceWire {
+    /// Every bucket ships with this precision.
+    Fixed(WirePrecision),
+    /// Per-bucket FP32/BF16/shared-scale-INT8 chosen each step by
+    /// [`AdaptivePolicy`] from running statistics of the (rank-identical)
+    /// reduced gradients, keeping the worst-case quantization error per
+    /// reduced element within `error_bound`. Decisions are pure functions
+    /// of replicated state, so every rank picks the same wires with zero
+    /// metadata traffic.
+    Adaptive {
+        /// Absolute per-element error budget for the reduced gradients.
+        error_bound: f32,
+    },
+}
+
+impl PartialEq for AllreduceWire {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (AllreduceWire::Fixed(a), AllreduceWire::Fixed(b)) => a == b,
+            // Bit comparison keeps `Eq` honest (no NaN partiality) and is
+            // exactly the determinism contract: same bits, same policy.
+            (
+                AllreduceWire::Adaptive { error_bound: a },
+                AllreduceWire::Adaptive { error_bound: b },
+            ) => a.to_bits() == b.to_bits(),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for AllreduceWire {}
+
+impl Default for AllreduceWire {
+    fn default() -> Self {
+        AllreduceWire::Fixed(WirePrecision::Fp32)
+    }
+}
+
 /// Per-collective wire precision for the train step's data plane.
 ///
 /// The three hot collectives are independently selectable so experiments
 /// can isolate where the volume (and the rounding) goes: the forward
 /// embedding alltoall ships activations, the backward alltoall ships
-/// embedding gradients, and the bucketed allreduce ships MLP gradients.
+/// embedding gradients, and the bucketed allreduce ships MLP gradients
+/// (fixed precision or the adaptive policy — see [`AllreduceWire`]).
 /// [`WireConfig::all`] sets every knob at once; the default is FP32
 /// everywhere (bitwise-identical to the pre-wire trainer).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -88,8 +131,8 @@ pub struct WireConfig {
     pub forward_alltoall: WirePrecision,
     /// Wire format of the embedding-gradient (backward) alltoall.
     pub backward_alltoall: WirePrecision,
-    /// Wire format of the bucketed MLP-gradient allreduce.
-    pub allreduce: WirePrecision,
+    /// Wire mode of the bucketed MLP-gradient allreduce.
+    pub allreduce: AllreduceWire,
 }
 
 impl WireConfig {
@@ -98,7 +141,7 @@ impl WireConfig {
         WireConfig {
             forward_alltoall: p,
             backward_alltoall: p,
-            allreduce: p,
+            allreduce: AllreduceWire::Fixed(p),
         }
     }
 }
@@ -173,6 +216,9 @@ pub struct DistDlrm {
     dlogits: Vec<f32>,
     /// Lookahead pipeline state (`Some` iff prefetch is enabled).
     prefetch: Option<PrefetchState>,
+    /// Adaptive allreduce-wire policy (`Some` iff the allreduce wire is
+    /// [`AllreduceWire::Adaptive`]).
+    wire_policy: Option<AdaptivePolicy>,
 }
 
 impl DistDlrm {
@@ -236,6 +282,12 @@ impl DistDlrm {
                 Some(PrefetchState::new(cfg, comm.nranks(), comm.rank(), window))
             }
         };
+        let wire_policy = match opts.wire.allreduce {
+            AllreduceWire::Fixed(_) => None,
+            AllreduceWire::Adaptive { error_bound } => {
+                Some(AdaptivePolicy::new(error_bound, comm.nranks()))
+            }
+        };
         DistDlrm {
             cfg: cfg.clone(),
             comm,
@@ -257,6 +309,31 @@ impl DistDlrm {
             flat_grads: Vec::new(),
             dlogits: Vec::new(),
             prefetch,
+            wire_policy,
+        }
+    }
+
+    /// Builds one step's bucket reducer: fixed wire straight from the
+    /// config, or the adaptive policy's fresh per-bucket decisions. Takes
+    /// fields (not `&mut self`) so the train steps can call it while the
+    /// engine/recorder borrows are live.
+    fn build_reducer(
+        flat_grads: &mut Vec<f32>,
+        grad_total: usize,
+        cap_bytes: usize,
+        allreduce: AllreduceWire,
+        policy: &mut Option<AdaptivePolicy>,
+    ) -> BucketReducer {
+        let reducer = BucketReducer::new(std::mem::take(flat_grads), grad_total, cap_bytes);
+        match allreduce {
+            AllreduceWire::Fixed(p) => reducer.with_wire(p),
+            AllreduceWire::Adaptive { .. } => {
+                let policy = policy
+                    .as_mut()
+                    .expect("adaptive allreduce wire implies a policy");
+                let wires = policy.decide(reducer.num_buckets()).to_vec();
+                reducer.with_bucket_wires(wires)
+            }
         }
     }
 
@@ -278,6 +355,12 @@ impl DistDlrm {
     /// The active per-collective wire configuration.
     pub fn wire(&self) -> WireConfig {
         self.wire
+    }
+
+    /// Decision counts of the adaptive allreduce-wire policy (`None` under
+    /// a fixed wire) — how many buckets shipped FP32/BF16/INT8 so far.
+    pub fn wire_policy_stats(&self) -> Option<PolicyStats> {
+        self.wire_policy.as_ref().map(|p| p.stats())
     }
 
     /// Barrier over the trainer's communicator (bench/test sync points).
@@ -302,6 +385,7 @@ impl DistDlrm {
             .sum();
         mats + (self.flat_grads.capacity() + self.dlogits.capacity()) * std::mem::size_of::<f32>()
             + self.prefetch.as_ref().map_or(0, |p| p.scratch_bytes())
+            + self.wire_policy.as_ref().map_or(0, |p| p.scratch_bytes())
             + self.bottom.scratch_bytes()
             + self.top.scratch_bytes()
     }
@@ -392,12 +476,13 @@ impl DistDlrm {
         // The bucketed allreduce: overlapped issues each bucket as backward
         // produces its layers; synchronous writes/issues everything after
         // the bottom backward. Identical plan either way.
-        let mut reducer = BucketReducer::new(
-            std::mem::take(&mut self.flat_grads),
+        let mut reducer = Self::build_reducer(
+            &mut self.flat_grads,
             self.grad_total,
             self.bucket_cap_bytes,
-        )
-        .with_wire(self.wire.allreduce);
+            self.wire.allreduce,
+            &mut self.wire_policy,
+        );
 
         let d_inter = if overlapped {
             let offs = &self.grad_offs[1];
@@ -487,6 +572,11 @@ impl DistDlrm {
         // step.
         let flat = reducer.finalize(&self.comm, engine, rec);
         unflatten_grads(&flat, &mut [&mut self.bottom, &mut self.top]);
+        // The reduced flat gradient is bitwise rank-identical — feeding it
+        // into the policy keeps every rank's next-step decisions identical.
+        if let Some(policy) = self.wire_policy.as_mut() {
+            policy.observe_flat(&flat, self.bucket_cap_bytes);
+        }
         self.flat_grads = flat;
         time_opt(rec, OpKind::Compute, || {
             averaged_sgd_step(&mut self.bottom, lr, r);
@@ -585,12 +675,13 @@ impl DistDlrm {
         bce_with_logits_backward(logits, &local.labels, &mut self.dlogits);
         let dy_top = Matrix::from_slice(1, n, &self.dlogits);
 
-        let mut reducer = BucketReducer::new(
-            std::mem::take(&mut self.flat_grads),
+        let mut reducer = Self::build_reducer(
+            &mut self.flat_grads,
             self.grad_total,
             self.bucket_cap_bytes,
-        )
-        .with_wire(self.wire.allreduce);
+            self.wire.allreduce,
+            &mut self.wire_policy,
+        );
 
         // Early fetch of batch j+1's rows, issued on the exchange channel
         // before the backward alltoall so it flies behind the backward
@@ -694,6 +785,11 @@ impl DistDlrm {
 
         let flat = reducer.finalize(&self.comm, engine, rec);
         unflatten_grads(&flat, &mut [&mut self.bottom, &mut self.top]);
+        // The reduced flat gradient is bitwise rank-identical — feeding it
+        // into the policy keeps every rank's next-step decisions identical.
+        if let Some(policy) = self.wire_policy.as_mut() {
+            policy.observe_flat(&flat, self.bucket_cap_bytes);
+        }
         self.flat_grads = flat;
         time_opt(rec, OpKind::Compute, || {
             averaged_sgd_step(&mut self.bottom, lr, r);
@@ -919,6 +1015,70 @@ mod tests {
                 "step {step}: bf16 {b} vs fp32 {f} diverged"
             );
         }
+    }
+
+    #[test]
+    fn int8_wire_tracks_fp32_losses() {
+        // A fully INT8 wire (per-table scaled alltoalls + scaled allreduce)
+        // quantizes far coarser than BF16, but the per-block scales keep
+        // the relative error bounded — the trajectory must stay close and
+        // keep training.
+        let cfg = tiny_cfg();
+        let batches = global_batches(&cfg, 12, 4);
+        let opts_fp = DistOptions {
+            seed: 77,
+            threads_per_rank: 1,
+            ..Default::default()
+        };
+        let opts_i8 = DistOptions {
+            wire: WireConfig::all(WirePrecision::Int8),
+            ..opts_fp.clone()
+        };
+        let fp = mean_losses(&run_training(&cfg, 4, &opts_fp, &batches, 0.1));
+        let i8 = mean_losses(&run_training(&cfg, 4, &opts_i8, &batches, 0.1));
+        for (step, (q, f)) in i8.iter().zip(&fp).enumerate() {
+            assert!(
+                (q - f).abs() < 2e-2,
+                "step {step}: int8 {q} vs fp32 {f} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_wire_reaches_int8_and_tracks_fp32_losses() {
+        let cfg = tiny_cfg();
+        let batches = global_batches(&cfg, 12, 6);
+        let opts_fp = DistOptions {
+            seed: 77,
+            threads_per_rank: 1,
+            ..Default::default()
+        };
+        let fp = mean_losses(&run_training(&cfg, 4, &opts_fp, &batches, 0.1));
+        let mut opts_ad = opts_fp.clone();
+        opts_ad.wire.allreduce = AllreduceWire::Adaptive { error_bound: 0.05 };
+        let out = CommWorld::run(4, |comm| {
+            let mut model = DistDlrm::new(&cfg, comm, None, &opts_ad);
+            let losses: Vec<f64> = batches.iter().map(|b| model.train_step(b, 0.1)).collect();
+            (losses, model.wire_policy_stats().expect("adaptive policy"))
+        });
+        let per_rank: Vec<Vec<f64>> = out.iter().map(|(l, _)| l.clone()).collect();
+        let ad = mean_losses(&per_rank);
+        for (step, (a, f)) in ad.iter().zip(&fp).enumerate() {
+            assert!(
+                (a - f).abs() < 2e-2,
+                "step {step}: adaptive {a} vs fp32 {f} diverged"
+            );
+        }
+        // Every rank decided identically (the determinism contract) ...
+        let stats = out[0].1;
+        for (rank, (_, st)) in out.iter().enumerate() {
+            assert_eq!(*st, stats, "rank {rank} policy decisions diverged");
+        }
+        // ... step 1 was cold (FP32), and the observed tiny gradients then
+        // earn INT8 for the remaining steps.
+        assert!(stats.fp32 >= 1, "first step must be cold: {stats:?}");
+        assert!(stats.int8 > 0, "policy never reached INT8: {stats:?}");
+        assert_eq!(stats.total(), batches.len() as u64);
     }
 
     #[test]

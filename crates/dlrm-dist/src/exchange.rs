@@ -106,8 +106,9 @@ enum PendingState {
     /// Submitted to a progress channel; `finish` only waits.
     InFlight(Request),
     /// Packed payloads for a blocking pairwise alltoall, run at `finish`
-    /// with the captured wire precision.
-    DeferredAlltoall(Vec<Vec<f32>>, WirePrecision),
+    /// with the captured wire precision and INT8 scale-group length (the
+    /// per-table `n × E` block, so each table gets its own scale).
+    DeferredAlltoall(Vec<Vec<f32>>, WirePrecision, usize),
     /// Per-table rooted scatter/gather payloads (forward: `Some(parts)` on
     /// the owner; backward: one payload per table). Always FP32 on the
     /// wire: the rooted scatter/gather strategies model the legacy paths
@@ -184,9 +185,15 @@ pub fn begin_forward_exchange(
             let send: Vec<Vec<f32>> = (0..r).map(pack_for).collect();
             match (strategy, engine) {
                 (ExchangeStrategy::CclAlltoall, Some(eng)) => {
-                    PendingState::InFlight(eng.alltoall_wire(EXCHANGE_CHANNEL, send, wire))
+                    PendingState::InFlight(eng.alltoall_wire_grouped(
+                        EXCHANGE_CHANNEL,
+                        send,
+                        wire,
+                        collectives::TAG_A2A,
+                        chunk,
+                    ))
                 }
-                _ => PendingState::DeferredAlltoall(send, wire),
+                _ => PendingState::DeferredAlltoall(send, wire, chunk),
             }
         }
         ExchangeStrategy::ScatterList => {
@@ -263,9 +270,15 @@ pub fn finish_forward_exchange(
             };
             time_opt(rec, OpKind::AlltoallFramework, || assemble(&recv, out));
         }
-        PendingState::DeferredAlltoall(send, wire) => {
+        PendingState::DeferredAlltoall(send, wire, group) => {
             let recv = time_opt(rec, OpKind::AlltoallWait, || {
-                collectives::alltoall_wire(comm, send, wire)
+                collectives::alltoall_wire_grouped_tagged(
+                    comm,
+                    send,
+                    wire,
+                    collectives::TAG_A2A,
+                    group,
+                )
             });
             time_opt(rec, OpKind::AlltoallFramework, || assemble(&recv, out));
         }
@@ -316,6 +329,7 @@ pub fn begin_backward_exchange(
     for g in grads {
         assert_eq!(g.shape(), (local_n, emb_dim), "local gradient shape");
     }
+    let chunk = local_n * emb_dim;
 
     // Payload for owner q: concat over q's tables of my gradient block.
     let pack_for = |q: usize| -> Vec<f32> {
@@ -331,9 +345,15 @@ pub fn begin_backward_exchange(
             let send: Vec<Vec<f32>> = (0..r).map(pack_for).collect();
             match (strategy, engine) {
                 (ExchangeStrategy::CclAlltoall, Some(eng)) => {
-                    PendingState::InFlight(eng.alltoall_wire(EXCHANGE_CHANNEL, send, wire))
+                    PendingState::InFlight(eng.alltoall_wire_grouped(
+                        EXCHANGE_CHANNEL,
+                        send,
+                        wire,
+                        collectives::TAG_A2A,
+                        chunk,
+                    ))
                 }
-                _ => PendingState::DeferredAlltoall(send, wire),
+                _ => PendingState::DeferredAlltoall(send, wire, chunk),
             }
         }
         ExchangeStrategy::ScatterList => {
@@ -392,9 +412,15 @@ pub fn finish_backward_exchange(
                 assemble_local(&recv, out)
             });
         }
-        PendingState::DeferredAlltoall(send, wire) => {
+        PendingState::DeferredAlltoall(send, wire, group) => {
             let recv = time_opt(rec, OpKind::AlltoallWait, || {
-                collectives::alltoall_wire(comm, send, wire)
+                collectives::alltoall_wire_grouped_tagged(
+                    comm,
+                    send,
+                    wire,
+                    collectives::TAG_A2A,
+                    group,
+                )
             });
             time_opt(rec, OpKind::AlltoallFramework, || {
                 assemble_local(&recv, out)

@@ -32,7 +32,11 @@
 //! on-wire element format ([`WirePrecision`]) of each hot collective —
 //! the forward/backward embedding alltoalls and the bucketed allreduce —
 //! so the paper's 16-bit wire halves the exchanged bytes while all local
-//! arithmetic stays FP32.
+//! arithmetic stays FP32. The allreduce additionally supports
+//! [`distributed::AllreduceWire::Adaptive`]: an error-bounded policy
+//! ([`wirepolicy::AdaptivePolicy`]) that picks FP32/BF16/scaled-INT8 per
+//! gradient bucket from running statistics, quartering allreduce bytes
+//! when gradients allow while every rank stays bitwise identical.
 //!
 //! A third orthogonal knob, [`prefetch::Prefetch`], replaces the pooled
 //! forward alltoall with a BagPipe-style lookahead pipeline: per-window
@@ -47,12 +51,15 @@ pub mod ddp;
 pub mod distributed;
 pub mod exchange;
 pub mod prefetch;
+pub mod wirepolicy;
 
 pub use bucketing::{BucketPlan, BucketReducer, DEFAULT_BUCKET_CAP_BYTES};
 pub use characteristics::DistCharacteristics;
 pub use distributed::{
-    run_training, run_training_with_chaos, DistDlrm, DistOptions, Schedule, WireConfig,
+    run_training, run_training_with_chaos, AllreduceWire, DistDlrm, DistOptions, Schedule,
+    WireConfig,
 };
 pub use dlrm_comm::wire::WirePrecision;
 pub use exchange::ExchangeStrategy;
 pub use prefetch::Prefetch;
+pub use wirepolicy::{AdaptivePolicy, PolicyStats};

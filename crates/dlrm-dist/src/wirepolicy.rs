@@ -1,0 +1,313 @@
+//! Error-bounded adaptive wire-precision policy for the gradient allreduce.
+//!
+//! The paper's 16-bit wire path (§ "Mixed precision") ships every gradient
+//! bucket in BF16. This module goes one tier deeper: per bucket it picks
+//! FP32, BF16, or scaled INT8 from *running gradient statistics*, subject to
+//! a user-supplied absolute error bound on the reduced values.
+//!
+//! # Determinism without metadata round-trips
+//!
+//! The decision inputs are the post-allreduce reduced gradients, which are
+//! bitwise identical on every rank (the `_wire` collectives guarantee this
+//! — see `dlrm_comm::collectives`). A pure function of bitwise-identical
+//! state is itself bitwise identical, so every rank independently computes
+//! the *same* per-bucket precision each step with zero extra wire traffic.
+//! The INT8 tier is always [`WirePrecision::Int8Shared`] (the scale is part
+//! of the rank-replicated decision), so no per-chunk scale headers ship
+//! either: the wire cost of an INT8 bucket is exactly `elems` bytes.
+//!
+//! # The error model
+//!
+//! A ring allreduce over `R` ranks quantizes each element at most `R + 1`
+//! times (`R - 1` reduce-scatter hops plus one allgather-source encode,
+//! plus slack for the standalone reduce-scatter contract). One symmetric
+//! INT8 quantization with scale `s` has absolute error ≤ `s / 2`; one BF16
+//! narrowing of a value bounded by `A` has error ≤ `A · 2⁻⁸`. The policy
+//! admits a tier only when the accumulated worst case fits the bound:
+//!
+//! * INT8: `(R + 1) · s / 2 ≤ bound`, with `s = headroom · absmax / 127`.
+//! * BF16: `(R + 1) · headroom · absmax · 2⁻⁸ ≤ bound`.
+//!
+//! `absmax` here is a running per-bucket envelope of the *summed* gradient
+//! magnitude: raised instantly when observed magnitudes grow, decayed
+//! geometrically when they shrink, and inflated by a `headroom` factor so a
+//! one-step jump within `headroom ×` of the envelope still lands on the
+//! representable grid. A bucket with no history yet (or whose envelope is
+//! degenerate) is shipped in FP32 — the policy only ever tightens precision
+//! on evidence.
+
+use dlrm_comm::wire::WirePrecision;
+
+/// Envelope decay per step: the running absmax never drops faster than
+/// halving, so a transiently quiet bucket cannot trick the policy into a
+/// scale the next step overflows.
+const ABSMAX_DECAY: f32 = 0.5;
+
+/// Multiplier on the running absmax when sizing the INT8 grid / BF16 bound:
+/// gradients may grow this much step-over-step without leaving the grid.
+const HEADROOM: f32 = 2.0;
+
+/// Largest magnitude one INT8 code step represents: symmetric grid over
+/// `[-127, 127]` (−128 unused), matching `dlrm_kernels::int8wire`.
+const INT8_LEVELS: f32 = 127.0;
+
+/// Relative error of one BF16 round-to-nearest-even narrowing: 8 explicit
+/// mantissa bits → half a ulp is `2⁻⁸` of the magnitude.
+const BF16_REL_ERR: f32 = 1.0 / 256.0;
+
+/// Per-step decision counts, for benchmarks and experiment reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicyStats {
+    /// Buckets shipped FP32 (cold or out of bound).
+    pub fp32: u64,
+    /// Buckets shipped BF16.
+    pub bf16: u64,
+    /// Buckets shipped shared-scale INT8.
+    pub int8: u64,
+}
+
+impl PolicyStats {
+    /// Total decisions recorded.
+    pub fn total(&self) -> u64 {
+        self.fp32 + self.bf16 + self.int8
+    }
+}
+
+/// Running per-bucket statistics + the pure decision function.
+///
+/// Bucket indices follow the [`crate::bucketing::BucketPlan`] issue order
+/// (reverse flat order); [`AdaptivePolicy::observe_flat`] replays exactly
+/// that split so observations and decisions always line up.
+#[derive(Debug, Clone)]
+pub struct AdaptivePolicy {
+    /// Absolute error bound on each reduced element.
+    error_bound: f32,
+    /// Number of ranks participating in the allreduce.
+    ranks: usize,
+    /// Running absmax envelope per bucket; `None` until first observed.
+    absmax: Vec<Option<f32>>,
+    /// Reused decision buffer handed to the reducer each step.
+    decisions: Vec<WirePrecision>,
+    stats: PolicyStats,
+}
+
+impl AdaptivePolicy {
+    /// A policy with no history: every bucket starts FP32.
+    pub fn new(error_bound: f32, ranks: usize) -> Self {
+        assert!(
+            error_bound > 0.0 && error_bound.is_finite(),
+            "adaptive wire error bound must be positive and finite"
+        );
+        AdaptivePolicy {
+            error_bound,
+            ranks: ranks.max(1),
+            absmax: Vec::new(),
+            decisions: Vec::new(),
+            stats: PolicyStats::default(),
+        }
+    }
+
+    /// The configured error bound.
+    pub fn error_bound(&self) -> f32 {
+        self.error_bound
+    }
+
+    /// Decision counts accumulated so far.
+    pub fn stats(&self) -> PolicyStats {
+        self.stats
+    }
+
+    /// Bytes held by the policy's reused buffers (for the trainer's
+    /// steady-state scratch accounting).
+    pub fn scratch_bytes(&self) -> usize {
+        self.absmax.capacity() * std::mem::size_of::<Option<f32>>()
+            + self.decisions.capacity() * std::mem::size_of::<WirePrecision>()
+    }
+
+    /// Quantization passes an element may cross in the wire allreduce (and
+    /// the standalone reduce-scatter, which requantizes its final chunk).
+    fn passes(&self) -> f32 {
+        (self.ranks + 1) as f32
+    }
+
+    /// Picks the wire for one bucket from its running envelope. Pure in
+    /// `(error_bound, ranks, envelope)` — identical on every rank.
+    fn decide_one(&self, envelope: Option<f32>) -> WirePrecision {
+        let Some(a) = envelope else {
+            return WirePrecision::Fp32; // cold: no evidence yet
+        };
+        if !(a.is_finite() && a > 0.0) {
+            return WirePrecision::Fp32; // degenerate envelope
+        }
+        let scale = HEADROOM * a / INT8_LEVELS;
+        if scale > 0.0
+            && scale.is_finite()
+            && scale.recip().is_finite()
+            && self.passes() * scale * 0.5 <= self.error_bound
+        {
+            return WirePrecision::int8_shared(scale);
+        }
+        if self.passes() * HEADROOM * a * BF16_REL_ERR <= self.error_bound {
+            return WirePrecision::Bf16;
+        }
+        WirePrecision::Fp32
+    }
+
+    /// Per-bucket wire choices for a plan of `num_buckets` buckets, in plan
+    /// (issue) order. The returned slice is a reused internal buffer.
+    pub fn decide(&mut self, num_buckets: usize) -> &[WirePrecision] {
+        self.absmax.resize(num_buckets, None);
+        self.decisions.clear();
+        for idx in 0..num_buckets {
+            let wire = self.decide_one(self.absmax[idx]);
+            match wire {
+                WirePrecision::Fp32 => self.stats.fp32 += 1,
+                WirePrecision::Bf16 => self.stats.bf16 += 1,
+                _ => self.stats.int8 += 1,
+            }
+            self.decisions.push(wire);
+        }
+        &self.decisions
+    }
+
+    /// Folds one bucket's observed (reduced) gradient magnitudes into its
+    /// envelope: instant attack, geometric release.
+    fn observe(&mut self, idx: usize, data: &[f32]) {
+        if idx >= self.absmax.len() {
+            self.absmax.resize(idx + 1, None);
+        }
+        let mut m = 0.0f32;
+        for &x in data {
+            let a = x.abs();
+            if a.is_finite() && a > m {
+                m = a;
+            }
+        }
+        self.absmax[idx] = Some(match self.absmax[idx] {
+            Some(old) => m.max(ABSMAX_DECAY * old),
+            None => m,
+        });
+    }
+
+    /// Observes the reduced flat gradient, splitting it into buckets exactly
+    /// as [`crate::bucketing::BucketPlan::for_bytes`] does (reverse flat
+    /// order under the same byte cap). Alloc-free.
+    pub fn observe_flat(&mut self, flat: &[f32], cap_bytes: usize) {
+        let elems = (cap_bytes / std::mem::size_of::<f32>()).max(1);
+        let mut end = flat.len();
+        let mut idx = 0;
+        while end > 0 {
+            let start = end.saturating_sub(elems);
+            self.observe(idx, &flat[start..end]);
+            end = start;
+            idx += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_buckets_ship_fp32() {
+        let mut p = AdaptivePolicy::new(0.05, 4);
+        assert_eq!(p.decide(3), &[WirePrecision::Fp32; 3]);
+        assert_eq!(p.stats().fp32, 3);
+        assert_eq!(p.stats().int8, 0);
+    }
+
+    #[test]
+    fn small_gradients_earn_int8_with_the_predicted_scale() {
+        let mut p = AdaptivePolicy::new(0.05, 4);
+        p.observe_flat(&[0.3, -0.5, 0.1, 0.2], 8); // two 2-elem buckets
+        let d = p.decide(2).to_vec();
+        // Plan order is reverse flat order: bucket 0 = [0.1, 0.2] → absmax
+        // 0.2; bucket 1 = [0.3, -0.5] → absmax 0.5.
+        let s0 = HEADROOM * 0.2 / INT8_LEVELS;
+        let s1 = HEADROOM * 0.5 / INT8_LEVELS;
+        assert_eq!(d[0], WirePrecision::int8_shared(s0));
+        assert_eq!(d[1], WirePrecision::int8_shared(s1));
+        // And the admission inequality actually holds for both.
+        for s in [s0, s1] {
+            assert!(5.0 * s * 0.5 <= 0.05);
+        }
+        assert_eq!(p.stats().int8, 2);
+    }
+
+    #[test]
+    fn tiers_degrade_as_magnitudes_grow() {
+        // bound 0.05, R=4 → INT8 admits absmax ≤ 0.05·127/(5·1·2/2) = 1.27;
+        // BF16 admits absmax ≤ 0.05·256/(5·2) = 1.28 — so pick magnitudes
+        // well separated across the two cutoffs.
+        let mut p = AdaptivePolicy::new(0.05, 4);
+        p.observe(0, &[0.5]); // comfortably INT8
+        p.observe(1, &[1.275]); // past INT8, inside BF16
+        p.observe(2, &[1000.0]); // past everything
+        let d = p.decide(3).to_vec();
+        assert!(matches!(d[0], WirePrecision::Int8Shared { .. }));
+        assert_eq!(d[1], WirePrecision::Bf16);
+        assert_eq!(d[2], WirePrecision::Fp32);
+        let st = p.stats();
+        assert_eq!((st.fp32, st.bf16, st.int8), (1, 1, 1));
+        assert_eq!(st.total(), 3);
+    }
+
+    #[test]
+    fn envelope_attacks_instantly_and_releases_geometrically() {
+        let mut p = AdaptivePolicy::new(0.05, 4);
+        p.observe(0, &[0.1]);
+        assert_eq!(p.absmax[0], Some(0.1));
+        p.observe(0, &[0.8]); // instant attack
+        assert_eq!(p.absmax[0], Some(0.8));
+        p.observe(0, &[0.0]); // halving release, not collapse
+        assert_eq!(p.absmax[0], Some(0.4));
+    }
+
+    #[test]
+    fn zero_and_nonfinite_observations_stay_fp32() {
+        let mut p = AdaptivePolicy::new(0.05, 4);
+        p.observe(0, &[0.0, -0.0]);
+        p.observe(1, &[f32::NAN, f32::INFINITY]);
+        let d = p.decide(2).to_vec();
+        // Bucket 0's envelope is exactly 0 → degenerate → FP32. Bucket 1
+        // ignores non-finite values entirely → envelope 0 → FP32.
+        assert_eq!(d, vec![WirePrecision::Fp32; 2]);
+    }
+
+    #[test]
+    fn observe_flat_matches_bucket_plan_split() {
+        use crate::bucketing::BucketPlan;
+        let flat: Vec<f32> = (0..10).map(|i| i as f32 + 1.0).collect();
+        let cap = 16; // 4 elems → plan [6..10, 2..6, 0..2]
+        let plan = BucketPlan::for_bytes(flat.len(), cap);
+        let mut p = AdaptivePolicy::new(1.0, 2);
+        p.observe_flat(&flat, cap);
+        assert_eq!(p.absmax.len(), plan.len());
+        for (idx, range) in plan.buckets.iter().enumerate() {
+            let want = flat[range.clone()].iter().fold(0.0f32, |m, x| m.max(*x));
+            assert_eq!(p.absmax[idx], Some(want), "bucket {idx}");
+        }
+    }
+
+    #[test]
+    fn decisions_are_pure_in_the_envelope() {
+        // Two policies fed identical observations (as on two ranks seeing
+        // the same bitwise-identical reduced gradient) decide identically —
+        // compared by bits, since Int8Shared carries the scale.
+        let obs: Vec<f32> = (0..32).map(|i| ((i * 37 % 11) as f32) * 1e-3).collect();
+        let mut a = AdaptivePolicy::new(0.02, 8);
+        let mut b = AdaptivePolicy::new(0.02, 8);
+        for p in [&mut a, &mut b] {
+            p.observe_flat(&obs, 40);
+            p.observe_flat(&obs, 40);
+        }
+        assert_eq!(a.decide(4), b.decide(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn rejects_nonpositive_bound() {
+        let _ = AdaptivePolicy::new(0.0, 4);
+    }
+}

@@ -294,3 +294,41 @@ fn bf16_synchronous_step_does_not_grow_allocations() {
     );
     assert_steady(&samples, "bf16 synchronous");
 }
+
+// The INT8 wire adds quantize staging (byte buffers + scale vectors) to
+// every hot collective; bytes come from the comm crate's byte pool and
+// scales from the f32 pool, so steady state stays allocation-flat too.
+
+#[test]
+fn int8_overlapped_step_does_not_grow_allocations() {
+    let samples = sample_training_wire(
+        Schedule::Overlapped,
+        50,
+        WireConfig::all(WirePrecision::Int8),
+    );
+    assert_steady(&samples, "int8 overlapped");
+}
+
+#[test]
+fn int8_synchronous_step_does_not_grow_allocations() {
+    let samples = sample_training_wire(
+        Schedule::Synchronous,
+        50,
+        WireConfig::all(WirePrecision::Int8),
+    );
+    assert_steady(&samples, "int8 synchronous");
+}
+
+// The adaptive policy keeps per-bucket envelopes and a reused decision
+// buffer; its per-step work (decide + observe) must be allocation-flat
+// once the bucket count is known.
+
+#[test]
+fn adaptive_overlapped_step_does_not_grow_allocations() {
+    let wire = WireConfig {
+        allreduce: dlrm_dist::distributed::AllreduceWire::Adaptive { error_bound: 0.05 },
+        ..WireConfig::default()
+    };
+    let samples = sample_training_wire(Schedule::Overlapped, 50, wire);
+    assert_steady(&samples, "adaptive overlapped");
+}

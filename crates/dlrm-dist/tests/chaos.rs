@@ -368,3 +368,27 @@ fn bf16_training_bitwise_stable_under_chaos() {
         WireConfig::all(WirePrecision::Bf16),
     );
 }
+
+#[test]
+fn int8_training_bitwise_stable_under_chaos() {
+    // The INT8 wire adds scale headers to the faulted payload stream
+    // (delay/reorder/drop/duplicate now hit `Payload::Int8` envelopes) —
+    // the trajectory must still replay its fault-free baseline bitwise.
+    training_suite_wire(
+        ExchangeStrategy::CclAlltoall,
+        SEEDS,
+        WireConfig::all(WirePrecision::Int8),
+    );
+}
+
+#[test]
+fn adaptive_training_bitwise_stable_under_chaos() {
+    // The adaptive policy decides per bucket from the reduced gradients;
+    // under chaos those are bitwise unchanged, so every rank must keep
+    // making identical decisions and the losses must replay bitwise.
+    let wire = WireConfig {
+        allreduce: dlrm_dist::distributed::AllreduceWire::Adaptive { error_bound: 0.05 },
+        ..WireConfig::default()
+    };
+    training_suite_wire(ExchangeStrategy::CclAlltoall, SEEDS, wire);
+}

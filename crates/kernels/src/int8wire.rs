@@ -1,0 +1,488 @@
+//! SIMD scaled-INT8 quantize/dequantize for the wire-precision comm path.
+//!
+//! The INT8-wire collectives (see `dlrm-comm`) ship gradient payloads as
+//! one signed byte per element plus a per-chunk FP32 scale: a value `x`
+//! travels as `q = rne(clamp(x / scale, ±127))` and is reconstructed as
+//! `q * scale`. These conversions sit on the critical path of every
+//! allreduce hop, so they get the same scalar/AVX2/AVX-512 tiering as
+//! [`bf16wire`](crate::bf16wire), dispatched through the same [`Isa`]
+//! machinery.
+//!
+//! **Bit-exactness across tiers is a deliberate invariant.** The scalar
+//! pipeline is the specification:
+//!
+//! 1. `t = x * (1.0 / scale)` — one FP32 multiply by the precomputed
+//!    reciprocal (never a divide, so every tier performs the identical
+//!    single rounding);
+//! 2. `t = 0.0` if `t` is NaN (matches the SIMD ordered-compare mask);
+//! 3. `t = clamp(t, -127.0, 127.0)` in the float domain, *before* the
+//!    integer convert — so the convert never sees out-of-range input and
+//!    the cvtps "integer indefinite" value can never appear;
+//! 4. round to nearest, ties to even (`cvtps` under the default MXCSR
+//!    rounding mode; `round_ties_even` in scalar code) and truncate to
+//!    `i8`, exact because the value is already in `[-127, 127]`.
+//!
+//! Dequantization `(q as i8 as f32) * scale` is an exact int→float convert
+//! followed by one multiply — a single rounding, identical on every tier.
+//! Every tier therefore produces bitwise identical bytes/floats, which is
+//! what lets the distributed suites assert bitwise-identical losses no
+//! matter which tier a rank's conversion ran on.
+//!
+//! Quantized payloads travel as raw `u8` bit patterns (two's-complement
+//! `i8`) so the comm crate can ship plain `Vec<u8>` buffers.
+
+use crate::gemm::micro::Isa;
+
+/// Largest-magnitude quantized value: the grid is symmetric `[-127, 127]`
+/// (the `-128` code is unused so negation round-trips).
+pub const INT8_QMAX: f32 = 127.0;
+
+/// Largest absolute value in `src` (`0.0` for an empty slice; NaNs are
+/// ignored). Scalar on purpose: `max` is exact, so there is no tiered
+/// variant to keep in sync, and the quantize pass dominates anyway.
+pub fn absmax(src: &[f32]) -> f32 {
+    let mut m = 0.0f32;
+    for &x in src {
+        let a = x.abs();
+        if a > m {
+            m = a;
+        }
+    }
+    m
+}
+
+/// The per-chunk scale for data with the given absmax: `absmax / 127`, so
+/// the largest value maps to the edge of the quantized grid. Degenerate
+/// ranges (zero, subnormal — whose reciprocal would overflow — infinite or
+/// NaN absmax) fall back to `1.0`, under which such chunks quantize to all
+/// zeros or saturate deterministically.
+pub fn scale_for_absmax(absmax: f32) -> f32 {
+    let s = absmax / INT8_QMAX;
+    if s.is_normal() && s.recip().is_finite() {
+        s
+    } else {
+        1.0
+    }
+}
+
+/// Quantizes `src` to scaled INT8 bytes in `dst` (see the module docs for
+/// the exact pipeline). `scale` must be positive and finite — callers
+/// derive it via [`scale_for_absmax`] or a pre-agreed policy scale.
+///
+/// Bitwise identical across tiers for every input, including NaN (→ `0`)
+/// and ±∞ (→ `±127`).
+#[inline]
+pub fn quantize_slice(isa: Isa, src: &[f32], scale: f32, dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "quantize_slice length mismatch");
+    assert!(
+        scale > 0.0 && scale.is_finite(),
+        "int8 wire scale must be positive and finite, got {scale}"
+    );
+    let inv = 1.0 / scale;
+    // SAFETY: lengths checked equal; slices are valid for their lengths.
+    unsafe { quantize_raw(isa, src.as_ptr(), dst.as_mut_ptr(), src.len(), inv) }
+}
+
+/// Reconstructs FP32 values from scaled INT8 bytes: `(b as i8 as f32) *
+/// scale`, exact convert + one multiply on every tier.
+#[inline]
+pub fn dequantize_slice(isa: Isa, src: &[u8], scale: f32, dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "dequantize_slice length mismatch");
+    // SAFETY: lengths checked equal; slices are valid for their lengths.
+    unsafe { dequantize_raw(isa, src.as_ptr(), dst.as_mut_ptr(), src.len(), scale) }
+}
+
+/// Applies the INT8 wire quantization `f32 → int8 → f32` in place.
+///
+/// This is what a value experiences when it crosses the wire once; the
+/// INT8-wire collectives apply it to locally-kept copies (the alltoall's
+/// self-destined chunk, a standalone reduce-scatter's own chunk) so every
+/// rank holds values that crossed exactly one quantization.
+#[inline]
+pub fn quantize_dequantize_slice(isa: Isa, buf: &mut [f32], scale: f32) {
+    assert!(
+        scale > 0.0 && scale.is_finite(),
+        "int8 wire scale must be positive and finite, got {scale}"
+    );
+    let inv = 1.0 / scale;
+    // SAFETY: one slice, valid for its length, used as both src and dst of
+    // element-wise ops.
+    unsafe { quantize_dequantize_raw(isa, buf.as_mut_ptr(), buf.len(), inv, scale) }
+}
+
+unsafe fn quantize_raw(isa: Isa, src: *const f32, dst: *mut u8, len: usize, inv: f32) {
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => quantize_avx512(src, dst, len, inv),
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => quantize_avx2(src, dst, len, inv),
+        _ => quantize_scalar(src, dst, len, inv),
+    }
+}
+
+unsafe fn dequantize_raw(isa: Isa, src: *const u8, dst: *mut f32, len: usize, scale: f32) {
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => dequantize_avx512(src, dst, len, scale),
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => dequantize_avx2(src, dst, len, scale),
+        _ => dequantize_scalar(src, dst, len, scale),
+    }
+}
+
+unsafe fn quantize_dequantize_raw(isa: Isa, buf: *mut f32, len: usize, inv: f32, scale: f32) {
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => quantize_dequantize_avx512(buf, len, inv, scale),
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => quantize_dequantize_avx2(buf, len, inv, scale),
+        _ => quantize_dequantize_scalar(buf, len, inv, scale),
+    }
+}
+
+/// The scalar specification of one quantization (module docs, steps 1–4).
+#[inline]
+fn quantize_one(x: f32, inv: f32) -> i8 {
+    let t = x * inv;
+    let t = if t.is_nan() { 0.0 } else { t };
+    let t = t.clamp(-INT8_QMAX, INT8_QMAX);
+    t.round_ties_even() as i32 as i8
+}
+
+unsafe fn quantize_scalar(src: *const f32, dst: *mut u8, len: usize, inv: f32) {
+    for i in 0..len {
+        *dst.add(i) = quantize_one(*src.add(i), inv) as u8;
+    }
+}
+
+unsafe fn dequantize_scalar(src: *const u8, dst: *mut f32, len: usize, scale: f32) {
+    for i in 0..len {
+        *dst.add(i) = (*src.add(i) as i8 as f32) * scale;
+    }
+}
+
+unsafe fn quantize_dequantize_scalar(buf: *mut f32, len: usize, inv: f32, scale: f32) {
+    for i in 0..len {
+        *buf.add(i) = (quantize_one(*buf.add(i), inv) as f32) * scale;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 tiers
+// ---------------------------------------------------------------------------
+//
+// Lane-for-lane the scalar pipeline: multiply, ordered-compare mask zeroes
+// NaN lanes, float-domain clamp via max/min, cvtps (RNE under the default
+// MXCSR mode — we never change it). The i32→i8 pack is saturating but the
+// lanes are already in [-127, 127], so it is exact.
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn q8_lanes_avx2(
+    x: std::arch::x86_64::__m256,
+    inv: std::arch::x86_64::__m256,
+) -> std::arch::x86_64::__m256i {
+    use std::arch::x86_64::*;
+    let t = _mm256_mul_ps(x, inv);
+    // NaN → 0.0: the ordered self-compare is all-ones exactly when t is
+    // not NaN, so the AND keeps finite lanes and zeroes NaN lanes.
+    let t = _mm256_and_ps(t, _mm256_cmp_ps::<_CMP_ORD_Q>(t, t));
+    let t = _mm256_max_ps(t, _mm256_set1_ps(-INT8_QMAX));
+    let t = _mm256_min_ps(t, _mm256_set1_ps(INT8_QMAX));
+    _mm256_cvtps_epi32(t)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn quantize_avx2(src: *const f32, dst: *mut u8, len: usize, inv: f32) {
+    use std::arch::x86_64::*;
+    let vinv = _mm256_set1_ps(inv);
+    let mut i = 0;
+    while i + 8 <= len {
+        let q = q8_lanes_avx2(_mm256_loadu_ps(src.add(i)), vinv);
+        let lo = _mm256_castsi256_si128(q);
+        let hi = _mm256_extracti128_si256::<1>(q);
+        let words = _mm_packs_epi32(lo, hi);
+        let bytes = _mm_packs_epi16(words, words);
+        _mm_storel_epi64(dst.add(i).cast(), bytes);
+        i += 8;
+    }
+    quantize_scalar(src.add(i), dst.add(i), len - i, inv);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dequantize_avx2(src: *const u8, dst: *mut f32, len: usize, scale: f32) {
+    use std::arch::x86_64::*;
+    let vs = _mm256_set1_ps(scale);
+    let mut i = 0;
+    while i + 8 <= len {
+        let b = _mm_loadl_epi64(src.add(i).cast());
+        let w = _mm256_cvtepi8_epi32(b);
+        let f = _mm256_cvtepi32_ps(w);
+        _mm256_storeu_ps(dst.add(i), _mm256_mul_ps(f, vs));
+        i += 8;
+    }
+    dequantize_scalar(src.add(i), dst.add(i), len - i, scale);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn quantize_dequantize_avx2(buf: *mut f32, len: usize, inv: f32, scale: f32) {
+    use std::arch::x86_64::*;
+    let vinv = _mm256_set1_ps(inv);
+    let vs = _mm256_set1_ps(scale);
+    let mut i = 0;
+    while i + 8 <= len {
+        // Round-trip in registers: the i32 lanes already hold the exact
+        // quantized values, so skipping the byte pack/unpack is bitwise
+        // identical to a quantize_slice/dequantize_slice round trip.
+        let q = q8_lanes_avx2(_mm256_loadu_ps(buf.add(i)), vinv);
+        let f = _mm256_cvtepi32_ps(q);
+        _mm256_storeu_ps(buf.add(i), _mm256_mul_ps(f, vs));
+        i += 8;
+    }
+    quantize_dequantize_scalar(buf.add(i), len - i, inv, scale);
+}
+
+// ---------------------------------------------------------------------------
+// AVX-512 tiers (AVX512F only — vpmovsdb does the i32→i8 saturating pack,
+// the tails stay scalar to avoid requiring AVX512BW byte-masked stores)
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[inline]
+unsafe fn q16_lanes_avx512(
+    x: std::arch::x86_64::__m512,
+    inv: std::arch::x86_64::__m512,
+) -> std::arch::x86_64::__m512i {
+    use std::arch::x86_64::*;
+    let t = _mm512_mul_ps(x, inv);
+    let ord = _mm512_cmpord_ps_mask(t, t);
+    let t = _mm512_maskz_mov_ps(ord, t); // NaN lanes → 0.0
+    let t = _mm512_max_ps(t, _mm512_set1_ps(-INT8_QMAX));
+    let t = _mm512_min_ps(t, _mm512_set1_ps(INT8_QMAX));
+    _mm512_cvtps_epi32(t)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn quantize_avx512(src: *const f32, dst: *mut u8, len: usize, inv: f32) {
+    use std::arch::x86_64::*;
+    let vinv = _mm512_set1_ps(inv);
+    let mut i = 0;
+    while i + 16 <= len {
+        let q = q16_lanes_avx512(_mm512_loadu_ps(src.add(i)), vinv);
+        _mm_storeu_si128(dst.add(i).cast(), _mm512_cvtsepi32_epi8(q));
+        i += 16;
+    }
+    quantize_scalar(src.add(i), dst.add(i), len - i, inv);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn dequantize_avx512(src: *const u8, dst: *mut f32, len: usize, scale: f32) {
+    use std::arch::x86_64::*;
+    let vs = _mm512_set1_ps(scale);
+    let mut i = 0;
+    while i + 16 <= len {
+        let b = _mm_loadu_si128(src.add(i).cast());
+        let w = _mm512_cvtepi8_epi32(b);
+        let f = _mm512_cvtepi32_ps(w);
+        _mm512_storeu_ps(dst.add(i), _mm512_mul_ps(f, vs));
+        i += 16;
+    }
+    dequantize_scalar(src.add(i), dst.add(i), len - i, scale);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn quantize_dequantize_avx512(buf: *mut f32, len: usize, inv: f32, scale: f32) {
+    use std::arch::x86_64::*;
+    let vinv = _mm512_set1_ps(inv);
+    let vs = _mm512_set1_ps(scale);
+    let mut i = 0;
+    while i + 16 <= len {
+        let q = q16_lanes_avx512(_mm512_loadu_ps(buf.add(i)), vinv);
+        let f = _mm512_cvtepi32_ps(q);
+        _mm512_storeu_ps(buf.add(i), _mm512_mul_ps(f, vs));
+        i += 16;
+    }
+    quantize_dequantize_scalar(buf.add(i), len - i, inv, scale);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedding::rowops::available_isas;
+
+    /// Adversarial values: specials, exact halfway cases on several grids,
+    /// clamp-edge and beyond-range magnitudes, NaN variants.
+    fn adversarial() -> Vec<f32> {
+        let mut v = vec![
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            0.5,   // halfway at scale 1: ties to even → 0
+            1.5,   // halfway at scale 1: ties to even → 2
+            -2.5,  // halfway at scale 1: ties to even → -2
+            126.5, // halfway at the grid edge
+            127.0,
+            -127.0,
+            127.4,
+            500.0, // beyond the grid: clamps to 127
+            -1.0e20,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+            f32::from_bits(0x7F80_0001), // signalling NaN pattern
+            f32::from_bits(0xFFC1_2345), // negative NaN with payload
+            f32::MIN_POSITIVE,
+            f32::from_bits(0x0000_0001), // smallest denormal
+            core::f32::consts::PI,
+            -0.004,
+        ];
+        // Pseudo-random fill so vector bodies (not just tails) see variety.
+        for i in 0..64u32 {
+            let bits = i.wrapping_mul(2654435761).rotate_left(9) ^ 0x4240_0000;
+            let x = f32::from_bits(bits);
+            v.push(if x.is_finite() { x % 300.0 } else { x });
+        }
+        v
+    }
+
+    fn scales() -> Vec<f32> {
+        vec![1.0, 0.5, 0.037, 3.75e-3, 128.0, 1.0e-6]
+    }
+
+    #[test]
+    fn quantize_all_tiers_match_scalar_reference() {
+        let vals = adversarial();
+        for scale in scales() {
+            let inv = 1.0 / scale;
+            for len in [0usize, 1, 3, 7, 8, 15, 16, 17, 31, 33, 64, vals.len()] {
+                let src = &vals[..len];
+                let want: Vec<u8> = src.iter().map(|&x| quantize_one(x, inv) as u8).collect();
+                for isa in available_isas() {
+                    let mut got = vec![0u8; len];
+                    quantize_slice(isa, src, scale, &mut got);
+                    assert_eq!(got, want, "quantize {isa:?} scale={scale} len={len}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dequantize_all_tiers_exact_on_every_byte() {
+        let bytes: Vec<u8> = (0..=u8::MAX).collect();
+        for scale in scales() {
+            let want: Vec<u32> = bytes
+                .iter()
+                .map(|&b| ((b as i8 as f32) * scale).to_bits())
+                .collect();
+            for isa in available_isas() {
+                for len in [0usize, 1, 5, 8, 15, 16, 17, 31, bytes.len()] {
+                    let mut got = vec![0.0f32; len];
+                    dequantize_slice(isa, &bytes[..len], scale, &mut got);
+                    let got_bits: Vec<u32> = got.iter().map(|x| x.to_bits()).collect();
+                    assert_eq!(got_bits, want[..len], "dequantize {isa:?} scale={scale}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_dequantize_matches_two_step_round_trip() {
+        let vals = adversarial();
+        for scale in scales() {
+            for isa in available_isas() {
+                let mut fused = vals.clone();
+                quantize_dequantize_slice(isa, &mut fused, scale);
+                let mut bytes = vec![0u8; vals.len()];
+                quantize_slice(isa, &vals, scale, &mut bytes);
+                let mut two_step = vec![0.0f32; vals.len()];
+                dequantize_slice(isa, &bytes, scale, &mut two_step);
+                for (i, (f, t)) in fused.iter().zip(&two_step).enumerate() {
+                    assert_eq!(
+                        f.to_bits(),
+                        t.to_bits(),
+                        "{isa:?} scale={scale} idx {i}: fused {f} vs two-step {t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_error_bounded_by_half_scale() {
+        // For in-range values the quantization error is at most scale/2
+        // (round-to-nearest on a grid of spacing `scale`).
+        let vals: Vec<f32> = (0..1000).map(|i| ((i * 37) as f32).sin() * 6.0).collect();
+        let scale = scale_for_absmax(absmax(&vals));
+        for isa in available_isas() {
+            let mut q = vals.clone();
+            quantize_dequantize_slice(isa, &mut q, scale);
+            for (x, y) in vals.iter().zip(&q) {
+                assert!(
+                    (x - y).abs() <= scale / 2.0,
+                    "{isa:?}: |{x} - {y}| > {}",
+                    scale / 2.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grid_values_round_trip_exactly() {
+        // Values already on the quantization grid survive the wire bitwise
+        // when the scale is a power of two (the grid products are exact).
+        let scale = 0.25f32;
+        let vals: Vec<f32> = (-127i32..=127).map(|q| q as f32 * scale).collect();
+        for isa in available_isas() {
+            let mut q = vals.clone();
+            quantize_dequantize_slice(isa, &mut q, scale);
+            assert_eq!(
+                q.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                vals.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "{isa:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn scale_for_absmax_handles_degenerate_ranges() {
+        assert_eq!(scale_for_absmax(0.0), 1.0);
+        assert_eq!(scale_for_absmax(f32::INFINITY), 1.0);
+        assert_eq!(scale_for_absmax(f32::NAN), 1.0);
+        // Subnormal absmax: the reciprocal of absmax/127 would overflow.
+        assert_eq!(scale_for_absmax(f32::from_bits(1)), 1.0);
+        // Normal case: the largest value maps to the grid edge.
+        let s = scale_for_absmax(3.81);
+        assert_eq!(s, 3.81 / 127.0);
+        assert_eq!(quantize_one(3.81, 1.0 / s), 127);
+        assert_eq!(quantize_one(-3.81, 1.0 / s), -127);
+    }
+
+    #[test]
+    fn absmax_ignores_nan_and_sign() {
+        assert_eq!(absmax(&[]), 0.0);
+        assert_eq!(absmax(&[1.0, -3.5, f32::NAN, 2.0]), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn quantize_rejects_mismatched_lengths() {
+        let mut dst = [0u8; 3];
+        quantize_slice(Isa::Scalar, &[1.0; 4], 1.0, &mut dst);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn quantize_rejects_nonpositive_scale() {
+        let mut dst = [0u8; 1];
+        quantize_slice(Isa::Scalar, &[1.0], 0.0, &mut dst);
+    }
+}

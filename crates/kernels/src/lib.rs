@@ -27,11 +27,14 @@
 //! * [`sgd`] — dense SGD including the Split-SGD-BF16 step.
 //! * [`bf16wire`] — SIMD BF16 narrow/widen tiers used by the comm layer's
 //!   wire-precision path (bitwise identical across tiers, like `rowops`).
+//! * [`int8wire`] — SIMD scaled-INT8 quantize/dequantize tiers for the
+//!   deeper (4×) wire tier, same cross-tier bit-exactness contract.
 
 pub mod activations;
 pub mod bf16wire;
 pub mod embedding;
 pub mod gemm;
+pub mod int8wire;
 pub mod loss;
 pub mod sgd;
 pub mod threadpool;
