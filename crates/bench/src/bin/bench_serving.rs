@@ -19,6 +19,15 @@
 //!   serve most lookups — asserted here (> 50%) and recorded as
 //!   `hot_head_hit_rate`.
 //!
+//! * **Shard sweep** — the table-sharded [`ShardedEngine`] (DESIGN.md §15)
+//!   under the same closed-loop load for each shard count: QPS, latency
+//!   percentiles, per-shard lane/cache observability, and a per-request
+//!   bitwise identity check of every served logit against the unsharded
+//!   reference model. `multi_shard_speedup` (best multi-shard QPS over the
+//!   single-shard baseline) is gated > 1.0 by the schema validator only
+//!   for full-scale runs on a multi-core host — the artifact records
+//!   `host_cores` so a single-core measurement stays honest.
+//!
 //! Writes `results/BENCH_serving.json` (honoring `$DLRM_RESULTS_DIR`),
 //! schema-checked by `dlrm_bench::validate_bench_serving_json` before
 //! writing and by CI over the committed artifact.
@@ -27,9 +36,11 @@ use dlrm::layers::Execution;
 use dlrm_bench::{header, validate_bench_serving_json, HarnessOpts, Table};
 use dlrm_data::{DlrmConfig, IndexDistribution, MiniBatch};
 use dlrm_serve::{
-    summarize_latencies_us, CacheSizing, Request, ServeConfig, ServeEngine, ServeModel,
+    summarize_latencies_us, CacheSizing, Request, ServeConfig, ServeEngine, ServeModel, ShardSpec,
+    ShardedEngine, ShardedServeModel,
 };
 use dlrm_tensor::init::seeded_rng;
+use dlrm_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::time::{Duration, Instant};
@@ -57,6 +68,14 @@ struct Sizes {
     /// Warm-up / measured batches per sweep point.
     sweep_warmup: usize,
     sweep_measure: usize,
+    /// Shard counts for the sharded-engine scaling sweep.
+    shard_counts: Vec<usize>,
+    /// GEMM workers per shard team in the shard sweep.
+    shard_workers: usize,
+    /// Closed-loop clients per shard-sweep point.
+    shard_clients: usize,
+    /// Requests per client per shard-sweep point.
+    shard_requests_per_client: usize,
 }
 
 fn sizes(opts: &HarnessOpts) -> Sizes {
@@ -72,6 +91,10 @@ fn sizes(opts: &HarnessOpts) -> Sizes {
             capacity_fracs: vec![0.01, 0.05],
             sweep_warmup: 30,
             sweep_measure: 50,
+            shard_counts: vec![1, 2],
+            shard_workers: 1,
+            shard_clients: 2,
+            shard_requests_per_client: 25,
         }
     } else {
         Sizes {
@@ -85,6 +108,10 @@ fn sizes(opts: &HarnessOpts) -> Sizes {
             capacity_fracs: vec![0.001, 0.01, 0.05],
             sweep_warmup: 80,
             sweep_measure: 120,
+            shard_counts: vec![1, 2, 4, 8],
+            shard_workers: 2,
+            shard_clients: 8,
+            shard_requests_per_client: 200,
         }
     }
 }
@@ -220,6 +247,126 @@ fn run_sweep_point(cfg: &DlrmConfig, s: &Sizes, zipf_s: f64, frac: f64) -> Sweep
     }
 }
 
+/// Packs one request as a batch-of-1 for the reference identity forward.
+fn single_batch(cfg: &DlrmConfig, req: &Request) -> MiniBatch {
+    let dense = Matrix::from_fn(cfg.dense_features, 1, |r, _| req.dense[r]);
+    let indices: Vec<Vec<u32>> = req.indices.clone();
+    let offsets = indices.iter().map(|bag| vec![0, bag.len()]).collect();
+    MiniBatch {
+        dense,
+        indices,
+        offsets,
+        labels: vec![0.0],
+    }
+}
+
+struct PerShard {
+    shard: usize,
+    requests: u64,
+    qps: f64,
+    p50_us: f64,
+    p90_us: f64,
+    p99_us: f64,
+    queue_depth_hwm: usize,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+struct ShardPoint {
+    shards: usize,
+    qps: f64,
+    p50_us: f64,
+    p90_us: f64,
+    p99_us: f64,
+    identity_ok: bool,
+    per_shard: Vec<PerShard>,
+}
+
+/// One sharded closed-loop load point: every served logit is re-derived on
+/// the unsharded uncached reference model and compared bitwise.
+fn run_shard_point(
+    cfg: &DlrmConfig,
+    s: &Sizes,
+    shards: usize,
+    serve_cfg: &ServeConfig,
+    reference: &mut ServeModel,
+) -> ShardPoint {
+    let spec = ShardSpec {
+        shards,
+        workers_per_shard: s.shard_workers,
+        pin_cores: false,
+        cache: CacheSizing::Fraction(0.01),
+    };
+    let engine = ShardedEngine::start(ShardedServeModel::new(cfg, &spec, 42), serve_cfg.clone());
+    let dist = IndexDistribution::Zipf { s: 1.1 };
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..s.shard_clients)
+        .map(|c| {
+            let client = engine.client();
+            let cfg = cfg.clone();
+            let n = s.shard_requests_per_client;
+            std::thread::spawn(move || {
+                let mut rng = seeded_rng(3000 + c as u64, 0);
+                (0..n)
+                    .map(|_| {
+                        let req = random_request(&cfg, dist, &mut rng);
+                        let resp = client.infer(req.clone()).expect("infer");
+                        (req, resp.logit)
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    let served: Vec<(Request, f32)> = workers
+        .into_iter()
+        .flat_map(|w| w.join().expect("client thread"))
+        .collect();
+    let wall = t0.elapsed().as_secs_f64();
+    let mut report = engine.shutdown();
+    assert_eq!(report.requests as usize, served.len());
+    assert_eq!(report.shards.len(), shards);
+
+    // Per-request identity gate: micro-batch composition and lane choice
+    // are races, but each logit must equal the unsharded reference bitwise.
+    let identity_ok = served
+        .iter()
+        .all(|(req, logit)| reference.forward(&single_batch(cfg, req))[0] == *logit);
+
+    let lat = summarize_latencies_us(&mut report.latencies_us);
+    let per_shard = report
+        .shards
+        .iter_mut()
+        .map(|sr| {
+            let slat = summarize_latencies_us(&mut sr.latencies_us);
+            let (hits, misses) = sr
+                .cache_stats
+                .iter()
+                .flatten()
+                .fold((0u64, 0u64), |(h, m), st| (h + st.hits, m + st.misses));
+            PerShard {
+                shard: sr.shard,
+                requests: sr.requests,
+                qps: sr.requests as f64 / wall.max(f64::MIN_POSITIVE),
+                p50_us: slat.p50_us,
+                p90_us: slat.p90_us,
+                p99_us: slat.p99_us,
+                queue_depth_hwm: sr.queue_depth_hwm,
+                cache_hits: hits,
+                cache_misses: misses,
+            }
+        })
+        .collect();
+    ShardPoint {
+        shards,
+        qps: report.requests as f64 / wall.max(f64::MIN_POSITIVE),
+        p50_us: lat.p50_us,
+        p90_us: lat.p90_us,
+        p99_us: lat.p99_us,
+        identity_ok,
+        per_shard,
+    }
+}
+
 fn main() {
     let opts = HarnessOpts::from_args();
     let s = sizes(&opts);
@@ -292,6 +439,51 @@ fn main() {
     }
     t.print();
 
+    // ---- Sharded-engine scaling sweep. ----------------------------------
+    let host_cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    println!(
+        "\nshard sweep: {} closed-loop clients x {} requests, {} worker(s)/shard, host_cores={}",
+        s.shard_clients, s.shard_requests_per_client, s.shard_workers, host_cores
+    );
+    let mut reference = ServeModel::new(&cfg, Execution::optimized(1), CacheSizing::Disabled, 42);
+    let mut shard_sweep: Vec<ShardPoint> = Vec::new();
+    let mut t = Table::new(&["shards", "QPS", "p50", "p99", "vs S=1", "identity"]);
+    for &shards in &s.shard_counts {
+        let p = run_shard_point(&cfg, &s, shards, &serve_cfg, &mut reference);
+        let base = shard_sweep.first().map_or(p.qps, |b| b.qps);
+        t.row(vec![
+            format!("{}", p.shards),
+            format!("{:.0}", p.qps),
+            format!("{:.0} us", p.p50_us),
+            format!("{:.0} us", p.p99_us),
+            format!("{:.2}x", p.qps / base.max(f64::MIN_POSITIVE)),
+            format!("{}", p.identity_ok),
+        ]);
+        shard_sweep.push(p);
+    }
+    t.print();
+    let sharded_identity_ok = shard_sweep.iter().all(|p| p.identity_ok);
+    assert!(
+        sharded_identity_ok,
+        "sharded logits must be bitwise identical to the unsharded reference"
+    );
+    let single_qps = shard_sweep
+        .iter()
+        .find(|p| p.shards == 1)
+        .map_or(0.0, |p| p.qps);
+    let multi_shard_speedup = shard_sweep
+        .iter()
+        .filter(|p| p.shards > 1)
+        .map(|p| p.qps / single_qps.max(f64::MIN_POSITIVE))
+        .fold(0.0f64, f64::max);
+    println!(
+        "\nbest multi-shard speedup vs single shard: {multi_shard_speedup:.2}x \
+         ({}meaningful on this {host_cores}-core host)",
+        if host_cores > 1 { "" } else { "NOT " }
+    );
+
     // ---- Artifact. ------------------------------------------------------
     let curve_json: Vec<String> = curve
         .iter()
@@ -313,15 +505,58 @@ fn main() {
             )
         })
         .collect();
+    let shard_json: Vec<String> = shard_sweep
+        .iter()
+        .map(|p| {
+            let per: Vec<String> = p
+                .per_shard
+                .iter()
+                .map(|ps| {
+                    let looked = (ps.cache_hits + ps.cache_misses).max(1);
+                    format!(
+                        "{{\"shard\": {}, \"requests\": {}, \"qps\": {:.2}, \"p50_us\": {:.1}, \
+                         \"p90_us\": {:.1}, \"p99_us\": {:.1}, \"queue_depth_hwm\": {}, \
+                         \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}}}}",
+                        ps.shard,
+                        ps.requests,
+                        ps.qps,
+                        ps.p50_us,
+                        ps.p90_us,
+                        ps.p99_us,
+                        ps.queue_depth_hwm,
+                        ps.cache_hits,
+                        ps.cache_misses,
+                        ps.cache_hits as f64 / looked as f64,
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"shards\": {}, \"workers_per_shard\": {}, \"qps\": {:.2}, \"p50_us\": {:.1}, \
+                 \"p90_us\": {:.1}, \"p99_us\": {:.1}, \"sharded_identity_ok\": {},\n     \
+                 \"per_shard\": [\n       {}\n     ]}}",
+                p.shards,
+                s.shard_workers,
+                p.qps,
+                p.p50_us,
+                p.p90_us,
+                p.p99_us,
+                p.identity_ok,
+                per.join(",\n       "),
+            )
+        })
+        .collect();
     let json = format!(
-        "{{\n  \"bench\": \"serving\",\n  \"smoke\": {},\n  \
+        "{{\n  \"bench\": \"serving\",\n  \"smoke\": {},\n  \"host_cores\": {host_cores},\n  \
          \"config\": {{\"rows\": {}, \"dim\": {}, \"tables\": {}, \"lookups\": {}, \
          \"dense_features\": {}, \"threads\": {THREADS}, \"max_batch\": {}, \"window_us\": {}, \
          \"requests_per_client\": {}}},\n  \
          \"latency_curve\": [\n    {}\n  ],\n  \
          \"cache_sweep\": [\n    {}\n  ],\n  \
          \"hot_head_hit_rate\": {:.4},\n  \
-         \"bitwise_identical\": {}\n}}\n",
+         \"bitwise_identical\": {},\n  \
+         \"shard_sweep\": [\n    {}\n  ],\n  \
+         \"multi_shard_speedup\": {:.4},\n  \
+         \"sharded_identity_ok\": {}\n}}\n",
         opts.smoke,
         s.m,
         s.e,
@@ -335,6 +570,9 @@ fn main() {
         sweep_json.join(",\n    "),
         hot_head_rate,
         bitwise_ok,
+        shard_json.join(",\n    "),
+        multi_shard_speedup,
+        sharded_identity_ok,
     );
     validate_bench_serving_json(&json).expect("self-validation of the artifact schema");
     let path = dlrm_bench::write_artifact("BENCH_serving.json", &json);

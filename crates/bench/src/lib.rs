@@ -78,6 +78,18 @@ fn require_keys(json: &str, required: &[&str]) -> Result<(), String> {
     Ok(())
 }
 
+/// Extracts the first numeric value following a `"key":` literal. Returns
+/// `None` when the key is absent or not followed by a number — enough to
+/// gate on scalar fields without a JSON parser in the workspace.
+fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let rest = json[json.find(&pat)? + pat.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 /// Checks that braces/brackets balance and never go negative.
 fn check_balanced(json: &str) -> Result<(), String> {
     let mut depth_brace = 0i64;
@@ -220,10 +232,17 @@ pub fn validate_bench_overlap_json(json: &str) -> Result<(), String> {
 
 /// Structural schema check for `results/BENCH_serving.json` (the
 /// `bench_serving` artifact): the QPS-vs-latency-percentile curve, the
-/// cache hit-rate sweep over Zipf α × cache capacity, and the
-/// cached-vs-uncached bitwise-identity gate.
+/// cache hit-rate sweep over Zipf α × cache capacity, the sharded-engine
+/// scaling sweep with its per-shard observability block, and two identity
+/// gates — cached-vs-uncached and sharded-vs-unsharded, both bitwise.
+///
+/// The multi-shard speedup gate (`multi_shard_speedup > 1.0`) only applies
+/// to full-scale artifacts measured on a multi-core host: a single-core
+/// host cannot show parallel speedup, and smoke runs do not measure
+/// performance — the artifact records `host_cores` so the gate arms itself
+/// exactly when the measurement could have shown scaling.
 pub fn validate_bench_serving_json(json: &str) -> Result<(), String> {
-    const REQUIRED: [&str; 14] = [
+    const REQUIRED: [&str; 24] = [
         "\"bench\"",
         "\"smoke\"",
         "\"config\"",
@@ -238,6 +257,16 @@ pub fn validate_bench_serving_json(json: &str) -> Result<(), String> {
         "\"capacity_frac\"",
         "\"hit_rate\"",
         "\"hot_head_hit_rate\"",
+        "\"shard_sweep\"",
+        "\"shards\"",
+        "\"workers_per_shard\"",
+        "\"per_shard\"",
+        "\"requests\"",
+        "\"p90_us\"",
+        "\"queue_depth_hwm\"",
+        "\"host_cores\"",
+        "\"multi_shard_speedup\"",
+        "\"sharded_identity_ok\"",
     ];
     require_keys(json, &REQUIRED)?;
     if !json.contains("\"bench\": \"serving\"") {
@@ -245,6 +274,19 @@ pub fn validate_bench_serving_json(json: &str) -> Result<(), String> {
     }
     if !json.contains("\"bitwise_identical\": true") {
         return Err("\"bitwise_identical\" must be true".into());
+    }
+    if !json.contains("\"sharded_identity_ok\": true")
+        || json.contains("\"sharded_identity_ok\": false")
+    {
+        return Err("\"sharded_identity_ok\" must be true".into());
+    }
+    let host_cores = extract_number(json, "host_cores").ok_or("\"host_cores\" must be numeric")?;
+    let speedup = extract_number(json, "multi_shard_speedup")
+        .ok_or("\"multi_shard_speedup\" must be numeric")?;
+    if json.contains("\"smoke\": false") && host_cores > 1.0 && speedup <= 1.0 {
+        return Err(format!(
+            "full-scale run on a {host_cores}-core host must show multi-shard speedup > 1.0, got {speedup}"
+        ));
     }
     check_balanced(json)
 }
@@ -543,6 +585,7 @@ mod tests {
         let ok = r#"{
   "bench": "serving",
   "smoke": true,
+  "host_cores": 1,
   "config": {"rows": 1000, "dim": 16, "tables": 1, "lookups": 2, "max_batch": 8, "window_us": 200},
   "latency_curve": [
     {"clients": 1, "qps": 1000.0, "p50_us": 150.0, "p99_us": 400.0, "mean_batch": 1.2}
@@ -551,7 +594,17 @@ mod tests {
     {"zipf_s": 1.1, "capacity_frac": 0.01, "hit_rate": 0.76, "bitwise_identical": true}
   ],
   "hot_head_hit_rate": 0.76,
-  "bitwise_identical": true
+  "bitwise_identical": true,
+  "shard_sweep": [
+    {"shards": 1, "workers_per_shard": 1, "qps": 900.0, "p50_us": 160.0, "p90_us": 300.0, "p99_us": 500.0,
+     "per_shard": [
+       {"shard": 0, "requests": 100, "qps": 900.0, "p50_us": 160.0, "p90_us": 300.0, "p99_us": 500.0,
+        "queue_depth_hwm": 3, "cache": {"hits": 10, "misses": 5, "hit_rate": 0.67}}
+     ],
+     "sharded_identity_ok": true}
+  ],
+  "multi_shard_speedup": 0.95,
+  "sharded_identity_ok": true
 }"#;
         assert!(validate_bench_serving_json(ok).is_ok());
         assert!(validate_bench_serving_json("{}").is_err());
@@ -560,8 +613,38 @@ mod tests {
             "\"bitwise_identical\": false",
         );
         assert!(validate_bench_serving_json(&gate_broken).is_err());
+        let shard_gate_broken = ok.replace(
+            "\"sharded_identity_ok\": true\n}",
+            "\"sharded_identity_ok\": false\n}",
+        );
+        assert!(validate_bench_serving_json(&shard_gate_broken).is_err());
         let unbalanced = ok.replace("true\n}", "true\n");
         assert!(validate_bench_serving_json(&unbalanced).is_err());
+    }
+
+    #[test]
+    fn serving_speedup_gate_arms_only_on_full_scale_multicore_runs() {
+        let base = r#"{
+  "bench": "serving", "smoke": SMOKE, "host_cores": CORES,
+  "config": {}, "latency_curve": [{"clients": 1, "qps": 1.0, "p50_us": 1.0, "p99_us": 1.0, "mean_batch": 1.0}],
+  "cache_sweep": [{"zipf_s": 1.1, "capacity_frac": 0.01, "hit_rate": 0.5}],
+  "hot_head_hit_rate": 0.5, "bitwise_identical": true,
+  "shard_sweep": [{"shards": 1, "workers_per_shard": 1, "qps": 1.0, "p50_us": 1.0, "p90_us": 1.0, "p99_us": 1.0,
+    "per_shard": [{"shard": 0, "requests": 1, "queue_depth_hwm": 1}]}],
+  "multi_shard_speedup": SPEEDUP,
+  "sharded_identity_ok": true
+}"#;
+        let fill = |smoke: &str, cores: &str, speedup: &str| {
+            base.replace("SMOKE", smoke)
+                .replace("CORES", cores)
+                .replace("SPEEDUP", speedup)
+        };
+        // Full-scale on multi-core: speedup must exceed 1.0.
+        assert!(validate_bench_serving_json(&fill("false", "8", "0.9")).is_err());
+        assert!(validate_bench_serving_json(&fill("false", "8", "1.7")).is_ok());
+        // Single-core host or smoke run: the gate stays disarmed.
+        assert!(validate_bench_serving_json(&fill("false", "1", "0.9")).is_ok());
+        assert!(validate_bench_serving_json(&fill("true", "8", "0.9")).is_ok());
     }
 
     #[test]

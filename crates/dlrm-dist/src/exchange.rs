@@ -36,6 +36,7 @@ use dlrm_comm::nonblocking::{OpOutput, ProgressEngine, Request};
 use dlrm_comm::wire::WirePrecision;
 use dlrm_comm::world::Communicator;
 use dlrm_tensor::Matrix;
+use dlrm_topology::OwnershipMap;
 
 /// Strategy for the embedding exchange.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,14 +74,21 @@ impl std::fmt::Display for ExchangeStrategy {
 }
 
 /// Tables owned by rank `q` (round-robin), in ascending order.
+///
+/// Thin wrapper over [`dlrm_topology::OwnershipMap::round_robin`] — the
+/// trainer and the sharded serving engine share that one mapping type, so
+/// a future elastic reshard swaps the map in a single place.
 pub fn tables_of(num_tables: usize, nranks: usize, q: usize) -> Vec<usize> {
-    (0..num_tables).filter(|t| t % nranks == q).collect()
+    OwnershipMap::round_robin(num_tables, nranks)
+        .tables_of(q)
+        .to_vec()
 }
 
-/// Owner rank of table `t`.
+/// Owner rank of table `t` (the allocation-free round-robin form of
+/// [`dlrm_topology::OwnershipMap::owner_of`]).
 #[inline]
 pub fn owner_of(t: usize, nranks: usize) -> usize {
-    t % nranks
+    OwnershipMap::round_robin_owner(t, nranks)
 }
 
 /// Grows/reshapes `out` to exactly `count` matrices of `rows×cols`,
@@ -723,13 +731,18 @@ mod tests {
     #[test]
     fn table_ownership_is_a_partition() {
         for nranks in 1..=6 {
+            let map = OwnershipMap::round_robin(26, nranks);
             let mut seen = [false; 26];
             for q in 0..nranks {
                 for t in tables_of(26, nranks, q) {
                     assert!(!seen[t]);
                     assert_eq!(owner_of(t, nranks), q);
+                    // The wrappers and the shared map type must agree —
+                    // the serving engine partitions by the same map.
+                    assert_eq!(map.owner_of(t), q);
                     seen[t] = true;
                 }
+                assert_eq!(tables_of(26, nranks, q), map.tables_of(q));
             }
             assert!(seen.iter().all(|&s| s));
         }

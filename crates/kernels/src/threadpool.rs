@@ -26,6 +26,47 @@ struct Shared {
     state: Mutex<State>,
     work_ready: Condvar,
     work_done: Condvar,
+    /// Workers that successfully pinned themselves to their assigned core.
+    pinned: AtomicUsize,
+}
+
+/// Pins the calling thread to one CPU core. Best-effort: returns `false`
+/// (and changes nothing) where unsupported or refused by the kernel —
+/// callers treat placement as advisory, never as a correctness input.
+///
+/// Implemented as a raw `sched_setaffinity(0, ...)` syscall because the
+/// workspace vendors all dependencies and `std` exposes no affinity API;
+/// pid 0 means "the calling thread" for this syscall.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+pub fn pin_current_thread(core: usize) -> bool {
+    const CPU_SET_WORDS: usize = 16; // 1024 CPUs
+    if core >= CPU_SET_WORDS * 64 {
+        return false;
+    }
+    let mut mask = [0u64; CPU_SET_WORDS];
+    mask[core / 64] = 1u64 << (core % 64);
+    let ret: i64;
+    // SAFETY: sched_setaffinity (x86_64 syscall 203) reads `rdx..rdx+rsi`
+    // bytes from our stack-owned mask and touches no other memory.
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") 203i64 => ret,
+            in("rdi") 0usize,
+            in("rsi") std::mem::size_of_val(&mask),
+            in("rdx") mask.as_ptr(),
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret == 0
+}
+
+/// Fallback for platforms without an affinity syscall binding: a no-op.
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+pub fn pin_current_thread(_core: usize) -> bool {
+    false
 }
 
 struct State {
@@ -50,6 +91,22 @@ impl ThreadPool {
     /// Spawns a pool with `n` worker threads (`n >= 1`).
     pub fn new(n: usize) -> Self {
         assert!(n >= 1, "thread pool needs at least one worker");
+        Self::spawn(n, None)
+    }
+
+    /// Spawns one worker per entry of `cores`, each pinned (best-effort)
+    /// to its core id — the affinity hook the sharded serving engine uses
+    /// to keep a shard's team on the cores a
+    /// `dlrm_topology::CorePlacement` assigned it. Pin failures are
+    /// tolerated (the worker just runs unpinned); [`Self::pinned_workers`]
+    /// reports how many pins took effect.
+    pub fn with_affinity(cores: &[usize]) -> Self {
+        assert!(!cores.is_empty(), "thread pool needs at least one worker");
+        Self::spawn(cores.len(), Some(cores.to_vec()))
+    }
+
+    fn spawn(n: usize, cores: Option<Vec<usize>>) -> Self {
+        let pinning = cores.is_some();
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 epoch: 0,
@@ -60,31 +117,76 @@ impl ThreadPool {
             }),
             work_ready: Condvar::new(),
             work_done: Condvar::new(),
+            pinned: AtomicUsize::new(0),
         });
         let handles = (0..n)
             .map(|tid| {
                 let shared = Arc::clone(&shared);
+                let core = cores.as_ref().map(|c| c[tid]);
                 std::thread::Builder::new()
                     .name(format!("dlrm-worker-{tid}"))
-                    .spawn(move || worker_loop(tid, &shared))
+                    .spawn(move || {
+                        if let Some(core) = core {
+                            if pin_current_thread(core) {
+                                shared.pinned.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        worker_loop(tid, &shared)
+                    })
                     .expect("failed to spawn pool worker")
             })
             .collect();
-        ThreadPool { shared, handles, n }
+        let pool = ThreadPool { shared, handles, n };
+        if pinning {
+            // Workers pin before entering their loop, so one empty
+            // broadcast makes [`Self::pinned_workers`] final on return.
+            pool.broadcast(|_| {});
+        }
+        pool
     }
 
-    /// Pool with one worker per available CPU.
+    /// The worker count [`Self::with_default_parallelism`] would use: the
+    /// `DLRM_THREADS` environment override when set to a positive integer,
+    /// else the OS-reported parallelism. When the OS probe fails *and* no
+    /// override is set, the fallback to 1 is reported on stderr instead of
+    /// silently degrading the whole compute path to a single worker.
+    pub fn default_parallelism() -> usize {
+        if let Ok(v) = std::env::var("DLRM_THREADS") {
+            match v.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => return n,
+                _ => eprintln!(
+                    "dlrm-kernels: ignoring invalid DLRM_THREADS={v:?} (want a positive integer)"
+                ),
+            }
+        }
+        match std::thread::available_parallelism() {
+            Ok(p) => p.get(),
+            Err(e) => {
+                eprintln!(
+                    "dlrm-kernels: available_parallelism() failed ({e}); \
+                     falling back to 1 worker — set DLRM_THREADS to override"
+                );
+                1
+            }
+        }
+    }
+
+    /// Pool sized by [`Self::default_parallelism`] (honours `DLRM_THREADS`).
     pub fn with_default_parallelism() -> Self {
-        let n = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1);
-        Self::new(n)
+        Self::new(Self::default_parallelism())
     }
 
     /// Number of worker threads.
     #[inline]
     pub fn num_threads(&self) -> usize {
         self.n
+    }
+
+    /// Workers that successfully pinned to their [`Self::with_affinity`]
+    /// core (0 for unpinned pools, and on platforms without affinity
+    /// support).
+    pub fn pinned_workers(&self) -> usize {
+        self.shared.pinned.load(Ordering::Relaxed)
     }
 
     /// Runs `f(thread_id)` once on every worker and waits for the team.
@@ -296,6 +398,47 @@ mod tests {
             ok.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(ok.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn affinity_pool_runs_jobs_and_reports_pins() {
+        // Core 0 always exists; higher ids may not on small hosts — the
+        // pool must run correctly either way (pinning is best-effort).
+        let pool = ThreadPool::with_affinity(&[0, 0, 9999]);
+        assert_eq!(pool.num_threads(), 3);
+        let hits = AtomicUsize::new(0);
+        pool.broadcast(|_| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 3);
+        if cfg!(all(target_os = "linux", target_arch = "x86_64")) {
+            assert!(
+                pool.pinned_workers() >= 2,
+                "pinning to core 0 must succeed on linux"
+            );
+        }
+        // Unpinned pools report zero pins.
+        assert_eq!(ThreadPool::new(2).pinned_workers(), 0);
+    }
+
+    #[test]
+    fn default_parallelism_honors_env_override() {
+        // This is the only test touching DLRM_THREADS, so the process-wide
+        // env mutation cannot race another test.
+        std::env::set_var("DLRM_THREADS", "3");
+        assert_eq!(ThreadPool::default_parallelism(), 3);
+        let pool = ThreadPool::with_default_parallelism();
+        assert_eq!(pool.num_threads(), 3);
+        // Invalid overrides are ignored, not honored as 0/garbage.
+        std::env::set_var("DLRM_THREADS", "0");
+        let n0 = ThreadPool::default_parallelism();
+        std::env::set_var("DLRM_THREADS", "lots");
+        let n1 = ThreadPool::default_parallelism();
+        std::env::remove_var("DLRM_THREADS");
+        let os = ThreadPool::default_parallelism();
+        assert!(os >= 1);
+        assert_eq!(n0, os, "DLRM_THREADS=0 must fall back to the OS count");
+        assert_eq!(n1, os, "non-numeric DLRM_THREADS must fall back");
     }
 
     #[test]

@@ -1,13 +1,17 @@
 //! Micro-batcher: turns a concurrent stream of single items into bounded
 //! batches under a batching window.
 //!
-//! Producers [`push`](MicroBatcher::push) items from any thread; one
-//! consumer calls [`next_batch`](MicroBatcher::next_batch), which blocks
-//! until something is queued, then keeps collecting until either
-//! `max_batch` items are available or `window` has elapsed since the first
-//! item was seen — the classic throughput/latency dial of batched serving
-//! (a wide window amortizes kernel launch over more samples; a narrow one
-//! bounds the queueing delay added to every request).
+//! Producers [`push`](MicroBatcher::push) items from any thread; any
+//! number of consumers call [`next_batch`](MicroBatcher::next_batch),
+//! which blocks until something is queued, then keeps collecting until
+//! either `max_batch` items are available or `window` has elapsed since
+//! the first item was seen — the classic throughput/latency dial of
+//! batched serving (a wide window amortizes kernel launch over more
+//! samples; a narrow one bounds the queueing delay added to every
+//! request). With several consumers — the sharded engine runs one lane
+//! per shard off a single batcher — a consumer that loses the race for a
+//! freshly filled queue goes back to waiting instead of returning an
+//! empty batch.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
@@ -88,30 +92,39 @@ impl<T> MicroBatcher<T> {
 
     /// Blocks for the next micro-batch (1..=`max_batch` items): waits for a
     /// first item, then collects until `max_batch` or until `window` has
-    /// elapsed. Returns `None` once the batcher is closed and drained.
+    /// elapsed. Returns `None` once the batcher is closed and drained —
+    /// items queued at the moment `close` lands are still delivered, never
+    /// dropped. Never returns an empty batch: if another consumer drains
+    /// the queue first, this one resumes waiting.
     pub fn next_batch(&self, max_batch: usize, window: Duration) -> Option<Vec<T>> {
         assert!(max_batch >= 1, "max_batch must be >= 1");
         let mut st = self.shared.state.lock().unwrap();
-        while st.queue.is_empty() {
-            if st.closed {
-                return None;
+        loop {
+            while st.queue.is_empty() {
+                if st.closed {
+                    return None;
+                }
+                st = self.shared.cv.wait(st).unwrap();
             }
-            st = self.shared.cv.wait(st).unwrap();
+            let deadline = Instant::now() + window;
+            while st.queue.len() < max_batch && !st.closed {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, wait) = self.shared.cv.wait_timeout(st, deadline - now).unwrap();
+                st = guard;
+                if wait.timed_out() {
+                    break;
+                }
+            }
+            // A concurrent consumer may have raced us to the queue while we
+            // slept inside the window wait; an empty grab is not a batch.
+            let take = st.queue.len().min(max_batch);
+            if take > 0 {
+                return Some(st.queue.drain(..take).collect());
+            }
         }
-        let deadline = Instant::now() + window;
-        while st.queue.len() < max_batch && !st.closed {
-            let now = Instant::now();
-            if now >= deadline {
-                break;
-            }
-            let (guard, wait) = self.shared.cv.wait_timeout(st, deadline - now).unwrap();
-            st = guard;
-            if wait.timed_out() {
-                break;
-            }
-        }
-        let take = st.queue.len().min(max_batch);
-        Some(st.queue.drain(..take).collect())
     }
 }
 
@@ -157,6 +170,51 @@ mod tests {
         assert!(!b.push(2), "push after close must be rejected");
         assert_eq!(b.next_batch(8, Duration::ZERO), Some(vec![1]));
         assert_eq!(b.next_batch(8, Duration::ZERO), None);
+    }
+
+    #[test]
+    fn competing_consumers_never_see_an_empty_batch_and_split_the_stream() {
+        let b = MicroBatcher::new();
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let b = b.clone();
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(batch) = b.next_batch(4, Duration::from_millis(2)) {
+                        assert!(!batch.is_empty(), "empty batch delivered to a consumer");
+                        got.extend(batch);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for i in 0..300u32 {
+            assert!(b.push(i));
+            if i % 7 == 0 {
+                thread::yield_now();
+            }
+        }
+        b.close();
+        let mut got: Vec<u32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..300).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn items_queued_at_close_are_delivered_not_dropped() {
+        let b = MicroBatcher::new();
+        for i in 0..10u32 {
+            assert!(b.push(i));
+        }
+        b.close();
+        let mut got = Vec::new();
+        while let Some(batch) = b.next_batch(3, Duration::ZERO) {
+            got.extend(batch);
+        }
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub enum CacheSizing {
 }
 
 impl CacheSizing {
-    fn rows_for_table(&self, m: usize) -> Option<usize> {
+    pub(crate) fn rows_for_table(&self, m: usize) -> Option<usize> {
         match *self {
             CacheSizing::Disabled => None,
             CacheSizing::Rows(r) => Some(r.clamp(1, m.max(1))),
@@ -196,7 +196,7 @@ impl ServeModel {
 /// served from the cache (admitting from `weight` on a miss). Cached rows
 /// are verbatim copies, so the output is bitwise identical to the uncached
 /// gather.
-fn gather_cached(
+pub(crate) fn gather_cached(
     cache: &mut HotRowCache,
     weight: &Matrix,
     indices: &[u32],
@@ -216,10 +216,39 @@ fn gather_cached(
     }
 }
 
-struct Pending {
-    req: Request,
-    submitted: Instant,
-    tx: mpsc::Sender<Response>,
+pub(crate) struct Pending {
+    pub(crate) req: Request,
+    pub(crate) submitted: Instant,
+    pub(crate) tx: mpsc::Sender<Response>,
+}
+
+/// Per-shard slice of an [`EngineReport`]: what one worker team saw.
+///
+/// The unsharded engine reports exactly one of these (shard 0 owning every
+/// table); the sharded engine reports one per shard, so dashboards can
+/// spot a hot shard (skewed `requests`, deep `queue_depth_hwm`, cold
+/// caches) without re-deriving the table partition.
+#[derive(Debug, Clone, Default)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// Global table ids this shard's servers own.
+    pub owned_tables: Vec<usize>,
+    /// Requests whose MLP ran on this shard's lane.
+    pub requests: u64,
+    /// Micro-batches this shard's lane executed.
+    pub batches: u64,
+    /// Largest micro-batch this lane saw.
+    pub max_batch_seen: usize,
+    /// Engine-side latency of each request served by this lane, in
+    /// microseconds, in completion order.
+    pub latencies_us: Vec<u64>,
+    /// High-water mark of requests visible to this lane when it pulled a
+    /// batch (batch in hand + still queued behind it).
+    pub queue_depth_hwm: usize,
+    /// Cache statistics for this shard's owned tables, in `owned_tables`
+    /// order (`None` for uncached tables).
+    pub cache_stats: Vec<Option<CacheStats>>,
 }
 
 /// Aggregate statistics returned by [`ServeEngine::shutdown`].
@@ -234,8 +263,11 @@ pub struct EngineReport {
     /// Engine-side latency of every request, in microseconds
     /// (submission → response ready), in completion order.
     pub latencies_us: Vec<u64>,
-    /// Final per-table cache statistics (`None` for uncached tables).
+    /// Final per-table cache statistics (`None` for uncached tables),
+    /// indexed by global table id.
     pub cache_stats: Vec<Option<CacheStats>>,
+    /// Per-shard breakdown (one entry for the unsharded engine).
+    pub shards: Vec<ShardReport>,
 }
 
 impl EngineReport {
@@ -258,6 +290,18 @@ pub struct ServeClient {
 }
 
 impl ServeClient {
+    pub(crate) fn new(
+        batcher: MicroBatcher<Pending>,
+        dense_features: usize,
+        table_rows: Vec<u64>,
+    ) -> Self {
+        ServeClient {
+            batcher,
+            dense_features,
+            table_rows,
+        }
+    }
+
     fn validate(&self, req: &Request) -> Result<(), String> {
         if req.dense.len() != self.dense_features {
             return Err(format!(
@@ -333,17 +377,20 @@ impl ServeEngine {
     pub fn start(mut model: ServeModel, cfg: ServeConfig) -> Self {
         assert!(cfg.max_batch >= 1, "max_batch must be >= 1");
         let batcher: MicroBatcher<Pending> = MicroBatcher::new();
-        let client = ServeClient {
-            batcher: batcher.clone(),
-            dense_features: model.cfg().dense_features,
-            table_rows: model.cfg().table_rows.clone(),
-        };
+        let client = ServeClient::new(
+            batcher.clone(),
+            model.cfg().dense_features,
+            model.cfg().table_rows.clone(),
+        );
+        let num_tables = model.cfg().num_tables;
         let consumer = batcher.clone();
         let worker = std::thread::Builder::new()
             .name("dlrm-serve".into())
             .spawn(move || {
                 let mut report = EngineReport::default();
+                let mut queue_depth_hwm = 0usize;
                 while let Some(mut pendings) = consumer.next_batch(cfg.max_batch, cfg.window) {
+                    queue_depth_hwm = queue_depth_hwm.max(pendings.len() + consumer.len());
                     let batch = assemble(model.cfg(), &pendings);
                     let logits = model.forward(&batch);
                     report.batches += 1;
@@ -360,6 +407,18 @@ impl ServeEngine {
                     }
                 }
                 report.cache_stats = model.cache_stats();
+                // The unsharded engine is the degenerate one-shard layout:
+                // a single team owning every table.
+                report.shards = vec![ShardReport {
+                    shard: 0,
+                    owned_tables: (0..num_tables).collect(),
+                    requests: report.requests,
+                    batches: report.batches,
+                    max_batch_seen: report.max_batch_seen,
+                    latencies_us: report.latencies_us.clone(),
+                    queue_depth_hwm,
+                    cache_stats: report.cache_stats.clone(),
+                }];
                 report
             })
             .expect("spawn serving worker");
@@ -398,7 +457,7 @@ impl Drop for ServeEngine {
 
 /// Packs a micro-batch of pending requests into the kernel batch format
 /// (dense is `C × N` — samples are columns; sparse is per-table CSR bags).
-fn assemble(cfg: &DlrmConfig, pendings: &[Pending]) -> MiniBatch {
+pub(crate) fn assemble(cfg: &DlrmConfig, pendings: &[Pending]) -> MiniBatch {
     let n = pendings.len();
     let dense = Matrix::from_fn(cfg.dense_features, n, |r, c| pendings[c].req.dense[r]);
     let mut indices = Vec::with_capacity(cfg.num_tables);

@@ -15,19 +15,31 @@
 //!   kernels, recording per-request latency for p50/p99/QPS SLO reporting
 //!   ([`metrics`]).
 //!
+//! For multi-socket hosts, [`sharded`] scales the same engine across
+//! worker teams (DESIGN.md §15): tables are partitioned over shards by the
+//! trainer's `OwnershipMap`, each shard runs its own lane + table-server
+//! thread pair with its own caches and (optionally core-pinned) GEMM team,
+//! and lanes fan sparse lookups out to owning shards over lock-free SPSC
+//! rings ([`spsc`]).
+//!
 //! Correctness contract: cached and uncached forward output are **bitwise
 //! identical** (cached rows are verbatim copies, summed in the same order
 //! by the same rowops tiers), so turning the cache on can never change a
-//! served score.
+//! served score. The sharded engine extends the same gate: sharded and
+//! unsharded output are bitwise identical for any shard count.
 
 pub mod batcher;
 pub mod cache;
 pub mod engine;
 pub mod metrics;
+pub mod sharded;
+pub mod spsc;
 
 pub use batcher::MicroBatcher;
 pub use cache::{CacheStats, HotRowCache};
 pub use engine::{
-    CacheSizing, EngineReport, Request, Response, ServeClient, ServeConfig, ServeEngine, ServeModel,
+    CacheSizing, EngineReport, Request, Response, ServeClient, ServeConfig, ServeEngine,
+    ServeModel, ShardReport,
 };
 pub use metrics::{summarize_latencies_us, LatencySummary};
+pub use sharded::{ShardSpec, ShardedEngine, ShardedServeModel};

@@ -1,0 +1,603 @@
+//! Table-sharded, multi-worker-team serving: the in-process analogue of
+//! the paper's hybrid-parallel training layout.
+//!
+//! The distributed trainer model-parallelizes the embedding tables across
+//! sockets and data-parallelizes the MLPs; this module mirrors that split
+//! inside one serving process. Tables are partitioned over `S` shards by
+//! the same [`OwnershipMap`] the trainer uses (DESIGN.md §15); each shard
+//! gets its own worker team ([`dlrm_kernels::threadpool::ThreadPool`],
+//! optionally core-pinned via [`CorePlacement`]), its own per-table
+//! [`HotRowCache`]s, and its own request lane off a shared
+//! [`MicroBatcher`]. A lane fans each micro-batch's sparse lookups out to
+//! the owning shards over lock-free SPSC rings ([`crate::spsc`] — no
+//! comm-world dependency), gathers the pooled `N × E` rows back, and runs
+//! the replicated bottom/interaction/top MLP stack on its own team.
+//!
+//! Correctness contract, extending the cached≡uncached gate: for any shard
+//! count, any micro-batch composition, and any worker-team width, the
+//! served logits are **bitwise identical** to the unsharded
+//! [`crate::ServeModel`]. Three properties make that hold:
+//!
+//! 1. each table's bag-sum runs serially at its owning shard through the
+//!    exact [`gather_cached`] / `forward_serial` code the unsharded engine
+//!    uses — sharding moves *which thread* gathers, never the accumulation
+//!    order;
+//! 2. the MLP replicas are rebuilt from the model seed's per-component RNG
+//!    streams, so every shard holds bitwise-equal weights;
+//! 3. the blocked GEMM partitions a fixed tile grid, making its output
+//!    invariant to the pool width, and is per-sample (per-column)
+//!    independent, making each logit invariant to micro-batch grouping.
+
+use crate::batcher::MicroBatcher;
+use crate::cache::{CacheStats, HotRowCache};
+use crate::engine::{
+    assemble, gather_cached, CacheSizing, EngineReport, Pending, Response, ServeClient,
+    ServeConfig, ShardReport,
+};
+use crate::spsc::{spsc, SpscConsumer, SpscProducer};
+use dlrm::embedding_layer::EmbeddingLayer;
+use dlrm::interaction::Interaction;
+use dlrm::layers::{Activation, Execution, Mlp};
+use dlrm::model::DlrmModel;
+use dlrm_data::{DlrmConfig, MiniBatch};
+use dlrm_kernels::activations::sigmoid;
+use dlrm_kernels::embedding::{self, UpdateStrategy};
+use dlrm_kernels::gemm::micro::detect_isa;
+use dlrm_kernels::threadpool::ThreadPool;
+use dlrm_tensor::init::seeded_rng;
+use dlrm_tensor::Matrix;
+use dlrm_topology::{CorePlacement, OwnershipMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// How to carve the model across shards.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// Number of shards (worker teams). 1 reproduces the unsharded layout.
+    pub shards: usize,
+    /// GEMM worker threads per shard's team.
+    pub workers_per_shard: usize,
+    /// Pin each team's workers to distinct host cores
+    /// ([`CorePlacement::contiguous`]); best-effort — pinning failures are
+    /// non-fatal.
+    pub pin_cores: bool,
+    /// Hot-row cache sizing for each shard's owned tables.
+    pub cache: CacheSizing,
+}
+
+impl Default for ShardSpec {
+    fn default() -> Self {
+        ShardSpec {
+            shards: 2,
+            workers_per_shard: 1,
+            pin_cores: false,
+            cache: CacheSizing::Disabled,
+        }
+    }
+}
+
+/// The MLP side of one shard: the replicated dense stack plus the team it
+/// runs on. Lives on the shard's lane thread.
+struct LaneHalf {
+    exec: Execution,
+    bottom: Mlp,
+    interaction: Interaction,
+    top: Mlp,
+    /// Reused per-table gather outputs, indexed by **global** table id.
+    gather_outs: Vec<Matrix>,
+}
+
+/// The embedding side of one shard: the owned tables and their caches.
+/// Lives on the shard's server thread, keeping cache mutation
+/// single-threaded.
+struct ServerHalf {
+    /// Owned tables, in [`OwnershipMap::tables_of`] (local) order.
+    tables: Vec<EmbeddingLayer>,
+    caches: Vec<Option<HotRowCache>>,
+}
+
+impl ServerHalf {
+    /// Bag-sum gather of local table `li` into `out` (`n × E`) — the same
+    /// serial path (and same per-call ISA detection) as the unsharded
+    /// engine.
+    fn gather_into(&mut self, li: usize, indices: &[u32], offsets: &[usize], out: &mut Matrix) {
+        match &mut self.caches[li] {
+            Some(cache) => {
+                let isa = detect_isa();
+                gather_cached(cache, &self.tables[li].weight, indices, offsets, out, isa)
+            }
+            None => embedding::forward_serial(&self.tables[li].weight, indices, offsets, out),
+        }
+    }
+
+    fn cache_stats(&self) -> Vec<Option<CacheStats>> {
+        self.caches
+            .iter()
+            .map(|c| c.as_ref().map(|c| c.stats))
+            .collect()
+    }
+}
+
+/// A table-sharded forward-only model: `S` lane halves (replicated MLPs on
+/// per-shard teams) + `S` server halves (partitioned tables).
+///
+/// [`forward`](Self::forward) runs the whole thing synchronously on the
+/// calling thread — the identity-test harness; [`ShardedEngine::start`]
+/// puts each half on its own thread.
+pub struct ShardedServeModel {
+    cfg: DlrmConfig,
+    ownership: OwnershipMap,
+    lanes: Vec<LaneHalf>,
+    servers: Vec<ServerHalf>,
+    pinned_workers: Vec<usize>,
+}
+
+impl ShardedServeModel {
+    /// Builds a sharded model for `cfg`, seeded exactly like
+    /// [`crate::ServeModel::new`]: the same `seed` gives every shard's MLP
+    /// replica and every owned table bitwise the weights the unsharded
+    /// model holds.
+    pub fn new(cfg: &DlrmConfig, spec: &ShardSpec, seed: u64) -> Self {
+        assert!(spec.shards >= 1, "need at least one shard");
+        assert!(spec.workers_per_shard >= 1, "each team needs a worker");
+        let ownership = OwnershipMap::round_robin(cfg.num_tables, spec.shards);
+        let placement = spec.pin_cores.then(|| {
+            CorePlacement::contiguous(
+                ThreadPool::default_parallelism(),
+                spec.shards,
+                spec.workers_per_shard,
+            )
+        });
+        let mut lanes = Vec::with_capacity(spec.shards);
+        let mut servers = Vec::with_capacity(spec.shards);
+        let mut pinned_workers = Vec::with_capacity(spec.shards);
+        for s in 0..spec.shards {
+            let pool = match &placement {
+                Some(p) => ThreadPool::with_affinity(p.shard_cores(s)),
+                None => ThreadPool::new(spec.workers_per_shard),
+            };
+            pinned_workers.push(pool.pinned_workers());
+            let exec = Execution::Optimized(Arc::new(pool));
+            let mut bottom = Mlp::new(
+                cfg.dense_features,
+                &cfg.bottom_mlp,
+                Activation::Relu,
+                &mut seeded_rng(seed, DlrmModel::BOTTOM_STREAM),
+            );
+            assert_eq!(
+                bottom.out_features(),
+                cfg.emb_dim,
+                "bottom MLP must project to the embedding dimension"
+            );
+            let mut top = Mlp::new(
+                cfg.interaction_output_dim(),
+                &cfg.top_mlp,
+                Activation::None,
+                &mut seeded_rng(seed, DlrmModel::TOP_STREAM),
+            );
+            // Forward-only: pack once at build time (bitwise-equal to the
+            // flat path per the packed-plan equivalence gate).
+            bottom.prepack_weights();
+            top.prepack_weights();
+            lanes.push(LaneHalf {
+                exec,
+                bottom,
+                interaction: Interaction::new(cfg.emb_dim),
+                top,
+                gather_outs: (0..cfg.num_tables)
+                    .map(|_| Matrix::zeros(0, cfg.emb_dim))
+                    .collect(),
+            });
+            let tables: Vec<_> = ownership
+                .tables_of(s)
+                .iter()
+                .map(|&t| DlrmModel::build_table(cfg, t, UpdateStrategy::RaceFree, seed))
+                .collect();
+            let caches = tables
+                .iter()
+                .map(|t| {
+                    spec.cache
+                        .rows_for_table(t.rows())
+                        .map(|rows| HotRowCache::new(rows, t.dim()))
+                })
+                .collect();
+            servers.push(ServerHalf { tables, caches });
+        }
+        ShardedServeModel {
+            cfg: cfg.clone(),
+            ownership,
+            lanes,
+            servers,
+            pinned_workers,
+        }
+    }
+
+    /// The model configuration.
+    pub fn cfg(&self) -> &DlrmConfig {
+        &self.cfg
+    }
+
+    /// The table → shard partition.
+    pub fn ownership(&self) -> &OwnershipMap {
+        &self.ownership
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Workers that were successfully core-pinned, per shard (all zero
+    /// unless [`ShardSpec::pin_cores`] was set and pinning succeeded).
+    pub fn pinned_workers(&self) -> &[usize] {
+        &self.pinned_workers
+    }
+
+    /// Cache statistics indexed by **global** table id (`None` for
+    /// uncached tables).
+    pub fn cache_stats(&self) -> Vec<Option<CacheStats>> {
+        let mut global = vec![None; self.cfg.num_tables];
+        for (q, server) in self.servers.iter().enumerate() {
+            for (li, &t) in self.ownership.tables_of(q).iter().enumerate() {
+                global[t] = server.caches[li].as_ref().map(|c| c.stats);
+            }
+        }
+        global
+    }
+
+    /// Synchronous sharded forward: every table gathers at its owning
+    /// shard's server half, then `gather_shard`'s lane half runs the MLP
+    /// stack. Returns per-sample logits, bitwise identical to
+    /// [`crate::ServeModel::forward`] for any `gather_shard`.
+    pub fn forward(&mut self, gather_shard: usize, batch: &MiniBatch) -> Vec<f32> {
+        let n = batch.batch_size();
+        for (q, server) in self.servers.iter_mut().enumerate() {
+            for (li, &t) in self.ownership.tables_of(q).iter().enumerate() {
+                let out = &mut self.lanes[gather_shard].gather_outs[t];
+                out.resize_rows(n);
+                server.gather_into(li, &batch.indices[t], &batch.offsets[t], out);
+            }
+        }
+        let lane = &mut self.lanes[gather_shard];
+        let exec = lane.exec.clone();
+        let z0 = lane.bottom.forward(&exec, &batch.dense);
+        let inter = lane.interaction.forward(&exec, &z0, &lane.gather_outs);
+        let logits = lane.top.forward(&exec, &inter);
+        debug_assert_eq!(logits.rows(), 1);
+        logits.as_slice().to_vec()
+    }
+}
+
+/// One fan-out unit: the CSR slices for every table a shard owns (local
+/// order), for one micro-batch.
+struct GatherJob {
+    /// Batch size — sizes the `n × E` outputs even for all-empty bags.
+    n: usize,
+    /// The owning shard this job targets (echoed on the reply so the lane
+    /// can place the outputs without per-owner channels).
+    owner: usize,
+    /// Per owned table (local order): flattened lookup indices.
+    indices: Vec<Vec<u32>>,
+    /// Per owned table (local order): bag offsets (`n + 1` entries).
+    offsets: Vec<Vec<usize>>,
+    /// Where to send the pooled rows, tagged with the owner shard.
+    reply: mpsc::Sender<(usize, Vec<Matrix>)>,
+}
+
+/// Wakeup channel for one server thread: a sequence count under a mutex so
+/// a notify that lands before the server sleeps is never lost, plus a stop
+/// flag for shutdown.
+struct ServerCtl {
+    seq: Mutex<u64>,
+    cv: Condvar,
+    stop: AtomicBool,
+}
+
+impl ServerCtl {
+    fn new() -> Self {
+        ServerCtl {
+            seq: Mutex::new(0),
+            cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// Signals "new work may be visible in a ring".
+    fn notify(&self) {
+        *self.seq.lock().unwrap() += 1;
+        self.cv.notify_all();
+    }
+
+    fn request_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        self.notify();
+    }
+
+    fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// Parks until the sequence count moves past `last_seen` (or stop);
+    /// returns the count observed on wake.
+    fn wait(&self, last_seen: u64) -> u64 {
+        let mut seq = self.seq.lock().unwrap();
+        while *seq == last_seen && !self.stopped() {
+            seq = self.cv.wait(seq).unwrap();
+        }
+        *seq
+    }
+}
+
+/// A running sharded engine: per shard, a **lane** thread (micro-batch →
+/// fan-out → gather → MLP → respond) and a **server** thread (owned-table
+/// gathers for every lane), wired all-to-all with SPSC rings.
+pub struct ShardedEngine {
+    client: ServeClient,
+    batcher: MicroBatcher<Pending>,
+    lanes: Vec<JoinHandle<ShardReport>>,
+    servers: Vec<JoinHandle<Vec<Option<CacheStats>>>>,
+    ctls: Vec<Arc<ServerCtl>>,
+    ownership: Arc<OwnershipMap>,
+    num_tables: usize,
+}
+
+impl ShardedEngine {
+    /// Starts the engine, moving each shard's halves onto their threads.
+    pub fn start(model: ShardedServeModel, cfg: ServeConfig) -> Self {
+        assert!(cfg.max_batch >= 1, "max_batch must be >= 1");
+        let nshards = model.num_shards();
+        let ownership = Arc::new(model.ownership);
+        let model_cfg = Arc::new(model.cfg);
+        let batcher: MicroBatcher<Pending> = MicroBatcher::new();
+        let client = ServeClient::new(
+            batcher.clone(),
+            model_cfg.dense_features,
+            model_cfg.table_rows.clone(),
+        );
+
+        // One ring per (lane, server) pair. A lane has at most one job in
+        // flight per server (it blocks on the replies each batch), so a
+        // tiny capacity never fills in steady state.
+        let mut lane_producers: Vec<Vec<SpscProducer<GatherJob>>> =
+            (0..nshards).map(|_| Vec::with_capacity(nshards)).collect();
+        let mut server_consumers: Vec<Vec<SpscConsumer<GatherJob>>> =
+            (0..nshards).map(|_| Vec::with_capacity(nshards)).collect();
+        for producers in lane_producers.iter_mut() {
+            for consumers in server_consumers.iter_mut() {
+                let (tx, rx) = spsc(2);
+                producers.push(tx);
+                consumers.push(rx);
+            }
+        }
+        let ctls: Vec<Arc<ServerCtl>> = (0..nshards).map(|_| Arc::new(ServerCtl::new())).collect();
+
+        let servers: Vec<JoinHandle<Vec<Option<CacheStats>>>> = model
+            .servers
+            .into_iter()
+            .zip(server_consumers)
+            .enumerate()
+            .map(|(q, (server, consumers))| {
+                let ctl = Arc::clone(&ctls[q]);
+                std::thread::Builder::new()
+                    .name(format!("dlrm-shard{q}-srv"))
+                    .spawn(move || run_server(server, consumers, &ctl))
+                    .expect("spawn shard server")
+            })
+            .collect();
+
+        let lanes: Vec<JoinHandle<ShardReport>> = model
+            .lanes
+            .into_iter()
+            .enumerate()
+            .map(|(s, lane)| {
+                let consumer = batcher.clone();
+                let producers = std::mem::take(&mut lane_producers[s]);
+                let ctls: Vec<Arc<ServerCtl>> = ctls.iter().map(Arc::clone).collect();
+                let ownership = Arc::clone(&ownership);
+                let model_cfg = Arc::clone(&model_cfg);
+                let serve_cfg = cfg.clone();
+                std::thread::Builder::new()
+                    .name(format!("dlrm-shard{s}-lane"))
+                    .spawn(move || {
+                        run_lane(
+                            s, lane, consumer, producers, ctls, &ownership, &model_cfg, &serve_cfg,
+                        )
+                    })
+                    .expect("spawn shard lane")
+            })
+            .collect();
+
+        ShardedEngine {
+            client,
+            batcher,
+            lanes,
+            servers,
+            ctls,
+            num_tables: model_cfg.num_tables,
+            ownership,
+        }
+    }
+
+    /// A cloneable client handle (same request/response surface as the
+    /// unsharded [`crate::ServeEngine`]).
+    pub fn client(&self) -> ServeClient {
+        self.client.clone()
+    }
+
+    /// Stops accepting requests, drains every queued request, and returns
+    /// the aggregate report with its per-shard breakdown.
+    pub fn shutdown(mut self) -> EngineReport {
+        self.join_all()
+    }
+
+    fn join_all(&mut self) -> EngineReport {
+        // Order matters: close the batcher and join the lanes first — a
+        // lane blocks on its replies every batch, so once the lanes exit,
+        // every ring is empty and the servers can be stopped.
+        self.batcher.close();
+        let mut shard_reports: Vec<ShardReport> = self
+            .lanes
+            .drain(..)
+            .map(|l| l.join().expect("lane panicked"))
+            .collect();
+        for ctl in &self.ctls {
+            ctl.request_stop();
+        }
+        let server_stats: Vec<Vec<Option<CacheStats>>> = self
+            .servers
+            .drain(..)
+            .map(|s| s.join().expect("shard server panicked"))
+            .collect();
+
+        let mut report = EngineReport {
+            cache_stats: vec![None; self.num_tables],
+            ..EngineReport::default()
+        };
+        for (q, stats) in server_stats.into_iter().enumerate() {
+            shard_reports[q].cache_stats = stats.clone();
+            for (li, &t) in self.ownership.tables_of(q).iter().enumerate() {
+                report.cache_stats[t] = stats[li];
+            }
+        }
+        for sr in &shard_reports {
+            report.requests += sr.requests;
+            report.batches += sr.batches;
+            report.max_batch_seen = report.max_batch_seen.max(sr.max_batch_seen);
+            report.latencies_us.extend_from_slice(&sr.latencies_us);
+        }
+        report.shards = shard_reports;
+        report
+    }
+}
+
+impl Drop for ShardedEngine {
+    fn drop(&mut self) {
+        if !self.lanes.is_empty() || !self.servers.is_empty() {
+            let _ = self.join_all();
+        }
+    }
+}
+
+/// Server thread body: drain gather jobs from every lane's ring, park on
+/// the ctl when idle, exit once stop is requested and the rings are dry.
+fn run_server(
+    mut server: ServerHalf,
+    mut consumers: Vec<SpscConsumer<GatherJob>>,
+    ctl: &ServerCtl,
+) -> Vec<Option<CacheStats>> {
+    let mut last_seen = 0u64;
+    loop {
+        let mut served = 0usize;
+        for ring in consumers.iter_mut() {
+            while let Some(job) = ring.pop() {
+                served += 1;
+                let outs: Vec<Matrix> = (0..server.tables.len())
+                    .map(|li| {
+                        let mut out = Matrix::zeros(job.n, server.tables[li].dim());
+                        server.gather_into(li, &job.indices[li], &job.offsets[li], &mut out);
+                        out
+                    })
+                    .collect();
+                // A lane that died mid-batch just drops its receiver.
+                let _ = job.reply.send((job.owner, outs));
+            }
+        }
+        if served == 0 {
+            if ctl.stopped() {
+                return server.cache_stats();
+            }
+            last_seen = ctl.wait(last_seen);
+        }
+    }
+}
+
+/// Lane thread body: pull micro-batches, scatter the sparse half to the
+/// owning servers, gather the pooled rows, run the dense stack, respond.
+#[allow(clippy::too_many_arguments)]
+fn run_lane(
+    shard: usize,
+    mut lane: LaneHalf,
+    consumer: MicroBatcher<Pending>,
+    mut producers: Vec<SpscProducer<GatherJob>>,
+    ctls: Vec<Arc<ServerCtl>>,
+    ownership: &OwnershipMap,
+    cfg: &DlrmConfig,
+    serve_cfg: &ServeConfig,
+) -> ShardReport {
+    let mut report = ShardReport {
+        shard,
+        owned_tables: ownership.tables_of(shard).to_vec(),
+        ..ShardReport::default()
+    };
+    let exec = lane.exec.clone();
+    while let Some(mut pendings) = consumer.next_batch(serve_cfg.max_batch, serve_cfg.window) {
+        report.queue_depth_hwm = report.queue_depth_hwm.max(pendings.len() + consumer.len());
+        let n = pendings.len();
+        let batch = assemble(cfg, &pendings);
+
+        // Scatter: one coalesced job per owning shard.
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let mut outstanding = 0usize;
+        for (q, ctl) in ctls.iter().enumerate() {
+            let owned = ownership.tables_of(q);
+            if owned.is_empty() {
+                continue;
+            }
+            let mut job = GatherJob {
+                n,
+                owner: q,
+                indices: owned.iter().map(|&t| batch.indices[t].clone()).collect(),
+                offsets: owned.iter().map(|&t| batch.offsets[t].clone()).collect(),
+                reply: reply_tx.clone(),
+            };
+            loop {
+                match producers[q].push(job) {
+                    Ok(()) => break,
+                    Err(back) => {
+                        // Ring full (the server is behind) — nudge it and
+                        // retry; capacity 2 with one job in flight per lane
+                        // makes this a cold path.
+                        job = back;
+                        ctl.notify();
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            ctl.notify();
+            outstanding += 1;
+        }
+        drop(reply_tx);
+
+        // Gather: block for every owner's pooled rows.
+        for _ in 0..outstanding {
+            let (q, outs) = reply_rx
+                .recv()
+                .expect("shard server dropped a gather reply");
+            for (&t, out) in ownership.tables_of(q).iter().zip(outs) {
+                lane.gather_outs[t] = out;
+            }
+        }
+
+        // Dense stack on this shard's team.
+        let z0 = lane.bottom.forward(&exec, &batch.dense);
+        let inter = lane.interaction.forward(&exec, &z0, &lane.gather_outs);
+        let logit_mat = lane.top.forward(&exec, &inter);
+        debug_assert_eq!(logit_mat.rows(), 1);
+        let logits = logit_mat.as_slice();
+
+        report.batches += 1;
+        report.max_batch_seen = report.max_batch_seen.max(n);
+        for (i, p) in pendings.drain(..).enumerate() {
+            let latency = p.submitted.elapsed();
+            report.requests += 1;
+            report.latencies_us.push(latency.as_micros() as u64);
+            let _ = p.tx.send(Response {
+                logit: logits[i],
+                prob: sigmoid(logits[i]),
+                latency,
+            });
+        }
+    }
+    report
+}

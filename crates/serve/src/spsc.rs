@@ -1,0 +1,195 @@
+//! A bounded lock-free single-producer / single-consumer ring.
+//!
+//! The sharded engine's fan-out lanes talk to shard table-servers over
+//! one of these per (lane, server) pair — an in-process scatter/gather
+//! data plane with no comm-world dependency and no lock on the hot path.
+//! A lane submits at most one gather job per server per micro-batch and
+//! blocks on the replies before pulling the next batch, so a tiny
+//! capacity suffices and the full case is a defensive backoff, not a
+//! steady-state regime.
+//!
+//! The implementation is the textbook monotonic-counter SPSC queue: the
+//! producer owns `tail`, the consumer owns `head`, each reads the other's
+//! counter with `Acquire` and publishes its own with `Release`, and slot
+//! `i` lives at `i % capacity`. Counters are `u64`-sized (`usize` on the
+//! targets we build) and never wrap in practice.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct Ring<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    cap: usize,
+    /// Next slot the consumer will read (monotonic).
+    head: AtomicUsize,
+    /// Next slot the producer will write (monotonic).
+    tail: AtomicUsize,
+}
+
+// SAFETY: the producer/consumer split below guarantees a slot is touched
+// by at most one thread at a time — the producer only writes slots in
+// `tail..head+cap`, the consumer only reads slots in `head..tail`, and the
+// counter handoffs are Release→Acquire ordered.
+unsafe impl<T: Send> Send for Ring<T> {}
+unsafe impl<T: Send> Sync for Ring<T> {}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        // Exclusive access here (last Arc owner): drop whatever is still
+        // queued.
+        let head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        for i in head..tail {
+            // SAFETY: slots in head..tail were initialized by push and not
+            // yet consumed by pop.
+            unsafe { (*self.buf[i % self.cap].get()).assume_init_drop() };
+        }
+    }
+}
+
+/// The sending half; exactly one exists per ring.
+pub struct SpscProducer<T> {
+    ring: Arc<Ring<T>>,
+}
+
+/// The receiving half; exactly one exists per ring.
+pub struct SpscConsumer<T> {
+    ring: Arc<Ring<T>>,
+}
+
+/// A bounded SPSC ring of `capacity` slots (`capacity >= 1`).
+pub fn spsc<T: Send>(capacity: usize) -> (SpscProducer<T>, SpscConsumer<T>) {
+    assert!(capacity >= 1, "spsc ring needs at least one slot");
+    let ring = Arc::new(Ring {
+        buf: (0..capacity)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect(),
+        cap: capacity,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+    });
+    (
+        SpscProducer {
+            ring: Arc::clone(&ring),
+        },
+        SpscConsumer { ring },
+    )
+}
+
+impl<T: Send> SpscProducer<T> {
+    /// Enqueues `v`, or returns it back when the ring is full.
+    pub fn push(&mut self, v: T) -> Result<(), T> {
+        let ring = &*self.ring;
+        let tail = ring.tail.load(Ordering::Relaxed);
+        let head = ring.head.load(Ordering::Acquire);
+        if tail - head == ring.cap {
+            return Err(v);
+        }
+        // SAFETY: `tail < head + cap`, so this slot has been consumed (or
+        // never written); only this producer writes it.
+        unsafe { (*ring.buf[tail % ring.cap].get()).write(v) };
+        ring.tail.store(tail + 1, Ordering::Release);
+        Ok(())
+    }
+}
+
+impl<T: Send> SpscConsumer<T> {
+    /// Dequeues the oldest item, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        let ring = &*self.ring;
+        let head = ring.head.load(Ordering::Relaxed);
+        let tail = ring.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // SAFETY: `head < tail`, so the slot was fully written (Release on
+        // tail, Acquire above); only this consumer reads it.
+        let v = unsafe { (*ring.buf[head % ring.cap].get()).assume_init_read() };
+        ring.head.store(head + 1, Ordering::Release);
+        Some(v)
+    }
+
+    /// Items currently queued (a snapshot; exact when the producer is
+    /// quiescent).
+    pub fn len(&self) -> usize {
+        let ring = &*self.ring;
+        ring.tail.load(Ordering::Acquire) - ring.head.load(Ordering::Relaxed)
+    }
+
+    /// True when nothing is queued right now.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize as Counter;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let (mut tx, mut rx) = spsc::<u32>(2);
+        assert!(tx.push(1).is_ok());
+        assert!(tx.push(2).is_ok());
+        assert_eq!(tx.push(3), Err(3), "full ring must reject");
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.pop(), Some(1));
+        assert!(tx.push(4).is_ok(), "slot freed by pop");
+        assert_eq!(rx.pop(), Some(2));
+        assert_eq!(rx.pop(), Some(4));
+        assert_eq!(rx.pop(), None);
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn cross_thread_stream_is_lossless_and_ordered() {
+        let (mut tx, mut rx) = spsc::<u64>(8);
+        let n = 100_000u64;
+        let producer = std::thread::spawn(move || {
+            for i in 0..n {
+                let mut v = i;
+                loop {
+                    match tx.push(v) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            v = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+        });
+        let mut expect = 0u64;
+        while expect < n {
+            match rx.pop() {
+                Some(v) => {
+                    assert_eq!(v, expect, "out of order");
+                    expect += 1;
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn dropping_the_ring_drops_queued_items() {
+        static DROPS: Counter = Counter::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let (mut tx, rx) = spsc::<D>(4);
+        tx.push(D).ok();
+        tx.push(D).ok();
+        drop(rx);
+        drop(tx);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 2);
+    }
+}

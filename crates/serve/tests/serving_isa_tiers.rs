@@ -9,7 +9,7 @@ use dlrm::layers::Execution;
 use dlrm_data::{DlrmConfig, IndexDistribution, MiniBatch};
 use dlrm_kernels::embedding::rowops::available_isas;
 use dlrm_kernels::gemm::micro::set_isa_override;
-use dlrm_serve::{CacheSizing, ServeModel};
+use dlrm_serve::{CacheSizing, ServeModel, ShardSpec, ShardedServeModel};
 use dlrm_tensor::init::seeded_rng;
 
 fn tiny_cfg() -> DlrmConfig {
@@ -44,13 +44,31 @@ fn cached_identity_holds_under_every_isa_tier() {
                 CacheSizing::Fraction(0.02),
                 37,
             );
+            // The sharded engine must hold the same identity within each
+            // forced tier (same process-global override, hence this file).
+            let mut sharded = ShardedServeModel::new(
+                &cfg,
+                &ShardSpec {
+                    shards: 2,
+                    workers_per_shard: 1,
+                    pin_cores: false,
+                    cache: CacheSizing::Fraction(0.02),
+                },
+                37,
+            );
             let mut rng = seeded_rng(41, 2);
             for round in 0..3 {
                 let batch = MiniBatch::random(&cfg, 16, dist, &mut rng);
+                let want = uncached.forward(&batch);
                 assert_eq!(
                     cached.forward(&batch),
-                    uncached.forward(&batch),
-                    "{isa:?} {dist:?} round {round}"
+                    want,
+                    "{isa:?} {dist:?} round {round}: cached"
+                );
+                assert_eq!(
+                    sharded.forward(round % 2, &batch),
+                    want,
+                    "{isa:?} {dist:?} round {round}: sharded"
                 );
             }
         }

@@ -15,12 +15,19 @@
 //! simulator queries: hop counts, per-link bandwidths, and the effective
 //! bandwidths seen by ring (allreduce) and pairwise (alltoall) collective
 //! schedules.
+//!
+//! [`placement`] holds the *placement* maps layered on top of the wiring:
+//! [`OwnershipMap`] (table → shard/rank, shared by the distributed trainer
+//! and the sharded serving engine) and [`CorePlacement`] (shard worker
+//! team → host cores).
 
 pub mod fattree;
 pub mod hypercube;
+pub mod placement;
 
 pub use fattree::PrunedFatTree;
 pub use hypercube::TwistedHypercube8;
+pub use placement::{CorePlacement, OwnershipMap};
 
 /// Seconds, bytes-per-second — all cost math is in SI units.
 pub type Seconds = f64;
